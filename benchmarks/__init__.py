@@ -1,0 +1,13 @@
+"""Benchmark harness reproducing every table and figure of the paper's
+evaluation (Section 6 + appendix C).  See DESIGN.md section 4 for the
+experiment index and EXPERIMENTS.md for recorded results.
+
+Each ``bench_*.py`` file is both:
+
+* a pytest-benchmark module (``pytest benchmarks/ --benchmark-only``)
+  timing a representative slice of the experiment, and
+* a runnable script (``python benchmarks/bench_<x>.py``) printing the
+  full paper-style table/series.
+
+``python benchmarks/run_all.py`` regenerates everything.
+"""

@@ -1,0 +1,91 @@
+"""Ablation — fast range reduction (multiply-shift) vs modulo.
+
+The paper's filters use Lemire/Ross reduction-by-multiplication [68]
+instead of ``hash % m``.  This ablation measures both schemes on this
+substrate and checks that bucket uniformity is not harmed.
+
+Expected *inversion* vs the paper: on native hardware the multiply trick
+beats the division instruction, but numpy's ``%`` is a single fused
+kernel while our 128-bit multiply needs ~8 elementwise kernels, so
+modulo wins here.  The library still offers ``fast_range`` because it is
+bit-exact with the scalar path and consumes the hash's high bits; the
+honest cost flip is recorded in EXPERIMENTS.md.
+"""
+
+import random
+
+import numpy as np
+
+from repro.bench.harness import time_callable
+from repro.bench.reporting import format_speedup_table, print_header
+from repro.filters.reduction import fast_range_array
+
+NUM_HASHES = 200_000
+NUM_BUCKETS = 1013  # non power of two, the interesting case
+
+
+def _hashes():
+    rng = np.random.default_rng(3)
+    return rng.integers(0, 2**64, size=NUM_HASHES, dtype=np.uint64)
+
+
+def run_comparison():
+    hashes = _hashes()
+    rows = {
+        "fast_range": {
+            "ns_per_hash": time_callable(
+                lambda: fast_range_array(hashes, NUM_BUCKETS), repeats=5
+            ) * 1e9 / NUM_HASHES,
+        },
+        "modulo": {
+            "ns_per_hash": time_callable(
+                lambda: hashes % np.uint64(NUM_BUCKETS), repeats=5
+            ) * 1e9 / NUM_HASHES,
+        },
+    }
+    rows["fast_range"]["speedup"] = (
+        rows["modulo"]["ns_per_hash"] / rows["fast_range"]["ns_per_hash"]
+    )
+    rows["modulo"]["speedup"] = 1.0
+
+    for label, reducer in (
+        ("fast_range", lambda h: fast_range_array(h, NUM_BUCKETS)),
+        ("modulo", lambda h: (h % np.uint64(NUM_BUCKETS)).astype(np.int64)),
+    ):
+        counts = np.bincount(reducer(hashes), minlength=NUM_BUCKETS)
+        expected = NUM_HASHES / NUM_BUCKETS
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        rows[label]["chi2"] = chi2
+    return rows
+
+
+def main():
+    print_header(f"Ablation: fast range reduction vs modulo "
+                 f"({NUM_HASHES} hashes -> {NUM_BUCKETS} buckets)")
+    rows = run_comparison()
+    print(format_speedup_table(rows, ["ns_per_hash", "speedup", "chi2"],
+                               row_title="reduction", digits=2))
+    print()
+    print(f"chi2 on {NUM_BUCKETS - 1} dof: 99.9% quantile ~ "
+          f"{NUM_BUCKETS - 1 + 3.1 * (2 * (NUM_BUCKETS - 1)) ** 0.5:.0f}; "
+          "both schemes must fall below it.")
+    print("Note: in numpy the modulo kernel wins (single fused op vs ~8 "
+          "elementwise ops for the 128-bit multiply) — the reverse of the "
+          "paper's native-code result; see EXPERIMENTS.md.")
+
+
+def test_uniformity_preserved():
+    rows = run_comparison()
+    dof = NUM_BUCKETS - 1
+    threshold = dof + 4 * (2 * dof) ** 0.5
+    assert rows["fast_range"]["chi2"] < threshold
+    assert rows["modulo"]["chi2"] < threshold
+
+
+def test_reduction_benchmark(benchmark):
+    hashes = _hashes()
+    benchmark(lambda: fast_range_array(hashes, NUM_BUCKETS))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Ablation — partitioning under key skew (Section 4.3's caveat).
+
+The paper's variance analysis assumes unique keys and explicitly argues
+that with heavy hitters "the unevenness comes from the existence of
+heavy hitters rather than the quality of the hash function".  This
+bench verifies the claim empirically: under a Zipf-duplicated workload,
+full-key and Entropy-Learned partitioning show the *same* (hitter-
+driven) imbalance, and the d-choice balancer from the appendix tames it
+for both when items can be routed individually.
+"""
+
+import random
+
+from repro.bench.reporting import format_speedup_table, print_header
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import train_model
+from repro.datasets import hn_urls
+from repro.partitioning.balance import DChoiceBalancer
+from repro.partitioning.partitioner import Partitioner
+from repro.partitioning.stats import max_overload, relative_std
+
+NUM_FLOWS = 4_000
+STREAM_LEN = 40_000
+NUM_BINS = 32
+
+
+def _skewed_stream():
+    flows = hn_urls(NUM_FLOWS, seed=61)
+    rng = random.Random(4)
+    weights = [1.0 / (rank + 1) for rank in range(NUM_FLOWS)]
+    return flows, rng.choices(flows, weights=weights, k=STREAM_LEN)
+
+
+def run_comparison():
+    flows, stream = _skewed_stream()
+    model = train_model(flows, fixed_dataset=True)
+    elh = model.hasher_for_partitioning(STREAM_LEN, NUM_BINS, mode="relative")
+    full = EntropyLearnedHasher.full_key(elh.base.name)
+
+    rows = {}
+    for label, hasher in (("full-key", full), ("ELH", elh)):
+        counts = Partitioner(hasher, NUM_BINS).partition(stream, "pure").counts
+        rows[f"{label} hash-partition"] = {
+            "rel_std": relative_std(counts),
+            "max_overload": max_overload(counts),
+        }
+        balancer = DChoiceBalancer(hasher, num_bins=NUM_BINS, choices=2)
+        balancer.assign(stream)
+        rows[f"{label} 2-choice"] = {
+            "rel_std": relative_std(balancer.loads),
+            "max_overload": max_overload(balancer.loads),
+        }
+    return rows
+
+
+def main():
+    print_header(f"Ablation: Zipf-skewed stream ({STREAM_LEN} items, "
+                 f"{NUM_FLOWS} flows) into {NUM_BINS} bins")
+    rows = run_comparison()
+    print(format_speedup_table(rows, ["rel_std", "max_overload"],
+                               row_title="strategy", digits=3))
+    print()
+    print("Claim: skew-driven imbalance is identical for full-key and "
+          "ELH hashing (the hash is not the culprit); d-choice routing "
+          "roughly halves the worst overload for both (each flow still "
+          "has only d candidate bins).")
+
+
+def test_skew_hurts_both_equally():
+    rows = run_comparison()
+    full = rows["full-key hash-partition"]["rel_std"]
+    elh = rows["ELH hash-partition"]["rel_std"]
+    assert abs(full - elh) < 0.5 * max(full, elh)
+
+
+def test_two_choice_reduces_skew():
+    """Each flow has two candidate bins, so a heavy hitter's copies can
+    split across two bins instead of one — roughly halving the worst
+    overload, which is what d=2 can promise under flow affinity."""
+    rows = run_comparison()
+    for label in ("full-key", "ELH"):
+        hashed = rows[f"{label} hash-partition"]["max_overload"]
+        balanced = rows[f"{label} 2-choice"]["max_overload"]
+        assert balanced < hashed
+        assert balanced < 2.5
+
+
+def test_skew_partition_benchmark(benchmark):
+    flows, stream = _skewed_stream()
+    hasher = EntropyLearnedHasher.full_key("crc32")
+    p = Partitioner(hasher, NUM_BINS)
+    benchmark(lambda: p.partition(stream[:5000], "pure"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Ablation — SwissTable tag bits vs plain linear probing.
+
+The paper notes SwissTable probes an array of 8-bit tags before touching
+full keys, which is why misses are cheaper than hits.  This ablation
+measures exactly what the tags buy: full-key comparisons per probe with
+and without the tag filter, for hits and misses, under both full-key and
+Entropy-Learned hashing.
+
+The "without tags" variant is the same table with the tag check disabled
+(every occupied slot's key is compared), counted via instrumentation.
+"""
+
+try:
+    from benchmarks.common import build_table, workload
+except ImportError:
+    from common import build_table, workload
+
+from repro.bench.harness import build_probe_mix
+from repro.bench.reporting import format_speedup_table, print_header
+from repro.core.hasher import EntropyLearnedHasher
+from repro.tables.probing import LinearProbingTable
+
+
+class NoTagProbingTable(LinearProbingTable):
+    """Linear probing that compares the stored key at every occupied
+    slot (what SwissTable would do without its tag array)."""
+
+    def get(self, key, default=None):
+        from repro._util import as_bytes
+
+        key = as_bytes(key)
+        slot, _ = self._slot_and_tag(key)
+        self.stats.probes += 1
+        chain = 0
+        while True:
+            state = self._tags[slot]
+            chain += 1
+            if state == 0:  # empty
+                self.stats.chain_total += chain
+                return default
+            if state != 1:  # not a tombstone: always compare the key
+                self.stats.key_comparisons += 1
+                if self._keys[slot] == key:
+                    self.stats.chain_total += chain
+                    return self._values[slot]
+            slot = (slot + 1) & self._mask
+
+
+def run_comparison():
+    work = workload("hn")
+    stored = work.stored_large[:4000]
+    rows = {}
+    for hasher_label, hasher in (
+        ("full-key", EntropyLearnedHasher.full_key("wyhash")),
+        ("ELH", work.model.hasher_for_probing_table(len(stored))),
+    ):
+        for table_label, table_cls in (
+            ("tags", LinearProbingTable),
+            ("no-tags", NoTagProbingTable),
+        ):
+            table = build_table(table_cls, hasher, stored)
+            row = {}
+            for hit_rate, col in ((1.0, "cmp/hit"), (0.0, "cmp/miss")):
+                probes = build_probe_mix(stored, work.missing, hit_rate,
+                                         3000, seed=9)
+                table.stats.clear()
+                for key in probes:
+                    table.get(key)
+                row[col] = table.stats.comparisons_per_probe
+            rows[f"{hasher_label}/{table_label}"] = row
+    return rows
+
+
+def main():
+    print_header("Ablation: tag bits vs plain probing — full-key "
+                 "comparisons per probe (HN, 4K keys)")
+    rows = run_comparison()
+    print(format_speedup_table(rows, ["cmp/hit", "cmp/miss"],
+                               row_title="config", digits=3))
+    print()
+    print("Tags should cut miss comparisons to ~0 (the paper's SwissTable "
+          "note); ELH must not change comparison counts materially.")
+
+
+def test_tags_eliminate_miss_comparisons():
+    rows = run_comparison()
+    assert rows["full-key/tags"]["cmp/miss"] < 0.1
+    assert rows["full-key/no-tags"]["cmp/miss"] > 0.3
+
+
+def test_elh_preserves_comparison_counts():
+    rows = run_comparison()
+    assert rows["ELH/tags"]["cmp/hit"] <= rows["full-key/tags"]["cmp/hit"] + 0.1
+
+
+def test_tag_probe_benchmark(benchmark):
+    work = workload("hn")
+    stored = work.stored_small
+    table = build_table(LinearProbingTable,
+                        EntropyLearnedHasher.full_key(), stored)
+    probes = build_probe_mix(stored, work.missing, 0.0, 1000, seed=9)
+    benchmark(lambda: [table.get(k) for k in probes])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Ablation — greedy word granularity (1 vs 4 vs 8 bytes).
+
+The paper selects 4 or 8 bytes at a time because base hashes consume a
+word per step.  This ablation quantifies the trade: smaller words find
+tighter byte sets (fewer bytes read for the same entropy) but train far
+slower and leave the runtime hash with more, smaller reads.
+"""
+
+from repro.bench.reporting import format_speedup_table, print_header
+from repro.core.greedy import choose_bytes
+from repro.core.sizing import entropy_for_probing_table
+from repro.datasets import hn_urls
+
+NUM_KEYS = 6_000
+WORD_SIZES = (1, 4, 8)
+
+
+def run_table():
+    keys = hn_urls(NUM_KEYS, seed=55)
+    train, test = keys[: NUM_KEYS // 2], keys[NUM_KEYS // 2:]
+    required = entropy_for_probing_table(NUM_KEYS // 2)
+    rows = {}
+    for word_size in WORD_SIZES:
+        result = choose_bytes(train, test, word_size=word_size,
+                              max_words=max(2, 16 // word_size))
+        words = result.min_words_for_entropy(required)
+        bytes_read = words * word_size if words else None
+        rows[f"{word_size}-byte words"] = {
+            "train_s": result.elapsed_seconds,
+            "words_needed": float(words) if words else float("nan"),
+            "bytes_read": float(bytes_read) if bytes_read else float("nan"),
+            "best_entropy": max(result.entropies) if result.entropies else 0.0,
+        }
+    return rows
+
+
+def main():
+    print_header("Ablation: greedy word size on HN URLs "
+                 f"(requirement: H2 > {entropy_for_probing_table(NUM_KEYS // 2):.1f})")
+    rows = run_table()
+    print(format_speedup_table(
+        rows, ["train_s", "words_needed", "bytes_read", "best_entropy"],
+        row_title="granularity", digits=2,
+    ))
+
+
+def test_smaller_words_slower_training():
+    rows = run_table()
+    assert rows["1-byte words"]["train_s"] > rows["8-byte words"]["train_s"]
+
+
+def test_all_granularities_reach_requirement():
+    import math
+
+    rows = run_table()
+    for name, row in rows.items():
+        assert not math.isnan(row["words_needed"]), name
+
+
+def test_word_size_benchmark(benchmark):
+    keys = hn_urls(2_000, seed=55)
+    benchmark(lambda: choose_bytes(keys, word_size=4, max_words=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Appendix experiment 1 — hash-table insert time.
+
+Entropy-Learned Hashing speeds up inserts like probes with hit rate 1:
+the hash is cheaper, the collision handling unchanged.  Builds
+linear-probing tables from scratch per configuration and reports
+ns/insert for in-cache (1K) and in-memory (half-dataset) sizes.
+"""
+
+try:
+    from benchmarks.common import (
+        DATASETS, DISPLAY, hasher_configs, measure_insert_ns, workload,
+    )
+except ImportError:
+    from common import (
+        DATASETS, DISPLAY, hasher_configs, measure_insert_ns, workload,
+    )
+
+from repro.bench.reporting import format_speedup_table, print_header
+from repro.tables.probing import LinearProbingTable
+
+CONFIGS = ("GST", "wyhash", "ELH")
+
+
+def run_panel(size: str):
+    rows = {}
+    for name in DATASETS:
+        work = workload(name)
+        stored = work.stored_small if size == "small" else work.stored_large
+        row = {}
+        for config, hasher in hasher_configs(work, len(stored)).items():
+            row[config] = measure_insert_ns(
+                LinearProbingTable, hasher, stored, repeats=2
+            )
+        row["speedup"] = min(row["GST"], row["wyhash"]) / row["ELH"]
+        rows[DISPLAY[name]] = row
+    return rows
+
+
+def main():
+    for size in ("small", "large"):
+        print_header(
+            f"Appendix Fig 1 ({'in-cache' if size == 'small' else 'in-memory'}): "
+            "insert time ns/key"
+        )
+        rows = run_panel(size)
+        print(format_speedup_table(rows, list(CONFIGS) + ["speedup"], digits=0))
+
+
+def test_insert_speedup_on_long_keys():
+    """Wikipedia's insert win (~2x standalone) is robust; Hn's (~1.2x)
+    sits within shared-box jitter, so it only gets a no-regression floor."""
+    rows = run_panel("small")
+    assert rows["Wp."]["speedup"] > 1.2
+    assert rows["Hn"]["speedup"] > 0.9
+
+
+def test_insert_benchmark(benchmark):
+    work = workload("hn")
+    hasher = hasher_configs(work, 1000)["ELH"]
+
+    def build():
+        table = LinearProbingTable(hasher, capacity=2048)
+        for key in work.stored_small:
+            table.insert(key, None)
+
+    benchmark(build)
+
+
+if __name__ == "__main__":
+    main()

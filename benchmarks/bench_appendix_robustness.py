@@ -1,0 +1,116 @@
+"""Appendix experiment 3 — robustness under train/test mismatch.
+
+Hash tables storing and probing Hacker News URLs, with the byte selector
+trained on (a) Hacker News itself, (b) Google URLs (different but still
+random on the chosen bytes), and (c) UUIDs (very different structure).
+
+Claims to reproduce: (a) and (b) keep their speedups; (c) must not be
+*worse* than full-key hashing — the model falls back (or the learned
+positions still separate keys) and correctness is never at risk.
+"""
+
+try:
+    from benchmarks.common import build_table, measure_probe_ns, workload
+except ImportError:
+    from common import build_table, measure_probe_ns, workload
+
+from repro.bench.harness import build_probe_mix
+from repro.bench.reporting import format_speedup_table, print_header
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import train_model
+from repro.datasets import google_urls, uuid_keys
+from repro.tables.probing import EntropyAwareProbingTable, LinearProbingTable
+
+TRAINERS = ("Hn", "Ggle", "UUID")
+
+
+def _models():
+    hn = workload("hn")
+    return hn, {
+        "Hn": hn.model,
+        "Ggle": train_model(google_urls(8000, seed=71), seed=5),
+        "UUID": train_model(uuid_keys(8000, seed=72), seed=5),
+    }
+
+
+def run_table(hit_rate: float):
+    hn, models = _models()
+    stored = hn.stored_large[:8000]
+    probes = build_probe_mix(stored, hn.missing, hit_rate, 4000, seed=7)
+    full = EntropyLearnedHasher.full_key("wyhash")
+    full_table = build_table(LinearProbingTable, full, stored)
+    full_ns = sum(measure_probe_ns(full_table, probes))
+
+    rows = {}
+    for trainer_name, model in models.items():
+        # The full Section 5 infrastructure: insert-time monitoring plus
+        # the full-key fallback when observed collisions blow the entropy
+        # budget (this is what protects the UUID-trained configuration).
+        table = EntropyAwareProbingTable(model, capacity=int(len(stored) / 0.7))
+        for key in stored:
+            table.insert(key, key)
+        hash_ns, access_ns = measure_probe_ns(table, probes)
+        total = hash_ns + access_ns
+        rows[f"trained w/ {trainer_name}"] = {
+            "ns": total,
+            "full_ns": full_ns,
+            "speedup": full_ns / total,
+            "words": len(table.hasher.partial_key.positions),
+            "fell_back": float(table.fallen_back),
+        }
+    return rows
+
+
+def main():
+    for hit_rate in (0.0, 1.0):
+        print_header(
+            f"Appendix Fig 2: probing HN data, hit rate = {int(hit_rate)} "
+            "(trained on different datasets)"
+        )
+        rows = run_table(hit_rate)
+        print(format_speedup_table(
+            rows, ["ns", "full_ns", "speedup", "words", "fell_back"],
+            row_title="configuration", digits=2,
+        ))
+
+
+def test_matching_training_speeds_up():
+    rows = run_table(0.0)
+    assert rows["trained w/ Hn"]["speedup"] > 1.2
+
+
+def test_mismatched_training_never_catastrophic():
+    """The Section 5 robustness claim: even UUID-trained positions must
+    not make probes dramatically slower than full-key hashing."""
+    rows = run_table(1.0)
+    for config, row in rows.items():
+        assert row["speedup"] > 0.5, (config, row)
+
+
+def test_correctness_under_mismatch():
+    hn, models = _models()
+    stored = hn.stored_large[:2000]
+    table = EntropyAwareProbingTable(models["UUID"], capacity=4096)
+    for key in stored:
+        table.insert(key, key)
+    assert all(table.get(k) == k for k in stored)
+    assert all(table.get(k) is None for k in hn.missing[:2000])
+
+
+def test_uuid_training_triggers_fallback():
+    """The badly mistrained configuration must detect itself."""
+    rows = run_table(0.0)
+    assert rows["trained w/ UUID"]["fell_back"] == 1.0
+
+
+def test_robustness_benchmark(benchmark):
+    hn, models = _models()
+    stored = hn.stored_large[:2000]
+    hasher = models["Ggle"].hasher_for_probing_table(len(stored))
+    table = build_table(LinearProbingTable, hasher, stored)
+    probes = build_probe_mix(stored, hn.missing, 0.5, 1000, seed=3)
+    benchmark(lambda: table.probe_batch_hashed(probes, hasher.hash_batch(probes)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Extension — vectorized probe engine vs the scalar table walk.
+
+Measured at hit rate 0 (the filter-style workload): misses resolve on
+tag mismatches alone, so the engine's per-round vectorized compare does
+nearly all the work.  For hit-heavy workloads the mandatory full-key
+comparison is scalar either way and the engines tie.
+
+Not a paper figure: quantifies how much of the scalar-Python table-walk
+overhead the numpy round-synchronous probe engine removes, and verifies
+that ELH's relative advantage persists on the faster engine (the paper's
+observation that *more optimized tables benefit more* from cheap
+hashing, Section 6.8 / appendix experiment 2).
+"""
+
+try:
+    from benchmarks.common import DISPLAY, workload
+except ImportError:
+    from common import DISPLAY, workload
+
+from repro.bench.harness import build_probe_mix, time_callable
+from repro.bench.reporting import format_speedup_table, print_header
+from repro.core.hasher import EntropyLearnedHasher
+from repro.tables.probing import LinearProbingTable
+from repro.tables.vectorized import VectorProbingTable
+
+DATASETS = ("hn", "google")
+NUM_PROBES = 4_000
+
+
+def run_comparison():
+    rows = {}
+    for name in DATASETS:
+        work = workload(name)
+        stored = work.stored_large[:8_000]
+        probes = build_probe_mix(stored, work.missing, 0.0, NUM_PROBES, seed=3)
+        for hasher_label, hasher in (
+            ("wyhash", EntropyLearnedHasher.full_key("wyhash")),
+            ("ELH", work.model.hasher_for_probing_table(len(stored))),
+        ):
+            scalar = LinearProbingTable(hasher, capacity=int(len(stored) / 0.7))
+            scalar.insert_batch(stored)
+            vector = VectorProbingTable(hasher, capacity=int(len(stored) / 0.7))
+            vector.insert_batch(stored)
+
+            hashes = hasher.hash_batch(probes)
+            scalar_ns = time_callable(
+                lambda: scalar.probe_batch_hashed(probes, hasher.hash_batch(probes))
+            ) * 1e9 / NUM_PROBES
+            vector_ns = time_callable(
+                lambda: vector.probe_batch(probes)
+            ) * 1e9 / NUM_PROBES
+            rows[f"{DISPLAY[name]}/{hasher_label}"] = {
+                "scalar_ns": scalar_ns,
+                "vector_ns": vector_ns,
+                "engine_speedup": scalar_ns / vector_ns,
+            }
+    for name in DATASETS:
+        full = rows[f"{DISPLAY[name]}/wyhash"]
+        elh = rows[f"{DISPLAY[name]}/ELH"]
+        elh["elh_speedup"] = full["vector_ns"] / elh["vector_ns"]
+    return rows
+
+
+def main():
+    print_header("Extension: vectorized probe engine (hit rate 0, 8K keys)")
+    rows = run_comparison()
+    print(format_speedup_table(
+        rows, ["scalar_ns", "vector_ns", "engine_speedup", "elh_speedup"],
+        row_title="dataset/hash", digits=2,
+    ))
+    print()
+    print("engine_speedup: vector engine vs scalar walk at equal hashing;"
+          "\nelh_speedup: ELH vs full-key, both on the vector engine.")
+
+
+def test_vector_engine_faster_on_misses():
+    """Misses are the engine's target: tags filter nearly every probe,
+    so the whole batch resolves in a few vectorized rounds."""
+    rows = run_comparison()
+    for label, row in rows.items():
+        if label.endswith("/ELH"):
+            assert row["engine_speedup"] > 1.0, (label, row)
+
+
+def test_elh_still_wins_on_fast_engine():
+    rows = run_comparison()
+    assert rows["Hn/ELH"]["elh_speedup"] > 1.2
+
+
+def test_vector_probe_benchmark(benchmark):
+    work = workload("hn")
+    hasher = work.model.hasher_for_probing_table(2_000)
+    table = VectorProbingTable(hasher, capacity=4096)
+    table.insert_batch(work.stored_small)
+    probes = build_probe_mix(work.stored_small, work.missing, 0.5, 2000, seed=3)
+    benchmark(lambda: table.probe_batch(probes))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Figure 11 — large-key (8KB) speedups.
+
+Section 6.6: synthetic fully random keys of 8192 bytes each.  ELH's
+hash time is independent of key size, so speedups become unbounded for
+hash-dominated operations (misses, Bloom probes, partitioning) and stay
+bounded where full keys must be compared (hits).
+
+Configurations mirror the figure: hash-table probes at hit rate 1 and 0
+(in-memory), Bloom filter probes, and partitioning.
+"""
+
+try:
+    from benchmarks.common import build_table, measure_probe_ns
+except ImportError:
+    from common import build_table, measure_probe_ns
+
+from repro.bench.harness import build_probe_mix, time_callable
+from repro.bench.reporting import format_speedup_table, print_header
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import train_model
+from repro.datasets import large_random_keys
+from repro.filters.blocked import BlockedBloomFilter
+from repro.partitioning.partitioner import Partitioner
+from repro.tables.probing import LinearProbingTable
+
+NUM_KEYS = 1_200
+KEY_LEN = 8_192
+
+
+def _data():
+    keys = large_random_keys(NUM_KEYS, seed=99, key_len=KEY_LEN)
+    stored, missing = keys[: NUM_KEYS // 2], keys[NUM_KEYS // 2:]
+    model = train_model(stored, seed=4)
+    return stored, missing, model
+
+
+def run_table():
+    stored, missing, model = _data()
+    rows = {}
+
+    # Hash-table probes.
+    for hit_rate, label in ((1.0, "table hit=1"), (0.0, "table hit=0")):
+        probes = build_probe_mix(stored, missing, hit_rate, 1_000, seed=3)
+        times = {}
+        for config, hasher in (
+            ("full", EntropyLearnedHasher.full_key("wyhash")),
+            ("ELH", model.hasher_for_probing_table(len(stored))),
+        ):
+            table = build_table(LinearProbingTable, hasher, stored)
+            hash_ns, access_ns = measure_probe_ns(table, probes, repeats=2)
+            times[config] = hash_ns + access_ns
+        rows[label] = {"full_ns": times["full"], "ELH_ns": times["ELH"],
+                       "speedup": times["full"] / times["ELH"]}
+
+    # Bloom filter probes.
+    probes = build_probe_mix(stored, missing, 0.5, 1_000, seed=3)
+    times = {}
+    for config, base_hasher in (
+        ("full", EntropyLearnedHasher.full_key("xxh3")),
+        ("ELH", EntropyLearnedHasher(
+            model.hasher_for_bloom_filter(len(stored), 0.01).partial_key,
+            base="xxh3",
+        )),
+    ):
+        f = BlockedBloomFilter.for_items(base_hasher, len(stored), 0.03)
+        f.add_batch(stored)
+        seconds = time_callable(lambda f=f: f.contains_batch(probes), repeats=2)
+        times[config] = seconds * 1e9 / len(probes)
+    rows["bloom filter"] = {"full_ns": times["full"], "ELH_ns": times["ELH"],
+                            "speedup": times["full"] / times["ELH"]}
+
+    # Partitioning.
+    times = {}
+    for config, hasher in (
+        ("full", EntropyLearnedHasher.full_key("crc32")),
+        ("ELH", EntropyLearnedHasher(
+            model.hasher_for_partitioning(len(stored), 64).partial_key,
+            base="crc32",
+        )),
+    ):
+        p = Partitioner(hasher, 64)
+        seconds = time_callable(lambda p=p: p.partition(stored, "pure"), repeats=2)
+        times[config] = seconds * 1e9 / len(stored)
+    rows["partitioning"] = {"full_ns": times["full"], "ELH_ns": times["ELH"],
+                            "speedup": times["full"] / times["ELH"]}
+    return rows
+
+
+def main():
+    print_header(f"Figure 11: 8KB random keys ({NUM_KEYS} keys) — "
+                 "ELH speedup over optimized full-key hashing")
+    rows = run_table()
+    print(format_speedup_table(rows, ["full_ns", "ELH_ns", "speedup"],
+                               row_title="operation", digits=1))
+    print()
+    print("Paper reference: hits bounded (~1.5x; full keys must still be "
+          "compared), misses/Bloom/partitioning one to two orders of "
+          "magnitude.")
+
+
+def test_hash_bound_ops_speedup_large():
+    rows = run_table()
+    assert rows["bloom filter"]["speedup"] > 10
+    assert rows["partitioning"]["speedup"] > 10
+    assert rows["table hit=0"]["speedup"] > 5
+
+
+def test_hit_speedup_bounded_but_positive():
+    rows = run_table()
+    assert rows["table hit=1"]["speedup"] > 1.0
+
+
+def test_large_key_hash_benchmark(benchmark):
+    stored, _, model = _data()
+    hasher = model.hasher_for_probing_table(len(stored))
+    benchmark(lambda: hasher.hash_batch(stored[:200]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Figure 6 — hash-table probe time across datasets, sizes, hit rates.
+
+Four panels: {small (1K keys), large (half-dataset)} × {hit rate 0, 1},
+three configurations each: the table's stock hash (GST stand-in: xxh3),
+full-key wyhash, and Entropy-Learned wyhash.  Reports ns/probe
+(vectorized hash + table walk with precomputed hashes) plus the
+machine-independent words-hashed-per-key cost.
+"""
+
+try:
+    from benchmarks.common import (
+        DATASETS, DISPLAY, NUM_PROBES, build_table, hasher_configs,
+        measure_probe_ns, workload,
+    )
+except ImportError:
+    from common import (
+        DATASETS, DISPLAY, NUM_PROBES, build_table, hasher_configs,
+        measure_probe_ns, workload,
+    )
+
+from repro.bench.reporting import format_speedup_table, print_header
+from repro.tables.probing import LinearProbingTable
+
+CONFIGS = ("GST", "wyhash", "ELH")
+
+
+def run_panel(size: str, hit_rate: float, datasets=DATASETS):
+    rows = {}
+    for name in datasets:
+        work = workload(name)
+        stored = work.stored_small if size == "small" else work.stored_large
+        probes = work.probes(hit_rate, stored)
+        row = {}
+        for config, hasher in hasher_configs(work, len(stored)).items():
+            table = build_table(LinearProbingTable, hasher, stored)
+            hash_ns, access_ns = measure_probe_ns(table, probes)
+            row[config] = hash_ns + access_ns
+        row["speedup"] = min(row["GST"], row["wyhash"]) / row["ELH"]
+        rows[DISPLAY[name]] = row
+    return rows
+
+
+def main():
+    for size in ("small", "large"):
+        for hit_rate in (0.0, 1.0):
+            title = (
+                f"Figure 6 ({'in-cache' if size == 'small' else 'in-memory'}, "
+                f"hit rate = {int(hit_rate)}): probe time ns/key"
+            )
+            print_header(title)
+            rows = run_panel(size, hit_rate)
+            print(format_speedup_table(rows, list(CONFIGS) + ["speedup"], digits=1))
+
+
+def _probe_once(work, stored, hit_rate, config):
+    hasher = hasher_configs(work, len(stored))[config]
+    table = build_table(LinearProbingTable, hasher, stored)
+    probes = work.probes(hit_rate, stored, num=2000)
+    hashes = hasher.hash_batch(probes)
+
+    def run():
+        table.probe_batch_hashed(probes, hasher.hash_batch(probes))
+
+    return run
+
+
+def test_probe_google_full_key(benchmark):
+    work = workload("google")
+    benchmark(_probe_once(work, work.stored_small, 0.0, "wyhash"))
+
+
+def test_probe_google_elh(benchmark):
+    work = workload("google")
+    benchmark(_probe_once(work, work.stored_small, 0.0, "ELH"))
+
+
+def test_elh_beats_full_key_on_long_keys():
+    """The Figure 6 headline: ELH wins on every hit-rate panel for the
+    long-key datasets (probe totals include the shared table walk)."""
+    rows = run_panel("small", 0.0, datasets=("wikipedia", "google"))
+    for name, row in rows.items():
+        assert row["ELH"] < row["wyhash"], (name, row)
+
+
+if __name__ == "__main__":
+    main()

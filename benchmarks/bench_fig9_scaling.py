@@ -1,0 +1,104 @@
+"""Figure 9 — Entropy-Learned Hashing vs data size (synthetic keys).
+
+Section 6.3's synthetic workload: 80-byte keys, random only at bytes
+32-39.  (a) measured probe-time speedup of ELH over full-key wyhash at
+hit rates 0 and 1 as the number of keys grows; (b) the analytic model's
+memory-level parallelism for both configurations across the same sizes.
+
+Paper claims to reproduce: ELH wins at every size; at small sizes the
+computation saving dominates, at large sizes the (modelled) MLP gain
+takes over; MLP is higher for ELH.
+"""
+
+try:
+    from benchmarks.common import build_table, measure_probe_ns
+except ImportError:
+    from common import build_table, measure_probe_ns
+
+from repro.bench.harness import build_probe_mix
+from repro.bench.reporting import format_series, print_header
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import train_model
+from repro.datasets import structured_keys
+from repro.simulation.cost import probe_work
+from repro.simulation.pipeline import PipelineModel
+from repro.tables.probing import LinearProbingTable
+
+# The paper sweeps 1K..100M; interpreted Python covers 1K..64K and the
+# analytic model extends the MLP story to the full range.
+SIZES = (1_000, 4_000, 16_000, 64_000)
+
+
+def _hashers(model, capacity):
+    return {
+        "wyhash": EntropyLearnedHasher.full_key("wyhash"),
+        "ELH": model.hasher_for_probing_table(capacity),
+    }
+
+
+def measured_speedups():
+    keys = structured_keys(2 * max(SIZES), seed=77)
+    model = train_model(keys[:4000], seed=3)
+    series = {"hit0": [], "hit1": []}
+    for n in SIZES:
+        stored = keys[:n]
+        missing = keys[n:2 * n]
+        for hit_rate, label in ((0.0, "hit0"), (1.0, "hit1")):
+            probes = build_probe_mix(stored, missing, hit_rate, 3000, seed=5)
+            times = {}
+            for config, hasher in _hashers(model, n).items():
+                table = build_table(LinearProbingTable, hasher, stored)
+                hash_ns, access_ns = measure_probe_ns(table, probes, repeats=5)
+                times[config] = hash_ns + access_ns
+            series[label].append(times["wyhash"] / times["ELH"])
+    return series
+
+
+def modelled_mlp():
+    keys = structured_keys(8_000, seed=77)
+    model = train_model(keys[:4000], seed=3)
+    pipeline = PipelineModel()
+    series = {"wyhash": [], "ELH": []}
+    for n in SIZES:
+        resident = "cache" if n <= 4_000 else "memory"
+        for config, hasher in _hashers(model, n).items():
+            work = probe_work(hasher, keys[:2000], hit_rate=1.0)
+            series[config].append(
+                pipeline.memory_level_parallelism(work, resident)
+            )
+    return series
+
+
+def main():
+    print_header("Figure 9a: measured ELH speedup over full-key wyhash "
+                 "(synthetic 80-byte keys)")
+    print(format_series("n_keys", list(SIZES), measured_speedups()))
+
+    print_header("Figure 9b: modelled memory-level parallelism")
+    print(format_series("n_keys", list(SIZES), modelled_mlp()))
+
+
+def test_speedup_positive_at_all_sizes():
+    """Per-cell timings on a small shared box jitter by tens of percent
+    (and drift with allocator/cache state when the whole suite runs), so
+    cells get a loose floor, the stable hit-rate-0 panel must favour ELH
+    on average, and some panel must show the clear (>1.2x) win."""
+    series = measured_speedups()
+    for label, values in series.items():
+        assert all(v > 0.7 for v in values), (label, values)
+    hit0 = series["hit0"]
+    assert sum(hit0) / len(hit0) > 1.0, hit0
+    assert max(max(v) for v in series.values()) > 1.2
+
+
+def test_scaling_probe_benchmark(benchmark):
+    keys = structured_keys(4_000, seed=77)
+    model = train_model(keys[:2000], seed=3)
+    hasher = model.hasher_for_probing_table(2000)
+    table = build_table(LinearProbingTable, hasher, keys[:2000])
+    probes = build_probe_mix(keys[:2000], keys[2000:], 0.5, 2000, seed=5)
+    benchmark(lambda: table.probe_batch_hashed(probes, hasher.hash_batch(probes)))
+
+
+if __name__ == "__main__":
+    main()

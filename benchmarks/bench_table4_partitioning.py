@@ -1,0 +1,87 @@
+"""Table 4 — partitioning speedups, three modes × {64, 1024} partitions.
+
+CRC32 as the base hash (the paper's ClickHouse choice), Entropy-Learned
+CRC32 sized for the relative-variance regime (partitions within 5% of
+their mean).  Modes move from compute-bound to memory-bound: pure
+hashing, positional identifiers, full data copy.
+
+Claims to reproduce: large speedups (multi-x) for pure hashing on long
+high-entropy keys, moderate for positional ids, small (~1.0-1.2x) for
+the write-bound data mode; Wiki shows the least benefit.
+"""
+
+try:
+    from benchmarks.common import DATASETS, DISPLAY, workload
+except ImportError:
+    from common import DATASETS, DISPLAY, workload
+
+from repro.bench.harness import time_callable
+from repro.bench.reporting import format_speedup_table, print_header
+from repro.core.hasher import EntropyLearnedHasher
+from repro.partitioning.partitioner import Partitioner
+
+NUM_PARTITIONS = (64, 1024)
+MODES = ("pure", "positional", "data")
+
+
+def _hashers(work, n, m):
+    elh = work.model.hasher_for_partitioning(n, m, mode="relative")
+    elh = EntropyLearnedHasher(elh.partial_key, base="crc32")
+    return {
+        "crc32": EntropyLearnedHasher.full_key("crc32"),
+        "ELH": elh,
+    }
+
+
+def run_table():
+    rows = {}
+    for name in DATASETS:
+        work = workload(name)
+        keys = work.stored_large
+        row = {}
+        for m in NUM_PARTITIONS:
+            hashers = _hashers(work, len(keys), m)
+            for mode in MODES:
+                times = {}
+                for label, hasher in hashers.items():
+                    p = Partitioner(hasher, m)
+                    times[label] = time_callable(
+                        lambda p=p, mode=mode: p.partition(keys, mode=mode)
+                    )
+                row[f"{mode}/{m}"] = times["crc32"] / times["ELH"]
+        rows[DISPLAY[name]] = row
+    return rows
+
+
+def main():
+    print_header("Table 4: ELH partitioning speedup over full-key CRC32")
+    rows = run_table()
+    columns = [f"{mode}/{m}" for mode in MODES for m in NUM_PARTITIONS]
+    print(format_speedup_table(rows, columns))
+    print()
+    print("Columns: <mode>/<#partitions>; speedup = full-key time / ELH time.")
+
+
+def test_pure_hashing_speedup_shape():
+    """The compute-bound column shows clear multi-x wins on long keys.
+
+    (The paper's left-to-right decline toward the write-bound data mode
+    is weaker here: Python's write loop is slow but so is full-key
+    hashing, so hashing still dominates even in data mode — recorded as
+    a known substrate deviation in EXPERIMENTS.md.)
+    """
+    rows = run_table()
+    for name in ("Wp.", "Ggle"):
+        assert rows[name]["pure/64"] > 1.3
+        assert rows[name]["data/64"] > 1.0
+
+
+def test_partition_pure_benchmark(benchmark):
+    work = workload("google")
+    hasher = _hashers(work, len(work.stored_large), 64)["ELH"]
+    p = Partitioner(hasher, 64)
+    benchmark(lambda: p.partition(work.stored_large[:5000], mode="pure"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Table 5 — partitioning quality: normalized relative standard deviation.
+
+For each dataset and partition count, the relative standard deviation of
+per-bin counts under Entropy-Learned CRC32 divided by the same quantity
+under full-key CRC32.  The paper's claim: the ratio concentrates around
+1 (ELH partitions are as even as full-key ones), with the worst case
+(Hn, 64 partitions) still giving an absolute rel-std under 3%.
+"""
+
+try:
+    from benchmarks.common import DATASETS, DISPLAY, workload
+except ImportError:
+    from common import DATASETS, DISPLAY, workload
+
+from repro.bench.reporting import format_speedup_table, print_header
+from repro.core.hasher import EntropyLearnedHasher
+from repro.partitioning.partitioner import Partitioner
+from repro.partitioning.stats import normalized_relative_std, relative_std
+
+NUM_PARTITIONS = (64, 1024)
+
+
+def run_table():
+    ratio_rows = {}
+    abs_rows = {}
+    for name in DATASETS:
+        work = workload(name)
+        keys = work.stored_large
+        ratio_row = {}
+        abs_row = {}
+        for m in NUM_PARTITIONS:
+            elh_hasher = work.model.hasher_for_partitioning(
+                len(keys), m, mode="relative"
+            )
+            elh_hasher = EntropyLearnedHasher(elh_hasher.partial_key, base="crc32")
+            full = EntropyLearnedHasher.full_key("crc32")
+            elh_counts = Partitioner(elh_hasher, m).partition(keys, "pure").counts
+            full_counts = Partitioner(full, m).partition(keys, "pure").counts
+            ratio_row[str(m)] = normalized_relative_std(elh_counts, full_counts)
+            abs_row[str(m)] = relative_std(elh_counts)
+        ratio_rows[DISPLAY[name]] = ratio_row
+        abs_rows[DISPLAY[name]] = abs_row
+    return ratio_rows, abs_rows
+
+
+def main():
+    ratio_rows, abs_rows = run_table()
+    print_header("Table 5: normalized relative std dev (ELH / full-key)")
+    print(format_speedup_table(ratio_rows, [str(m) for m in NUM_PARTITIONS]))
+    print_header("Absolute relative std dev of ELH partitions")
+    print(format_speedup_table(abs_rows, [str(m) for m in NUM_PARTITIONS], digits=4))
+
+
+def test_ratios_concentrate_near_one():
+    ratio_rows, _ = run_table()
+    values = [v for row in ratio_rows.values() for v in row.values()]
+    assert all(0.3 < v < 3.0 for v in values), values
+    # Median near 1.
+    values.sort()
+    assert 0.7 < values[len(values) // 2] < 1.5
+
+
+def test_absolute_quality_acceptable():
+    """ELH partitions stay within a few percent of the mean at m=64."""
+    _, abs_rows = run_table()
+    for name, row in abs_rows.items():
+        assert row["64"] < 0.15, (name, row)
+
+
+def test_partition_quality_benchmark(benchmark):
+    work = workload("uuid")
+    hasher = EntropyLearnedHasher.full_key("crc32")
+    p = Partitioner(hasher, 64)
+    benchmark(lambda: p.partition(work.stored_large[:4000], "pure").counts)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Table 6 — training time for the greedy byte selector.
+
+Google-URL-like corpus, word sizes 1 / 4 / 8, comparing the naive
+algorithm (keeps every item each iteration) against the optimized one
+(prunes items already unique on the chosen bytes).
+
+Claims to reproduce: (1) pruning wins by a wide margin; (2) larger word
+sizes train much faster (fewer candidates, faster convergence).
+The corpus is scaled down from the paper's 1.2M URLs; the *ratios* are
+the reproduction target, not the absolute seconds.
+"""
+
+import time
+
+from repro.bench.reporting import format_speedup_table, print_header
+from repro.core.greedy import choose_bytes, choose_bytes_naive
+from repro.datasets import google_urls
+
+NUM_KEYS = 8_000
+WORD_SIZES = (1, 4, 8)
+MAX_WORDS = {1: 6, 4: 4, 8: 3}  # cap tiny-word runs so the bench stays bounded
+
+
+def run_table():
+    keys = google_urls(NUM_KEYS, seed=123)
+    rows = {"optimized": {}, "naive": {}}
+    for word_size in WORD_SIZES:
+        start = time.perf_counter()
+        fast = choose_bytes(keys, word_size=word_size,
+                            max_words=MAX_WORDS[word_size])
+        rows["optimized"][f"{word_size}B"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        naive = choose_bytes_naive(keys, word_size=word_size,
+                                   max_words=MAX_WORDS[word_size])
+        rows["naive"][f"{word_size}B"] = time.perf_counter() - start
+
+        assert fast.positions == naive.positions
+    return rows
+
+
+def main():
+    print_header(f"Table 6: greedy training time (seconds), "
+                 f"{NUM_KEYS} Google-like URLs")
+    rows = run_table()
+    columns = [f"{w}B" for w in WORD_SIZES]
+    print(format_speedup_table(rows, columns, row_title="algorithm", digits=3))
+    print()
+    ratio = {
+        c: rows["naive"][c] / rows["optimized"][c] for c in columns
+    }
+    print("naive / optimized ratio: "
+          + "  ".join(f"{c}={r:.1f}x" for c, r in ratio.items()))
+
+
+def test_pruning_faster():
+    """Pruning pays off where several iterations run (1B and 4B words);
+    at 8B the selection converges immediately and the two are a wash."""
+    rows = run_table()
+    for column in ("1B", "4B"):
+        assert rows["optimized"][column] <= rows["naive"][column] * 1.05
+
+
+def test_larger_words_train_faster():
+    rows = run_table()
+    assert rows["optimized"]["8B"] < rows["optimized"]["1B"]
+
+
+def test_training_benchmark(benchmark):
+    keys = google_urls(3_000, seed=123)
+    benchmark(lambda: choose_bytes(keys, word_size=8, max_words=2))
+
+
+if __name__ == "__main__":
+    main()

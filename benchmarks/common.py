@@ -1,0 +1,132 @@
+"""Shared workload construction for the benchmark suite.
+
+Mirrors the paper's methodology (Section 6.1): each dataset is split in
+half — one half trains the byte selector, and for "large data" runs the
+first half is stored while the second half supplies missing-key probes.
+"Small data" stores 1K keys.  Query keys are pre-built and shuffled at a
+chosen hit rate, and every measurement is best-of-k with a warm-up pass.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.harness import build_probe_mix, time_callable
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import EntropyModel, train_model
+from repro.datasets import load_dataset
+
+# Paper Table 3 datasets; sizes scaled so the whole suite runs in
+# minutes of interpreted Python (the paper's shape, not its testbed).
+DATASETS = ("uuid", "wikipedia", "wiki", "hn", "google")
+LARGE_SIZES = {
+    "uuid": 16_000,
+    "wikipedia": 8_000,
+    "wiki": 16_000,
+    "hn": 20_000,
+    "google": 24_000,
+}
+SMALL_N = 1_000
+NUM_PROBES = 4_000
+
+# Paper display names, for table rows that match the figures.
+DISPLAY = {
+    "uuid": "UUID",
+    "wikipedia": "Wp.",
+    "wiki": "Wiki",
+    "hn": "Hn",
+    "google": "Ggle",
+}
+
+
+@dataclass
+class Workload:
+    """A prepared dataset: trained model plus stored/missing pools."""
+
+    name: str
+    keys: List[bytes]
+    model: EntropyModel
+    stored_large: List[bytes]
+    missing: List[bytes]
+
+    @property
+    def stored_small(self) -> List[bytes]:
+        return self.stored_large[:SMALL_N]
+
+    def probes(self, hit_rate: float, stored: Sequence[bytes],
+               num: int = NUM_PROBES) -> List[bytes]:
+        return build_probe_mix(stored, self.missing, hit_rate, num, seed=7)
+
+
+@lru_cache(maxsize=None)
+def workload(name: str, base: str = "wyhash") -> Workload:
+    """Load, split and train one dataset (cached per process)."""
+    keys = load_dataset(name, n=LARGE_SIZES[name], seed=13)
+    half = len(keys) // 2
+    stored, missing = keys[:half], keys[half:]
+    model = train_model(stored, base=base, seed=5)
+    return Workload(
+        name=name, keys=keys, model=model,
+        stored_large=stored, missing=missing,
+    )
+
+
+def hasher_configs(work: Workload, capacity: int,
+                   base: str = "wyhash") -> Dict[str, EntropyLearnedHasher]:
+    """The paper's three hash-table configurations.
+
+    * ``GST`` — the table's stock hash (we use xxh3, standing in for
+      SwissTable's default);
+    * ``wyhash`` — the optimized full-key wyhash (the paper's "FK");
+    * ``ELH`` — Entropy-Learned wyhash sized for ``capacity``.
+    """
+    return {
+        "GST": EntropyLearnedHasher.full_key("xxh3"),
+        "wyhash": EntropyLearnedHasher.full_key(base),
+        "ELH": work.model.hasher_for_probing_table(capacity),
+    }
+
+
+def build_table(table_cls, hasher, stored: Sequence[bytes]):
+    """Build a table of class ``table_cls`` holding ``stored``."""
+    table = table_cls(hasher, capacity=max(16, int(len(stored) / 0.7)))
+    for key in stored:
+        table.insert(key, key)
+    return table
+
+
+def measure_probe_ns(table, probes: Sequence[bytes],
+                     repeats: int = 3) -> Tuple[float, float]:
+    """(hash ns/probe, table-access ns/probe), best-of-``repeats``.
+
+    The two phases are timed separately — vectorized hashing first, then
+    the table walk with precomputed hashes — reproducing both the total
+    (Figure 6) and the breakdown (Figure 7).
+    """
+    hasher = table.hasher
+    hash_seconds = time_callable(lambda: hasher.hash_batch(probes), repeats=repeats)
+    hashes = hasher.hash_batch(probes)
+    access_seconds = time_callable(
+        lambda: table.probe_batch_hashed(probes, hashes), repeats=repeats
+    )
+    n = len(probes)
+    return hash_seconds * 1e9 / n, access_seconds * 1e9 / n
+
+
+def measure_insert_ns(table_cls, hasher, keys: Sequence[bytes],
+                      repeats: int = 3) -> float:
+    """ns per insert, building a fresh table each repetition."""
+    def build():
+        build_table(table_cls, hasher, keys)
+
+    return time_callable(build, repeats=repeats) * 1e9 / len(keys)
+
+
+def speedup(baseline_ns: float, candidate_ns: float) -> float:
+    """Throughput ratio; >1 means the candidate is faster."""
+    if candidate_ns == 0:
+        return float("inf")
+    return baseline_ns / candidate_ns

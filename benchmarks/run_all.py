@@ -1,0 +1,65 @@
+"""Run every benchmark's paper-style report in sequence.
+
+Usage::
+
+    python benchmarks/run_all.py            # everything
+    python benchmarks/run_all.py fig6 tbl4  # filter by substring
+
+The output of a full run is what EXPERIMENTS.md records.
+"""
+
+import importlib
+import sys
+import time
+
+MODULES = [
+    "bench_fig5_entropy_vs_words",
+    "bench_fig6_probe_time",
+    "bench_fig7_breakdown",
+    "bench_fig8_mlp_model",
+    "bench_fig9_scaling",
+    "bench_fig10_bloom",
+    "bench_table4_partitioning",
+    "bench_table5_partition_quality",
+    "bench_fig11_large_keys",
+    "bench_table6_training_time",
+    "bench_appendix_insert",
+    "bench_appendix_chaining",
+    "bench_appendix_robustness",
+    "bench_appendix_dependent",
+    "bench_appendix_bloom_fpr",
+    "bench_appendix_threads",
+    "bench_ablation_word_size",
+    "bench_ablation_siphash",
+    "bench_ablation_skew",
+    "bench_ablation_double_hashing",
+    "bench_ablation_filter_zoo",
+    "bench_ablation_tags",
+    "bench_ablation_reduction",
+    "bench_extension_lsm",
+    "bench_extension_vector_table",
+    "bench_extension_ycsb",
+]
+
+
+def main(filters):
+    selected = [
+        name for name in MODULES
+        if not filters or any(f in name for f in filters)
+    ]
+    overall_start = time.perf_counter()
+    for name in selected:
+        start = time.perf_counter()
+        try:
+            module = importlib.import_module(name)
+        except ImportError:
+            module = importlib.import_module(f"benchmarks.{name}")
+        module.main()
+        print(f"\n[{name} finished in {time.perf_counter() - start:.1f}s]")
+    print(f"\nTotal: {time.perf_counter() - overall_start:.1f}s "
+          f"for {len(selected)} experiment(s)")
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, __file__.rsplit("/", 1)[0])
+    main(sys.argv[1:])

@@ -1,0 +1,76 @@
+"""A key-value store session — the library's pieces assembled.
+
+Runs a mixed read/write workload (inserts, overwrites, deletes, point
+lookups with a miss-heavy distribution — the pattern LSM filters exist
+for) against :class:`repro.kvstore.LSMStore`, then dumps the store's
+internal accounting: how many lookups the entropy-learned filters
+answered without touching a run.
+
+Run:  python examples/kvstore_workload.py
+"""
+
+import random
+import time
+
+from repro.datasets import google_urls
+from repro.kvstore.store import LSMStore
+
+NUM_KEYS = 10_000
+NUM_OPERATIONS = 30_000
+
+
+def main():
+    keys = google_urls(NUM_KEYS * 2, seed=77)
+    live_keys, miss_keys = keys[:NUM_KEYS], keys[NUM_KEYS:]
+    store = LSMStore(memtable_bytes=96 << 10, compaction_fanout=5)
+    reference = {}
+    rng = random.Random(1)
+
+    print(f"Running {NUM_OPERATIONS} mixed operations over {NUM_KEYS} keys...")
+    start = time.perf_counter()
+    for op_index in range(NUM_OPERATIONS):
+        roll = rng.random()
+        if roll < 0.30:  # write
+            key = rng.choice(live_keys)
+            value = f"v{op_index}".encode()
+            store.put(key, value)
+            reference[key] = value
+        elif roll < 0.35:  # delete
+            key = rng.choice(live_keys)
+            store.delete(key)
+            reference.pop(key, None)
+        elif roll < 0.75:  # negative lookup (the filter-bound path)
+            assert store.get(rng.choice(miss_keys)) is None
+        else:  # positive/maybe lookup
+            key = rng.choice(live_keys)
+            assert store.get(key) == reference.get(key)
+    elapsed = time.perf_counter() - start
+
+    stats = store.stats
+    print(f"\nDone in {elapsed:.1f}s "
+          f"({elapsed * 1e6 / NUM_OPERATIONS:.1f} us/op)")
+    print(f"  runs on disk:            {store.num_runs} "
+          f"(after {stats.flushes} flushes, {stats.compactions} compactions)")
+    print(f"  lookups:                 {stats.gets}")
+    print(f"  answered by memtable:    {stats.memtable_hits}")
+    print(f"  runs pruned by range:    {stats.runs_pruned_by_range}")
+    print(f"  runs pruned by filter:   {stats.runs_pruned_by_filter}")
+    print(f"  binary searches:         {stats.run_searches} "
+          f"({stats.searches_per_get:.3f} per lookup)")
+
+    fell_back = sum(bool(r.filter_fell_back) for r in store.runs)
+    words = [len(r.filter.hasher.partial_key.positions)
+             for r in store.runs if r.filter is not None]
+    print(f"  filter hash words/key:   {words} (fell back: {fell_back})")
+
+    # Final consistency sweep.
+    mismatches = sum(
+        store.get(k) != reference.get(k) for k in live_keys
+    )
+    print(f"\nConsistency check vs in-memory reference: "
+          f"{NUM_KEYS - mismatches}/{NUM_KEYS} keys agree")
+    assert mismatches == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Near-duplicate page detection with MinHash — Broder's use case [15].
+
+Web crawlers estimate page resemblance by MinHashing shingle sets; every
+shingle is hashed k times per page, making this one of the most
+hash-intensive jobs in the pipeline.  This example builds MinHash
+signatures over token-shingle sets for a corpus of synthetic pages
+(some of them near-duplicates), finds the duplicate pairs, and compares
+full-key vs Entropy-Learned hashing cost at identical detection quality.
+
+Run:  python examples/url_near_duplicates.py
+"""
+
+import random
+import time
+
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import train_model
+from repro.datasets import wikipedia_text
+from repro.sketches.minhash import MinHashSignature
+
+NUM_PAGES = 60
+NUM_DUPLICATE_PAIRS = 10
+SIGNATURE_K = 96
+THRESHOLD = 0.6  # planted pairs sit near Jaccard ~0.8
+
+
+def shingles(text: bytes, width: int = 4):
+    """Word 4-grams of a page, as a set of byte strings."""
+    words = text.split()
+    return {b" ".join(words[i:i + width]) for i in range(len(words) - width + 1)}
+
+
+def make_corpus():
+    rng = random.Random(13)
+    pages = [b" ".join(wikipedia_text(12, seed=100 + i, target_len=90))
+             for i in range(NUM_PAGES)]
+    truth = set()
+    for pair in range(NUM_DUPLICATE_PAIRS):
+        victim = rng.randrange(len(pages))
+        words = pages[victim].split()
+        # Perturb ~3% of words: a near-duplicate, not a copy.
+        for _ in range(max(1, len(words) // 33)):
+            words[rng.randrange(len(words))] = b"edited"
+        pages.append(b" ".join(words))
+        truth.add((victim, len(pages) - 1))
+    return pages, truth
+
+
+def detect(pages, hasher):
+    start = time.perf_counter()
+    signatures = [
+        MinHashSignature.from_items(hasher, sorted(shingles(p)), k=SIGNATURE_K)
+        for p in pages
+    ]
+    found = set()
+    for i in range(len(pages)):
+        for j in range(i + 1, len(pages)):
+            if signatures[i].jaccard(signatures[j]) >= THRESHOLD:
+                found.add((i, j))
+    return found, time.perf_counter() - start
+
+
+def main():
+    pages, truth = make_corpus()
+    total_shingles = sum(len(shingles(p)) for p in pages)
+    print(f"{len(pages)} pages, {total_shingles} shingles, "
+          f"{len(truth)} planted near-duplicate pairs "
+          f"(k={SIGNATURE_K} permutations -> "
+          f"{total_shingles * SIGNATURE_K} hashes per pass)\n")
+
+    sample = [s for p in pages[:20] for s in list(shingles(p))[:80]]
+    model = train_model(sample, base="xxh3", seed=2, word_size=8)
+    elh = model.hasher_for_entropy(14.0)
+
+    results = {}
+    for label, hasher in (
+        ("full-key xxh3", EntropyLearnedHasher.full_key("xxh3")),
+        ("entropy-learned", elh),
+    ):
+        found, seconds = detect(pages, hasher)
+        recall = len(found & truth) / len(truth)
+        precision = len(found & truth) / max(1, len(found))
+        results[label] = (found, seconds)
+        print(f"{label:>16}: {seconds:5.2f}s, recall {recall:.0%}, "
+              f"precision {precision:.0%}, {len(found)} pairs flagged")
+
+    speedup = results["full-key xxh3"][1] / results["entropy-learned"][1]
+    print(f"\nSpeedup {speedup:.2f}x at matching detection quality "
+          f"(ELH reads {elh.partial_key.bytes_read or 'all'} bytes/shingle)")
+
+
+if __name__ == "__main__":
+    main()

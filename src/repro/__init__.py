@@ -1,0 +1,50 @@
+"""Entropy-Learned Hashing — a full reproduction of Hentschel, Sirin &
+Idreos, *Entropy-Learned Hashing: Constant Time Hashing with Controllable
+Uniformity* (SIGMOD 2022).
+
+Quick start::
+
+    from repro import train_model, LinearProbingTable
+
+    model = train_model(sample_of_keys)        # learn where entropy lives
+    hasher = model.hasher_for_probing_table(capacity=100_000)
+    table = LinearProbingTable(hasher, capacity=100_000)
+
+See README.md for the architecture overview, DESIGN.md for the
+paper-to-module map, and EXPERIMENTS.md for reproduction results.
+"""
+
+from repro.core import (
+    EntropyLearnedHasher,
+    EntropyModel,
+    PartialKeyFunction,
+    choose_bytes,
+    renyi2_entropy,
+    train_model,
+)
+from repro.filters import BlockedBloomFilter, BloomFilter
+from repro.partitioning import Partitioner
+from repro.tables import (
+    CollisionMonitor,
+    EntropyAwareTable,
+    LinearProbingTable,
+    SeparateChainingTable,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "train_model",
+    "choose_bytes",
+    "renyi2_entropy",
+    "EntropyModel",
+    "EntropyLearnedHasher",
+    "PartialKeyFunction",
+    "LinearProbingTable",
+    "SeparateChainingTable",
+    "EntropyAwareTable",
+    "CollisionMonitor",
+    "BloomFilter",
+    "BlockedBloomFilter",
+    "Partitioner",
+]

@@ -1,0 +1,25 @@
+"""Shared benchmark harness utilities.
+
+:mod:`repro.bench.harness` provides timing helpers and standard
+experiment configurations (datasets × sizes × hit rates);
+:mod:`repro.bench.reporting` prints rows/series in the same layout as the
+paper's tables and figures so EXPERIMENTS.md entries read side-by-side.
+"""
+
+from repro.bench.harness import (
+    Measurement,
+    build_probe_mix,
+    time_callable,
+    time_per_item_us,
+)
+from repro.bench.reporting import format_speedup_table, format_series, print_header
+
+__all__ = [
+    "Measurement",
+    "time_callable",
+    "time_per_item_us",
+    "build_probe_mix",
+    "format_speedup_table",
+    "format_series",
+    "print_header",
+]

@@ -1,0 +1,96 @@
+"""Timing helpers and standard workload construction for benchmarks.
+
+Every benchmark follows the paper's methodology: a warm-up pass before
+timing, query keys prepared ahead of time (in cache), and repeated
+measurement taking the best-of-k to suppress interpreter noise.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+
+@dataclass
+class Measurement:
+    """A timed quantity with its work-model companions."""
+
+    label: str
+    seconds: float
+    items: int
+    words_per_item: float = 0.0
+
+    @property
+    def ns_per_item(self) -> float:
+        if self.items == 0:
+            return 0.0
+        return self.seconds * 1e9 / self.items
+
+    @property
+    def items_per_second(self) -> float:
+        if self.seconds == 0:
+            return float("inf")
+        return self.items / self.seconds
+
+
+def time_callable(
+    func: Callable[[], object],
+    repeats: int = 3,
+    warmup: int = 1,
+) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``func()``."""
+    for _ in range(warmup):
+        func()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def time_per_item_us(
+    func: Callable[[], object], items: int, repeats: int = 3
+) -> float:
+    """Best-of-k microseconds per item."""
+    return time_callable(func, repeats=repeats) * 1e6 / max(1, items)
+
+
+def build_probe_mix(
+    stored: Sequence[bytes],
+    missing: Sequence[bytes],
+    hit_rate: float,
+    num_probes: int,
+    seed: int = 0,
+) -> List[bytes]:
+    """Query keys with the requested hit rate, shuffled deterministically.
+
+    Matches the paper's setup: hit rate 1 draws from stored keys, hit
+    rate 0 from held-out keys, intermediate rates mix.
+    """
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ValueError(f"hit_rate must be in [0, 1], got {hit_rate}")
+    rng = random.Random(seed)
+    num_hits = int(round(hit_rate * num_probes))
+    probes: List[bytes] = []
+    if num_hits > 0:
+        if not stored:
+            raise ValueError("hit_rate > 0 requires stored keys")
+        probes.extend(rng.choices(list(stored), k=num_hits))
+    if num_probes - num_hits > 0:
+        if not missing:
+            raise ValueError("hit_rate < 1 requires missing keys")
+        probes.extend(rng.choices(list(missing), k=num_probes - num_hits))
+    rng.shuffle(probes)
+    return probes
+
+
+def split_dataset(keys: Sequence[bytes], seed: int = 0) -> Tuple[list, list]:
+    """Paper's half/half split: first half stored, second half probes."""
+    rng = random.Random(seed)
+    shuffled = list(keys)
+    rng.shuffle(shuffled)
+    half = len(shuffled) // 2
+    return shuffled[:half], shuffled[half:]

@@ -1,0 +1,76 @@
+"""Paper-style table and series printing for the benchmark harness.
+
+Output intentionally mirrors the layout of the paper's tables (rows =
+datasets, columns = configurations) so EXPERIMENTS.md can record
+paper-vs-measured values line by line.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def print_header(title: str, width: int = 78) -> None:
+    """A visually distinct experiment header."""
+    print()
+    print("=" * width)
+    print(title)
+    print("=" * width)
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    return f"{value:.{digits}f}"
+
+
+def format_speedup_table(
+    rows: Dict[str, Dict[str, float]],
+    columns: Sequence[str],
+    row_title: str = "dataset",
+    digits: int = 2,
+) -> str:
+    """Render a rows × columns float table as aligned text.
+
+    >>> print(format_speedup_table({"uuid": {"a": 1.5}}, ["a"]))  # doctest: +NORMALIZE_WHITESPACE
+    dataset          a
+    uuid          1.50
+    """
+    col_width = max(12, max((len(c) for c in columns), default=8) + 2)
+    name_width = max(len(row_title), max((len(r) for r in rows), default=4)) + 2
+    lines = [
+        row_title.ljust(name_width)
+        + "".join(c.rjust(col_width) for c in columns)
+    ]
+    for name, values in rows.items():
+        cells = [
+            _fmt(values.get(c), digits).rjust(col_width) for c in columns
+        ]
+        lines.append(name.ljust(name_width) + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    digits: int = 2,
+) -> str:
+    """Render one-figure-series-per-column text (for line-plot figures)."""
+    col_width = max(12, max(len(name) for name in series) + 2)
+    x_width = max(len(x_label), max(len(str(x)) for x in x_values)) + 2
+    lines = [
+        x_label.ljust(x_width) + "".join(n.rjust(col_width) for n in series)
+    ]
+    for i, x in enumerate(x_values):
+        cells = []
+        for name in series:
+            values = series[name]
+            cells.append(
+                _fmt(values[i] if i < len(values) else None, digits).rjust(col_width)
+            )
+        lines.append(str(x).ljust(x_width) + "".join(cells))
+    return "\n".join(lines)

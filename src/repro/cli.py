@@ -1,0 +1,165 @@
+"""Command-line interface: analyze key files and train/save models.
+
+Usage::
+
+    python -m repro analyze keys.txt
+    python -m repro train keys.txt --out model.json --base wyhash
+    python -m repro recommend model.json --task probing --size 100000
+    python -m repro quality wyhash [--keyfile keys.txt]
+
+``analyze`` profiles a newline-delimited key file (per-position entropy,
+the learned frontier).  ``train`` persists a model; ``recommend`` loads
+one and prints the hasher it would hand out for a task — the same answer
+``EntropyModel.hasher_for_<task>`` gives in code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.core.persist import load_model, save_model
+from repro.core.sizing import (
+    entropy_for_bloom_filter,
+    entropy_for_chaining_table,
+    entropy_for_partitioning,
+    entropy_for_probing_table,
+)
+from repro.core.trainer import describe_frontier, train_model
+from repro.datasets.profiles import profile_dataset
+
+
+def _read_keys(path: str, limit: int = 0) -> List[bytes]:
+    data = Path(path).read_bytes()
+    keys = [line for line in data.split(b"\n") if line]
+    if limit:
+        keys = keys[:limit]
+    if len(keys) < 4:
+        raise SystemExit(f"need at least 4 keys, found {len(keys)} in {path}")
+    return keys
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    keys = _read_keys(args.keyfile, args.limit)
+    profile = profile_dataset(keys, word_size=args.word_size)
+    print(profile.describe())
+    print()
+    print("per-position entropy (bits):")
+    for pos, entropy in sorted(profile.position_entropy.items()):
+        bar = "#" * min(40, int(0 if entropy == math.inf else entropy))
+        text = "inf" if entropy == math.inf else f"{entropy:5.1f}"
+        print(f"  byte {pos:4d}: {text} {bar}")
+
+    model = train_model(keys, word_size=args.word_size,
+                        fixed_dataset=args.fixed)
+    print()
+    print("learned frontier:")
+    for line in describe_frontier(model):
+        print("  " + line)
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    keys = _read_keys(args.keyfile, args.limit)
+    model = train_model(keys, base=args.base, word_size=args.word_size,
+                        fixed_dataset=args.fixed)
+    save_model(model, args.out)
+    words = len(model.result.positions)
+    print(f"trained on {len(keys)} keys -> {words} word(s) selected; "
+          f"model written to {args.out}")
+    return 0
+
+
+_TASK_REQUIREMENTS = {
+    "chaining": lambda args: entropy_for_chaining_table(args.size),
+    "probing": lambda args: entropy_for_probing_table(args.size),
+    "bloom": lambda args: entropy_for_bloom_filter(args.size, args.added_fpr),
+    "partitioning": lambda args: entropy_for_partitioning(
+        args.size, args.partitions, mode=args.mode
+    ),
+}
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    required = _TASK_REQUIREMENTS[args.task](args)
+    hasher = model.hasher_for_entropy(required)
+    print(f"task {args.task!r} at size {args.size} needs "
+          f"H2 > {required:.1f} bits")
+    if hasher.partial_key.is_full_key:
+        print("recommendation: full-key hashing "
+              "(the learned frontier cannot certify that much entropy)")
+    else:
+        L = hasher.partial_key
+        print(f"recommendation: hash {L.bytes_read} bytes — "
+              f"{L.word_size}-byte words at offsets {list(L.positions)}")
+    return 0
+
+
+def cmd_quality(args: argparse.Namespace) -> int:
+    from repro.hashing.base import get_hash
+    from repro.hashing.quality import assess, summarize
+
+    hash_func = get_hash(args.hash, seed=args.seed)
+    keys = _read_keys(args.keyfile, args.limit) if args.keyfile else None
+    reports = assess(hash_func, keys)
+    print(f"SMHasher-lite battery for {args.hash!r}"
+          + (f" over {len(keys)} corpus keys" if keys else ""))
+    print(summarize(reports))
+    return 0 if all(r.passed for r in reports) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Entropy-Learned Hashing toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="profile a key file")
+    analyze.add_argument("keyfile")
+    analyze.add_argument("--word-size", type=int, default=8)
+    analyze.add_argument("--limit", type=int, default=0)
+    analyze.add_argument("--fixed", action="store_true",
+                         help="keys are the final dataset (no split)")
+    analyze.set_defaults(func=cmd_analyze)
+
+    train = sub.add_parser("train", help="train and save a model")
+    train.add_argument("keyfile")
+    train.add_argument("--out", required=True)
+    train.add_argument("--base", default="wyhash")
+    train.add_argument("--word-size", type=int, default=8)
+    train.add_argument("--limit", type=int, default=0)
+    train.add_argument("--fixed", action="store_true")
+    train.set_defaults(func=cmd_train)
+
+    recommend = sub.add_parser("recommend", help="query a saved model")
+    recommend.add_argument("model")
+    recommend.add_argument("--task", choices=sorted(_TASK_REQUIREMENTS),
+                           required=True)
+    recommend.add_argument("--size", type=int, required=True)
+    recommend.add_argument("--added-fpr", type=float, default=0.01)
+    recommend.add_argument("--partitions", type=int, default=64)
+    recommend.add_argument("--mode", choices=("absolute", "relative"),
+                           default="relative")
+    recommend.set_defaults(func=cmd_recommend)
+
+    quality = sub.add_parser("quality", help="run hash quality batteries")
+    quality.add_argument("hash", help="registered hash name (see repro.hashing)")
+    quality.add_argument("--keyfile", default=None,
+                         help="optional corpus for the bucket/balance tests")
+    quality.add_argument("--seed", type=int, default=0)
+    quality.add_argument("--limit", type=int, default=0)
+    quality.set_defaults(func=cmd_quality)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Entropy-Learned Hashing: the paper's primary contribution.
+
+The pipeline (paper Sections 3-5):
+
+1. :mod:`repro.core.entropy` — estimate the Rényi-2 (collision) entropy of
+   a byte-position subset from samples (Lemma 1 + confidence bounds).
+2. :mod:`repro.core.greedy` — greedily pick byte positions (Algorithms 1-2).
+3. :mod:`repro.core.sizing` — how much entropy each task needs (Section 5).
+4. :mod:`repro.core.analysis` — the metric equations (1)-(11) connecting
+   entropy to comparisons / FPR / partition variance (Section 4 + appendix).
+5. :mod:`repro.core.hasher` — the runtime hash ``H' = H ∘ L``.
+6. :mod:`repro.core.trainer` — end-to-end orchestration.
+"""
+
+from repro.core.entropy import (
+    collision_count,
+    collision_probability,
+    entropy_confidence_lower_bound,
+    renyi2_entropy,
+    renyi2_entropy_exact,
+    samples_needed,
+)
+from repro.core.greedy import GreedyResult, choose_bytes, choose_bytes_naive
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.partial_key import PartialKeyFunction
+from repro.core.sizing import (
+    entropy_for_bloom_filter,
+    entropy_for_chaining_table,
+    entropy_for_partitioning,
+    entropy_for_probing_table,
+    positions_for_entropy,
+)
+from repro.core.trainer import EntropyModel, train_model
+
+__all__ = [
+    "collision_count",
+    "collision_probability",
+    "entropy_confidence_lower_bound",
+    "renyi2_entropy",
+    "renyi2_entropy_exact",
+    "samples_needed",
+    "GreedyResult",
+    "choose_bytes",
+    "choose_bytes_naive",
+    "EntropyLearnedHasher",
+    "PartialKeyFunction",
+    "entropy_for_bloom_filter",
+    "entropy_for_chaining_table",
+    "entropy_for_partitioning",
+    "entropy_for_probing_table",
+    "positions_for_entropy",
+    "EntropyModel",
+    "train_model",
+]

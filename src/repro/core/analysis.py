@@ -1,0 +1,272 @@
+"""Metric equations connecting entropy to data-structure behaviour.
+
+Implements every closed-form expression from paper Section 4 and the
+appendix: expected probe/comparison counts for separate chaining and
+linear probing (full-key and partial-key, fixed and random data), the
+Bloom-filter FPR bound, the partitioning variance/relative-deviation
+bounds, and Knuth's ``Q_r(m, n)`` series used by the linear-probing
+analysis.  The test suite validates measured structures against these
+bounds; the benchmarks print them next to measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable
+
+# --------------------------------------------------------------------------
+# Q_r(m, n): sum_{k>=0} C(k+r, r) * n^(k-falling) / m^k  (appendix A)
+# --------------------------------------------------------------------------
+
+
+def q_series(r: int, m: int, n: int, tolerance: float = 1e-15) -> float:
+    """Knuth's ``Q_r(m, n)`` with falling powers, evaluated exactly.
+
+    The series terminates (falling power hits zero) after ``n + 1`` terms;
+    we also stop once terms drop below ``tolerance`` for speed.
+
+    >>> q_series(0, 10, 0)
+    1.0
+    """
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if n >= m:
+        raise ValueError(f"q_series requires n < m, got n={n}, m={m}")
+    total = 0.0
+    binom = 1.0  # C(k + r, r), starts at C(r, r) = 1
+    falling = 1.0  # n^(k-falling) / m^k, starts at 1
+    k = 0
+    while True:
+        term = binom * falling
+        total += term
+        k += 1
+        if k > n or (term < tolerance * max(total, 1.0) and k > 8):
+            break
+        binom *= (k + r) / k
+        falling *= (n - (k - 1)) / m
+    return total
+
+
+def q0_bound(alpha: float) -> float:
+    """Geometric-series bound ``Q_0 <= 1 / (1 - α)``."""
+    _require_alpha(alpha)
+    return 1.0 / (1.0 - alpha)
+
+
+def q1_bound(alpha: float) -> float:
+    """Bound ``Q_1 <= 1 / (1 - α)^2``."""
+    _require_alpha(alpha)
+    return 1.0 / (1.0 - alpha) ** 2
+
+
+# --------------------------------------------------------------------------
+# Separate chaining (Section 4.1.1)
+# --------------------------------------------------------------------------
+
+
+def chaining_missing_full(alpha: float) -> float:
+    """Full-key expected comparisons for a missing key: ``E[P'] = α``."""
+    return alpha
+
+
+def chaining_existing_full(alpha: float) -> float:
+    """Full-key average comparisons for a present key: ``1 + α/2``."""
+    return 1.0 + 0.5 * alpha
+
+
+def chaining_missing_partial(alpha: float, n: int, entropy: float) -> float:
+    """Partial-key bound, eq. (1): ``E[P'] <= α + n * 2^-H2``."""
+    return alpha + _collision_term(n, entropy)
+
+
+def chaining_existing_partial(alpha: float, n: int, entropy: float) -> float:
+    """Partial-key bound, eq. (2): ``E[P] <= 1 + α/2 + (n-1)/2 * 2^-H2``."""
+    return 1.0 + 0.5 * alpha + 0.5 * _collision_term(n - 1, entropy)
+
+
+# --------------------------------------------------------------------------
+# Linear probing (Section 4.1.2 + appendix A)
+# --------------------------------------------------------------------------
+
+
+def probing_missing_full(m: int, n: int, exact: bool = False) -> float:
+    """Full-key probe cost for a missing key.
+
+    Exact: ``(1 + Q_1(m, n)) / 2`` (Knuth); bound: with ``α = n/m``,
+    ``(1 + 1/(1-α)^2) / 2``.
+    """
+    if exact:
+        return 0.5 * (1.0 + q_series(1, m, n))
+    return 0.5 * (1.0 + q1_bound(n / m))
+
+
+def probing_existing_full(m: int, n: int, exact: bool = False) -> float:
+    """Full-key average probe cost for a present key.
+
+    Exact: ``(1 + Q_0(m, n-1)) / 2``; bound: ``(1 + 1/(1-α)) / 2``.
+    """
+    if exact:
+        return 0.5 * (1.0 + q_series(0, m, max(0, n - 1)))
+    return 0.5 * (1.0 + q0_bound(n / m))
+
+
+def probing_missing_partial(m: int, n: int, entropy: float) -> float:
+    """Partial-key bound for a missing key, eq. (5)::
+
+        E[P'] <= (1 + 1/(1-α)^2)/2 + n * 2^-H2 * 3 / (2 (1-α)^2)
+    """
+    alpha = n / m
+    base = 0.5 * (1.0 + q1_bound(alpha))
+    penalty = _collision_term(n, entropy) * 1.5 * q1_bound(alpha)
+    return base + penalty
+
+
+def probing_existing_partial(m: int, n: int, entropy: float) -> float:
+    """Partial-key bound for present keys, eq. (6)::
+
+        E[P] <= (1 + 1/(1-α))/2 + n * 2^-H2 * (1 + 1/(1-α))
+    """
+    alpha = n / m
+    base = 0.5 * (1.0 + q0_bound(alpha))
+    penalty = _collision_term(n, entropy) * (1.0 + q0_bound(alpha))
+    return base + penalty
+
+
+def probing_missing_fixed(m: int, n: int, z_query: int, collisions: int) -> float:
+    """Fixed-data bound, eq. (3), given the query key's multiplicity.
+
+    ``z_query`` is the number of stored keys sharing the query's partial
+    key; ``collisions`` is ``c = sum_x z_x^2-falling`` over the dataset.
+    """
+    alpha = n / m
+    shared = collisions / (m * (1.0 - alpha) ** 2)
+    if z_query == 0:
+        return 0.5 * (1.0 + q1_bound(alpha) + shared)
+    return z_query / (1.0 - alpha) + q1_bound(alpha) + shared
+
+
+def probing_existing_fixed(m: int, n: int, collisions: int) -> float:
+    """Fixed-data average bound, eq. (4) approximation::
+
+        E[P] <= (1/2 + c/n) (1 + 1/(1-α))
+    """
+    alpha = n / m
+    return (0.5 + collisions / n) * (1.0 + q0_bound(alpha))
+
+
+# --------------------------------------------------------------------------
+# Bloom filters (Section 4.2)
+# --------------------------------------------------------------------------
+
+
+def standard_bloom_fpr(m_bits: int, n: int, k_hashes: int) -> float:
+    """Classic Bloom FPR: ``(1 - e^{-kn/m})^k``."""
+    if m_bits <= 0 or k_hashes <= 0:
+        raise ValueError("m_bits and k_hashes must be positive")
+    if n == 0:
+        return 0.0
+    return (1.0 - math.exp(-k_hashes * n / m_bits)) ** k_hashes
+
+
+def bloom_fpr_partial(
+    m_bits: int, n: int, k_hashes: int, entropy: float
+) -> float:
+    """Partial-key FPR bound, eq. (9)::
+
+        FPR(m, n, H') <= n * 2^-H2 + FPR(m, n, H)
+    """
+    return _collision_term(n, entropy) + standard_bloom_fpr(m_bits, n, k_hashes)
+
+
+def bloom_bits_for_fpr(n: int, fpr: float) -> int:
+    """Bits needed for a target FPR with optimal k: ``m = -n ln p / ln^2 2``."""
+    if not 0.0 < fpr < 1.0:
+        raise ValueError(f"fpr must be in (0, 1), got {fpr}")
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return math.ceil(-n * math.log(fpr) / (math.log(2) ** 2))
+
+
+def bloom_optimal_k(m_bits: int, n: int) -> int:
+    """Optimal number of hash functions: ``k = (m/n) ln 2``, at least 1."""
+    if n <= 0:
+        return 1
+    return max(1, round(m_bits / n * math.log(2)))
+
+
+# --------------------------------------------------------------------------
+# Partitioning (Section 4.3)
+# --------------------------------------------------------------------------
+
+
+def partition_variance_full(n: int, m: int) -> float:
+    """Full-key per-bin variance: binomial ``n/m - n/m^2``."""
+    return n / m - n / (m * m)
+
+
+def partition_variance_partial(n: int, m: int, entropy: float) -> float:
+    """Partial-key variance bound, eq. (10)::
+
+        Var(Y) <= (1 + n * 2^-H2) (n/m - n/m^2)
+    """
+    return (1.0 + _collision_term(n, entropy)) * partition_variance_full(n, m)
+
+
+def partition_relative_std_bound(n: int, m: int, entropy: float) -> float:
+    """Relative standard-deviation bound, eq. (11)::
+
+        rel-std <= sqrt(m/n) * sqrt(1 + n 2^-H2) ≈ sqrt(m * 2^-H2)
+    """
+    return math.sqrt(m / n) * math.sqrt(1.0 + _collision_term(n, entropy))
+
+
+# --------------------------------------------------------------------------
+# Summary helper used by benchmarks
+# --------------------------------------------------------------------------
+
+
+def comparison_budget(task: str, m: int, n: int, entropy: float) -> Dict[str, float]:
+    """Predicted full-key vs partial-key costs for a task, as a dict.
+
+    Convenience for benchmark reporting: returns the paper-model numbers
+    that sit next to the measured ones in EXPERIMENTS.md.
+    """
+    alpha = n / m
+    if task == "chaining":
+        return {
+            "full_missing": chaining_missing_full(alpha),
+            "full_existing": chaining_existing_full(alpha),
+            "partial_missing": chaining_missing_partial(alpha, n, entropy),
+            "partial_existing": chaining_existing_partial(alpha, n, entropy),
+        }
+    if task == "probing":
+        return {
+            "full_missing": probing_missing_full(m, n),
+            "full_existing": probing_existing_full(m, n),
+            "partial_missing": probing_missing_partial(m, n, entropy),
+            "partial_existing": probing_existing_partial(m, n, entropy),
+        }
+    raise ValueError(f"unknown task {task!r}")
+
+
+def _collision_term(n: int, entropy: float) -> float:
+    if entropy == math.inf:
+        return 0.0
+    return max(0, n) * 2.0 ** (-entropy)
+
+
+def _require_alpha(alpha: float) -> None:
+    if not 0.0 <= alpha < 1.0:
+        raise ValueError(f"load factor must be in [0, 1), got {alpha}")
+
+
+def observed_collision_stats(subkeys: Iterable[bytes]) -> Dict[str, int]:
+    """``c`` and ``d`` from the appendix: colliding pairs and duplicated items."""
+    counts: Dict[bytes, int] = {}
+    for s in subkeys:
+        counts[s] = counts.get(s, 0) + 1
+    c = sum(v * (v - 1) // 2 for v in counts.values())
+    d = sum(v for v in counts.values() if v >= 2)
+    return {"collisions": c, "duplicated_items": d, "distinct": len(counts)}

@@ -1,0 +1,291 @@
+"""Greedy byte selection — paper Algorithms 1 and 2.
+
+Starting from a dummy hash that reads zero bytes, repeatedly add the word
+position that removes the most collisions on the training data, recording
+the (validation-set) entropy after each addition.  Two optimizations from
+the paper are implemented:
+
+* items that are already unique on the chosen positions are dropped from
+  the working set after every iteration (an item unique on a subset of
+  bytes cannot collide on a superset) — this is the "optimized" row of
+  Table 6, and :func:`choose_bytes_naive` keeps everything for the
+  "naive" row;
+* candidate positions are limited so that at least ``coverage`` (default
+  90%) of the training items are long enough to take the partial-key fast
+  path at runtime.
+
+The result is a nested family of partial-key functions — the Pareto
+frontier of (bytes read, entropy) the rest of the library chooses from.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._util import Key, as_bytes_list
+from repro.core.entropy import renyi2_entropy
+from repro.core.partial_key import PartialKeyFunction
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of greedy byte selection.
+
+    ``positions[i]`` is the i-th chosen word-start offset;
+    ``entropies[i]`` is the estimated Rényi-2 entropy of the partial key
+    using the first ``i+1`` positions; ``train_collisions[i]`` the number
+    of colliding pairs left on the training set at that point.
+    """
+
+    positions: List[int]
+    word_size: int
+    entropies: List[float]
+    train_collisions: List[int]
+    train_size: int
+    eval_size: int
+    elapsed_seconds: float = 0.0
+    eval_on_train: bool = False
+
+    def partial_key(self, num_words: Optional[int] = None) -> PartialKeyFunction:
+        """The partial-key function using the first ``num_words`` positions.
+
+        ``None`` uses every chosen position.
+        """
+        if num_words is None:
+            num_words = len(self.positions)
+        if not 0 <= num_words <= len(self.positions):
+            raise ValueError(
+                f"num_words must be in [0, {len(self.positions)}], got {num_words}"
+            )
+        return PartialKeyFunction(tuple(self.positions[:num_words]), self.word_size)
+
+    def entropy_at(self, num_words: int) -> float:
+        """Estimated entropy when hashing the first ``num_words`` words."""
+        if num_words <= 0:
+            return 0.0
+        if num_words > len(self.entropies):
+            return self.entropies[-1] if self.entropies else 0.0
+        return self.entropies[num_words - 1]
+
+    def pareto_frontier(self) -> List[Tuple[int, float]]:
+        """(bytes read, entropy) pairs for each prefix of the selection."""
+        return [
+            ((i + 1) * self.word_size, self.entropies[i])
+            for i in range(len(self.positions))
+        ]
+
+    def min_words_for_entropy(self, required: float) -> Optional[int]:
+        """Smallest number of words whose entropy reaches ``required``.
+
+        Returns ``None`` when even the full selection falls short — the
+        caller should then fall back to full-key hashing (Section 5).
+        """
+        for i, entropy in enumerate(self.entropies):
+            if entropy >= required:
+                return i + 1
+        return None
+
+
+def _coverage_limit(lengths: Sequence[int], coverage: float) -> int:
+    """Largest byte offset usable so ``coverage`` of items reach it.
+
+    I.e. the (1 - coverage) quantile of the length distribution: 90%
+    coverage means 90% of keys are at least this long.
+    """
+    ordered = sorted(lengths)
+    index = int(math.floor((1.0 - coverage) * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _word_at(key: bytes, pos: int, word_size: int) -> bytes:
+    word = key[pos:pos + word_size]
+    if len(word) < word_size:
+        word = word + b"\x00" * (word_size - len(word))
+    return word
+
+
+def _group_collisions(groups: List[List[bytes]]) -> int:
+    return sum(len(g) * (len(g) - 1) // 2 for g in groups)
+
+
+def _split_groups(
+    groups: List[List[bytes]], pos: int, word_size: int, min_size: int = 2
+) -> List[List[bytes]]:
+    """Subdivide collision groups by the word at ``pos``.
+
+    ``min_size=2`` drops now-unique items (the pruning optimization);
+    ``min_size=1`` keeps them, as the naive algorithm does.
+    """
+    result: List[List[bytes]] = []
+    for group in groups:
+        buckets: Dict[bytes, List[bytes]] = defaultdict(list)
+        for key in group:
+            buckets[_word_at(key, pos, word_size)].append(key)
+        for bucket in buckets.values():
+            if len(bucket) >= min_size:
+                result.append(bucket)
+    return result
+
+
+def _collisions_if_added(
+    groups: List[List[bytes]], pos: int, word_size: int
+) -> int:
+    """Colliding pairs remaining if ``pos`` were added (Algorithm 2 core)."""
+    total = 0
+    for group in groups:
+        counts: Dict[bytes, int] = defaultdict(int)
+        for key in group:
+            counts[_word_at(key, pos, word_size)] += 1
+        for c in counts.values():
+            total += c * (c - 1) // 2
+    return total
+
+
+def _initial_groups(keys: List[bytes], min_size: int = 2) -> List[List[bytes]]:
+    """Group by length — the length is always part of the partial key."""
+    by_length: Dict[int, List[bytes]] = defaultdict(list)
+    for key in keys:
+        by_length[len(key)].append(key)
+    return [g for g in by_length.values() if len(g) >= min_size]
+
+
+def _estimate_entropy(
+    eval_keys: List[bytes], positions: Sequence[int], word_size: int
+) -> float:
+    L = PartialKeyFunction(tuple(positions), word_size)
+    return renyi2_entropy([L.subkey(k) for k in eval_keys])
+
+
+def choose_bytes(
+    train_data: Sequence[Key],
+    eval_data: Optional[Sequence[Key]] = None,
+    word_size: int = 8,
+    stride: Optional[int] = None,
+    coverage: float = 0.9,
+    max_words: Optional[int] = None,
+    prune_unique: bool = True,
+    force_words: int = 0,
+) -> GreedyResult:
+    """Greedy byte selection (paper Algorithm 1, ``ChooseBytes``).
+
+    Args:
+        train_data: the fixed dataset, or a sample of past data items.
+        eval_data: held-out data to estimate entropy on.  ``None`` means
+            the dataset is fixed and the training set is ground truth.
+        word_size: bytes chosen per step (the paper uses 4 or 8).
+        stride: spacing of candidate start offsets; defaults to
+            ``word_size`` (word-aligned candidates, as in Figure 4).
+        coverage: fraction of items that must be long enough to take the
+            partial-key fast path (paper: 90%).
+        max_words: optional cap on the number of words selected.
+        prune_unique: drop already-unique items from the working set each
+            iteration (the Table 6 "optimized" algorithm).
+        force_words: keep selecting words up to this count even after the
+            training set is collision-free, driven by collisions on the
+            evaluation set instead (used to trace full frontier curves
+            like the paper's Figure 5a).
+
+    Returns a :class:`GreedyResult` whose prefixes form the Pareto
+    frontier of (bytes read, entropy).
+
+    >>> result = choose_bytes([b"aXc", b"aYc", b"aZc"], word_size=1)
+    >>> result.train_collisions[-1]
+    0
+    """
+    start = time.perf_counter()
+    keys = as_bytes_list(train_data)
+    if len(keys) < 2:
+        raise ValueError("need at least 2 training items")
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+    if stride is None:
+        stride = word_size
+    if stride <= 0:
+        raise ValueError(f"stride must be positive, got {stride}")
+
+    eval_keys = as_bytes_list(eval_data) if eval_data is not None else keys
+    eval_on_train = eval_data is None
+
+    limit = _coverage_limit([len(k) for k in keys], coverage)
+    last_start = max(0, limit - word_size)
+    candidates = list(range(0, last_start + 1, stride))
+    if not candidates:
+        candidates = [0]
+
+    min_size = 2 if prune_unique else 1
+    groups = _initial_groups(keys, min_size)
+    positions: List[int] = []
+    entropies: List[float] = []
+    train_collisions: List[int] = []
+    current = _group_collisions(groups)
+
+    while current > 0 and (max_words is None or len(positions) < max_words):
+        remaining = [c for c in candidates if c not in positions]
+        if not remaining:
+            break
+        best_pos = None
+        best_coll = None
+        for pos in remaining:
+            coll = _collisions_if_added(groups, pos, word_size)
+            if best_coll is None or coll < best_coll:
+                best_coll = coll
+                best_pos = pos
+        if best_coll is None or best_coll >= current:
+            # No candidate separates anything further (e.g. exact
+            # duplicate keys): adding more words cannot help.
+            break
+        positions.append(best_pos)
+        groups = _split_groups(groups, best_pos, word_size, min_size)
+        current = _group_collisions(groups)
+        train_collisions.append(current)
+        entropies.append(_estimate_entropy(eval_keys, positions, word_size))
+
+    # Optionally keep extending the frontier past train-set convergence,
+    # choosing by evaluation-set collisions (Figure 5a-style curves).
+    if force_words > len(positions):
+        eval_groups = _initial_groups(eval_keys, 2)
+        for pos in positions:
+            eval_groups = _split_groups(eval_groups, pos, word_size, 2)
+        while len(positions) < force_words:
+            remaining = [c for c in candidates if c not in positions]
+            if not remaining:
+                break
+            best_pos = min(
+                remaining,
+                key=lambda p: _collisions_if_added(eval_groups, p, word_size),
+            )
+            positions.append(best_pos)
+            eval_groups = _split_groups(eval_groups, best_pos, word_size, 2)
+            train_collisions.append(current)
+            entropies.append(_estimate_entropy(eval_keys, positions, word_size))
+
+    return GreedyResult(
+        positions=positions,
+        word_size=word_size,
+        entropies=entropies,
+        train_collisions=train_collisions,
+        train_size=len(keys),
+        eval_size=len(eval_keys),
+        elapsed_seconds=time.perf_counter() - start,
+        eval_on_train=eval_on_train,
+    )
+
+
+def choose_bytes_naive(
+    train_data: Sequence[Key],
+    eval_data: Optional[Sequence[Key]] = None,
+    word_size: int = 8,
+    **kwargs,
+) -> GreedyResult:
+    """Greedy selection without the prune-unique optimization.
+
+    Identical output to :func:`choose_bytes`; exists to reproduce the
+    "naive" row of the paper's training-time comparison (Table 6).
+    """
+    return choose_bytes(
+        train_data, eval_data, word_size=word_size, prune_unique=False, **kwargs
+    )

@@ -1,0 +1,199 @@
+"""The runtime Entropy-Learned hash ``H' = H ∘ L``.
+
+An :class:`EntropyLearnedHasher` pairs a base hash (wyhash, xxh3, crc32,
+…) with a learned :class:`~repro.core.partial_key.PartialKeyFunction` and
+exposes two equivalent paths:
+
+* the **scalar path** (``hasher(key)``) — hash one key at a time, exactly
+  like the paper's C++ template instantiations;
+* the **batch path** (``hasher.hash_batch(keys)``) — numpy kernels over
+  key groups, *bit-exact* with the scalar path, used by the throughput
+  benchmarks.
+
+Both apply the Section 3 runtime branch: keys long enough to contain
+every selected position hash their subkey; shorter keys hash in full.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro._util import Key, as_bytes, as_bytes_list
+from repro.core.partial_key import PartialKeyFunction
+from repro.hashing.base import HashFunction, get_hash
+from repro.hashing.vectorized import (
+    BATCH_KERNELS,
+    gather_words,
+    has_batch_kernel,
+    hash_batch_grouped,
+    pack_matrix,
+    words_per_key,
+)
+
+
+class EntropyLearnedHasher:
+    """A 64-bit hash that reads only the learned byte positions.
+
+    >>> from repro.core import PartialKeyFunction
+    >>> L = PartialKeyFunction(positions=(0, 8), word_size=8)
+    >>> h = EntropyLearnedHasher(L, base="wyhash")
+    >>> h(b"0123456789abcdef") == h(b"0123456789abcdef")
+    True
+
+    A full-key hasher is the degenerate case with an identity ``L``:
+
+    >>> full = EntropyLearnedHasher.full_key("wyhash")
+    >>> full.partial_key.is_full_key
+    True
+    """
+
+    def __init__(
+        self,
+        partial_key: PartialKeyFunction,
+        base: Union[str, HashFunction] = "wyhash",
+        seed: int = 0,
+    ):
+        if isinstance(base, str):
+            base = get_hash(base, seed)
+        elif seed != base.seed:
+            base = base.with_seed(seed)
+        self.base = base
+        self.partial_key = partial_key
+        self.seed = base.seed
+
+    # ------------------------------------------------------------ scalar path
+
+    def __call__(self, key: Key) -> int:
+        """Hash one key (applies the length-fallback branch of Section 3)."""
+        return self.base.hash_bytes(self.partial_key.hash_input(as_bytes(key)))
+
+    def hash_full_key(self, key: Key) -> int:
+        """Hash the complete key, ignoring ``L`` (robustness fallback)."""
+        return self.base.hash_bytes(as_bytes(key))
+
+    # ------------------------------------------------------------- batch path
+
+    def hash_batch(self, keys: Sequence[Key]) -> np.ndarray:
+        """Vectorized hash of many keys, bit-exact with the scalar path.
+
+        Partial-key mode packs only the selected region of each key, so
+        batch cost is proportional to words read — the paper's cost model.
+        Base hashes without a numpy kernel fall back to a scalar loop.
+        """
+        keys = as_bytes_list(keys)
+        if not keys:
+            return np.zeros(0, dtype=np.uint64)
+        if not has_batch_kernel(self.base.name):
+            return np.fromiter(
+                (self(k) for k in keys), dtype=np.uint64, count=len(keys)
+            )
+        if self.partial_key.is_full_key:
+            return hash_batch_grouped(keys, self.base.name, self.seed)
+        return self._hash_batch_partial(keys)
+
+    def _hash_batch_partial(self, keys: Sequence[bytes]) -> np.ndarray:
+        """Partial-key batch: subkey kernel for long keys, full-key
+        fallback for keys shorter than the last selected byte."""
+        L = self.partial_key
+        cutoff = L.last_byte_used
+        lengths = list(map(len, keys))
+        kernel = BATCH_KERNELS[self.base.name]
+
+        if min(lengths) >= cutoff:
+            # Fast path (the common case Section 3 designs for: ~all
+            # keys take the partial-key branch).
+            submatrix = self._subkey_matrix(keys, lengths, pad=False)
+            return kernel(submatrix, submatrix.shape[1], self.seed)
+
+        applies = [i for i, length in enumerate(lengths) if length >= cutoff]
+        fallback = [i for i, length in enumerate(lengths) if length < cutoff]
+        out = np.zeros(len(keys), dtype=np.uint64)
+        if applies:
+            subset = [keys[i] for i in applies]
+            submatrix = self._subkey_matrix(
+                subset, [lengths[i] for i in applies], pad=False
+            )
+            out[np.asarray(applies)] = kernel(
+                submatrix, submatrix.shape[1], self.seed
+            )
+        if fallback:
+            subset = [keys[i] for i in fallback]
+            out[np.asarray(fallback)] = hash_batch_grouped(
+                subset, self.base.name, self.seed
+            )
+        return out
+
+    def _subkey_matrix(self, keys: Sequence[bytes], lengths, pad: bool) -> np.ndarray:
+        """Pack subkeys (length prefix + selected words) into a matrix.
+
+        Every subkey has the same width, so one fixed-length kernel call
+        covers the whole batch.  Only the first ``last_byte_used`` bytes
+        of each key are touched — the partial-key cost saving.
+        """
+        L = self.partial_key
+        w = L.word_size
+        width = L.last_byte_used
+        if pad:
+            packed = pack_matrix(keys, width=width)
+        else:
+            # All keys are known to reach ``width``: one memcpy packs them.
+            blob = b"".join(k[:width] for k in keys)
+            packed = np.frombuffer(blob, dtype=np.uint8).reshape(len(keys), width)
+        n = len(keys)
+        submatrix = np.zeros((n, 4 + len(L.positions) * w), dtype=np.uint8)
+        length_arr = np.asarray(lengths, dtype=np.uint64)
+        for b in range(4):
+            submatrix[:, b] = (length_arr >> np.uint64(8 * b)).astype(np.uint8)
+        for j, pos in enumerate(L.positions):
+            submatrix[:, 4 + j * w:4 + (j + 1) * w] = packed[:, pos:pos + w]
+        return submatrix
+
+    # ------------------------------------------------------------- accounting
+
+    def bytes_read(self, key: Key) -> int:
+        """Bytes of key material this hasher reads for ``key``."""
+        key = as_bytes(key)
+        if self.partial_key.is_full_key or not self.partial_key.applies_to(key):
+            return len(key)
+        return self.partial_key.bytes_read
+
+    def average_words_read(self, keys: Sequence[Key]) -> float:
+        """Mean 8-byte words read per key over a corpus (cost proxy)."""
+        keys = as_bytes_list(keys)
+        if self.partial_key.is_full_key:
+            return words_per_key(keys)
+        return words_per_key(keys, self.partial_key.positions)
+
+    # ----------------------------------------------------------- constructors
+
+    @classmethod
+    def full_key(
+        cls, base: Union[str, HashFunction] = "wyhash", seed: int = 0
+    ) -> "EntropyLearnedHasher":
+        """A traditional full-key hasher (the paper's baseline)."""
+        return cls(PartialKeyFunction.full_key(), base=base, seed=seed)
+
+    @classmethod
+    def from_positions(
+        cls,
+        positions: Sequence[int],
+        word_size: int = 8,
+        base: Union[str, HashFunction] = "wyhash",
+        seed: int = 0,
+    ) -> "EntropyLearnedHasher":
+        """Build directly from byte positions (skip training)."""
+        L = PartialKeyFunction(tuple(positions), word_size)
+        return cls(L, base=base, seed=seed)
+
+    def with_seed(self, seed: int) -> "EntropyLearnedHasher":
+        """Same configuration, different seed (for multi-hash structures)."""
+        return EntropyLearnedHasher(self.partial_key, self.base, seed=seed)
+
+    def __repr__(self) -> str:
+        return (
+            f"EntropyLearnedHasher(base={self.base.name!r}, "
+            f"positions={self.partial_key.positions}, "
+            f"word_size={self.partial_key.word_size})"
+        )

@@ -1,0 +1,172 @@
+"""The partial-key function ``L`` — paper Sections 2-3.
+
+``L`` maps a key to a subkey: the concatenation of fixed-width words read
+at learned byte positions, *plus the key length* (Algorithm 2 line 6: "the
+length is always part of the partial-key", so two keys of different
+lengths never collide through ``L`` alone).
+
+Per Section 3, the runtime hash applies ``L`` only when the key is long
+enough to contain every selected position::
+
+    if len(x) > last byte used in L:  return H(L(x))
+    else:                             return H(x)
+
+and the positions are chosen so that ~90% of keys take the first branch,
+keeping the branch predictable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro._util import Key, as_bytes
+
+
+@dataclass(frozen=True)
+class PartialKeyFunction:
+    """A learned byte-position selector.
+
+    Attributes:
+        positions: start offsets of the words to read, in selection order.
+        word_size: bytes read per position (the paper uses 4 or 8).
+
+    >>> L = PartialKeyFunction(positions=(0,), word_size=2)
+    >>> L.subkey(b"dog") == L.subkey(b"dot")   # both read "do" + length 3
+    True
+    >>> L.subkey(b"dogma")[-2:]
+    b'do'
+    """
+
+    positions: Tuple[int, ...]
+    word_size: int = 8
+
+    def __post_init__(self):
+        if self.word_size not in (1, 2, 4, 8):
+            raise ValueError(f"word_size must be 1, 2, 4, or 8, got {self.word_size}")
+        if any(p < 0 for p in self.positions):
+            raise ValueError(f"positions must be non-negative, got {self.positions}")
+        if len(set(self.positions)) != len(self.positions):
+            raise ValueError(f"positions must be distinct, got {self.positions}")
+        object.__setattr__(self, "positions", tuple(self.positions))
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def is_full_key(self) -> bool:
+        """True when this function selects nothing, i.e. ``L`` = identity."""
+        return not self.positions
+
+    @property
+    def last_byte_used(self) -> int:
+        """One past the highest byte offset any selected word reads."""
+        if not self.positions:
+            return 0
+        return max(self.positions) + self.word_size
+
+    @property
+    def bytes_read(self) -> int:
+        """Bytes of key material the partial key reads."""
+        return len(self.positions) * self.word_size
+
+    # -------------------------------------------------------------- application
+
+    def subkey(self, key: Key) -> bytes:
+        """The raw subkey: length prefix + selected words (zero-padded).
+
+        Keys shorter than a selected position contribute zero bytes for
+        the missing tail, so ``subkey`` is total on all inputs; the
+        *hash-time* fallback to the full key is a separate decision made
+        by :meth:`applies_to` / :meth:`hash_input`.
+        """
+        key = as_bytes(key)
+        parts = [len(key).to_bytes(4, "little")]
+        n = len(key)
+        w = self.word_size
+        for pos in self.positions:
+            word = key[pos:pos + w]
+            if len(word) < w:
+                word = word + b"\x00" * (w - len(word))
+            parts.append(word)
+        return b"".join(parts)
+
+    def applies_to(self, key: Key) -> bool:
+        """Whether ``key`` is long enough for the partial-key fast path."""
+        return len(as_bytes(key)) >= self.last_byte_used
+
+    def hash_input(self, key: Key) -> bytes:
+        """What gets fed to the base hash ``H`` for this key.
+
+        Implements the paper's runtime branch: the subkey when the key
+        covers every selected position, the full key otherwise.  A
+        full-key function returns the key unchanged.
+        """
+        key = as_bytes(key)
+        if self.is_full_key or len(key) < self.last_byte_used:
+            return key
+        return self.subkey(key)
+
+    def __call__(self, key: Key) -> bytes:
+        return self.hash_input(key)
+
+    # ------------------------------------------------------------- constructors
+
+    @classmethod
+    def full_key(cls) -> "PartialKeyFunction":
+        """The identity partial-key function (traditional hashing)."""
+        return cls(positions=(), word_size=8)
+
+    @classmethod
+    def from_positions(
+        cls, positions: Sequence[int], word_size: int = 8
+    ) -> "PartialKeyFunction":
+        """Build from an iterable of start offsets."""
+        return cls(positions=tuple(positions), word_size=word_size)
+
+    def prefix(self, k: int) -> "PartialKeyFunction":
+        """The function using only the first ``k`` selected words.
+
+        Greedy selection produces a nested family of solutions; this is
+        how callers walk the Pareto frontier (paper Section 3).
+        """
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return PartialKeyFunction(self.positions[:k], self.word_size)
+
+
+@dataclass
+class SubkeyView:
+    """Materialized subkeys for a corpus, with the multiset bookkeeping
+    from the paper's notation table: ``S|L = (K|L, z)``.
+
+    >>> L = PartialKeyFunction(positions=(0,), word_size=2)
+    >>> view = SubkeyView.build(L, [b"dog", b"dot", b"cat", b"fan"])
+    >>> view.z[L.hash_input(b"dog")]
+    2
+    """
+
+    subkeys: List[bytes]
+    z: dict = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, L: PartialKeyFunction, keys: Sequence[Key]) -> "SubkeyView":
+        subkeys = [L.hash_input(k) for k in keys]
+        z: dict = {}
+        for s in subkeys:
+            z[s] = z.get(s, 0) + 1
+        return cls(subkeys=subkeys, z=z)
+
+    @property
+    def num_collisions(self) -> int:
+        """Colliding pairs: ``c = sum_x C(z_x, 2)`` (falling-power form)."""
+        return sum(c * (c - 1) // 2 for c in self.z.values())
+
+    @property
+    def num_duplicated_items(self) -> int:
+        """Items whose subkey is not unique: ``d = sum_{z_x >= 2} z_x``."""
+        return sum(c for c in self.z.values() if c >= 2)
+
+    @property
+    def num_distinct(self) -> int:
+        """Distinct subkeys ``|K|L|``."""
+        return len(self.z)

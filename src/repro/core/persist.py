@@ -1,0 +1,86 @@
+"""Persistence for trained entropy models.
+
+Training walks the whole sample; the result — byte positions and their
+entropy frontier — is tiny.  Production deployments train offline (e.g.
+during compaction or a nightly job) and ship the model next to the data
+it describes, so the model needs a stable serialized form.
+
+The format is a small JSON document; ``inf`` entropies are encoded as
+the string ``"inf"`` to stay valid JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Union
+
+from repro.core.greedy import GreedyResult
+from repro.core.trainer import EntropyModel
+
+FORMAT_VERSION = 1
+
+
+def model_to_dict(model: EntropyModel) -> dict:
+    """Serialize an :class:`EntropyModel` to plain JSON-safe types."""
+    result = model.result
+    return {
+        "format_version": FORMAT_VERSION,
+        "base": model.base if isinstance(model.base, str) else model.base.name,
+        "positions": list(result.positions),
+        "word_size": result.word_size,
+        "entropies": [
+            "inf" if e == math.inf else float(e) for e in result.entropies
+        ],
+        "train_collisions": list(result.train_collisions),
+        "train_size": result.train_size,
+        "eval_size": result.eval_size,
+        "eval_on_train": result.eval_on_train,
+    }
+
+
+def model_from_dict(payload: dict) -> EntropyModel:
+    """Rebuild an :class:`EntropyModel` from :func:`model_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    entropies = [
+        math.inf if e == "inf" else float(e) for e in payload["entropies"]
+    ]
+    result = GreedyResult(
+        positions=list(payload["positions"]),
+        word_size=int(payload["word_size"]),
+        entropies=entropies,
+        train_collisions=list(payload["train_collisions"]),
+        train_size=int(payload["train_size"]),
+        eval_size=int(payload["eval_size"]),
+        eval_on_train=bool(payload.get("eval_on_train", False)),
+    )
+    return EntropyModel(result=result, base=payload["base"])
+
+
+def save_model(model: EntropyModel, path: Union[str, Path]) -> None:
+    """Write a model to ``path`` as JSON.
+
+    >>> import tempfile, os
+    >>> from repro.core.trainer import train_model
+    >>> from repro.datasets import uuid_keys
+    >>> model = train_model(uuid_keys(200), fixed_dataset=True)
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     save_model(model, os.path.join(d, "m.json"))
+    ...     round_tripped = load_model(os.path.join(d, "m.json"))
+    >>> round_tripped.result.positions == model.result.positions
+    True
+    """
+    path = Path(path)
+    path.write_text(json.dumps(model_to_dict(model), indent=2))
+
+
+def load_model(path: Union[str, Path]) -> EntropyModel:
+    """Read a model previously written by :func:`save_model`."""
+    payload = json.loads(Path(path).read_text())
+    return model_from_dict(payload)

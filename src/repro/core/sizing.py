@@ -1,0 +1,124 @@
+"""Entropy requirements per task — paper Section 5 ("Runtime
+Infrastructure").
+
+Each hash-based task needs the partial key's Rényi-2 entropy to clear a
+task-specific threshold; these functions compute the thresholds, and
+:func:`positions_for_entropy` walks a greedy Pareto frontier to pick the
+cheapest partial-key function that clears one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.greedy import GreedyResult
+from repro.core.partial_key import PartialKeyFunction
+
+DEFAULT_PARTITION_ABSOLUTE_SLACK = 3.0
+DEFAULT_PARTITION_RELATIVE_TOLERANCE = 0.05
+
+
+def entropy_for_chaining_table(capacity: int) -> float:
+    """Entropy needed for a separate-chaining table of ``capacity`` items.
+
+    Section 5: ``H2(L(X)) > log2(n) + 1``, where ``n`` is the maximum
+    number of items before a rehash.
+
+    >>> round(entropy_for_chaining_table(1024), 3)
+    11.0
+    """
+    _require_positive_capacity(capacity)
+    return math.log2(capacity) + 1.0
+
+
+def entropy_for_probing_table(capacity: int) -> float:
+    """Entropy needed for a linear-probing table of ``capacity`` items.
+
+    Section 5: ``H2(L(X)) > log2(n) + log2(5)`` — probing chains amplify
+    collisions, so more slack than chaining is required.
+    """
+    _require_positive_capacity(capacity)
+    return math.log2(capacity) + math.log2(5.0)
+
+
+def entropy_for_bloom_filter(num_items: int, added_fpr: float) -> float:
+    """Entropy needed for a Bloom filter holding ``num_items`` keys.
+
+    Section 4.2/5: to bound the FPR increase by ``added_fpr`` (ε),
+    ``H2(L(X)) > log2(n) + log2(1/ε)``.
+
+    >>> round(entropy_for_bloom_filter(1000, 0.01), 3)
+    16.61
+    """
+    _require_positive_capacity(num_items)
+    if not 0.0 < added_fpr < 1.0:
+        raise ValueError(f"added_fpr must be in (0, 1), got {added_fpr}")
+    return math.log2(num_items) + math.log2(1.0 / added_fpr)
+
+
+def entropy_for_partitioning(
+    num_items: int,
+    num_partitions: int,
+    mode: str = "relative",
+    absolute_slack: float = DEFAULT_PARTITION_ABSOLUTE_SLACK,
+    relative_tolerance: float = DEFAULT_PARTITION_RELATIVE_TOLERANCE,
+) -> float:
+    """Entropy needed for partitioning ``num_items`` into ``num_partitions``.
+
+    Section 5 gives two regimes:
+
+    * ``mode="absolute"`` — variance at most ``(1 + 2^-c)`` times the
+      full-key variance: ``H2 > log2(n) + c`` (default ``c = 3``).
+    * ``mode="relative"`` — partitions within ``100c%`` of their expected
+      size on average: ``H2 > log2(m) - 2*log2(c)`` (default ``c = 0.05``,
+      i.e. within 5%).
+    """
+    _require_positive_capacity(num_items)
+    _require_positive_capacity(num_partitions)
+    if mode == "absolute":
+        return math.log2(num_items) + absolute_slack
+    if mode == "relative":
+        if not 0.0 < relative_tolerance < 1.0:
+            raise ValueError(
+                f"relative_tolerance must be in (0, 1), got {relative_tolerance}"
+            )
+        return math.log2(num_partitions) - 2.0 * math.log2(relative_tolerance)
+    raise ValueError(f"mode must be 'absolute' or 'relative', got {mode!r}")
+
+
+def entropy_for_task(task: str, **kwargs) -> float:
+    """Dispatch to the per-task requirement by name.
+
+    ``task`` is one of ``"chaining"``, ``"probing"``, ``"bloom"``,
+    ``"partitioning"``; keyword arguments are forwarded.
+    """
+    dispatch = {
+        "chaining": entropy_for_chaining_table,
+        "probing": entropy_for_probing_table,
+        "bloom": entropy_for_bloom_filter,
+        "partitioning": entropy_for_partitioning,
+    }
+    if task not in dispatch:
+        raise ValueError(f"unknown task {task!r}; expected one of {sorted(dispatch)}")
+    return dispatch[task](**kwargs)
+
+
+def positions_for_entropy(
+    result: GreedyResult, required_entropy: float
+) -> Optional[PartialKeyFunction]:
+    """Cheapest partial-key function on the frontier clearing the bar.
+
+    Returns ``None`` when even the full greedy selection does not provide
+    ``required_entropy`` bits — the caller must fall back to full-key
+    hashing (the robustness default of Section 5).
+    """
+    num_words = result.min_words_for_entropy(required_entropy)
+    if num_words is None:
+        return None
+    return result.partial_key(num_words)
+
+
+def _require_positive_capacity(value: int) -> None:
+    if value <= 0:
+        raise ValueError(f"capacity must be positive, got {value}")

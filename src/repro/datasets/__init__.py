@@ -1,0 +1,39 @@
+"""Synthetic dataset generators matching the paper's corpora (Table 3).
+
+The paper's five real datasets (Google Landmarks URLs, Hacker News URLs,
+UUID, Wikipedia sampled text, Wikipedia titles) are not redistributable,
+so this package generates synthetic equivalents with matched key-length
+distributions and per-position entropy structure — constant prefixes
+where the real data has them (URL schemes/hosts), randomness concentrated
+where the real data concentrates it (slugs, identifiers).  DESIGN.md
+documents the substitution.
+"""
+
+from repro.datasets.profiles import DatasetProfile, profile_dataset
+from repro.datasets.synthetic import (
+    DATASET_NAMES,
+    composite_keys,
+    google_urls,
+    hn_urls,
+    large_random_keys,
+    load_dataset,
+    structured_keys,
+    uuid_keys,
+    wiki_titles,
+    wikipedia_text,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "load_dataset",
+    "composite_keys",
+    "uuid_keys",
+    "wikipedia_text",
+    "wiki_titles",
+    "hn_urls",
+    "google_urls",
+    "structured_keys",
+    "large_random_keys",
+    "DatasetProfile",
+    "profile_dataset",
+]

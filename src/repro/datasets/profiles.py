@@ -1,0 +1,88 @@
+"""Corpus entropy profiling — where does a dataset keep its randomness?
+
+Answers the diagnostic question behind paper Figure 5a: for each word
+position, how much Rényi-2 entropy does that word alone carry?  The
+profile is what makes the greedy selector's choices interpretable (e.g.
+URLs show near-zero entropy in the scheme/host prefix and a sharp spike
+where slugs begin).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro._util import Key, as_bytes_list
+from repro.core.entropy import renyi2_entropy
+
+
+@dataclass
+class DatasetProfile:
+    """Summary statistics of a corpus for entropy-learned hashing."""
+
+    num_keys: int
+    min_length: int
+    max_length: int
+    avg_length: float
+    position_entropy: Dict[int, float]
+    full_key_entropy: float
+
+    def best_positions(self, top: int = 5) -> List[int]:
+        """Positions ranked by single-word entropy, best first."""
+        ordered = sorted(
+            self.position_entropy, key=lambda p: -self.position_entropy[p]
+        )
+        return ordered[:top]
+
+    def describe(self) -> str:
+        """One-paragraph human-readable description."""
+        best = self.best_positions(3)
+        entropy_text = ", ".join(
+            f"{p}:{_fmt(self.position_entropy[p])}" for p in best
+        )
+        return (
+            f"{self.num_keys} keys, length {self.min_length}-{self.max_length} "
+            f"(avg {self.avg_length:.1f}); full-key H2={_fmt(self.full_key_entropy)}; "
+            f"most entropic words at offsets {entropy_text}"
+        )
+
+
+def _fmt(entropy: float) -> str:
+    return "inf" if entropy == math.inf else f"{entropy:.1f}"
+
+
+def profile_dataset(
+    keys: Sequence[Key], word_size: int = 8, max_positions: int = 64
+) -> DatasetProfile:
+    """Profile a corpus: lengths plus per-word-position entropy.
+
+    >>> from repro.datasets import uuid_keys
+    >>> profile = profile_dataset(uuid_keys(500))
+    >>> profile.num_keys
+    500
+    """
+    keys = as_bytes_list(keys)
+    if not keys:
+        raise ValueError("need at least one key to profile")
+    lengths = [len(k) for k in keys]
+    max_len = max(lengths)
+
+    position_entropy: Dict[int, float] = {}
+    for pos in range(0, min(max_len, max_positions * word_size), word_size):
+        words = []
+        for key in keys:
+            word = key[pos:pos + word_size]
+            if len(word) < word_size:
+                word = word + b"\x00" * (word_size - len(word))
+            words.append((len(key), word))
+        position_entropy[pos] = renyi2_entropy(words)
+
+    return DatasetProfile(
+        num_keys=len(keys),
+        min_length=min(lengths),
+        max_length=max_len,
+        avg_length=sum(lengths) / len(lengths),
+        position_entropy=position_entropy,
+        full_key_entropy=renyi2_entropy(keys),
+    )

@@ -1,0 +1,280 @@
+"""Generators for the five paper-analogue corpora plus synthetic keys.
+
+Targets from paper Table 3:
+
+=========  ==============  =======
+dataset    avg key length  # keys
+=========  ==============  =======
+UUID       36              100K
+Wikipedia  129             22K
+Wiki       22              99K
+HN URLs    75              247K
+Google     81              1.2M
+=========  ==============  =======
+
+plus the Section 6.3 structured 80-byte keys (random bytes only at
+offsets 32-39) and the Section 6.6 8KB fully random keys.  All
+generators are deterministic given ``seed`` and return *distinct* keys.
+"""
+
+from __future__ import annotations
+
+import random
+import uuid as _uuid
+from typing import Callable, Dict, List
+
+_WORDS = (
+    "the of and to in is was he for it with as his on be at by had not are "
+    "but from or have an they which one you were her all she there would "
+    "their we him been has when who will more no if out so said what up its "
+    "about into than them can only other new some could time these two may "
+    "then do first any my now such like our over man me even most made after "
+    "also did many before must through back years where much your way well "
+    "down should because each just those people how too little state good "
+    "very make world still own see men work long get here between both life "
+    "being under never day same another know while last might us great old "
+    "year off come since against go came right used take three"
+).split()
+
+_TLDS = ("com", "org", "net", "io", "co", "edu", "gov", "dev")
+_SLUG_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+_HOT_DOMAINS = (
+    "github.com", "medium.com", "nytimes.com", "techcrunch.com",
+    "arstechnica.com", "youtube.com", "wikipedia.org", "blogspot.com",
+    "wordpress.com", "twitter.com", "bbc.co.uk", "theguardian.com",
+)
+
+
+def _distinct(generator: Callable[[random.Random], str], n: int,
+              rng: random.Random) -> List[bytes]:
+    """Draw until ``n`` distinct keys are produced."""
+    seen = set()
+    out: List[bytes] = []
+    attempts = 0
+    while len(out) < n:
+        key = generator(rng).encode("utf-8")
+        attempts += 1
+        if key not in seen:
+            seen.add(key)
+            out.append(key)
+        if attempts > 20 * n + 1000:
+            raise RuntimeError("generator cannot produce enough distinct keys")
+    return out
+
+
+def uuid_keys(n: int, seed: int = 0) -> List[bytes]:
+    """36-byte UUID strings (hex + dashes), like the UUID column of [13].
+
+    Every hex position is near-uniform, so even a single 8-byte word
+    carries high entropy — the paper's easiest dataset.
+    """
+    rng = random.Random(seed)
+    return _distinct(
+        lambda r: str(_uuid.UUID(int=r.getrandbits(128), version=4)), n, rng
+    )
+
+
+def wikipedia_text(n: int, seed: int = 0, target_len: int = 129) -> List[bytes]:
+    """Sampled English-like sentences averaging ``target_len`` bytes.
+
+    Mimics the Wikipedia column: natural-language text — modest per-byte
+    entropy, but enough spread across a long key that a few words suffice.
+    """
+    rng = random.Random(seed)
+
+    def one(r: random.Random) -> str:
+        words = []
+        length = 0
+        goal = max(20, int(r.gauss(target_len, target_len / 6)))
+        while length < goal:
+            word = r.choice(_WORDS)
+            words.append(word)
+            length += len(word) + 1
+        sentence = " ".join(words)
+        return sentence[0].upper() + sentence[1:]
+
+    return _distinct(one, n, rng)
+
+
+def wiki_titles(n: int, seed: int = 0) -> List[bytes]:
+    """Short entry titles averaging ~22 bytes.
+
+    The paper's hardest dataset: short keys and low entropy, so
+    Entropy-Learned Hashing gains little and sometimes reverts to
+    full-key hashing — a behaviour the benchmarks reproduce.
+    """
+    rng = random.Random(seed)
+
+    def one(r: random.Random) -> str:
+        count = r.choices((1, 2, 3, 4), weights=(20, 45, 25, 10))[0]
+        words = [r.choice(_WORDS).capitalize() for _ in range(count)]
+        title = " ".join(words)
+        if r.random() < 0.25:
+            title += f" ({r.choice(_WORDS)})"
+        if r.random() < 0.15:
+            title += f" {r.randrange(1000, 2030)}"
+        return title
+
+    return _distinct(one, n, rng)
+
+
+def hn_urls(n: int, seed: int = 0) -> List[bytes]:
+    """Hacker-News-style URLs averaging ~75 bytes.
+
+    Low-entropy prefix (scheme + a Zipf-ish pool of popular domains),
+    randomness concentrated in the path slug — the structure that makes
+    mid-key byte selection worthwhile.
+    """
+    rng = random.Random(seed)
+
+    def one(r: random.Random) -> str:
+        if r.random() < 0.6:
+            domain = r.choice(_HOT_DOMAINS)
+        else:
+            name = "".join(r.choices(_SLUG_ALPHABET[:26], k=r.randrange(4, 12)))
+            domain = f"{name}.{r.choice(_TLDS)}"
+        segments = [
+            "".join(r.choices(_SLUG_ALPHABET, k=r.randrange(4, 14)))
+            for _ in range(r.randrange(1, 4))
+        ]
+        slug = "-".join(r.choice(_WORDS) for _ in range(r.randrange(2, 6)))
+        token = "".join(r.choices(_SLUG_ALPHABET, k=8))
+        return f"https://{domain}/{'/'.join(segments)}/{slug}-{token}"
+
+    return _distinct(one, n, rng)
+
+
+def google_urls(n: int, seed: int = 0) -> List[bytes]:
+    """Google-Landmarks-style image URLs averaging ~81 bytes.
+
+    A handful of constant host prefixes followed by long random photo
+    identifiers: very high entropy at fixed mid-key offsets, the paper's
+    best-scaling dataset (supports hundreds of millions of items from a
+    couple of words).
+    """
+    rng = random.Random(seed)
+    hosts = tuple(
+        f"http://static{i}.example-images.com/photos" for i in range(1, 5)
+    )
+
+    def one(r: random.Random) -> str:
+        host = r.choice(hosts)
+        photo_id = "".join(r.choices("0123456789abcdef", k=16))
+        album = r.randrange(1000, 9999)
+        suffix = "".join(r.choices(_SLUG_ALPHABET, k=12))
+        return f"{host}/{album}/{photo_id}_{suffix}.jpg"
+
+    return _distinct(one, n, rng)
+
+
+def structured_keys(
+    n: int,
+    seed: int = 0,
+    key_len: int = 80,
+    random_start: int = 32,
+    random_len: int = 8,
+    alphabet_size: int = 26,
+) -> List[bytes]:
+    """Section 6.3 synthetic keys: constant except one random window.
+
+    80-byte keys whose bytes 32-39 are drawn from a 26-letter alphabet
+    and all other bytes constant — randomness at a known fixed offset,
+    used for the data-size scaling experiments (Figure 9).
+    """
+    if random_start + random_len > key_len:
+        raise ValueError("random window must fit inside the key")
+    rng = random.Random(seed)
+    prefix = b"x" * random_start
+    suffix = b"y" * (key_len - random_start - random_len)
+    alphabet = bytes(range(ord("a"), ord("a") + alphabet_size))
+    seen = set()
+    out: List[bytes] = []
+    while len(out) < n:
+        window = bytes(rng.choice(alphabet) for _ in range(random_len))
+        key = prefix + window + suffix
+        if key not in seen:
+            seen.add(key)
+            out.append(key)
+        if len(seen) >= alphabet_size ** random_len:
+            raise RuntimeError("alphabet exhausted; cannot produce distinct keys")
+    return out
+
+
+def large_random_keys(n: int, seed: int = 0, key_len: int = 8192) -> List[bytes]:
+    """Section 6.6 large keys: ``key_len`` fully random bytes each."""
+    rng = random.Random(seed)
+    return [rng.getrandbits(8 * key_len).to_bytes(key_len, "little") for _ in range(n)]
+
+
+def composite_keys(n: int, seed: int = 0) -> List[bytes]:
+    """Database composite keys: fixed-width fields of uneven entropy.
+
+    The shape of a typical multi-column primary key serialized for
+    hashing: ``tenant(4) | date(8) | order_id(12) | status(2) | pad(6)``.
+    Tenant and status are tiny categorical domains, the date covers a
+    year, and nearly all entropy lives in ``order_id`` — the structure
+    the greedy selector should discover at offset 12.
+    """
+    rng = random.Random(seed)
+    statuses = (b"OK", b"PD", b"CX", b"RT")
+    seen = set()
+    out: List[bytes] = []
+    while len(out) < n:
+        tenant = rng.randrange(16)
+        day = rng.randrange(365)
+        order_id = rng.randrange(10**12)
+        key = (
+            b"T%03d" % tenant
+            + b"%08d" % (20250000 + day)
+            + b"%012d" % order_id
+            + statuses[rng.randrange(4)]
+            + b"======"
+        )
+        if key not in seen:
+            seen.add(key)
+            out.append(key)
+    return out
+
+
+_GENERATORS: Dict[str, Callable[..., List[bytes]]] = {
+    "composite": composite_keys,
+    "uuid": uuid_keys,
+    "wikipedia": wikipedia_text,
+    "wiki": wiki_titles,
+    "hn": hn_urls,
+    "google": google_urls,
+    "structured": structured_keys,
+    "large": large_random_keys,
+}
+
+DATASET_NAMES = ("uuid", "wikipedia", "wiki", "hn", "google")
+
+# Paper Table 3 sizes, scaled to defaults that run comfortably in Python.
+PAPER_SIZES = {
+    "uuid": 100_000,
+    "wikipedia": 22_000,
+    "wiki": 99_000,
+    "hn": 247_000,
+    "google": 1_200_000,
+}
+DEFAULT_SIZES = {
+    "uuid": 20_000,
+    "wikipedia": 8_000,
+    "wiki": 20_000,
+    "hn": 30_000,
+    "google": 40_000,
+}
+
+
+def load_dataset(name: str, n: int = 0, seed: int = 0) -> List[bytes]:
+    """Load a named corpus; ``n=0`` uses the scaled default size.
+
+    >>> keys = load_dataset("uuid", n=100)
+    >>> len(keys), len(keys[0])
+    (100, 36)
+    """
+    if name not in _GENERATORS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(_GENERATORS)}")
+    if n <= 0:
+        n = DEFAULT_SIZES.get(name, 10_000)
+    return _GENERATORS[name](n, seed=seed)

@@ -1,0 +1,95 @@
+"""Entropy-aware Bloom filter construction — Section 5's filter story.
+
+Bloom filters cannot monitor themselves incrementally the way hash
+tables can, but the number of set bits concentrates sharply around its
+expectation [14], so a *construction-time* check catches entropy
+violations: if after inserting all keys the filter has far fewer set
+bits than ``n`` distinct keys should produce, the partial keys collided
+en masse and the filter must be rebuilt with full-key hashing.
+
+:func:`build_filter` packages that loop: build with the cheapest hasher
+the model offers, validate, fall back if needed — the exact procedure
+the paper describes for keeping ELH filters trustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro._util import Key, as_bytes_list
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import EntropyModel
+from repro.filters.blocked import BlockedBloomFilter
+from repro.filters.bloom import BloomFilter
+
+FilterType = Union[BloomFilter, BlockedBloomFilter]
+
+
+@dataclass
+class FilterBuildReport:
+    """Outcome of an entropy-aware filter construction."""
+
+    filter: FilterType
+    fell_back: bool
+    set_bits: int
+    expected_set_bits: float
+
+    @property
+    def fill_deficit(self) -> float:
+        """Fractional shortfall of set bits vs expectation (>= 0)."""
+        if self.expected_set_bits == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.set_bits / self.expected_set_bits)
+
+
+def build_filter(
+    model: EntropyModel,
+    keys: Sequence[Key],
+    target_fpr: float = 0.03,
+    added_fpr: float = 0.01,
+    blocked: bool = True,
+    tolerance: float = 0.05,
+    seed: int = 0,
+) -> FilterBuildReport:
+    """Build a validated Bloom filter over ``keys``.
+
+    Tries the model's cheapest sufficient hasher first; if the built
+    filter fails the set-bit concentration check (too many partial-key
+    collisions), rebuilds once with full-key hashing.  The returned
+    report says which configuration survived.
+
+    >>> from repro.core.trainer import train_model
+    >>> from repro.datasets import google_urls
+    >>> keys = google_urls(500, seed=1)
+    >>> report = build_filter(train_model(keys, fixed_dataset=True), keys)
+    >>> report.fell_back
+    False
+    >>> bool(report.filter.contains(keys[0]))
+    True
+    """
+    keys = as_bytes_list(keys)
+    if not keys:
+        raise ValueError("need at least one key to build a filter")
+    factory = BlockedBloomFilter if blocked else BloomFilter
+
+    hasher = model.hasher_for_bloom_filter(len(keys), added_fpr, seed=seed)
+    candidate = factory.for_items(hasher, len(keys), target_fpr)
+    candidate.add_batch(keys)
+    if candidate.validate_randomness(tolerance):
+        return FilterBuildReport(
+            filter=candidate,
+            fell_back=False,
+            set_bits=candidate.num_set_bits,
+            expected_set_bits=candidate.expected_set_bits(),
+        )
+
+    fallback_hasher = EntropyLearnedHasher.full_key(hasher.base, seed=seed)
+    fallback = factory.for_items(fallback_hasher, len(keys), target_fpr)
+    fallback.add_batch(keys)
+    return FilterBuildReport(
+        filter=fallback,
+        fell_back=True,
+        set_bits=fallback.num_set_bits,
+        expected_set_bits=fallback.expected_set_bits(),
+    )

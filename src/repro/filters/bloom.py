@@ -1,0 +1,153 @@
+"""Standard Bloom filter with Entropy-Learned hashing support.
+
+Paper Section 4.2: a Bloom filter built on a partial-key hash behaves
+exactly like a standard filter over the *distinct* subkeys, plus a
+certain false positive whenever a query's subkey collides with a stored
+key's subkey (eq. 7).  The class below exposes both the probabilistic
+machinery (set-bit counting, the construction-time randomness validation
+from Section 5) and exact FPR measurement helpers used by the tests and
+the Figure 10 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro._util import Key, as_bytes, as_bytes_list
+from repro.core.analysis import bloom_bits_for_fpr, bloom_optimal_k
+from repro.core.hasher import EntropyLearnedHasher
+from repro.filters.reduction import double_hash_probes, fast_range_array, split_hash64
+
+
+class BloomFilter:
+    """Bit-array Bloom filter; one 64-bit hash drives all k probes.
+
+    >>> from repro.core.hasher import EntropyLearnedHasher
+    >>> f = BloomFilter(EntropyLearnedHasher.full_key(), num_bits=1024, num_hashes=3)
+    >>> f.add(b"hello")
+    >>> f.contains(b"hello")
+    True
+    """
+
+    def __init__(
+        self,
+        hasher: EntropyLearnedHasher,
+        num_bits: int,
+        num_hashes: int,
+    ):
+        if num_bits <= 0:
+            raise ValueError(f"num_bits must be positive, got {num_bits}")
+        if num_hashes <= 0:
+            raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+        self.hasher = hasher
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = np.zeros(num_bits, dtype=bool)
+        self._num_added = 0
+
+    # ----------------------------------------------------------- construction
+
+    @classmethod
+    def for_items(
+        cls,
+        hasher: EntropyLearnedHasher,
+        expected_items: int,
+        target_fpr: float = 0.03,
+    ) -> "BloomFilter":
+        """Size a filter for ``expected_items`` at ``target_fpr``."""
+        num_bits = bloom_bits_for_fpr(expected_items, target_fpr)
+        num_hashes = bloom_optimal_k(num_bits, expected_items)
+        return cls(hasher, num_bits=num_bits, num_hashes=num_hashes)
+
+    def add(self, key: Key) -> None:
+        """Insert one key."""
+        h = self.hasher(as_bytes(key))
+        for pos in double_hash_probes(h, self.num_hashes, self.num_bits):
+            self._bits[pos] = True
+        self._num_added += 1
+
+    def add_batch(self, keys: Sequence[Key]) -> None:
+        """Insert many keys using the vectorized hash kernel."""
+        keys = as_bytes_list(keys)
+        hashes = self.hasher.hash_batch(keys)
+        h1 = (hashes >> np.uint64(32)).astype(np.uint64)
+        h2 = ((hashes & np.uint64(0xFFFFFFFF)) | np.uint64(1)).astype(np.uint64)
+        for i in range(self.num_hashes):
+            positions = (h1 + np.uint64(i) * h2) % np.uint64(self.num_bits)
+            self._bits[positions.astype(np.int64)] = True
+        self._num_added += len(keys)
+
+    # ---------------------------------------------------------------- queries
+
+    def contains(self, key: Key) -> bool:
+        """Membership test; false positives possible, negatives exact."""
+        h = self.hasher(as_bytes(key))
+        h1, h2 = split_hash64(h)
+        for i in range(self.num_hashes):
+            if not self._bits[(h1 + i * h2) % self.num_bits]:
+                return False
+        return True
+
+    def __contains__(self, key: Key) -> bool:
+        return self.contains(key)
+
+    def contains_batch(self, keys: Sequence[Key]) -> np.ndarray:
+        """Vectorized membership test for many keys."""
+        keys = as_bytes_list(keys)
+        hashes = self.hasher.hash_batch(keys)
+        h1 = (hashes >> np.uint64(32)).astype(np.uint64)
+        h2 = ((hashes & np.uint64(0xFFFFFFFF)) | np.uint64(1)).astype(np.uint64)
+        result = np.ones(len(keys), dtype=bool)
+        for i in range(self.num_hashes):
+            positions = (h1 + np.uint64(i) * h2) % np.uint64(self.num_bits)
+            result &= self._bits[positions.astype(np.int64)]
+        return result
+
+    # ------------------------------------------------------------ diagnostics
+
+    @property
+    def num_set_bits(self) -> int:
+        """Population count of the bit array."""
+        return int(self._bits.sum())
+
+    @property
+    def fill_fraction(self) -> float:
+        """Fraction of bits set."""
+        return self.num_set_bits / self.num_bits
+
+    def expected_set_bits(self, distinct_items: Optional[int] = None) -> float:
+        """Expected set bits for ``distinct_items`` stored keys.
+
+        ``m (1 - (1 - 1/m)^(k n))`` — the concentration target Section 5
+        validates against at construction time.
+        """
+        n = self._num_added if distinct_items is None else distinct_items
+        return self.num_bits * (
+            1.0 - (1.0 - 1.0 / self.num_bits) ** (self.num_hashes * n)
+        )
+
+    def validate_randomness(self, tolerance: float = 0.05) -> bool:
+        """Section 5 construction check: set bits near their expectation.
+
+        The number of set bits concentrates sharply [14]; a large deficit
+        means the partial keys collided far more than the learned entropy
+        predicts, and the filter should be rebuilt with full-key hashing.
+        """
+        if self._num_added == 0:
+            return True
+        expected = self.expected_set_bits()
+        return self.num_set_bits >= (1.0 - tolerance) * expected
+
+    def measured_fpr(self, negatives: Sequence[Key]) -> float:
+        """Empirical FPR over keys known not to be in the set."""
+        negatives = as_bytes_list(negatives)
+        if not negatives:
+            raise ValueError("need at least one negative key")
+        return float(self.contains_batch(negatives).mean())
+
+    def theoretical_fpr(self) -> float:
+        """Classic FPR approximation for the current fill."""
+        return self.fill_fraction ** self.num_hashes

@@ -1,0 +1,125 @@
+"""Counting Bloom filter — deletable membership with ELH hashing.
+
+LSM stores and caches sometimes need filters that support *removal*
+(e.g. tracking a mutable hot set).  A counting Bloom filter replaces
+each bit with a small counter; add increments, remove decrements, and a
+query requires every counter nonzero.  With saturating counters the
+structure keeps the no-false-negative guarantee for any add/remove
+sequence in which removes only target added keys.
+
+Entropy-Learned hashing applies unchanged: the k probes come from one
+partial-key hash split by double hashing, exactly like
+:class:`~repro.filters.bloom.BloomFilter`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import Key, as_bytes
+from repro.core.analysis import bloom_bits_for_fpr, bloom_optimal_k
+from repro.core.hasher import EntropyLearnedHasher
+from repro.filters.reduction import double_hash_probes
+
+_COUNTER_MAX = 255  # uint8 counters; saturate instead of overflowing
+
+
+class CountingBloomFilter:
+    """Bloom filter over uint8 counters with saturating arithmetic.
+
+    >>> from repro.core.hasher import EntropyLearnedHasher
+    >>> f = CountingBloomFilter(EntropyLearnedHasher.full_key("xxh3"),
+    ...                         num_counters=1024, num_hashes=3)
+    >>> f.add(b"k")
+    >>> f.contains(b"k")
+    True
+    >>> f.remove(b"k")
+    True
+    >>> f.contains(b"k")
+    False
+    """
+
+    def __init__(
+        self,
+        hasher: EntropyLearnedHasher,
+        num_counters: int,
+        num_hashes: int,
+    ):
+        if num_counters <= 0:
+            raise ValueError(f"num_counters must be positive, got {num_counters}")
+        if num_hashes <= 0:
+            raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+        self.hasher = hasher
+        self.num_counters = num_counters
+        self.num_hashes = num_hashes
+        self._counters = np.zeros(num_counters, dtype=np.uint8)
+        self._num_items = 0
+
+    @classmethod
+    def for_items(
+        cls,
+        hasher: EntropyLearnedHasher,
+        expected_items: int,
+        target_fpr: float = 0.03,
+    ) -> "CountingBloomFilter":
+        """Size like a standard filter (counters instead of bits)."""
+        num_counters = bloom_bits_for_fpr(expected_items, target_fpr)
+        num_hashes = bloom_optimal_k(num_counters, expected_items)
+        return cls(hasher, num_counters=num_counters, num_hashes=num_hashes)
+
+    def _probes(self, key: Key):
+        return double_hash_probes(
+            self.hasher(as_bytes(key)), self.num_hashes, self.num_counters
+        )
+
+    def add(self, key: Key) -> None:
+        """Insert one occurrence of ``key``."""
+        for pos in self._probes(key):
+            if self._counters[pos] < _COUNTER_MAX:
+                self._counters[pos] += 1
+        self._num_items += 1
+
+    def remove(self, key: Key) -> bool:
+        """Remove one occurrence; returns False (no-op) if the filter
+        rules the key out.
+
+        Removing keys that were never added corrupts counting filters;
+        the membership pre-check blocks the common form of that misuse.
+        Saturated counters are left untouched on decrement (they can no
+        longer be trusted), preserving no-false-negatives.
+        """
+        probes = self._probes(key)
+        if any(self._counters[pos] == 0 for pos in probes):
+            return False
+        for pos in probes:
+            if self._counters[pos] < _COUNTER_MAX:
+                self._counters[pos] -= 1
+        self._num_items = max(0, self._num_items - 1)
+        return True
+
+    def contains(self, key: Key) -> bool:
+        """Membership test; false positives possible, negatives exact
+        (for add/remove sequences that only remove added keys)."""
+        return all(self._counters[pos] > 0 for pos in self._probes(key))
+
+    def __contains__(self, key: Key) -> bool:
+        return self.contains(key)
+
+    def measured_fpr(self, negatives: Sequence[Key]) -> float:
+        """Empirical FPR over keys known not to be present."""
+        if not negatives:
+            raise ValueError("need at least one negative key")
+        hits = sum(self.contains(k) for k in negatives)
+        return hits / len(negatives)
+
+    @property
+    def num_items(self) -> int:
+        """Net items currently represented."""
+        return self._num_items
+
+    @property
+    def saturated_counters(self) -> int:
+        """Counters pinned at the maximum (diagnostics)."""
+        return int((self._counters == _COUNTER_MAX).sum())

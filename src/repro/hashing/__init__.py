@@ -1,0 +1,41 @@
+"""Base (full-key) hash functions implemented from scratch.
+
+The paper builds Entropy-Learned variants of wyhash, xxh3 and CRC32.  This
+package provides pure-Python reference implementations of those families
+plus several functions from the related-work section (multiply-shift,
+tabulation hashing, Murmur3, FNV-1a), a common :class:`HashFunction`
+interface, a registry for lookup by name, and numpy-vectorized batch
+kernels used by the benchmarks.
+"""
+
+from repro.hashing.base import HashFunction, available_hashes, get_hash, register_hash
+from repro.hashing.clhash import CLHash
+from repro.hashing.crc import crc32, crc32_hash64
+from repro.hashing.fnv import fnv1a64
+from repro.hashing.multiply_shift import MultiplyShift
+from repro.hashing.murmur import murmur3_64
+from repro.hashing.siphash import siphash24, siphash24_seeded
+from repro.hashing.streaming import XXH64Stream
+from repro.hashing.tabulation import TabulationHash
+from repro.hashing.wyhash import wyhash64
+from repro.hashing.xxhash import xxh3_64, xxh64
+
+__all__ = [
+    "HashFunction",
+    "available_hashes",
+    "get_hash",
+    "register_hash",
+    "CLHash",
+    "crc32",
+    "crc32_hash64",
+    "siphash24",
+    "siphash24_seeded",
+    "XXH64Stream",
+    "fnv1a64",
+    "MultiplyShift",
+    "murmur3_64",
+    "TabulationHash",
+    "wyhash64",
+    "xxh64",
+    "xxh3_64",
+]

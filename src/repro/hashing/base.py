@@ -1,0 +1,92 @@
+"""Common interface and registry for full-key hash functions.
+
+Every base hash in the library maps a byte string (plus a 64-bit seed) to
+a 64-bit output.  Entropy-Learned Hashing composes one of these with a
+partial-key function ``L`` (see :mod:`repro.core.partial_key`); this module
+only concerns the ``H`` half of ``H' = H ∘ L``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro._util import Key, as_bytes
+
+HashCallable = Callable[[bytes, int], int]
+
+
+class HashFunction:
+    """A named 64-bit hash function over byte strings.
+
+    Instances are lightweight wrappers pairing a scalar implementation
+    with a fixed seed, so a configured hash can be passed around as a
+    single object.  Calling the instance hashes a key:
+
+    >>> from repro.hashing import get_hash
+    >>> h = get_hash("wyhash")
+    >>> isinstance(h(b"hello world"), int)
+    True
+    """
+
+    def __init__(self, name: str, func: HashCallable, seed: int = 0):
+        self.name = name
+        self._func = func
+        self.seed = seed & 0xFFFFFFFFFFFFFFFF
+
+    def __call__(self, key: Key) -> int:
+        """Hash ``key`` to a 64-bit integer."""
+        return self._func(as_bytes(key), self.seed)
+
+    def hash_bytes(self, data: bytes) -> int:
+        """Hash raw ``bytes`` without type coercion (hot-path variant)."""
+        return self._func(data, self.seed)
+
+    def with_seed(self, seed: int) -> "HashFunction":
+        """Return a new instance of the same function with another seed."""
+        return HashFunction(self.name, self._func, seed)
+
+    def __repr__(self) -> str:
+        return f"HashFunction(name={self.name!r}, seed={self.seed:#x})"
+
+
+_REGISTRY: Dict[str, HashCallable] = {}
+
+
+def register_hash(name: str, func: HashCallable) -> None:
+    """Register a scalar hash implementation under ``name``.
+
+    Raises ``ValueError`` on duplicate registration with a different
+    implementation, so accidental shadowing is caught early.
+    """
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not func:
+        raise ValueError(f"hash function {name!r} is already registered")
+    _REGISTRY[name] = func
+
+
+def get_hash(name: str, seed: int = 0) -> HashFunction:
+    """Look up a registered hash function by name.
+
+    >>> get_hash("xxh64").name
+    'xxh64'
+    """
+    # Importing the implementation modules registers them; done lazily to
+    # keep import costs off the critical path and avoid cycles.
+    _ensure_builtins_registered()
+    try:
+        func = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown hash function {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return HashFunction(name, func, seed)
+
+
+def available_hashes() -> List[str]:
+    """Names of all registered hash functions, sorted."""
+    _ensure_builtins_registered()
+    return sorted(_REGISTRY)
+
+
+def _ensure_builtins_registered() -> None:
+    from repro.hashing import crc, fnv, murmur, wyhash, xxhash  # noqa: F401

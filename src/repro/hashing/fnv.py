@@ -1,0 +1,30 @@
+"""FNV-1a 64-bit hash.
+
+FNV-1a is the simplest widely deployed byte-at-a-time hash (used by many
+compilers' hash tables).  It serves as a low-quality baseline in the
+uniformity tests and as a cheap fingerprint in a few internal places.
+"""
+
+from __future__ import annotations
+
+from repro._util import U64_MASK
+from repro.hashing.base import register_hash
+
+FNV64_OFFSET = 0xCBF29CE484222325
+FNV64_PRIME = 0x100000001B3
+
+
+def fnv1a64(data: bytes, seed: int = 0) -> int:
+    """FNV-1a over ``data``; a nonzero ``seed`` perturbs the offset basis.
+
+    >>> hex(fnv1a64(b""))
+    '0xcbf29ce484222325'
+    """
+    h = (FNV64_OFFSET ^ (seed & U64_MASK)) or FNV64_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * FNV64_PRIME) & U64_MASK
+    return h
+
+
+register_hash("fnv1a", fnv1a64)

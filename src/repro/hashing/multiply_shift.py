@@ -1,0 +1,63 @@
+"""Dietzfelbinger multiply-shift hashing.
+
+The related-work section notes that functions with data-independent
+guarantees (multiply-shift, CLHash, tabulation) are complementary to
+Entropy-Learned Hashing: they too can be run over a selected subset of
+bytes.  Multiply-shift is the classic 2-universal scheme for word-sized
+inputs: ``h(x) = (a*x + b) >> (w - out_bits)`` with odd random ``a``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro._util import U64_MASK, u64
+
+
+class MultiplyShift:
+    """2-universal multiply-shift hash for 64-bit words.
+
+    Longer inputs are folded word-by-word with per-word multipliers, which
+    preserves universality over fixed-length inputs.
+
+    >>> h = MultiplyShift(out_bits=16, seed=7)
+    >>> 0 <= h.hash_word(12345) < 2 ** 16
+    True
+    """
+
+    def __init__(self, out_bits: int = 64, seed: int = 0, max_words: int = 64):
+        if not 1 <= out_bits <= 64:
+            raise ValueError(f"out_bits must be in [1, 64], got {out_bits}")
+        self.out_bits = out_bits
+        rng = random.Random(seed)
+        # Odd multipliers, one per input word position, plus an additive term.
+        self._multipliers = [rng.getrandbits(64) | 1 for _ in range(max_words)]
+        self._addend = rng.getrandbits(64)
+
+    def hash_word(self, word: int) -> int:
+        """Hash a single 64-bit word to ``out_bits`` bits."""
+        acc = u64(self._multipliers[0] * u64(word) + self._addend)
+        return acc >> (64 - self.out_bits)
+
+    def hash_words(self, words) -> int:
+        """Hash a sequence of 64-bit words (pair-wise fold, then shift)."""
+        acc = self._addend
+        multipliers = self._multipliers
+        if len(words) > len(multipliers):
+            raise ValueError(
+                f"input has {len(words)} words but max_words={len(multipliers)}"
+            )
+        for i, word in enumerate(words):
+            acc = u64(acc + u64(multipliers[i] * u64(word)))
+        return acc >> (64 - self.out_bits)
+
+    def __call__(self, data: bytes) -> int:
+        """Hash a byte string by splitting it into little-endian words."""
+        words = []
+        for start in range(0, len(data), 8):
+            words.append(int.from_bytes(data[start:start + 8], "little"))
+        if not words:
+            words = [0]
+        # Mix the length in so prefixes of zero bytes don't collide.
+        words[-1] ^= u64(len(data) << 56)
+        return self.hash_words(words) & U64_MASK

@@ -1,0 +1,84 @@
+"""MurmurHash3 x64 variant returning 64 bits.
+
+Murmur3 is the default string hash in g++'s libstdc++ (the paper's
+compiler example).  This is the x64/128-bit algorithm with the canonical
+``fmix64`` finalizer; we return the low 64 bits of the 128-bit digest.
+"""
+
+from __future__ import annotations
+
+from repro._util import U64_MASK, read_u64_le, rotl64, u64
+from repro.hashing.base import register_hash
+
+_C1 = 0x87C37B91114253D5
+_C2 = 0x4CF5AD432745937F
+
+
+def fmix64(k: int) -> int:
+    """Murmur3's 64-bit finalizer (a strong standalone integer mixer)."""
+    k = u64(k)
+    k ^= k >> 33
+    k = u64(k * 0xFF51AFD7ED558CCD)
+    k ^= k >> 33
+    k = u64(k * 0xC4CEB9FE1A85EC53)
+    k ^= k >> 33
+    return k
+
+
+def murmur3_64(data: bytes, seed: int = 0) -> int:
+    """Low 64 bits of MurmurHash3 x64-128 over ``data``."""
+    length = len(data)
+    h1 = u64(seed)
+    h2 = u64(seed)
+
+    nblocks = length // 16
+    for i in range(nblocks):
+        k1 = read_u64_le(data, i * 16)
+        k2 = read_u64_le(data, i * 16 + 8)
+
+        k1 = u64(k1 * _C1)
+        k1 = rotl64(k1, 31)
+        k1 = u64(k1 * _C2)
+        h1 ^= k1
+        h1 = rotl64(h1, 27)
+        h1 = u64(h1 + h2)
+        h1 = u64(h1 * 5 + 0x52DCE729)
+
+        k2 = u64(k2 * _C2)
+        k2 = rotl64(k2, 33)
+        k2 = u64(k2 * _C1)
+        h2 ^= k2
+        h2 = rotl64(h2, 31)
+        h2 = u64(h2 + h1)
+        h2 = u64(h2 * 5 + 0x38495AB5)
+
+    tail = data[nblocks * 16:]
+    k1 = 0
+    k2 = 0
+    tail_len = len(tail)
+    if tail_len >= 9:
+        for i in range(tail_len - 1, 7, -1):
+            k2 = u64((k2 << 8) | tail[i])
+        k2 = u64(k2 * _C2)
+        k2 = rotl64(k2, 33)
+        k2 = u64(k2 * _C1)
+        h2 ^= k2
+    if tail_len > 0:
+        for i in range(min(tail_len, 8) - 1, -1, -1):
+            k1 = u64((k1 << 8) | tail[i])
+        k1 = u64(k1 * _C1)
+        k1 = rotl64(k1, 31)
+        k1 = u64(k1 * _C2)
+        h1 ^= k1
+
+    h1 ^= length
+    h2 ^= length
+    h1 = u64(h1 + h2)
+    h2 = u64(h2 + h1)
+    h1 = fmix64(h1)
+    h2 = fmix64(h2)
+    h1 = u64(h1 + h2)
+    return h1 & U64_MASK
+
+
+register_hash("murmur3", murmur3_64)

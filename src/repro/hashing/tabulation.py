@@ -1,0 +1,53 @@
+"""Simple tabulation hashing.
+
+Tabulation hashing (Zobrist hashing) is 3-independent and, per Patrascu &
+Thorup, strong enough for linear probing despite its low formal
+independence.  Included as a data-independent baseline from the paper's
+related-work section; like multiply-shift, it composes naturally with a
+partial-key function by tabulating only the selected byte positions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro._util import U64_MASK
+
+
+class TabulationHash:
+    """Per-position random tables XORed together.
+
+    >>> t = TabulationHash(max_len=8, seed=3)
+    >>> t(b"abcd") == t(b"abcd")
+    True
+    """
+
+    def __init__(self, max_len: int = 256, seed: int = 0):
+        if max_len <= 0:
+            raise ValueError(f"max_len must be positive, got {max_len}")
+        rng = random.Random(seed)
+        self.max_len = max_len
+        self._tables = [
+            [rng.getrandbits(64) for _ in range(256)] for _ in range(max_len)
+        ]
+        self._length_table = [rng.getrandbits(64) for _ in range(max_len + 1)]
+
+    def __call__(self, data: bytes) -> int:
+        """Hash ``data``; inputs longer than ``max_len`` wrap positions."""
+        h = self._length_table[len(data) % (self.max_len + 1)]
+        tables = self._tables
+        max_len = self.max_len
+        for i, byte in enumerate(data):
+            h ^= tables[i % max_len][byte]
+        return h & U64_MASK
+
+    def hash_positions(self, data: bytes, positions: Sequence[int]) -> int:
+        """Hash only the byte ``positions`` of ``data`` (partial-key mode)."""
+        h = self._length_table[len(data) % (self.max_len + 1)]
+        tables = self._tables
+        n = len(data)
+        for slot, pos in enumerate(positions):
+            byte = data[pos] if pos < n else 0
+            h ^= tables[slot % self.max_len][byte]
+        return h & U64_MASK

@@ -1,0 +1,21 @@
+"""A miniature LSM-tree key-value store built on Entropy-Learned Hashing.
+
+The paper's introduction motivates ELH with LSM-based key-value stores
+(RocksDB): hash-based filters guard every immutable run, and filter
+probes are a measurable CPU bottleneck [25, 78].  This package is a
+complete, working read/write path exercising the library end-to-end:
+
+* :class:`~repro.kvstore.memtable.MemTable` — the mutable write buffer;
+* :class:`~repro.kvstore.sstable.SSTable` — immutable sorted runs, each
+  guarded by an entropy-aware Bloom filter (runs are *fixed datasets*,
+  the best case for byte selection — Section 3);
+* :class:`~repro.kvstore.store.LSMStore` — put/get/delete with
+  tombstones, flushing, size-tiered compaction, and per-store statistics
+  that make the filter savings visible.
+"""
+
+from repro.kvstore.memtable import MemTable
+from repro.kvstore.sstable import SSTable
+from repro.kvstore.store import LSMStore, StoreStats
+
+__all__ = ["MemTable", "SSTable", "LSMStore", "StoreStats"]

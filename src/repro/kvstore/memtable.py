@@ -1,0 +1,75 @@
+"""The LSM write buffer.
+
+A memtable absorbs writes in memory and is flushed to an immutable run
+when it exceeds its byte budget.  Deletes are recorded as tombstones so
+they can shadow older runs until compaction drops them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro._util import Key, as_bytes
+
+TOMBSTONE = object()
+
+
+class MemTable:
+    """In-memory write buffer with a byte-size flush threshold.
+
+    >>> mt = MemTable(max_bytes=1024)
+    >>> mt.put(b"k", b"v")
+    >>> mt.get(b"k")
+    b'v'
+    """
+
+    def __init__(self, max_bytes: int = 1 << 20):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._entries: dict = {}
+        self._bytes = 0
+
+    def put(self, key: Key, value: bytes) -> None:
+        """Insert or overwrite a key."""
+        key = as_bytes(key)
+        value = as_bytes(value)
+        self._account(key, value)
+        self._entries[key] = value
+
+    def delete(self, key: Key) -> None:
+        """Record a tombstone (shadows older runs until compaction)."""
+        key = as_bytes(key)
+        self._account(key, b"")
+        self._entries[key] = TOMBSTONE
+
+    def get(self, key: Key):
+        """The buffered value, ``TOMBSTONE``, or ``None`` if unbuffered."""
+        return self._entries.get(as_bytes(key))
+
+    def _account(self, key: bytes, value: bytes) -> None:
+        old = self._entries.get(key)
+        if old is None:
+            self._bytes += len(key) + len(value)
+        else:
+            old_len = 0 if old is TOMBSTONE else len(old)
+            self._bytes += len(value) - old_len
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def is_full(self) -> bool:
+        return self._bytes >= self.max_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def sorted_entries(self) -> List[Tuple[bytes, object]]:
+        """Entries in key order, ready to become an immutable run."""
+        return sorted(self._entries.items())
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0

@@ -1,0 +1,178 @@
+"""The LSM store: write path, read path, size-tiered compaction.
+
+Reads consult the memtable, then runs newest-to-oldest; each run's key
+range and Bloom filter prune most of them.  When the number of runs
+exceeds ``compaction_fanout`` they are merged into one (size-tiered
+compaction), dropping shadowed versions and — since the merge reaches
+the oldest run — tombstones.
+
+``StoreStats`` exposes the read-path counters (filter rejections vs
+actual searches) that make the Bloom filters' work, and therefore ELH's
+savings on them, observable in tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro._util import Key, as_bytes
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+from repro.kvstore.sstable import SSTable, merge_runs
+
+
+@dataclass
+class StoreStats:
+    """Cumulative read/write-path accounting."""
+
+    gets: int = 0
+    memtable_hits: int = 0
+    runs_pruned_by_range: int = 0
+    runs_pruned_by_filter: int = 0
+    run_searches: int = 0
+    flushes: int = 0
+    compactions: int = 0
+
+    @property
+    def searches_per_get(self) -> float:
+        """Binary searches per lookup — the cost the filters suppress."""
+        if self.gets == 0:
+            return 0.0
+        return self.run_searches / self.gets
+
+
+class LSMStore:
+    """put/get/delete over a memtable plus immutable filtered runs.
+
+    >>> store = LSMStore(memtable_bytes=256)
+    >>> store.put(b"k", b"v")
+    >>> store.get(b"k")
+    b'v'
+    """
+
+    def __init__(
+        self,
+        memtable_bytes: int = 64 << 10,
+        compaction_fanout: int = 4,
+        filter_fpr: float = 0.01,
+        filter_added_fpr: float = 0.005,
+    ):
+        if compaction_fanout < 2:
+            raise ValueError(
+                f"compaction_fanout must be >= 2, got {compaction_fanout}"
+            )
+        self.memtable = MemTable(max_bytes=memtable_bytes)
+        self.runs: List[SSTable] = []  # newest first
+        self.compaction_fanout = compaction_fanout
+        self.filter_fpr = filter_fpr
+        self.filter_added_fpr = filter_added_fpr
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------- write path
+
+    def put(self, key: Key, value: Key) -> None:
+        """Insert or overwrite ``key``."""
+        self.memtable.put(as_bytes(key), as_bytes(value))
+        if self.memtable.is_full:
+            self.flush()
+
+    def delete(self, key: Key) -> None:
+        """Delete ``key`` (tombstone until compaction)."""
+        self.memtable.delete(as_bytes(key))
+        if self.memtable.is_full:
+            self.flush()
+
+    def flush(self) -> None:
+        """Freeze the memtable into a new run (no-op when empty)."""
+        entries = self.memtable.sorted_entries()
+        if not entries:
+            return
+        run = SSTable(entries, target_fpr=self.filter_fpr,
+                      added_fpr=self.filter_added_fpr)
+        self.runs.insert(0, run)
+        self.memtable.clear()
+        self.stats.flushes += 1
+        if len(self.runs) > self.compaction_fanout:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge every run into one, dropping shadowed data and
+        tombstones (size-tiered full merge)."""
+        if len(self.runs) <= 1:
+            return
+        merged = merge_runs(self.runs, drop_tombstones=True)
+        self.runs = (
+            [SSTable(merged, target_fpr=self.filter_fpr,
+                     added_fpr=self.filter_added_fpr)]
+            if merged else []
+        )
+        self.stats.compactions += 1
+
+    # -------------------------------------------------------------- read path
+
+    def get(self, key: Key, default=None):
+        """Newest-wins lookup across memtable and runs."""
+        key = as_bytes(key)
+        self.stats.gets += 1
+
+        buffered = self.memtable.get(key)
+        if buffered is TOMBSTONE:
+            return default
+        if buffered is not None:
+            self.stats.memtable_hits += 1
+            return buffered
+
+        for run in self.runs:
+            if not run.min_key <= key <= run.max_key:
+                self.stats.runs_pruned_by_range += 1
+                continue
+            if run.filter is not None and not run.filter.contains(key):
+                self.stats.runs_pruned_by_filter += 1
+                continue
+            self.stats.run_searches += 1
+            value = run.search(key)
+            if value is TOMBSTONE:
+                return default
+            if value is not None:
+                return value
+        return default
+
+    def scan(self, start: Key, end: Key):
+        """Sorted iteration over live entries with ``start <= key < end``.
+
+        Merges the memtable and every run with newest-wins semantics;
+        tombstoned keys are skipped.  Range scans bypass Bloom filters
+        (they cannot help a range), exactly as real LSM stores do.
+        """
+        start = as_bytes(start)
+        end = as_bytes(end)
+        if start >= end:
+            return
+        merged: dict = {}
+        for run in reversed(self.runs):  # oldest first; newer overwrite
+            for key, value in run.range_entries(start, end):
+                merged[key] = value
+        for key, value in self.memtable.sorted_entries():
+            if start <= key < end:
+                merged[key] = value
+        for key in sorted(merged):
+            value = merged[key]
+            if value is not TOMBSTONE:
+                yield key, value
+
+    def contains(self, key: Key) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def __contains__(self, key: Key) -> bool:
+        return self.contains(key)
+
+    # ------------------------------------------------------------ diagnostics
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.runs)
+
+    def total_entries(self) -> int:
+        """Entries across memtable and runs (including shadowed ones)."""
+        return len(self.memtable) + sum(len(run) for run in self.runs)

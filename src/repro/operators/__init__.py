@@ -1,0 +1,22 @@
+"""Relational operators built on Entropy-Learned Hashing.
+
+The paper's headline motivation: hash joins and aggregations account for
+over half of total time on most TPC-H queries [28, 69].  This package
+provides the two operators as library functions — a hash group-by
+(:mod:`repro.operators.aggregate`) and a partitioned (Grace) hash join
+(:mod:`repro.operators.join`) — each accepting a trained
+:class:`~repro.core.trainer.EntropyModel` so every hash inside reads
+only the learned bytes.
+"""
+
+from repro.operators.aggregate import AggregateResult, hash_group_by
+from repro.operators.join import hash_join, partitioned_hash_join
+from repro.operators.topk import TopK
+
+__all__ = [
+    "hash_group_by",
+    "AggregateResult",
+    "hash_join",
+    "partitioned_hash_join",
+    "TopK",
+]

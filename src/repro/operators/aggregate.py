@@ -1,0 +1,93 @@
+"""Hash-based GROUP BY.
+
+A hash aggregation builds a table keyed on the grouping column and folds
+each row into its group's accumulator — one hash + (expected) one
+comparison per row, which is why aggregation cost tracks hashing cost so
+closely.  With an :class:`~repro.core.trainer.EntropyModel`, the
+operator sizes an Entropy-Learned hasher for its expected group count
+(chaining-table rule, Section 5) and upgrades it on growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro._util import Key, as_bytes
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import EntropyModel
+from repro.tables.chaining import EntropyAwareTable, SeparateChainingTable
+
+Row = Tuple[Key, Any]
+# An aggregate is (initial value factory, fold function).
+AggregateSpec = Tuple[Callable[[], Any], Callable[[Any, Any], Any]]
+
+COUNT: AggregateSpec = (lambda: 0, lambda acc, _value: acc + 1)
+SUM: AggregateSpec = (lambda: 0, lambda acc, value: acc + value)
+MIN: AggregateSpec = (lambda: None,
+                      lambda acc, value: value if acc is None else min(acc, value))
+MAX: AggregateSpec = (lambda: None,
+                      lambda acc, value: value if acc is None else max(acc, value))
+
+
+@dataclass
+class AggregateResult:
+    """GROUP BY output plus operator accounting."""
+
+    groups: Dict[bytes, tuple]
+    num_rows: int
+    hasher_bytes_read: float
+
+    def __getitem__(self, key: Key) -> tuple:
+        return self.groups[as_bytes(key)]
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __contains__(self, key: Key) -> bool:
+        return as_bytes(key) in self.groups
+
+
+def hash_group_by(
+    rows: Iterable[Row],
+    aggregates: List[AggregateSpec],
+    model: Optional[EntropyModel] = None,
+    expected_groups: int = 1024,
+) -> AggregateResult:
+    """Group rows by key, folding each value into every aggregate.
+
+    >>> rows = [(b"a", 1), (b"b", 5), (b"a", 3)]
+    >>> result = hash_group_by(rows, [COUNT, SUM])
+    >>> result[b"a"]
+    (2, 4)
+    """
+    if not aggregates:
+        raise ValueError("need at least one aggregate")
+    if model is not None:
+        table = EntropyAwareTable(model, capacity=expected_groups)
+    else:
+        table = SeparateChainingTable(
+            EntropyLearnedHasher.full_key("wyhash"), capacity=expected_groups
+        )
+
+    initializers = [init for init, _ in aggregates]
+    folds = [fold for _, fold in aggregates]
+    num_rows = 0
+    total_bytes = 0
+    for key, value in rows:
+        key = as_bytes(key)
+        num_rows += 1
+        total_bytes += table.hasher.bytes_read(key)
+        accumulators = table.get(key)
+        if accumulators is None:
+            accumulators = [init() for init in initializers]
+            table.insert(key, accumulators)
+        for i, fold in enumerate(folds):
+            accumulators[i] = fold(accumulators[i], value)
+
+    groups = {key: tuple(acc) for key, acc in table.items()}
+    return AggregateResult(
+        groups=groups,
+        num_rows=num_rows,
+        hasher_bytes_read=total_bytes / max(1, num_rows),
+    )

@@ -1,0 +1,111 @@
+"""Hash joins — plain and partitioned (Grace).
+
+``hash_join`` builds a table over the smaller (build) input and streams
+the probe input through it.  ``partitioned_hash_join`` first hash-
+partitions both inputs so each partition's build side fits comfortably
+in cache (the radix-join structure from [10, 62]); both the partitioning
+hash and the per-partition table hashes come from the same trained
+model, so every row is hashed over the learned bytes only.
+
+Both joins are inner equi-joins over byte keys and return
+``(key, build_payload, probe_payload)`` triples.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro._util import Key, as_bytes
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import EntropyModel
+from repro.partitioning.partitioner import Partitioner
+from repro.tables.chaining import SeparateChainingTable
+
+Row = Tuple[Key, Any]
+JoinedRow = Tuple[bytes, Any, Any]
+
+
+def _build_hasher(model: Optional[EntropyModel], capacity: int):
+    if model is None:
+        return EntropyLearnedHasher.full_key("wyhash")
+    return model.hasher_for_chaining_table(max(1, capacity))
+
+
+def hash_join(
+    build_rows: Sequence[Row],
+    probe_rows: Iterable[Row],
+    model: Optional[EntropyModel] = None,
+) -> List[JoinedRow]:
+    """Inner equi-join; build side should be the smaller input.
+
+    Duplicate build keys produce one output row per (build, probe) pair,
+    standard join semantics.
+
+    >>> hash_join([(b"k", 1)], [(b"k", "x"), (b"z", "y")])
+    [(b'k', 1, 'x')]
+    """
+    table = SeparateChainingTable(
+        _build_hasher(model, len(build_rows)),
+        capacity=max(4, len(build_rows)),
+    )
+    for key, payload in build_rows:
+        key = as_bytes(key)
+        existing = table.get(key)
+        if existing is None:
+            table.insert(key, [payload])
+        else:
+            existing.append(payload)
+
+    output: List[JoinedRow] = []
+    for key, probe_payload in probe_rows:
+        key = as_bytes(key)
+        matches = table.get(key)
+        if matches is not None:
+            for build_payload in matches:
+                output.append((key, build_payload, probe_payload))
+    return output
+
+
+def partitioned_hash_join(
+    build_rows: Sequence[Row],
+    probe_rows: Sequence[Row],
+    num_partitions: int = 32,
+    model: Optional[EntropyModel] = None,
+    seed: int = 0,
+) -> List[JoinedRow]:
+    """Grace hash join: partition both sides, then join per partition.
+
+    Partitioning reduces hashes with multiply-shift (high bits) while
+    the per-partition chaining tables index with low bits, so reusing
+    one hash stream cannot funnel a partition's keys into few buckets;
+    a distinct ``seed`` can still be passed for defense in depth.
+    """
+    if num_partitions <= 0:
+        raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+    if model is None:
+        partition_hasher = EntropyLearnedHasher.full_key("crc32", seed=seed)
+    else:
+        partition_hasher = model.hasher_for_partitioning(
+            max(1, len(build_rows) + len(probe_rows)), num_partitions,
+            seed=seed,
+        )
+    partitioner = Partitioner(partition_hasher, num_partitions)
+
+    build_buckets: List[List[Row]] = [[] for _ in range(num_partitions)]
+    for (key, payload), bin_index in zip(
+        build_rows, partitioner.assign([k for k, _ in build_rows])
+    ):
+        build_buckets[bin_index].append((as_bytes(key), payload))
+
+    probe_buckets: List[List[Row]] = [[] for _ in range(num_partitions)]
+    for (key, payload), bin_index in zip(
+        probe_rows, partitioner.assign([k for k, _ in probe_rows])
+    ):
+        probe_buckets[bin_index].append((as_bytes(key), payload))
+
+    output: List[JoinedRow] = []
+    for p in range(num_partitions):
+        if build_buckets[p] and probe_buckets[p]:
+            output.extend(hash_join(build_buckets[p], probe_buckets[p], model))
+    return output

@@ -1,0 +1,81 @@
+"""Top-k heavy hitters — Count-Min + candidate heap.
+
+The standard sketch-based heavy-hitter pipeline (the network-switch
+workload of the paper's introduction [46]): every item updates a
+Count-Min sketch, and a small candidate map tracks the current top-k by
+estimated count.  All hashing — ``depth`` updates per item — goes
+through the Entropy-Learned hasher, which is exactly the per-packet cost
+the paper's sketch motivation targets.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._util import Key, as_bytes
+from repro.core.hasher import EntropyLearnedHasher
+from repro.sketches.countmin import CountMinSketch
+
+
+class TopK:
+    """Approximate top-k frequency tracker.
+
+    >>> from repro.core.hasher import EntropyLearnedHasher
+    >>> tracker = TopK(EntropyLearnedHasher.full_key("xxh3"), k=2, width=256)
+    >>> for item in [b"a"] * 5 + [b"b"] * 3 + [b"c"]:
+    ...     tracker.add(item)
+    >>> [key for key, _ in tracker.top()]
+    [b'a', b'b']
+    """
+
+    def __init__(
+        self,
+        hasher: EntropyLearnedHasher,
+        k: int = 10,
+        width: int = 1024,
+        depth: int = 4,
+    ):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.sketch = CountMinSketch(hasher, width=width, depth=depth)
+        self._candidates: Dict[bytes, int] = {}
+
+    def add(self, item: Key, count: int = 1) -> None:
+        """Observe ``count`` occurrences of ``item``."""
+        item = as_bytes(item)
+        self.sketch.add(item, count)
+        estimate = self.sketch.estimate(item)
+        if item in self._candidates:
+            self._candidates[item] = estimate
+        elif len(self._candidates) < self.k:
+            self._candidates[item] = estimate
+        else:
+            weakest = min(self._candidates, key=self._candidates.get)
+            if estimate > self._candidates[weakest]:
+                del self._candidates[weakest]
+                self._candidates[item] = estimate
+
+    def add_batch(self, items: Sequence[Key]) -> None:
+        """Observe many items (sketch updates batched per unique item)."""
+        counted: Dict[bytes, int] = {}
+        for item in items:
+            item = as_bytes(item)
+            counted[item] = counted.get(item, 0) + 1
+        for item, count in counted.items():
+            self.add(item, count)
+
+    def top(self, k: Optional[int] = None) -> List[Tuple[bytes, int]]:
+        """The current top-k as (item, estimated count), descending."""
+        if k is None:
+            k = self.k
+        return heapq.nlargest(k, self._candidates.items(), key=lambda kv: kv[1])
+
+    def estimate(self, item: Key) -> int:
+        """Estimated count of any item (top-k member or not)."""
+        return self.sketch.estimate(as_bytes(item))
+
+    @property
+    def total(self) -> int:
+        return self.sketch.total

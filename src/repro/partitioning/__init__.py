@@ -1,0 +1,29 @@
+"""Partitioning and load balancing.
+
+Paper Sections 4.3, 5 and 6.5: distribute n items to m bins by hash.
+:mod:`repro.partitioning.partitioner` implements the paper's three
+micro-benchmark configurations (pure hashing / positional identifiers /
+data copy); :mod:`repro.partitioning.stats` the variance and relative
+standard-deviation quality metrics of Table 5; and
+:mod:`repro.partitioning.balance` the d-choice load-balancing extension
+the appendix mentions for expensive media.
+"""
+
+from repro.partitioning.balance import DChoiceBalancer
+from repro.partitioning.partitioner import PartitionResult, Partitioner
+from repro.partitioning.stats import (
+    bin_counts,
+    normalized_relative_std,
+    relative_std,
+    variance,
+)
+
+__all__ = [
+    "Partitioner",
+    "PartitionResult",
+    "DChoiceBalancer",
+    "bin_counts",
+    "variance",
+    "relative_std",
+    "normalized_relative_std",
+]

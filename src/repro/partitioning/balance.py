@@ -1,0 +1,75 @@
+"""d-choice load balancing — appendix B's suggestion for expensive media.
+
+When partitioning crosses an expensive medium (e.g. a network shuffle),
+the appendix recommends "least loaded of d bins" [Karp, Luby, Meyer auf
+der Heide; power of two choices] to handle occasional overloaded bins.
+Each key derives d candidate bins from independent seeds of the same
+(Entropy-Learned) hasher and is routed to the least loaded, keeping the
+cheap partial-key hashing while capping bin overload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro._util import Key, as_bytes_list
+from repro.core.hasher import EntropyLearnedHasher
+from repro.filters.reduction import fast_range_array
+
+
+class DChoiceBalancer:
+    """Route each key to the least-loaded of d candidate bins.
+
+    >>> from repro.core.hasher import EntropyLearnedHasher
+    >>> b = DChoiceBalancer(EntropyLearnedHasher.full_key(), num_bins=8, choices=2)
+    >>> assignments = b.assign([bytes([i]) for i in range(100)])
+    >>> len(assignments)
+    100
+    """
+
+    def __init__(
+        self,
+        hasher: EntropyLearnedHasher,
+        num_bins: int,
+        choices: int = 2,
+    ):
+        if num_bins <= 0:
+            raise ValueError(f"num_bins must be positive, got {num_bins}")
+        if choices < 1:
+            raise ValueError(f"choices must be >= 1, got {choices}")
+        self.num_bins = num_bins
+        self.choices = choices
+        # Independent candidate streams come from re-seeding the hasher,
+        # so partial-key savings apply to every choice.
+        self._hashers = [hasher.with_seed(hasher.seed + i + 1) for i in range(choices)]
+        self.loads = np.zeros(num_bins, dtype=np.int64)
+
+    def candidate_bins(self, keys: Sequence[Key]) -> np.ndarray:
+        """(n, d) matrix of candidate bins per key."""
+        keys = as_bytes_list(keys)
+        columns = []
+        for hasher in self._hashers:
+            hashes = hasher.hash_batch(keys)
+            columns.append(fast_range_array(hashes, self.num_bins))
+        return np.stack(columns, axis=1)
+
+    def assign(self, keys: Sequence[Key]) -> List[int]:
+        """Assign keys one-by-one to their least-loaded candidate bin.
+
+        Sequential by necessity — each placement changes the loads the
+        next decision sees (the classic d-choice process).
+        """
+        candidates = self.candidate_bins(keys)
+        assignments: List[int] = []
+        loads = self.loads
+        for row in candidates:
+            best = int(row[np.argmin(loads[row])])
+            loads[best] += 1
+            assignments.append(best)
+        return assignments
+
+    def reset(self) -> None:
+        """Zero the load counters."""
+        self.loads[:] = 0

@@ -1,0 +1,17 @@
+"""Analytic performance models substituting for hardware counters.
+
+The paper's Figures 8 and 9b use Intel VTune / Linux perf to measure
+memory-level parallelism (MLP) and cycle breakdowns — unavailable from
+Python.  This package substitutes a documented analytic model of a
+pipelined out-of-order core (:mod:`repro.simulation.pipeline`) plus a
+machine-independent work model (:mod:`repro.simulation.cost`) counting
+words hashed, comparisons, and cache lines touched.  The models are
+calibrated to reproduce the paper's *qualitative* claims: cheaper hashing
+lets more lookups fit in the instruction window, raising effective MLP
+and shrinking memory stall time at large table sizes.
+"""
+
+from repro.simulation.cost import ProbeWork, probe_work
+from repro.simulation.pipeline import PipelineModel
+
+__all__ = ["PipelineModel", "ProbeWork", "probe_work"]

@@ -1,0 +1,79 @@
+"""Machine-independent work model for hash-structure operations.
+
+Counts the three quantities that determine probe cost on any machine:
+
+* 8-byte words the hash function must read and mix,
+* full-key byte comparisons after the hash,
+* distinct cache lines the probe touches.
+
+These are exactly the quantities the paper's analysis controls (fewer
+words hashed at equal comparisons), so benchmarks report them alongside
+wall-clock time as the interpreter-noise-free view of each experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro._util import Key, as_bytes_list
+from repro.core.hasher import EntropyLearnedHasher
+
+CACHE_LINE_BYTES = 64
+
+
+@dataclass
+class ProbeWork:
+    """Expected per-probe work for a table configuration."""
+
+    words_hashed: float
+    key_bytes_compared: float
+    cache_lines_touched: float
+
+    def scaled(self, factor: float) -> "ProbeWork":
+        return ProbeWork(
+            words_hashed=self.words_hashed * factor,
+            key_bytes_compared=self.key_bytes_compared * factor,
+            cache_lines_touched=self.cache_lines_touched * factor,
+        )
+
+
+def probe_work(
+    hasher: EntropyLearnedHasher,
+    keys: Sequence[Key],
+    hit_rate: float,
+    expected_comparisons_hit: float = 1.0,
+    expected_comparisons_miss: float = 0.0,
+    tag_filtered: bool = True,
+) -> ProbeWork:
+    """Expected work of one probe against a table of ``keys``.
+
+    ``expected_comparisons_*`` come from the Section 4 equations (or from
+    measured table stats).  With SwissTable-style tags, a miss usually
+    terminates on tag mismatches, so misses compare ~0 full keys.
+    """
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ValueError(f"hit_rate must be in [0, 1], got {hit_rate}")
+    keys = as_bytes_list(keys)
+    avg_len = sum(len(k) for k in keys) / max(1, len(keys))
+
+    words = hasher.average_words_read(keys)
+
+    comparisons = (
+        hit_rate * expected_comparisons_hit
+        + (1.0 - hit_rate) * expected_comparisons_miss
+    )
+    key_bytes = comparisons * avg_len
+
+    # One line for the tag/bucket access; each compared key pulls in its
+    # own lines; the hashed words of the query key are usually already
+    # cached (the paper keeps query keys in cache).
+    lines = 1.0 + comparisons * max(1.0, avg_len / CACHE_LINE_BYTES)
+    if not tag_filtered:
+        lines += (1.0 - hit_rate) * 1.0  # misses walk data, not tags
+
+    return ProbeWork(
+        words_hashed=words,
+        key_bytes_compared=key_bytes,
+        cache_lines_touched=lines,
+    )

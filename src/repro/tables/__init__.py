@@ -1,0 +1,38 @@
+"""Hash-table substrates.
+
+Two prototypical designs from paper Section 4.1, both instrumented to
+count exactly the quantities the analysis bounds (key comparisons, tag
+probes, probe-chain lengths):
+
+* :class:`~repro.tables.chaining.SeparateChainingTable` — an array of
+  buckets, standing in for ``std::unordered_map`` (appendix experiment 2).
+* :class:`~repro.tables.probing.LinearProbingTable` — open addressing
+  with an 8-bit tag array probed before full-key comparison, standing in
+  for Google's SwissTable.
+
+Plus the Section 5 runtime infrastructure: growth-triggered hash
+upgrades (:class:`~repro.tables.chaining.EntropyAwareTable`) and the
+collision monitor with full-key fallback (:mod:`repro.tables.monitor`).
+"""
+
+from repro.tables.chaining import EntropyAwareTable, SeparateChainingTable
+from repro.tables.cuckoo import CuckooTable
+from repro.tables.monitor import CollisionMonitor, MonitorVerdict
+from repro.tables.probing import (
+    EntropyAwareProbingTable,
+    LinearProbingTable,
+    ProbeStats,
+)
+from repro.tables.vectorized import VectorProbingTable
+
+__all__ = [
+    "SeparateChainingTable",
+    "CuckooTable",
+    "EntropyAwareTable",
+    "LinearProbingTable",
+    "EntropyAwareProbingTable",
+    "VectorProbingTable",
+    "ProbeStats",
+    "CollisionMonitor",
+    "MonitorVerdict",
+]

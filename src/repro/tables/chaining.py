@@ -1,0 +1,267 @@
+"""Separate-chaining hash table and the entropy-aware growth wrapper.
+
+The chaining table is the simpler of the paper's two prototypical designs
+(Section 4.1.1): an array of buckets, collisions resolved by appending to
+the bucket.  It counts key comparisons so experiments can check the
+paper's equations (1)-(2) directly.
+
+:class:`EntropyAwareTable` implements paper Section 5's "Creating Hash
+Tables": the table knows its maximum capacity before the next rehash and
+asks a trained :class:`~repro.core.trainer.EntropyModel` for a hasher
+with ``log2(capacity) + 1`` bits; every growth re-consults the model, so
+the hash gains words exactly when the data structure's entropy demand
+crosses the next frontier step (the Figure 4 life cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro._util import Key, as_bytes, next_power_of_two
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import EntropyModel
+from repro.tables.monitor import CollisionMonitor
+from repro.tables.probing import ProbeStats
+
+DEFAULT_MAX_LOAD = 1.0
+
+
+class SeparateChainingTable:
+    """Array of buckets; each bucket is a list of (key, value) pairs.
+
+    >>> from repro.core.hasher import EntropyLearnedHasher
+    >>> t = SeparateChainingTable(EntropyLearnedHasher.full_key(), capacity=4)
+    >>> t.insert(b"k", 42)
+    >>> t.get(b"k")
+    42
+    """
+
+    def __init__(
+        self,
+        hasher: EntropyLearnedHasher,
+        capacity: int = 16,
+        max_load: float = DEFAULT_MAX_LOAD,
+    ):
+        if max_load <= 0.0:
+            raise ValueError(f"max_load must be positive, got {max_load}")
+        self.hasher = hasher
+        self.max_load = max_load
+        self._size = 0
+        self._in_rehash = False
+        self._init_buckets(next_power_of_two(max(capacity, 2)))
+        self.stats = ProbeStats()
+
+    def _init_buckets(self, num_buckets: int) -> None:
+        self._mask = num_buckets - 1
+        self._buckets: List[List[Tuple[bytes, Any]]] = [[] for _ in range(num_buckets)]
+
+    @property
+    def num_buckets(self) -> int:
+        return self._mask + 1
+
+    @property
+    def load_factor(self) -> float:
+        return self._size / self.num_buckets
+
+    @property
+    def capacity_before_rehash(self) -> int:
+        """Maximum item count the current bucket array will hold."""
+        return int(self.max_load * self.num_buckets)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _bucket_index(self, key: bytes) -> int:
+        return self.hasher(key) & self._mask
+
+    # ------------------------------------------------------------ operations
+
+    def insert(self, key: Key, value: Any = None) -> None:
+        """Insert or overwrite ``key``; grows ×2 past ``max_load``."""
+        key = as_bytes(key)
+        if self._size + 1 > self.capacity_before_rehash:
+            self._grow()
+        bucket = self._buckets[self._bucket_index(key)]
+        for i, (existing, _) in enumerate(bucket):
+            if existing == key:
+                bucket[i] = (key, value)
+                return
+        bucket.append((key, value))
+        self._size += 1
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        """Value stored under ``key``; counts comparisons in ``stats``."""
+        key = as_bytes(key)
+        bucket = self._buckets[self._bucket_index(key)]
+        self.stats.probes += 1
+        self.stats.chain_total += len(bucket)
+        for existing, value in bucket:
+            self.stats.key_comparisons += 1
+            if existing == key:
+                return value
+        return default
+
+    def contains(self, key: Key) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def __contains__(self, key: Key) -> bool:
+        return self.contains(key)
+
+    def delete(self, key: Key) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        key = as_bytes(key)
+        bucket = self._buckets[self._bucket_index(key)]
+        for i, (existing, _) in enumerate(bucket):
+            if existing == key:
+                bucket.pop(i)
+                self._size -= 1
+                return True
+        return False
+
+    def items(self) -> Iterator[Tuple[bytes, Any]]:
+        for bucket in self._buckets:
+            yield from bucket
+
+    def insert_batch(self, keys: Sequence[Key], values=None) -> None:
+        """Insert many keys, hashing them in one vectorized pass."""
+        keys = [as_bytes(k) for k in keys]
+        if values is None:
+            values = keys
+        if len(values) != len(keys):
+            raise ValueError("values must match keys in length")
+        while self._size + len(keys) > int(self.max_load * self.num_buckets):
+            self._grow()
+        hashes = self.hasher.hash_batch(keys)
+        mask = self._mask
+        for key, value, h in zip(keys, values, hashes):
+            bucket = self._buckets[int(h) & mask]
+            for i, (existing, _) in enumerate(bucket):
+                if existing == key:
+                    bucket[i] = (key, value)
+                    break
+            else:
+                bucket.append((key, value))
+                self._size += 1
+
+    def probe_batch(self, keys: Sequence[Key]) -> List[Any]:
+        return [self.get(k) for k in keys]
+
+    def probe_batch_hashed(self, keys: Sequence[bytes], hashes) -> List[Any]:
+        """Probe with precomputed hashes (see LinearProbingTable)."""
+        results = []
+        buckets = self._buckets
+        mask = self._mask
+        for key, h in zip(keys, hashes):
+            found = None
+            for existing, value in buckets[int(h) & mask]:
+                if existing == key:
+                    found = value
+                    break
+            results.append(found)
+        return results
+
+    # --------------------------------------------------------------- resizing
+
+    def _grow(self) -> None:
+        new_buckets = self.num_buckets * 2
+        self._on_grow(new_buckets)
+        self._rehash(new_buckets)
+
+    def _on_grow(self, new_num_buckets: int) -> None:
+        """Growth hook; :class:`EntropyAwareTable` upgrades the hash here."""
+
+    def _rehash(self, num_buckets: int) -> None:
+        entries = list(self.items())
+        self._init_buckets(num_buckets)
+        self._size = 0
+        # Monitors must not judge the correlated re-insert burst.
+        self._in_rehash = True
+        try:
+            for key, value in entries:
+                self.insert(key, value)
+        finally:
+            self._in_rehash = False
+
+    def rebuild_with_hasher(self, hasher: EntropyLearnedHasher) -> None:
+        """Rehash all entries under a new hash (robustness fallback)."""
+        self.hasher = hasher
+        self._rehash(self.num_buckets)
+
+    # ------------------------------------------------------------ diagnostics
+
+    def chain_length_histogram(self) -> List[int]:
+        """Bucket sizes; the quantity chaining analysis reasons about."""
+        return [len(b) for b in self._buckets]
+
+
+class EntropyAwareTable(SeparateChainingTable):
+    """Chaining table that re-chooses its hash as it grows (Section 5).
+
+    On construction and at every growth, asks the trained model for the
+    cheapest partial-key hasher with ``log2(capacity) + 1`` bits for the
+    *new* capacity; if the frontier cannot provide it, falls back to
+    full-key hashing.  An optional collision monitor triggers the
+    full-key rebuild when observed collisions exceed what the learned
+    entropy predicts (the Section 5 robustness story).
+    """
+
+    def __init__(
+        self,
+        model: EntropyModel,
+        capacity: int = 16,
+        max_load: float = DEFAULT_MAX_LOAD,
+        monitor: Optional[CollisionMonitor] = None,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.monitor = monitor
+        self._seed = seed
+        self._fallen_back = False
+        num_buckets = next_power_of_two(max(capacity, 2))
+        hasher = model.hasher_for_chaining_table(
+            max(1, int(max_load * num_buckets)), seed=seed
+        )
+        super().__init__(hasher, capacity=capacity, max_load=max_load)
+
+    @property
+    def fallen_back(self) -> bool:
+        """True once the monitor forced a full-key rebuild."""
+        return self._fallen_back
+
+    def _on_grow(self, new_num_buckets: int) -> None:
+        if self._fallen_back:
+            return
+        new_capacity = max(1, int(self.max_load * new_num_buckets))
+        self.hasher = self.model.hasher_for_chaining_table(
+            new_capacity, seed=self._seed
+        )
+
+    def insert(self, key: Key, value: Any = None) -> None:
+        key = as_bytes(key)
+        if self._size + 1 > self.capacity_before_rehash:
+            self._grow()
+        index = self._bucket_index(key)
+        bucket = self._buckets[index]
+        for i, (existing, _) in enumerate(bucket):
+            if existing == key:
+                bucket[i] = (key, value)
+                return
+        if (self.monitor is not None and not self._fallen_back
+                and not self._in_rehash):
+            # Displacement for chaining = how many keys already share the
+            # bucket; the cheap signal the paper says to track.
+            self.monitor.record_insert(
+                len(bucket), expected=self._size / self.num_buckets
+            )
+            if self.monitor.should_fall_back(self._size + 1):
+                self._fall_back_to_full_key()
+                index = self._bucket_index(key)
+                bucket = self._buckets[index]
+        bucket.append((key, value))
+        self._size += 1
+
+    def _fall_back_to_full_key(self) -> None:
+        self._fallen_back = True
+        fallback = EntropyLearnedHasher.full_key(self.hasher.base, seed=self._seed)
+        self.rebuild_with_hasher(fallback)

@@ -1,0 +1,395 @@
+"""Linear-probing hash table with SwissTable-style tag bits.
+
+Mirrors the structure of Google's SwissTable (the paper's main hash-table
+baseline): every slot carries an 8-bit *tag* derived from the key's hash.
+A probe walks the tag array first and only compares full keys when the
+tag matches, which is why (as the paper notes) probing for *missing* keys
+is cheaper than for present keys — misses usually terminate on tag
+mismatches alone.
+
+The table counts tag probes, full-key comparisons, and probe-chain
+lengths so experiments can validate the paper's comparison-count bounds
+(eqs. 3-6) exactly rather than inferring them from timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro._util import Key, as_bytes, next_power_of_two
+from repro.core.hasher import EntropyLearnedHasher
+
+_EMPTY = 0
+_DELETED = 1
+# Tags 2..255 encode 254 hash-derived values; 0/1 are control states.
+_TAG_STATES = 2
+
+DEFAULT_MAX_LOAD = 0.875
+
+
+@dataclass
+class ProbeStats:
+    """Work counters for table operations (reset with :meth:`clear`)."""
+
+    probes: int = 0
+    tag_checks: int = 0
+    key_comparisons: int = 0
+    chain_total: int = 0
+
+    def clear(self) -> None:
+        self.probes = 0
+        self.tag_checks = 0
+        self.key_comparisons = 0
+        self.chain_total = 0
+
+    @property
+    def comparisons_per_probe(self) -> float:
+        """Average full-key comparisons per probe (the paper's P / P')."""
+        if self.probes == 0:
+            return 0.0
+        return self.key_comparisons / self.probes
+
+    @property
+    def chain_per_probe(self) -> float:
+        """Average probe-chain length per operation."""
+        if self.probes == 0:
+            return 0.0
+        return self.chain_total / self.probes
+
+
+class LinearProbingTable:
+    """Open-addressing table: hash → slot, walk right until empty slot.
+
+    >>> from repro.core.hasher import EntropyLearnedHasher
+    >>> t = LinearProbingTable(EntropyLearnedHasher.full_key(), capacity=8)
+    >>> t.insert(b"alpha", 1)
+    >>> t.get(b"alpha")
+    1
+    >>> t.get(b"beta") is None
+    True
+    """
+
+    def __init__(
+        self,
+        hasher: EntropyLearnedHasher,
+        capacity: int = 16,
+        max_load: float = DEFAULT_MAX_LOAD,
+    ):
+        if not 0.0 < max_load < 1.0:
+            raise ValueError(f"max_load must be in (0, 1), got {max_load}")
+        self.hasher = hasher
+        self.max_load = max_load
+        self._size = 0
+        self._tombstones = 0
+        self._in_rehash = False
+        self._init_slots(next_power_of_two(max(capacity, 2)))
+        self.stats = ProbeStats()
+
+    def _init_slots(self, num_slots: int) -> None:
+        self._mask = num_slots - 1
+        self._tags: List[int] = [_EMPTY] * num_slots
+        self._keys: List[Optional[bytes]] = [None] * num_slots
+        self._values: List[Any] = [None] * num_slots
+
+    # ------------------------------------------------------------- internals
+
+    def _slot_and_tag(self, key: bytes) -> Tuple[int, int]:
+        return self._slot_and_tag_from_hash(self.hasher(key))
+
+    def _slot_and_tag_from_hash(self, h: int) -> Tuple[int, int]:
+        # High bits pick the slot, low 8 bits (excluding control states)
+        # make the tag — disjoint bit ranges, as SwissTable does.
+        slot = (h >> 8) & self._mask
+        tag = (h & 0xFF) % (256 - _TAG_STATES) + _TAG_STATES
+        return slot, tag
+
+    @property
+    def num_slots(self) -> int:
+        return self._mask + 1
+
+    @property
+    def load_factor(self) -> float:
+        return (self._size + self._tombstones) / self.num_slots
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------ operations
+
+    def insert(self, key: Key, value: Any = None) -> None:
+        """Insert or overwrite ``key``.
+
+        Grows (×2) when the load factor would exceed ``max_load``; growth
+        calls :meth:`_on_grow`, the hook entropy-aware wrappers use to
+        upgrade the hash function (Section 5).
+        """
+        key = as_bytes(key)
+        if (self._size + self._tombstones + 1) > self.max_load * self.num_slots:
+            self._grow()
+        slot, tag = self._slot_and_tag(key)
+        first_deleted = None
+        displacement = 0
+        while True:
+            state = self._tags[slot]
+            if state == _EMPTY:
+                target = first_deleted if first_deleted is not None else slot
+                if first_deleted is not None:
+                    self._tombstones -= 1
+                self._tags[target] = tag
+                self._keys[target] = key
+                self._values[target] = value
+                self._size += 1
+                self._after_insert(displacement)
+                return
+            if state == _DELETED:
+                if first_deleted is None:
+                    first_deleted = slot
+            elif state == tag and self._keys[slot] == key:
+                self._values[slot] = value
+                return
+            displacement += 1
+            slot = (slot + 1) & self._mask
+
+    def _after_insert(self, displacement: int) -> None:
+        """Post-insert hook; entropy-aware subclasses feed the collision
+        monitor here (the probe distance is the paper's cheap signal)."""
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        """Value stored under ``key``, or ``default``."""
+        key = as_bytes(key)
+        slot, tag = self._slot_and_tag(key)
+        self.stats.probes += 1
+        chain = 0
+        while True:
+            state = self._tags[slot]
+            chain += 1
+            self.stats.tag_checks += 1
+            if state == _EMPTY:
+                self.stats.chain_total += chain
+                return default
+            if state == tag:
+                self.stats.key_comparisons += 1
+                if self._keys[slot] == key:
+                    self.stats.chain_total += chain
+                    return self._values[slot]
+            slot = (slot + 1) & self._mask
+
+    def contains(self, key: Key) -> bool:
+        """Membership test (probes exactly like :meth:`get`)."""
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def __contains__(self, key: Key) -> bool:
+        return self.contains(key)
+
+    def delete(self, key: Key) -> bool:
+        """Remove ``key``; returns whether it was present (tombstoned)."""
+        key = as_bytes(key)
+        slot, tag = self._slot_and_tag(key)
+        while True:
+            state = self._tags[slot]
+            if state == _EMPTY:
+                return False
+            if state == tag and self._keys[slot] == key:
+                self._tags[slot] = _DELETED
+                self._keys[slot] = None
+                self._values[slot] = None
+                self._size -= 1
+                self._tombstones += 1
+                return True
+            slot = (slot + 1) & self._mask
+
+    def items(self) -> Iterator[Tuple[bytes, Any]]:
+        """All (key, value) pairs, in slot order."""
+        for i, state in enumerate(self._tags):
+            if state >= _TAG_STATES:
+                yield self._keys[i], self._values[i]
+
+    def insert_batch(self, keys: Sequence[Key], values=None) -> None:
+        """Insert many keys, hashing them in one vectorized pass.
+
+        ``values`` defaults to the keys themselves.  Growth is triggered
+        up front for the whole batch so hashes are computed against the
+        final table geometry.
+        """
+        keys = [as_bytes(k) for k in keys]
+        if values is None:
+            values = keys
+        if len(values) != len(keys):
+            raise ValueError("values must match keys in length")
+        # Pre-grow so no rehash invalidates the precomputed hashes.
+        while (self._size + self._tombstones + len(keys)) > (
+            self.max_load * self.num_slots
+        ):
+            self._grow()
+        hashes = self.hasher.hash_batch(keys)
+        for key, value, h in zip(keys, values, hashes):
+            self._insert_hashed(key, value, int(h))
+
+    def _insert_hashed(self, key: bytes, value: Any, h: int) -> None:
+        slot, tag = self._slot_and_tag_from_hash(h)
+        first_deleted = None
+        displacement = 0
+        while True:
+            state = self._tags[slot]
+            if state == _EMPTY:
+                target = first_deleted if first_deleted is not None else slot
+                if first_deleted is not None:
+                    self._tombstones -= 1
+                self._tags[target] = tag
+                self._keys[target] = key
+                self._values[target] = value
+                self._size += 1
+                self._after_insert(displacement)
+                return
+            if state == _DELETED:
+                if first_deleted is None:
+                    first_deleted = slot
+            elif state == tag and self._keys[slot] == key:
+                self._values[slot] = value
+                return
+            displacement += 1
+            slot = (slot + 1) & self._mask
+
+    def probe_batch(self, keys: Sequence[Key]) -> List[Any]:
+        """Probe many keys; the benchmark inner loop."""
+        return [self.get(k) for k in keys]
+
+    def probe_batch_hashed(self, keys: Sequence[bytes], hashes) -> List[Any]:
+        """Probe with precomputed hashes (paper-style pipelining).
+
+        Benchmarks compute hashes in one vectorized pass and then walk
+        the table, mirroring the paper's probe pipeline and letting the
+        hash-computation and table-access costs be measured separately
+        (Figure 7's breakdown).
+        """
+        results = []
+        tags = self._tags
+        table_keys = self._keys
+        values = self._values
+        mask = self._mask
+        for key, h in zip(keys, hashes):
+            slot, tag = self._slot_and_tag_from_hash(int(h))
+            while True:
+                state = tags[slot]
+                if state == _EMPTY:
+                    results.append(None)
+                    break
+                if state == tag and table_keys[slot] == key:
+                    results.append(values[slot])
+                    break
+                slot = (slot + 1) & mask
+        return results
+
+    # --------------------------------------------------------------- resizing
+
+    def _grow(self) -> None:
+        new_slots = self.num_slots * 2
+        self._on_grow(new_slots)
+        self._rehash(new_slots)
+
+    def _on_grow(self, new_num_slots: int) -> None:
+        """Growth hook; subclasses may swap ``self.hasher`` here."""
+
+    def _rehash(self, num_slots: int) -> None:
+        entries = list(self.items())
+        self._init_slots(num_slots)
+        self._size = 0
+        self._tombstones = 0
+        # Re-inserts replay keys in old-table slot order, which is highly
+        # correlated; collision monitors must not judge that burst.
+        self._in_rehash = True
+        try:
+            for key, value in entries:
+                self.insert(key, value)
+        finally:
+            self._in_rehash = False
+
+    def rebuild_with_hasher(self, hasher: EntropyLearnedHasher) -> None:
+        """Rehash every entry with a new hash (robustness fallback path)."""
+        self.hasher = hasher
+        self._rehash(self.num_slots)
+
+    # ------------------------------------------------------------ diagnostics
+
+    def displacement_histogram(self) -> List[int]:
+        """How far each stored key sits from its home slot (diagnostics)."""
+        result = []
+        for i, state in enumerate(self._tags):
+            if state < _TAG_STATES:
+                continue
+            home, _ = self._slot_and_tag(self._keys[i])
+            result.append((i - home) & self._mask)
+        return result
+
+
+class EntropyAwareProbingTable(LinearProbingTable):
+    """Linear-probing table with Section 5's full runtime infrastructure.
+
+    On construction and at every growth it asks a trained model for the
+    cheapest hasher with ``log2(capacity) + log2(5)`` bits; an optional
+    collision monitor watches insert displacements and, when they exceed
+    what the learned entropy predicts, rebuilds the table with full-key
+    hashing (the robustness fallback the appendix's train/test-mismatch
+    experiment relies on).
+    """
+
+    def __init__(
+        self,
+        model,
+        capacity: int = 16,
+        max_load: float = DEFAULT_MAX_LOAD,
+        monitor: Optional["CollisionMonitor"] = None,
+        seed: int = 0,
+    ):
+        from repro.core.sizing import entropy_for_probing_table
+        from repro.tables.monitor import CollisionMonitor
+
+        self.model = model
+        self._seed = seed
+        self._fallen_back = False
+        num_slots = next_power_of_two(max(capacity, 2))
+        target = max(1, int(max_load * num_slots))
+        hasher = model.hasher_for_probing_table(target, seed=seed)
+        if monitor is None and not hasher.partial_key.is_full_key:
+            words = len(hasher.partial_key.positions)
+            monitor = CollisionMonitor(
+                entropy=model.result.entropy_at(words), num_slots=num_slots
+            )
+        self.monitor = monitor
+        super().__init__(hasher, capacity=capacity, max_load=max_load)
+
+    @property
+    def fallen_back(self) -> bool:
+        """True once the monitor forced a full-key rebuild."""
+        return self._fallen_back
+
+    def _on_grow(self, new_num_slots: int) -> None:
+        if self._fallen_back:
+            return
+        target = max(1, int(self.max_load * new_num_slots))
+        self.hasher = self.model.hasher_for_probing_table(target, seed=self._seed)
+        if self.monitor is not None:
+            self.monitor.num_slots = new_num_slots
+            self.monitor.reset()
+
+    def _after_insert(self, displacement: int) -> None:
+        if self.monitor is None or self._fallen_back or self._in_rehash:
+            return
+        if self.hasher.partial_key.is_full_key:
+            return
+        # Structural baseline: Knuth's expected displacement for an
+        # ideal hash at the current load, (Q1(m, n) - 1) / 2.
+        alpha = min(0.95, self._size / self.num_slots)
+        baseline = 0.5 * (1.0 / (1.0 - alpha) ** 2 - 1.0)
+        self.monitor.record_insert(displacement, expected=baseline)
+        if self.monitor.should_fall_back(self._size):
+            self._fall_back_to_full_key()
+
+    def _fall_back_to_full_key(self) -> None:
+        from repro.core.hasher import EntropyLearnedHasher
+
+        self._fallen_back = True
+        fallback = EntropyLearnedHasher.full_key(self.hasher.base, seed=self._seed)
+        self.rebuild_with_hasher(fallback)

@@ -1,0 +1,12 @@
+"""Operation-stream workload generation (YCSB-style).
+
+Benchmarking a key-value store fairly needs reproducible *operation
+streams*, not just key sets: read/update mixes, request-popularity skew,
+scans.  This package generates streams in the style of the YCSB core
+workloads so the kvstore benchmarks and examples exercise realistic
+access patterns.
+"""
+
+from repro.workloads.ycsb import MIXES, Operation, WorkloadGenerator, run_workload
+
+__all__ = ["Operation", "WorkloadGenerator", "MIXES", "run_workload"]

@@ -1,0 +1,170 @@
+"""YCSB-core-style operation streams.
+
+The canonical mixes:
+
+========  ===========================  ==========================
+workload  operations                    popularity distribution
+========  ===========================  ==========================
+A         50% read / 50% update        zipfian
+B         95% read / 5% update         zipfian
+C         100% read                    zipfian
+D         95% read / 5% insert         latest (reads favour recent)
+E         95% scan / 5% insert         zipfian (short scans)
+F         50% read / 50% read-modify-write  zipfian
+========  ===========================  ==========================
+
+Plus a ``negative`` knob: the fraction of reads targeting keys that are
+not in the store (the filter-bound path the paper's LSM motivation is
+about), which stock YCSB lacks.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro._util import Key, as_bytes_list
+
+MIXES: Dict[str, Dict[str, float]] = {
+    "A": {"read": 0.5, "update": 0.5},
+    "B": {"read": 0.95, "update": 0.05},
+    "C": {"read": 1.0},
+    "D": {"read": 0.95, "insert": 0.05},
+    "E": {"scan": 0.95, "insert": 0.05},
+    "F": {"read": 0.5, "rmw": 0.5},
+}
+
+OPERATION_KINDS = ("read", "update", "insert", "scan", "rmw")
+
+
+@dataclass
+class Operation:
+    """One workload step."""
+
+    kind: str
+    key: bytes
+    value: bytes = b""
+    scan_length: int = 0
+
+
+class _ZipfSampler:
+    """Zipf(s=0.99)-ish sampler over ranks 0..n-1 via inverse CDF."""
+
+    def __init__(self, n: int, rng: random.Random, s: float = 0.99):
+        weights = [1.0 / (rank + 1) ** s for rank in range(n)]
+        total = 0.0
+        self._cdf: List[float] = []
+        for w in weights:
+            total += w
+            self._cdf.append(total)
+        self._total = total
+        self._rng = rng
+
+    def sample(self) -> int:
+        return bisect.bisect_left(self._cdf, self._rng.random() * self._total)
+
+
+class WorkloadGenerator:
+    """Deterministic operation streams over a key population.
+
+    >>> gen = WorkloadGenerator([b"a", b"b", b"c"], mix="C", seed=1)
+    >>> ops = list(gen.operations(5))
+    >>> all(op.kind == "read" for op in ops)
+    True
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[Key],
+        mix: str = "A",
+        seed: int = 0,
+        negative_fraction: float = 0.0,
+        negative_keys: Optional[Sequence[Key]] = None,
+        max_scan_length: int = 32,
+        value_bytes: int = 32,
+    ):
+        self.keys = as_bytes_list(keys)
+        if not self.keys:
+            raise ValueError("need at least one key")
+        if mix not in MIXES:
+            raise ValueError(f"unknown mix {mix!r}; choose from {sorted(MIXES)}")
+        if not 0.0 <= negative_fraction <= 1.0:
+            raise ValueError("negative_fraction must be in [0, 1]")
+        if negative_fraction > 0.0 and not negative_keys:
+            raise ValueError("negative_fraction > 0 requires negative_keys")
+        self.mix_name = mix
+        self.mix = MIXES[mix]
+        self.negative_fraction = negative_fraction
+        self.negative_keys = as_bytes_list(negative_keys or [])
+        self.max_scan_length = max_scan_length
+        self.value_bytes = value_bytes
+        self._rng = random.Random(seed)
+        self._zipf = _ZipfSampler(len(self.keys), self._rng)
+        self._insert_counter = 0
+
+    def _pick_key(self, kind: str) -> bytes:
+        rng = self._rng
+        if kind == "read" and self.negative_fraction > 0.0:
+            if rng.random() < self.negative_fraction:
+                return rng.choice(self.negative_keys)
+        if self.mix_name == "D" and rng.random() < 0.5:
+            # "latest" flavour: bias toward the most recently inserted.
+            back = min(len(self.keys) - 1, int(abs(rng.gauss(0, 10))))
+            return self.keys[len(self.keys) - 1 - back]
+        return self.keys[self._zipf.sample()]
+
+    def _value(self) -> bytes:
+        return self._rng.getrandbits(8 * self.value_bytes).to_bytes(
+            self.value_bytes, "little"
+        )
+
+    def operations(self, n: int) -> Iterator[Operation]:
+        """Yield ``n`` operations."""
+        kinds = list(self.mix)
+        weights = [self.mix[k] for k in kinds]
+        rng = self._rng
+        for _ in range(n):
+            kind = rng.choices(kinds, weights=weights)[0]
+            if kind == "insert":
+                self._insert_counter += 1
+                key = b"inserted-%08d" % self._insert_counter
+                self.keys.append(key)
+                yield Operation(kind, key, self._value())
+            elif kind in ("update", "rmw"):
+                yield Operation(kind, self._pick_key(kind), self._value())
+            elif kind == "scan":
+                yield Operation(
+                    kind, self._pick_key(kind),
+                    scan_length=rng.randrange(1, self.max_scan_length + 1),
+                )
+            else:
+                yield Operation(kind, self._pick_key(kind))
+
+
+def run_workload(store, operations: Iterator[Operation]) -> Dict[str, int]:
+    """Drive an :class:`~repro.kvstore.store.LSMStore` with a stream.
+
+    Returns per-kind operation counts.  ``rmw`` performs a read followed
+    by an update of the same key (YCSB F); ``scan`` reads up to
+    ``scan_length`` keys starting at the operation key.
+    """
+    counts: Dict[str, int] = {}
+    for op in operations:
+        counts[op.kind] = counts.get(op.kind, 0) + 1
+        if op.kind == "read":
+            store.get(op.key)
+        elif op.kind in ("update", "insert"):
+            store.put(op.key, op.value)
+        elif op.kind == "rmw":
+            current = store.get(op.key)
+            store.put(op.key, (current or b"")[:8] + op.value)
+        elif op.kind == "scan":
+            end = op.key + b"\xff" * 4
+            taken = 0
+            for _ in store.scan(op.key, end):
+                taken += 1
+                if taken >= op.scan_length:
+                    break
+    return counts

@@ -1,0 +1,209 @@
+"""Tests for the metric equations (paper Section 4 + appendix A)."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import (
+    bloom_bits_for_fpr,
+    bloom_fpr_partial,
+    bloom_optimal_k,
+    chaining_existing_full,
+    chaining_existing_partial,
+    chaining_missing_full,
+    chaining_missing_partial,
+    comparison_budget,
+    observed_collision_stats,
+    partition_relative_std_bound,
+    partition_variance_full,
+    partition_variance_partial,
+    probing_existing_fixed,
+    probing_existing_full,
+    probing_existing_partial,
+    probing_missing_fixed,
+    probing_missing_full,
+    probing_missing_partial,
+    q0_bound,
+    q1_bound,
+    q_series,
+    standard_bloom_fpr,
+)
+
+
+def _q_brute(r, m, n):
+    total = 0.0
+    for k in range(n + 1):
+        binom = math.comb(k + r, r)
+        falling = 1.0
+        for j in range(k):
+            falling *= (n - j) / m
+        total += binom * falling
+    return total
+
+
+class TestQSeries:
+    @pytest.mark.parametrize("r", [0, 1, 2])
+    @pytest.mark.parametrize("m,n", [(10, 0), (10, 3), (10, 7), (100, 50), (64, 60)])
+    def test_matches_brute_force(self, r, m, n):
+        assert q_series(r, m, n) == pytest.approx(_q_brute(r, m, n), rel=1e-9)
+
+    def test_large_n_terminates(self):
+        value = q_series(1, 2_000_000, 1_000_000)
+        assert value == pytest.approx(1.0 / (1 - 0.5) ** 2, rel=0.01)
+
+    def test_bounds_dominate(self):
+        for m, n in [(100, 50), (1000, 800), (64, 48)]:
+            alpha = n / m
+            assert q_series(0, m, n) <= q0_bound(alpha) + 1e-9
+            assert q_series(1, m, n) <= q1_bound(alpha) + 1e-9
+
+    def test_rejects_full_table(self):
+        with pytest.raises(ValueError):
+            q_series(0, 10, 10)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            q_series(0, 0, 0)
+        with pytest.raises(ValueError):
+            q_series(0, 10, -1)
+
+
+class TestChainingEquations:
+    def test_full_key_values(self):
+        assert chaining_missing_full(0.5) == 0.5
+        assert chaining_existing_full(0.5) == 1.25
+
+    def test_partial_reduces_to_full_at_infinite_entropy(self):
+        assert chaining_missing_partial(0.5, 1000, math.inf) == pytest.approx(0.5)
+        assert chaining_existing_partial(0.5, 1000, math.inf) == pytest.approx(1.25)
+
+    def test_penalty_halves_per_extra_bit(self):
+        n = 1000
+        p1 = chaining_missing_partial(0.5, n, 10.0) - 0.5
+        p2 = chaining_missing_partial(0.5, n, 11.0) - 0.5
+        assert p1 == pytest.approx(2 * p2)
+
+    def test_log2n_entropy_gives_below_one_extra(self):
+        n = 4096
+        extra = chaining_missing_partial(0.5, n, math.log2(n) + 1) - 0.5
+        assert extra == pytest.approx(0.5)
+
+
+class TestProbingEquations:
+    def test_knuth_full_key_exact(self):
+        # Knuth: E[P'] = (1 + Q1(m,n))/2; spot check small table.
+        m, n = 10, 5
+        assert probing_missing_full(m, n, exact=True) == pytest.approx(
+            0.5 * (1 + _q_brute(1, m, n))
+        )
+
+    def test_bound_above_exact(self):
+        for m, n in [(100, 50), (1000, 500), (64, 32)]:
+            assert probing_missing_full(m, n) >= probing_missing_full(m, n, exact=True)
+            assert probing_existing_full(m, n) >= probing_existing_full(
+                m, n, exact=True
+            )
+
+    def test_partial_reduces_to_full_at_infinite_entropy(self):
+        m, n = 1000, 500
+        assert probing_missing_partial(m, n, math.inf) == pytest.approx(
+            probing_missing_full(m, n)
+        )
+        assert probing_existing_partial(m, n, math.inf) == pytest.approx(
+            probing_existing_full(m, n)
+        )
+
+    def test_fixed_data_zero_collisions_matches_clean(self):
+        m, n = 1000, 500
+        clean = probing_missing_fixed(m, n, z_query=0, collisions=0)
+        assert clean == pytest.approx(0.5 * (1 + q1_bound(0.5)))
+
+    def test_fixed_data_duplicate_query_pays_chain(self):
+        m, n = 1000, 500
+        dup = probing_missing_fixed(m, n, z_query=3, collisions=6)
+        assert dup > probing_missing_fixed(m, n, z_query=0, collisions=6)
+
+    def test_existing_fixed_collision_penalty(self):
+        m, n = 1000, 500
+        assert probing_existing_fixed(m, n, collisions=0) < probing_existing_fixed(
+            m, n, collisions=50
+        )
+
+
+class TestBloomEquations:
+    def test_standard_fpr_formula(self):
+        fpr = standard_bloom_fpr(10_000, 1000, 3)
+        assert fpr == pytest.approx((1 - math.exp(-0.3)) ** 3)
+
+    def test_empty_filter_no_fp(self):
+        assert standard_bloom_fpr(1000, 0, 3) == 0.0
+
+    def test_partial_bound_adds_collision_mass(self):
+        base = standard_bloom_fpr(10_000, 1000, 3)
+        assert bloom_fpr_partial(10_000, 1000, 3, 20.0) == pytest.approx(
+            base + 1000 * 2**-20.0
+        )
+
+    def test_sized_filter_achieves_target(self):
+        n, target = 10_000, 0.01
+        m = bloom_bits_for_fpr(n, target)
+        k = bloom_optimal_k(m, n)
+        assert standard_bloom_fpr(m, n, k) <= target * 1.1
+
+    def test_bits_for_fpr_validation(self):
+        with pytest.raises(ValueError):
+            bloom_bits_for_fpr(100, 0.0)
+        with pytest.raises(ValueError):
+            bloom_bits_for_fpr(0, 0.01)
+
+    def test_optimal_k_at_least_one(self):
+        assert bloom_optimal_k(10, 1000) == 1
+
+
+class TestPartitioningEquations:
+    def test_full_key_binomial_variance(self):
+        assert partition_variance_full(1000, 10) == pytest.approx(100 - 10)
+
+    def test_partial_reduces_at_infinite_entropy(self):
+        assert partition_variance_partial(1000, 10, math.inf) == pytest.approx(
+            partition_variance_full(1000, 10)
+        )
+
+    def test_log2n_entropy_doubles_at_most(self):
+        n, m = 4096, 64
+        bound = partition_variance_partial(n, m, math.log2(n))
+        assert bound == pytest.approx(2 * partition_variance_full(n, m))
+
+    def test_relative_std_bound_formula(self):
+        n, m = 10_000, 64
+        bound = partition_relative_std_bound(n, m, math.inf)
+        assert bound == pytest.approx(math.sqrt(m / n))
+
+    def test_paper_5pct_rule(self):
+        # H2 >= 2 log2(1/0.05) + log2(m)  ==>  rel std <= ~5%.
+        m = 64
+        entropy = 2 * math.log2(1 / 0.05) + math.log2(m)
+        n = 10**9  # n >> m so the sqrt(m/n) term vanishes
+        bound = partition_relative_std_bound(n, m, entropy)
+        assert bound <= 0.0505 * math.sqrt(1 + 1e-3)
+
+
+class TestHelpers:
+    def test_comparison_budget_chaining(self):
+        budget = comparison_budget("chaining", 2000, 1000, 20.0)
+        assert budget["full_missing"] == pytest.approx(0.5)
+        assert budget["partial_missing"] >= budget["full_missing"]
+
+    def test_comparison_budget_probing(self):
+        budget = comparison_budget("probing", 2000, 1000, 20.0)
+        assert set(budget) == {
+            "full_missing", "full_existing", "partial_missing", "partial_existing",
+        }
+
+    def test_comparison_budget_unknown(self):
+        with pytest.raises(ValueError):
+            comparison_budget("bloom", 1, 1, 1.0)
+
+    def test_observed_collision_stats(self):
+        stats = observed_collision_stats([b"a", b"a", b"a", b"b"])
+        assert stats == {"collisions": 3, "duplicated_items": 3, "distinct": 2}

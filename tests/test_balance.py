@@ -1,0 +1,73 @@
+"""Tests for d-choice load balancing (appendix B extension)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.hasher import EntropyLearnedHasher
+from repro.partitioning.balance import DChoiceBalancer
+from repro.partitioning.stats import max_overload
+
+
+@pytest.fixture
+def full_hasher():
+    return EntropyLearnedHasher.full_key("wyhash")
+
+
+class TestBasics:
+    def test_assign_returns_valid_bins(self, full_hasher):
+        balancer = DChoiceBalancer(full_hasher, num_bins=8, choices=2)
+        keys = [f"task-{i}".encode() for i in range(200)]
+        assignments = balancer.assign(keys)
+        assert len(assignments) == 200
+        assert all(0 <= a < 8 for a in assignments)
+
+    def test_loads_track_assignments(self, full_hasher):
+        balancer = DChoiceBalancer(full_hasher, num_bins=4, choices=2)
+        balancer.assign([f"k{i}".encode() for i in range(100)])
+        assert balancer.loads.sum() == 100
+
+    def test_reset(self, full_hasher):
+        balancer = DChoiceBalancer(full_hasher, num_bins=4)
+        balancer.assign([b"a", b"b"])
+        balancer.reset()
+        assert balancer.loads.sum() == 0
+
+    def test_candidate_matrix_shape(self, full_hasher):
+        balancer = DChoiceBalancer(full_hasher, num_bins=16, choices=3)
+        candidates = balancer.candidate_bins([b"x", b"y"])
+        assert candidates.shape == (2, 3)
+
+    def test_validation(self, full_hasher):
+        with pytest.raises(ValueError):
+            DChoiceBalancer(full_hasher, num_bins=0)
+        with pytest.raises(ValueError):
+            DChoiceBalancer(full_hasher, num_bins=4, choices=0)
+
+
+class TestPowerOfTwoChoices:
+    def test_two_choices_beat_one(self, full_hasher):
+        """The classic result: max load drops dramatically with d=2."""
+        rng = random.Random(17)
+        keys = [rng.randbytes(16) for _ in range(5000)]
+        one = DChoiceBalancer(full_hasher, num_bins=64, choices=1)
+        two = DChoiceBalancer(full_hasher, num_bins=64, choices=2)
+        overload_one = max_overload(np.bincount(one.assign(keys), minlength=64))
+        overload_two = max_overload(np.bincount(two.assign(keys), minlength=64))
+        assert overload_two < overload_one
+
+    def test_two_choices_near_perfect_balance(self, full_hasher):
+        rng = random.Random(18)
+        keys = [rng.randbytes(16) for _ in range(6400)]
+        balancer = DChoiceBalancer(full_hasher, num_bins=64, choices=2)
+        balancer.assign(keys)
+        assert max_overload(balancer.loads) < 1.15
+
+    def test_partial_key_balancer_still_balances(self, google_corpus):
+        """ELH-hashed candidates balance as well as full-key ones when
+        partial keys are distinct."""
+        hasher = EntropyLearnedHasher.from_positions([40], word_size=8)
+        balancer = DChoiceBalancer(hasher, num_bins=16, choices=2)
+        balancer.assign(google_corpus)
+        assert max_overload(balancer.loads) < 1.25

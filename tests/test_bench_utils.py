@@ -1,0 +1,89 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench.harness import Measurement, build_probe_mix, split_dataset, time_callable
+from repro.bench.reporting import format_series, format_speedup_table
+
+
+class TestMeasurement:
+    def test_derived_rates(self):
+        m = Measurement(label="x", seconds=2.0, items=1000)
+        assert m.ns_per_item == pytest.approx(2e6)
+        assert m.items_per_second == pytest.approx(500)
+
+    def test_zero_items(self):
+        assert Measurement("x", 1.0, 0).ns_per_item == 0.0
+
+    def test_zero_seconds(self):
+        assert Measurement("x", 0.0, 10).items_per_second == float("inf")
+
+
+class TestTimeCallable:
+    def test_returns_positive_time(self):
+        assert time_callable(lambda: sum(range(1000)), repeats=2) > 0
+
+    def test_calls_warmup_and_repeats(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+
+
+class TestBuildProbeMix:
+    def test_hit_rate_one(self):
+        probes = build_probe_mix([b"a", b"b"], [b"x"], hit_rate=1.0, num_probes=100)
+        assert all(p in (b"a", b"b") for p in probes)
+
+    def test_hit_rate_zero(self):
+        probes = build_probe_mix([b"a"], [b"x", b"y"], hit_rate=0.0, num_probes=100)
+        assert all(p in (b"x", b"y") for p in probes)
+
+    def test_mixed_rate(self):
+        probes = build_probe_mix([b"a"], [b"x"], hit_rate=0.5, num_probes=100)
+        assert probes.count(b"a") == 50
+
+    def test_deterministic(self):
+        a = build_probe_mix([b"a", b"b"], [b"x"], 0.5, 50, seed=3)
+        b = build_probe_mix([b"a", b"b"], [b"x"], 0.5, 50, seed=3)
+        assert a == b
+
+    def test_requires_pools(self):
+        with pytest.raises(ValueError):
+            build_probe_mix([], [b"x"], hit_rate=1.0, num_probes=10)
+        with pytest.raises(ValueError):
+            build_probe_mix([b"a"], [], hit_rate=0.0, num_probes=10)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            build_probe_mix([b"a"], [b"x"], hit_rate=2.0, num_probes=10)
+
+
+class TestSplitDataset:
+    def test_halves_cover_everything(self):
+        keys = [bytes([i]) for i in range(101)]
+        stored, probes = split_dataset(keys)
+        assert len(stored) == 50
+        assert sorted(stored + probes) == sorted(keys)
+
+
+class TestReporting:
+    def test_speedup_table_contains_values(self):
+        text = format_speedup_table(
+            {"uuid": {"cfg1": 1.5, "cfg2": 2.0}}, ["cfg1", "cfg2"]
+        )
+        assert "uuid" in text and "1.50" in text and "2.00" in text
+
+    def test_missing_cell_rendered_as_dash(self):
+        text = format_speedup_table({"x": {}}, ["only"])
+        assert "-" in text
+
+    def test_series_alignment(self):
+        text = format_series("n", [10, 100], {"a": [1.0, 2.0], "b": [3.0]})
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "3.00" in lines[1]
+        assert "-" in lines[2]
+
+    def test_inf_rendered(self):
+        text = format_speedup_table({"x": {"c": float("inf")}}, ["c"])
+        assert "inf" in text

@@ -1,0 +1,107 @@
+"""Tests for the register-blocked Bloom filter (Lang et al. [43])."""
+
+import random
+
+import pytest
+
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import train_model
+from repro.filters.blocked import BlockedBloomFilter
+
+
+@pytest.fixture
+def full_hasher():
+    return EntropyLearnedHasher.full_key("xxh3")
+
+
+class TestBasics:
+    def test_no_false_negatives(self, full_hasher):
+        f = BlockedBloomFilter(full_hasher, num_blocks=256, num_probe_bits=3)
+        keys = [f"key-{i}".encode() for i in range(400)]
+        for k in keys:
+            f.add(k)
+        assert all(f.contains(k) for k in keys)
+
+    def test_no_false_negatives_batch(self, full_hasher, url_corpus):
+        f = BlockedBloomFilter.for_items(full_hasher, 500)
+        f.add_batch(url_corpus[:500])
+        assert f.contains_batch(url_corpus[:500]).all()
+
+    def test_scalar_and_batch_interchangeable(self, full_hasher, url_corpus):
+        f = BlockedBloomFilter.for_items(full_hasher, 300)
+        f.add_batch(url_corpus[:300])
+        assert all(f.contains(k) for k in url_corpus[:300])
+        f2 = BlockedBloomFilter.for_items(full_hasher, 300)
+        for k in url_corpus[:300]:
+            f2.add(k)
+        assert f2.contains_batch(url_corpus[:300]).all()
+
+    def test_empty_rejects(self, full_hasher):
+        f = BlockedBloomFilter(full_hasher, num_blocks=16)
+        assert not f.contains(b"x")
+
+    def test_in_operator(self, full_hasher):
+        f = BlockedBloomFilter(full_hasher, num_blocks=16)
+        f.add(b"x")
+        assert b"x" in f
+
+    def test_validation(self, full_hasher):
+        with pytest.raises(ValueError):
+            BlockedBloomFilter(full_hasher, num_blocks=0)
+        with pytest.raises(ValueError):
+            BlockedBloomFilter(full_hasher, num_blocks=8, num_probe_bits=0)
+        with pytest.raises(ValueError):
+            BlockedBloomFilter.for_items(full_hasher, 0)
+
+
+class TestFPR:
+    def test_sized_filter_near_target(self, full_hasher):
+        rng = random.Random(2)
+        stored = [rng.randbytes(16) for _ in range(3000)]
+        negatives = [rng.randbytes(16) for _ in range(6000)]
+        f = BlockedBloomFilter.for_items(full_hasher, 3000, target_fpr=0.03)
+        f.add_batch(stored)
+        assert f.measured_fpr(negatives) < 0.06  # blocked penalty + noise
+
+    def test_more_probe_bits_lower_fpr_at_low_fill(self, full_hasher):
+        rng = random.Random(3)
+        stored = [rng.randbytes(16) for _ in range(500)]
+        negatives = [rng.randbytes(16) for _ in range(5000)]
+        results = {}
+        for k in (1, 3):
+            f = BlockedBloomFilter(full_hasher, num_blocks=2048, num_probe_bits=k)
+            f.add_batch(stored)
+            results[k] = f.measured_fpr(negatives)
+        assert results[3] < results[1]
+
+    def test_fill_fraction(self, full_hasher):
+        f = BlockedBloomFilter(full_hasher, num_blocks=4)
+        assert f.fill_fraction == 0.0
+        f.add(b"a")
+        assert 0 < f.fill_fraction <= 3 / 256
+
+
+class TestPartialKeyBehaviour:
+    def test_elh_filter_fpr_within_budget(self, google_corpus):
+        """The Figure 10 configuration: 3% base FPR + 1% allowed increase."""
+        model = train_model(google_corpus, fixed_dataset=True)
+        n = 300
+        hasher = model.hasher_for_bloom_filter(n, added_fpr=0.01)
+        stored, negatives = google_corpus[:n], google_corpus[n:]
+        f = BlockedBloomFilter.for_items(hasher, n, target_fpr=0.03)
+        f.add_batch(stored)
+        assert f.contains_batch(stored).all()
+        assert f.measured_fpr(negatives) <= 0.03 + 0.01 + 0.03  # + noise slack
+
+    def test_validate_randomness_detects_collisions(self):
+        hasher = EntropyLearnedHasher.from_positions([0], word_size=8)
+        f = BlockedBloomFilter(hasher, num_blocks=2048, num_probe_bits=3)
+        keys = [b"W%03d----" % (i % 8) + b"suffix%04d" % i for i in range(1000)]
+        f.add_batch(keys)
+        assert not f.validate_randomness()
+
+    def test_validate_randomness_passes_on_random(self, full_hasher):
+        rng = random.Random(4)
+        f = BlockedBloomFilter(full_hasher, num_blocks=2048, num_probe_bits=3)
+        f.add_batch([rng.randbytes(24) for _ in range(1000)])
+        assert f.validate_randomness()

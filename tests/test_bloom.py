@@ -1,0 +1,132 @@
+"""Tests for the standard Bloom filter (Section 4.2)."""
+
+import random
+
+import pytest
+
+from repro.core.analysis import bloom_fpr_partial
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import train_model
+from repro.filters.bloom import BloomFilter
+
+
+@pytest.fixture
+def full_hasher():
+    return EntropyLearnedHasher.full_key("xxh3")
+
+
+class TestBasics:
+    def test_no_false_negatives_scalar(self, full_hasher):
+        f = BloomFilter(full_hasher, num_bits=4096, num_hashes=3)
+        keys = [f"key-{i}".encode() for i in range(300)]
+        for k in keys:
+            f.add(k)
+        assert all(f.contains(k) for k in keys)
+
+    def test_no_false_negatives_batch(self, full_hasher, url_corpus):
+        f = BloomFilter.for_items(full_hasher, 500)
+        f.add_batch(url_corpus[:500])
+        assert f.contains_batch(url_corpus[:500]).all()
+
+    def test_scalar_and_batch_interchangeable(self, full_hasher, url_corpus):
+        """add_batch + scalar contains must agree (bit-exact kernels)."""
+        f = BloomFilter.for_items(full_hasher, 300)
+        f.add_batch(url_corpus[:300])
+        assert all(f.contains(k) for k in url_corpus[:300])
+
+    def test_empty_filter_rejects_everything(self, full_hasher):
+        f = BloomFilter(full_hasher, num_bits=1024, num_hashes=3)
+        assert not f.contains(b"anything")
+        assert f.num_set_bits == 0
+
+    def test_in_operator(self, full_hasher):
+        f = BloomFilter(full_hasher, num_bits=256, num_hashes=2)
+        f.add(b"x")
+        assert b"x" in f
+
+    def test_validation(self, full_hasher):
+        with pytest.raises(ValueError):
+            BloomFilter(full_hasher, num_bits=0, num_hashes=3)
+        with pytest.raises(ValueError):
+            BloomFilter(full_hasher, num_bits=8, num_hashes=0)
+
+
+class TestFPR:
+    def test_sized_filter_hits_target(self, full_hasher):
+        rng = random.Random(1)
+        stored = [rng.randbytes(16) for _ in range(2000)]
+        negatives = [rng.randbytes(16) for _ in range(4000)]
+        f = BloomFilter.for_items(full_hasher, 2000, target_fpr=0.03)
+        f.add_batch(stored)
+        assert f.measured_fpr(negatives) < 0.05
+
+    def test_lower_target_fpr_means_bigger_filter(self, full_hasher):
+        small = BloomFilter.for_items(full_hasher, 1000, target_fpr=0.1)
+        big = BloomFilter.for_items(full_hasher, 1000, target_fpr=0.001)
+        assert big.num_bits > small.num_bits
+
+    def test_measured_fpr_requires_negatives(self, full_hasher):
+        f = BloomFilter(full_hasher, num_bits=64, num_hashes=1)
+        with pytest.raises(ValueError):
+            f.measured_fpr([])
+
+    def test_theoretical_fpr_tracks_fill(self, full_hasher):
+        f = BloomFilter(full_hasher, num_bits=1024, num_hashes=3)
+        assert f.theoretical_fpr() == 0.0
+        for i in range(300):
+            f.add(f"k{i}".encode())
+        assert 0.0 < f.theoretical_fpr() < 1.0
+
+
+class TestPartialKeyBehaviour:
+    def test_partial_key_filter_meets_paper_bound(self, google_corpus):
+        """Eq (9): FPR(H') <= n 2^-H2 + FPR(H)."""
+        model = train_model(google_corpus, fixed_dataset=True)
+        n = 300
+        hasher = model.hasher_for_bloom_filter(n, added_fpr=0.01)
+        stored, negatives = google_corpus[:n], google_corpus[n:]
+        f = BloomFilter.for_items(hasher, n, target_fpr=0.03)
+        f.add_batch(stored)
+        entropy = model.entropy_available()
+        bound = bloom_fpr_partial(f.num_bits, n, f.num_hashes, entropy)
+        measured = f.measured_fpr(negatives)
+        assert measured <= max(bound * 1.6, 0.06)  # statistical slack
+
+    def test_partial_collision_is_certain_false_positive(self):
+        """Eq (7): a query matching a stored key on L's bytes is a
+        guaranteed false positive."""
+        hasher = EntropyLearnedHasher.from_positions([0], word_size=8)
+        f = BloomFilter(hasher, num_bits=1 << 16, num_hashes=3)
+        f.add(b"SHAREDWD-stored-key")
+        assert f.contains(b"SHAREDWD-query-key!")  # same first word & length...
+
+    def test_distinct_subkeys_fill_like_standard(self, full_hasher):
+        """With no L-collisions, n' = n and set bits match expectation."""
+        rng = random.Random(5)
+        keys = [rng.randbytes(32) for _ in range(1000)]
+        partial = EntropyLearnedHasher.from_positions([0, 8], word_size=8)
+        f = BloomFilter(partial, num_bits=1 << 14, num_hashes=3)
+        f.add_batch(keys)
+        assert f.validate_randomness(tolerance=0.05)
+
+
+class TestRandomnessValidation:
+    def test_fresh_filter_valid(self, full_hasher):
+        assert BloomFilter(full_hasher, 1024, 2).validate_randomness()
+
+    def test_colliding_inserts_fail_validation(self):
+        """Section 5: mass partial-key collisions leave too few set bits;
+        construction-time validation must notice."""
+        hasher = EntropyLearnedHasher.from_positions([0], word_size=8)
+        f = BloomFilter(hasher, num_bits=1 << 14, num_hashes=3)
+        # 1000 keys but only 10 distinct first-words (and equal lengths).
+        keys = [b"WORD%03d!" % (i % 10) + b"-suffix-%04d" % i for i in range(1000)]
+        f.add_batch(keys)
+        assert not f.validate_randomness(tolerance=0.05)
+
+    def test_expected_set_bits_formula(self, full_hasher):
+        f = BloomFilter(full_hasher, num_bits=1000, num_hashes=2)
+        expected = f.expected_set_bits(distinct_items=100)
+        assert expected == pytest.approx(
+            1000 * (1 - (1 - 1 / 1000) ** 200)
+        )

@@ -1,0 +1,90 @@
+"""Tests for carry-less multiplication hashing (CLHash family)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.clhash import CLHash, clmul64, gf2_reduce
+
+
+class TestClmul:
+    def test_simple_products(self):
+        assert clmul64(0, 123) == 0
+        assert clmul64(1, 123) == 123
+        assert clmul64(0b10, 0b11) == 0b110
+
+    def test_known_polynomial_product(self):
+        # (x^2 + 1)(x + 1) = x^3 + x^2 + x + 1 over GF(2)
+        assert clmul64(0b101, 0b11) == 0b1111
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    @settings(max_examples=100)
+    def test_commutative(self, a, b):
+        assert clmul64(a, b) == clmul64(b, a)
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1),
+           st.integers(0, 2**64 - 1))
+    @settings(max_examples=100)
+    def test_distributive_over_xor(self, a, b, c):
+        assert clmul64(a, b ^ c) == clmul64(a, b) ^ clmul64(a, c)
+
+
+class TestReduction:
+    def test_small_values_unchanged(self):
+        assert gf2_reduce(12345) == 12345
+
+    def test_result_fits_64_bits(self):
+        for value in (2**64, 2**100, 2**127 - 1):
+            assert 0 <= gf2_reduce(value) < 2**64
+
+    def test_x64_reduces_to_poly_tail(self):
+        # x^64 ≡ x^4 + x^3 + x + 1 (mod the reduction polynomial)
+        assert gf2_reduce(1 << 64) == 0b11011
+
+
+class TestCLHash:
+    def test_deterministic(self):
+        h = CLHash(seed=3)
+        assert h(b"hello world") == h(b"hello world")
+
+    def test_seed_changes_family_member(self):
+        assert CLHash(seed=1)(b"data") != CLHash(seed=2)(b"data")
+
+    def test_length_included(self):
+        h = CLHash(seed=1)
+        assert h(b"\x00" * 8) != h(b"\x00" * 16)
+
+    def test_word_limit(self):
+        h = CLHash(seed=0, max_words=2)
+        with pytest.raises(ValueError):
+            h.hash_words([1, 2, 3])
+
+    def test_universality_statistically(self):
+        """Almost-universal: Pr over keys of h(x)=h(y) is ~2^-64; even
+        truncated to 8 bits a collision should appear ~1/256 of trials."""
+        collisions = 0
+        trials = 2000
+        for seed in range(trials):
+            h = CLHash(seed=seed, max_words=4)
+            if (h(b"first-key") & 0xFF) == (h(b"other-key") & 0xFF):
+                collisions += 1
+        assert collisions < 3 * trials / 256 + 10
+
+    def test_positions_mode_selective(self):
+        h = CLHash(seed=7)
+        a = h.hash_positions(b"AAAAAAAA-same-suffix", [9])
+        b = h.hash_positions(b"BBBBBBBB-same-suffix", [9])
+        assert a == b  # byte 9 onward identical, length identical
+
+    def test_positions_mode_sensitive(self):
+        h = CLHash(seed=7)
+        a = h.hash_positions(b"prefix-X-suffix!", [7])
+        b = h.hash_positions(b"prefix-Y-suffix!", [7])
+        assert a != b
+
+    def test_distinct_outputs_on_corpus(self, url_corpus):
+        h = CLHash(seed=5)
+        outputs = {h(k) for k in url_corpus[:300]}
+        assert len(outputs) == 300

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import google_urls
+
+
+@pytest.fixture
+def keyfile(tmp_path):
+    path = tmp_path / "keys.txt"
+    path.write_bytes(b"\n".join(google_urls(600, seed=4)))
+    return str(path)
+
+
+class TestAnalyze:
+    def test_prints_profile_and_frontier(self, keyfile, capsys):
+        assert main(["analyze", keyfile]) == 0
+        out = capsys.readouterr().out
+        assert "per-position entropy" in out
+        assert "learned frontier" in out
+
+    def test_limit(self, keyfile, capsys):
+        assert main(["analyze", keyfile, "--limit", "100"]) == 0
+        assert "100 keys" in capsys.readouterr().out
+
+    def test_fixed_mode(self, keyfile, capsys):
+        assert main(["analyze", keyfile, "--fixed"]) == 0
+
+    def test_too_few_keys(self, tmp_path):
+        path = tmp_path / "tiny.txt"
+        path.write_bytes(b"one\ntwo\n")
+        with pytest.raises(SystemExit):
+            main(["analyze", str(path)])
+
+
+class TestTrainAndRecommend:
+    def test_train_writes_model(self, keyfile, tmp_path, capsys):
+        out = tmp_path / "model.json"
+        assert main(["train", keyfile, "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["base"] == "wyhash"
+        assert payload["positions"]
+
+    def test_recommend_partial_key(self, keyfile, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        main(["train", keyfile, "--out", str(model_path), "--fixed"])
+        assert main([
+            "recommend", str(model_path), "--task", "probing",
+            "--size", "1000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation: hash" in out
+
+    def test_recommend_falls_back_for_huge_demand(self, keyfile, tmp_path,
+                                                  capsys):
+        model_path = tmp_path / "model.json"
+        main(["train", keyfile, "--out", str(model_path)])
+        # Force an absurd requirement via bloom with tiny added FPR.
+        assert main([
+            "recommend", str(model_path), "--task", "bloom",
+            "--size", str(10**12), "--added-fpr", "0.00001",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation" in out
+
+    def test_recommend_partitioning_modes(self, keyfile, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        main(["train", keyfile, "--out", str(model_path), "--fixed"])
+        for mode in ("absolute", "relative"):
+            assert main([
+                "recommend", str(model_path), "--task", "partitioning",
+                "--size", "100000", "--partitions", "256", "--mode", mode,
+            ]) == 0
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestQuality:
+    def test_good_hash_passes(self, capsys):
+        assert main(["quality", "wyhash"]) == 0
+        out = capsys.readouterr().out
+        assert "avalanche" in out and "FAIL" not in out
+
+    def test_with_corpus(self, keyfile, capsys):
+        assert main(["quality", "xxh3", "--keyfile", keyfile]) == 0
+        assert "corpus keys" in capsys.readouterr().out
+
+    def test_unknown_hash(self):
+        with pytest.raises(KeyError):
+            main(["quality", "nonexistent"])

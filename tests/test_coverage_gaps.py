@@ -1,0 +1,67 @@
+"""Targeted tests for branches no other file exercises."""
+
+import math
+
+import pytest
+
+from repro.core.greedy import choose_bytes
+from repro.core.hasher import EntropyLearnedHasher
+from repro.datasets import google_urls, uuid_keys
+from repro.simulation.cost import probe_work
+
+
+class TestForceWords:
+    def test_extends_past_train_convergence(self):
+        """UUIDs converge in one word on the training set; force_words
+        must keep extending the frontier using validation collisions."""
+        keys = uuid_keys(600, seed=41)
+        result = choose_bytes(keys[:300], keys[300:], word_size=8,
+                              force_words=3)
+        assert len(result.positions) == 3
+        assert len(result.entropies) == 3
+        assert len(set(result.positions)) == 3
+
+    def test_forced_entropy_monotone(self):
+        keys = google_urls(600, seed=42)
+        result = choose_bytes(keys[:300], keys[300:], word_size=8,
+                              force_words=4)
+        finite = [e for e in result.entropies if e != math.inf]
+        assert all(b >= a - 1e-9 for a, b in zip(finite, finite[1:]))
+
+    def test_no_effect_when_smaller_than_natural(self):
+        keys = [bytes([i, j]) + b"pad" * 4 for i in range(16) for j in range(16)]
+        natural = choose_bytes(keys, word_size=1, max_words=4)
+        forced = choose_bytes(keys, word_size=1, max_words=4,
+                              force_words=len(natural.positions))
+        assert forced.positions == natural.positions
+
+
+class TestProbeWorkBranches:
+    def test_tag_filtered_flag_changes_lines(self):
+        hasher = EntropyLearnedHasher.full_key()
+        keys = [b"x" * 40] * 10
+        with_tags = probe_work(hasher, keys, hit_rate=0.0, tag_filtered=True)
+        without = probe_work(hasher, keys, hit_rate=0.0, tag_filtered=False)
+        assert without.cache_lines_touched > with_tags.cache_lines_touched
+
+    def test_empty_corpus_safe(self):
+        hasher = EntropyLearnedHasher.full_key()
+        work = probe_work(hasher, [], hit_rate=0.5)
+        assert work.words_hashed == 0.0
+
+
+class TestHasherEdgeBranches:
+    def test_batch_all_fallback_keys(self):
+        """Every key shorter than the cutoff: the partial batch path
+        must route the whole batch through full-key hashing."""
+        hasher = EntropyLearnedHasher.from_positions([64], word_size=8)
+        keys = [b"short-%d" % i for i in range(10)]
+        batch = hasher.hash_batch(keys)
+        assert all(int(batch[i]) == hasher.hash_full_key(k)
+                   for i, k in enumerate(keys))
+
+    def test_word_size_2_scalar_batch_agreement(self):
+        hasher = EntropyLearnedHasher.from_positions([0, 4], word_size=2)
+        keys = [bytes(range(10)), bytes(range(1, 11))]
+        batch = hasher.hash_batch(keys)
+        assert all(int(batch[i]) == hasher(k) for i, k in enumerate(keys))

@@ -1,0 +1,172 @@
+"""Tests for the synthetic dataset generators and the profiler."""
+
+import math
+
+import pytest
+
+from repro.core.entropy import renyi2_entropy
+from repro.datasets import (
+    DATASET_NAMES,
+    google_urls,
+    hn_urls,
+    large_random_keys,
+    load_dataset,
+    profile_dataset,
+    structured_keys,
+    uuid_keys,
+    wiki_titles,
+    wikipedia_text,
+)
+
+
+class TestShapeTargets:
+    """Each corpus must match the paper's Table 3 key-length profile."""
+
+    def test_uuid_length_exactly_36(self):
+        keys = uuid_keys(200)
+        assert all(len(k) == 36 for k in keys)
+
+    def test_wikipedia_avg_length_near_129(self):
+        keys = wikipedia_text(300)
+        avg = sum(len(k) for k in keys) / len(keys)
+        assert 100 <= avg <= 160
+
+    def test_wiki_titles_avg_length_near_22(self):
+        keys = wiki_titles(500)
+        avg = sum(len(k) for k in keys) / len(keys)
+        assert 12 <= avg <= 32
+
+    def test_hn_urls_avg_length_near_75(self):
+        keys = hn_urls(500)
+        avg = sum(len(k) for k in keys) / len(keys)
+        assert 55 <= avg <= 95
+
+    def test_google_urls_avg_length_near_81(self):
+        keys = google_urls(500)
+        avg = sum(len(k) for k in keys) / len(keys)
+        assert 65 <= avg <= 95
+
+
+class TestGeneratorContracts:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_distinct_keys(self, name):
+        keys = load_dataset(name, n=500)
+        assert len(set(keys)) == 500
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_deterministic_given_seed(self, name):
+        assert load_dataset(name, n=50, seed=9) == load_dataset(name, n=50, seed=9)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_seed_changes_data(self, name):
+        assert load_dataset(name, n=50, seed=1) != load_dataset(name, n=50, seed=2)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("imaginary")
+
+    def test_default_sizes(self):
+        keys = load_dataset("wikipedia")
+        assert len(keys) == 8000
+
+
+class TestStructuredKeys:
+    def test_randomness_only_in_window(self):
+        keys = structured_keys(100, random_start=32, random_len=8, key_len=80)
+        assert all(len(k) == 80 for k in keys)
+        assert len({k[:32] for k in keys}) == 1
+        assert len({k[40:] for k in keys}) == 1
+        assert len({k[32:40] for k in keys}) == 100
+
+    def test_alphabet_respected(self):
+        keys = structured_keys(50, alphabet_size=4)
+        letters = {b for k in keys for b in k[32:40]}
+        assert letters <= set(range(ord("a"), ord("a") + 4))
+
+    def test_window_must_fit(self):
+        with pytest.raises(ValueError):
+            structured_keys(10, key_len=10, random_start=8, random_len=8)
+
+    def test_exhaustion_detected(self):
+        with pytest.raises(RuntimeError):
+            structured_keys(100, alphabet_size=2, random_len=2)  # only 4 keys
+
+
+class TestLargeKeys:
+    def test_size_and_count(self):
+        keys = large_random_keys(3, key_len=1024)
+        assert len(keys) == 3
+        assert all(len(k) == 1024 for k in keys)
+
+    def test_high_entropy(self):
+        keys = large_random_keys(100, key_len=64)
+        first_words = [k[:8] for k in keys]
+        assert renyi2_entropy(first_words) == math.inf
+
+
+class TestEntropyStructure:
+    """The substitution promise: entropy concentrated like the originals."""
+
+    def test_urls_low_entropy_prefix(self):
+        profile = profile_dataset(hn_urls(400))
+        assert profile.position_entropy[0] < 6  # "https://..." prefix
+
+    def test_google_urls_high_entropy_midkey(self):
+        profile = profile_dataset(google_urls(400))
+        best = max(profile.position_entropy.values())
+        assert best > 14 or best == math.inf
+
+    def test_uuid_entropy_everywhere(self):
+        profile = profile_dataset(uuid_keys(400))
+        interior = [v for p, v in profile.position_entropy.items() if p < 32]
+        assert all(v > 10 for v in interior)
+
+    def test_titles_low_entropy(self):
+        profile = profile_dataset(wiki_titles(400))
+        assert profile.position_entropy[0] < 20
+
+
+class TestProfiler:
+    def test_describe_mentions_counts(self, url_corpus):
+        profile = profile_dataset(url_corpus)
+        text = profile.describe()
+        assert str(profile.num_keys) in text
+        assert "H2" in text
+
+    def test_best_positions_sorted(self, google_corpus):
+        profile = profile_dataset(google_corpus)
+        best = profile.best_positions(3)
+        entropies = [profile.position_entropy[p] for p in best]
+        assert entropies == sorted(entropies, reverse=True)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            profile_dataset([])
+
+
+class TestCompositeKeys:
+    def test_fixed_width(self):
+        from repro.datasets import composite_keys
+
+        keys = composite_keys(200, seed=1)
+        assert all(len(k) == 32 for k in keys)
+        assert len(set(keys)) == 200
+
+    def test_entropy_concentrated_in_order_id(self):
+        from repro.datasets import composite_keys
+
+        profile = profile_dataset(composite_keys(500, seed=2))
+        # tenant+date prefix carries little; order-id region carries a lot.
+        assert profile.position_entropy[16] > profile.position_entropy[0]
+
+    def test_greedy_finds_order_id_field(self):
+        from repro.core.greedy import choose_bytes
+        from repro.datasets import composite_keys
+
+        keys = composite_keys(600, seed=3)
+        result = choose_bytes(keys, word_size=8)
+        assert result.positions[0] in (8, 16, 24)  # inside date/order region
+
+    def test_loadable_by_name(self):
+        keys = load_dataset("composite", n=50)
+        assert len(keys) == 50

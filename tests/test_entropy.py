@@ -1,0 +1,158 @@
+"""Tests for Rényi-2 entropy estimation (paper Section 3, Lemma 1)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entropy import (
+    collision_count,
+    collision_probability,
+    entropy_confidence_lower_bound,
+    entropy_per_position,
+    expected_collisions,
+    renyi2_entropy,
+    renyi2_entropy_exact,
+    samples_needed,
+)
+
+
+class TestCollisionCount:
+    def test_no_duplicates(self):
+        assert collision_count([1, 2, 3]) == 0
+
+    def test_pairs(self):
+        assert collision_count(["a", "a"]) == 1
+        assert collision_count(["a", "a", "a"]) == 3  # C(3,2)
+        assert collision_count(["a"] * 5) == 10
+
+    def test_mixed(self):
+        assert collision_count(["a", "a", "b", "b", "c"]) == 2
+
+    def test_empty(self):
+        assert collision_count([]) == 0
+
+    def test_accepts_generators(self):
+        assert collision_count(x % 2 for x in range(4)) == 2
+
+
+class TestCollisionProbability:
+    def test_all_same(self):
+        assert collision_probability(["x"] * 10) == 1.0
+
+    def test_all_distinct(self):
+        assert collision_probability(list(range(10))) == 0.0
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            collision_probability(["only"])
+
+    def test_unbiasedness_statistically(self):
+        """Lemma 1: E[estimate] equals true collision probability.
+
+        True distribution: uniform over 4 symbols -> P = 1/4.
+        """
+        rng = random.Random(3)
+        estimates = []
+        for _ in range(300):
+            sample = [rng.randrange(4) for _ in range(40)]
+            estimates.append(collision_probability(sample))
+        mean = sum(estimates) / len(estimates)
+        assert abs(mean - 0.25) < 0.02
+
+
+class TestRenyiEntropy:
+    def test_uniform_exact(self):
+        assert renyi2_entropy_exact([0.25] * 4) == pytest.approx(2.0)
+
+    def test_point_mass(self):
+        assert renyi2_entropy_exact([1.0]) == pytest.approx(0.0)
+
+    def test_exact_rejects_bad_distribution(self):
+        with pytest.raises(ValueError):
+            renyi2_entropy_exact([0.5, 0.6])
+        with pytest.raises(ValueError):
+            renyi2_entropy_exact([1.5, -0.5])
+
+    def test_estimate_no_collisions_is_inf(self):
+        assert renyi2_entropy(list(range(100))) == math.inf
+
+    def test_estimate_close_to_truth_for_uniform(self):
+        rng = random.Random(7)
+        sample = [rng.randrange(16) for _ in range(5000)]
+        assert renyi2_entropy(sample) == pytest.approx(4.0, abs=0.15)
+
+    def test_renyi2_below_shannon_for_skewed(self):
+        # H2 <= H1; for a skewed distribution strictly below log2(support).
+        rng = random.Random(8)
+        sample = [0 if rng.random() < 0.7 else rng.randrange(1, 8) for _ in range(4000)]
+        assert renyi2_entropy(sample) < 3.0  # log2(8) = 3
+
+    @given(st.lists(st.integers(0, 5), min_size=2, max_size=200))
+    @settings(max_examples=100)
+    def test_estimate_nonnegative(self, sample):
+        assert renyi2_entropy(sample) >= 0.0
+
+
+class TestExpectedCollisions:
+    def test_forward_lemma(self):
+        # n=100, H2=4 bits -> C(100,2)/16 = 4950/16
+        assert expected_collisions(100, 4.0) == pytest.approx(4950 / 16)
+
+    def test_infinite_entropy(self):
+        assert expected_collisions(1000, math.inf) == 0.0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            expected_collisions(-1, 2.0)
+
+
+class TestConfidence:
+    def test_bound_below_estimate(self):
+        assert entropy_confidence_lower_bound(20.0, 10**6) <= 20.0 - 2.0 + 1e-9
+
+    def test_bound_limited_by_sample_size(self):
+        # Tiny sample cannot certify much entropy no matter the estimate.
+        bound = entropy_confidence_lower_bound(50.0, 800)
+        assert bound == pytest.approx(2 * math.log2(800 / 400))
+
+    def test_infinite_estimate_returns_certifiable(self):
+        bound = entropy_confidence_lower_bound(math.inf, 400 * 100)
+        assert bound == pytest.approx(2 * math.log2(100))
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            entropy_confidence_lower_bound(10.0, 1)
+
+    def test_samples_needed_matches_paper_rule(self):
+        # Structure of size n needs H2 = log2(n): v > 400 sqrt(n).
+        n = 10_000
+        assert samples_needed(math.log2(n)) == 400 * 100
+
+    def test_samples_needed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            samples_needed(-1.0)
+
+    def test_roundtrip_samples_certify_requirement(self):
+        required = 12.0
+        v = samples_needed(required)
+        assert entropy_confidence_lower_bound(math.inf, v) >= required - 1e-9
+
+
+class TestEntropyPerPosition:
+    def test_constant_position_zero_entropy(self):
+        keys = [b"AA" + bytes([i]) for i in range(64)]
+        profile = entropy_per_position(keys, word_size=1)
+        assert profile[0] == pytest.approx(0.0)
+        assert profile[1] == pytest.approx(0.0)
+        assert profile[2] == math.inf  # all distinct
+
+    def test_empty_corpus(self):
+        assert entropy_per_position([]) == {}
+
+    def test_word_size_strides(self):
+        keys = [bytes(range(16))] * 3
+        profile = entropy_per_position(keys, word_size=8)
+        assert set(profile) == {0, 8}

@@ -1,0 +1,87 @@
+"""Smoke tests: every example script must run end-to-end.
+
+Each example module exposes ``main()`` plus module-level size constants;
+the tests shrink the constants so the whole file stays fast, then run
+``main()`` and let the examples' own assertions fire.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    module = _load("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Correctness:" in out
+    assert "Bloom filter" in out
+
+
+def test_lsm_filter_pushdown_runs(capsys):
+    module = _load("lsm_filter_pushdown")
+    module.LEVEL_SIZES = (400, 800)
+    module.main()
+    out = capsys.readouterr().out
+    assert "Positive lookups verified" in out
+
+
+def test_join_partitioning_runs(capsys):
+    module = _load("join_partitioning")
+    module.BUILD_ROWS = 2_000
+    module.PROBE_ROWS = 4_000
+    module.main()
+    out = capsys.readouterr().out
+    assert "Identical join output" in out
+
+
+def test_dedupe_file_blocks_runs(capsys):
+    module = _load("dedupe_file_blocks")
+    module.NUM_UNIQUE_BLOCKS = 150
+    module.BLOCK_SIZE = 2_048
+    module.main()
+    out = capsys.readouterr().out
+    assert "Identical dedup outcome" in out
+
+
+def test_streaming_sketches_runs(capsys):
+    module = _load("streaming_sketches")
+    module.NUM_FLOWS = 1_000
+    module.STREAM_LEN = 8_000
+    module.main()
+    out = capsys.readouterr().out
+    assert "ns/packet" in out
+    assert "cardinality error" in out
+
+
+def test_kvstore_workload_runs(capsys):
+    module = _load("kvstore_workload")
+    module.NUM_KEYS = 1_500
+    module.NUM_OPERATIONS = 5_000
+    module.main()
+    out = capsys.readouterr().out
+    assert "Consistency check" in out
+
+
+def test_url_near_duplicates_runs(capsys):
+    module = _load("url_near_duplicates")
+    module.NUM_PAGES = 20
+    module.NUM_DUPLICATE_PAIRS = 4
+    module.SIGNATURE_K = 48
+    module.main()
+    out = capsys.readouterr().out
+    assert "recall 100%" in out
+    assert "Speedup" in out

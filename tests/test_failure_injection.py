@@ -1,0 +1,183 @@
+"""Failure-injection tests: pathological hashes, saturation, edge shapes.
+
+Correctness of every structure must survive the *worst* hash behaviour —
+constant outputs, low-entropy outputs, saturated filters — degrading
+only in performance, never in answers.  These tests inject such
+pathologies deliberately.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.partial_key import PartialKeyFunction
+from repro.filters.blocked import BlockedBloomFilter
+from repro.filters.bloom import BloomFilter
+from repro.hashing.base import HashFunction
+from repro.partitioning.partitioner import Partitioner
+from repro.sketches.countmin import CountMinSketch
+from repro.tables.chaining import SeparateChainingTable
+from repro.tables.cuckoo import CuckooTable
+from repro.tables.probing import LinearProbingTable
+
+
+def _constant_hasher(constant=0xDEADBEEF):
+    """An EntropyLearnedHasher whose base hash ignores its input."""
+    base = HashFunction("constant", lambda data, seed: constant)
+    return EntropyLearnedHasher(PartialKeyFunction.full_key(), base=base)
+
+
+def _low_bit_hasher():
+    """Hash with entropy only in the low 4 bits."""
+    base = HashFunction("lowbits", lambda data, seed: sum(data) & 0xF)
+    return EntropyLearnedHasher(PartialKeyFunction.full_key(), base=base)
+
+
+KEYS = [f"key-{i:04d}".encode() for i in range(200)]
+
+
+class TestConstantHash:
+    def test_probing_table_still_exact(self):
+        table = LinearProbingTable(_constant_hasher(), capacity=512)
+        for i, key in enumerate(KEYS):
+            table.insert(key, i)
+        assert all(table.get(k) == i for i, k in enumerate(KEYS))
+        assert table.get(b"absent") is None
+
+    def test_chaining_table_still_exact(self):
+        table = SeparateChainingTable(_constant_hasher(), capacity=512)
+        for i, key in enumerate(KEYS):
+            table.insert(key, i)
+        assert all(table.get(k) == i for i, k in enumerate(KEYS))
+
+    def test_probing_deletes_under_full_collision(self):
+        table = LinearProbingTable(_constant_hasher(), capacity=512)
+        for key in KEYS:
+            table.insert(key, key)
+        for key in KEYS[:100]:
+            assert table.delete(key)
+        assert all(table.get(k) == k for k in KEYS[100:])
+
+    def test_bloom_filter_no_false_negatives(self):
+        f = BloomFilter(_constant_hasher(), num_bits=1024, num_hashes=3)
+        for key in KEYS:
+            f.add(key)
+        assert all(f.contains(k) for k in KEYS)
+
+    def test_partitioner_all_one_bin_but_conserves(self):
+        p = Partitioner(_constant_hasher(), 16)
+        result = p.partition(KEYS, "data")
+        assert result.counts.sum() == len(KEYS)
+        assert (result.counts > 0).sum() == 1  # everything in one bin
+
+    def test_countmin_overestimates_but_never_under(self):
+        sketch = CountMinSketch(_constant_hasher(), width=64, depth=3)
+        for key in KEYS:
+            sketch.add(key)
+        for key in KEYS:
+            assert sketch.estimate(key) >= 1
+
+
+class TestLowEntropyHash:
+    def test_probing_table_exact(self):
+        table = LinearProbingTable(_low_bit_hasher(), capacity=512)
+        for i, key in enumerate(KEYS):
+            table.insert(key, i)
+        assert all(table.get(k) == i for i, k in enumerate(KEYS))
+
+    def test_chain_lengths_degrade_gracefully(self):
+        table = SeparateChainingTable(_low_bit_hasher(), capacity=512)
+        for key in KEYS:
+            table.insert(key)
+        histogram = table.chain_length_histogram()
+        assert max(histogram) >= len(KEYS) / 16 / 2  # piles into 16 buckets
+        assert sum(histogram) == len(KEYS)
+
+
+class TestSaturation:
+    def test_fully_saturated_bloom_answers_yes_everywhere(self):
+        f = BloomFilter(EntropyLearnedHasher.full_key("xxh3"),
+                        num_bits=64, num_hashes=2)
+        for i in range(2000):
+            f.add(f"k{i}".encode())
+        assert f.fill_fraction > 0.99
+        assert f.theoretical_fpr() > 0.95
+        assert all(f.contains(f"other-{i}".encode()) for i in range(50))
+
+    def test_blocked_filter_saturation(self):
+        f = BlockedBloomFilter(EntropyLearnedHasher.full_key("xxh3"),
+                               num_blocks=2)
+        for i in range(2000):
+            f.add(f"k{i}".encode())
+        assert f.measured_fpr([f"q{i}".encode() for i in range(200)]) > 0.9
+
+    def test_probing_table_at_extreme_load(self):
+        table = LinearProbingTable(
+            EntropyLearnedHasher.full_key(), capacity=16, max_load=0.99
+        )
+        keys = [f"x{i}".encode() for i in range(1000)]
+        for key in keys:
+            table.insert(key, key)
+        assert all(table.get(k) == k for k in keys)
+
+
+class TestDegenerateShapes:
+    def test_partitioner_single_bin(self):
+        p = Partitioner(EntropyLearnedHasher.full_key("crc32"), 1)
+        result = p.partition(KEYS, "pure")
+        assert result.counts[0] == len(KEYS)
+
+    def test_empty_key(self):
+        for table_cls in (LinearProbingTable, SeparateChainingTable, CuckooTable):
+            table = table_cls(EntropyLearnedHasher.full_key(), capacity=8)
+            table.insert(b"", "empty")
+            assert table.get(b"") == "empty"
+            assert table.delete(b"")
+
+    def test_very_long_single_key(self):
+        table = LinearProbingTable(EntropyLearnedHasher.full_key(), capacity=8)
+        key = bytes(range(256)) * 1000  # 256 KB
+        table.insert(key, 1)
+        assert table.get(key) == 1
+
+    def test_partial_key_positions_all_past_every_key(self):
+        """L selecting bytes no key reaches: every key takes the
+        full-key fallback, so behaviour equals full-key hashing."""
+        hasher = EntropyLearnedHasher.from_positions([10_000])
+        full = EntropyLearnedHasher.full_key()
+        assert all(hasher(k) == full(k) for k in KEYS)
+
+    def test_keys_that_are_prefixes_of_each_other(self):
+        table = LinearProbingTable(
+            EntropyLearnedHasher.from_positions([0], word_size=8), capacity=64
+        )
+        keys = [b"prefix"[:i] for i in range(7)] + [b"prefix" + b"x" * i
+                                                    for i in range(1, 5)]
+        for i, key in enumerate(keys):
+            table.insert(key, i)
+        assert all(table.get(k) == i for i, k in enumerate(keys))
+
+
+class TestMonitorUnderInjectedFailures:
+    def test_fallback_restores_performance_bound(self):
+        """After fallback, probe chains return to Knuth territory."""
+        from repro.core.trainer import train_model
+        from repro.datasets import google_urls
+        from repro.tables.probing import EntropyAwareProbingTable
+
+        model = train_model(google_urls(600, seed=3), fixed_dataset=True)
+        table = EntropyAwareProbingTable(model, capacity=4096)
+        if table.hasher.partial_key.is_full_key:
+            pytest.skip("no partial key learned")
+        width = table.hasher.partial_key.last_byte_used
+        adversarial = [b"Q" * width + f"-{i:05d}".encode() for i in range(1500)]
+        for key in adversarial:
+            table.insert(key, key)
+        assert table.fallen_back
+        table.stats.clear()
+        for key in adversarial:
+            table.get(key)
+        # Post-fallback: near-ideal chains at this load.
+        assert table.stats.chain_per_probe < 5.0

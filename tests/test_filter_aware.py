@@ -1,0 +1,68 @@
+"""Tests for entropy-aware Bloom filter construction (Section 5)."""
+
+import pytest
+
+from repro.core.trainer import train_model
+from repro.filters.aware import build_filter
+from repro.filters.blocked import BlockedBloomFilter
+from repro.filters.bloom import BloomFilter
+
+
+class TestHappyPath:
+    def test_matching_data_keeps_partial_key(self, google_corpus):
+        model = train_model(google_corpus, fixed_dataset=True)
+        report = build_filter(model, google_corpus)
+        assert not report.fell_back
+        assert not report.filter.hasher.partial_key.is_full_key
+        assert report.filter.contains_batch(google_corpus).all()
+
+    def test_blocked_flag(self, google_corpus):
+        model = train_model(google_corpus, fixed_dataset=True)
+        blocked = build_filter(model, google_corpus, blocked=True)
+        regular = build_filter(model, google_corpus, blocked=False)
+        assert isinstance(blocked.filter, BlockedBloomFilter)
+        assert isinstance(regular.filter, BloomFilter)
+
+    def test_report_accounting(self, google_corpus):
+        model = train_model(google_corpus, fixed_dataset=True)
+        report = build_filter(model, google_corpus)
+        assert report.set_bits > 0
+        assert report.expected_set_bits > 0
+        assert report.fill_deficit < 0.05
+
+
+class TestFallback:
+    def test_adversarial_data_falls_back(self, google_corpus):
+        """Train on URLs, build the filter over keys that are constant
+        on the learned bytes: validation must fail and the fallback
+        filter (full-key) must be returned."""
+        model = train_model(google_corpus, fixed_dataset=True)
+        probe = model.hasher_for_bloom_filter(1000, 0.01)
+        if probe.partial_key.is_full_key:
+            pytest.skip("model already full-key")
+        width = probe.partial_key.last_byte_used
+        adversarial = [b"C" * width + f"-suffix-{i:04d}".encode()
+                       for i in range(1000)]
+        report = build_filter(model, adversarial)
+        assert report.fell_back
+        assert report.filter.hasher.partial_key.is_full_key
+        # The fallback filter is exact on the data it holds.
+        assert report.filter.contains_batch(adversarial).all()
+
+    def test_fallback_filter_has_healthy_fill(self, google_corpus):
+        model = train_model(google_corpus, fixed_dataset=True)
+        probe = model.hasher_for_bloom_filter(1000, 0.01)
+        if probe.partial_key.is_full_key:
+            pytest.skip("model already full-key")
+        width = probe.partial_key.last_byte_used
+        adversarial = [b"C" * width + f"-suffix-{i:04d}".encode()
+                       for i in range(1000)]
+        report = build_filter(model, adversarial)
+        assert report.fill_deficit < 0.05  # full-key filter fills normally
+
+
+class TestValidation:
+    def test_rejects_empty(self, google_corpus):
+        model = train_model(google_corpus, fixed_dataset=True)
+        with pytest.raises(ValueError):
+            build_filter(model, [])

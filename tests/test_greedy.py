@@ -1,0 +1,160 @@
+"""Tests for the greedy byte selector (paper Algorithms 1-2)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.greedy import GreedyResult, choose_bytes, choose_bytes_naive
+from repro.core.partial_key import PartialKeyFunction
+from repro.datasets import structured_keys
+
+
+class TestBasicBehaviour:
+    def test_converges_to_zero_collisions(self, random_bytes_keys):
+        result = choose_bytes(random_bytes_keys)
+        assert result.train_collisions[-1] == 0
+
+    def test_finds_the_random_window(self):
+        """Section 6.3 keys: only bytes 32-39 are random; the greedy
+        selector must pick a word covering that window first."""
+        keys = structured_keys(400, seed=1, random_start=32, random_len=8)
+        result = choose_bytes(keys, word_size=8)
+        assert result.positions[0] in range(25, 33)
+
+    def test_entropy_monotone_nondecreasing(self, url_corpus):
+        result = choose_bytes(url_corpus[:300], url_corpus[300:])
+        finite = [e for e in result.entropies if e != math.inf]
+        assert all(b >= a - 1e-9 for a, b in zip(finite, finite[1:]))
+
+    def test_train_collisions_strictly_decreasing(self, url_corpus):
+        result = choose_bytes(url_corpus[:300])
+        assert all(
+            b < a for a, b in zip(result.train_collisions, result.train_collisions[1:])
+        )
+
+    def test_stops_on_exact_duplicates(self):
+        """Identical keys can never be separated; must terminate."""
+        keys = [b"same-key-value"] * 10 + [b"other-key-0000"] * 5
+        result = choose_bytes(keys, word_size=8)
+        assert result.train_collisions == [] or result.train_collisions[-1] > 0
+
+    def test_positions_distinct(self, url_corpus):
+        result = choose_bytes(url_corpus[:200])
+        assert len(set(result.positions)) == len(result.positions)
+
+
+class TestParameters:
+    def test_max_words_cap(self, url_corpus):
+        result = choose_bytes(url_corpus[:300], max_words=1)
+        assert len(result.positions) <= 1
+
+    def test_word_size_4(self, random_bytes_keys):
+        result = choose_bytes(random_bytes_keys, word_size=4)
+        assert result.word_size == 4
+        assert result.partial_key().word_size == 4
+
+    def test_word_size_1(self, random_bytes_keys):
+        result = choose_bytes(random_bytes_keys, word_size=1, max_words=10)
+        assert result.word_size == 1
+
+    def test_stride_1_considers_unaligned(self):
+        # Random window at an unaligned offset; stride=1 can center on it.
+        keys = structured_keys(300, seed=3, random_start=13, random_len=8)
+        result = choose_bytes(keys, word_size=8, stride=1)
+        assert 6 <= result.positions[0] <= 13
+
+    def test_coverage_limits_positions(self):
+        """90% coverage: positions must be reachable by >= 90% of keys."""
+        rng = random.Random(4)
+        short = [bytes(rng.randrange(256) for _ in range(10)) for _ in range(190)]
+        long = [bytes(rng.randrange(256) for _ in range(100)) for _ in range(10)]
+        result = choose_bytes(short + long, coverage=0.9)
+        L = result.partial_key()
+        assert L.last_byte_used <= 10
+
+    def test_requires_two_items(self):
+        with pytest.raises(ValueError):
+            choose_bytes([b"one"])
+
+    def test_rejects_bad_coverage(self, random_bytes_keys):
+        with pytest.raises(ValueError):
+            choose_bytes(random_bytes_keys, coverage=0.0)
+
+    def test_rejects_bad_stride(self, random_bytes_keys):
+        with pytest.raises(ValueError):
+            choose_bytes(random_bytes_keys, stride=0)
+
+
+class TestNaiveEquivalence:
+    def test_same_positions_and_entropies(self, url_corpus):
+        """The pruning optimization must not change the output."""
+        train, test = url_corpus[:250], url_corpus[250:]
+        fast = choose_bytes(train, test)
+        naive = choose_bytes_naive(train, test)
+        assert fast.positions == naive.positions
+        assert fast.entropies == naive.entropies
+        assert fast.train_collisions == naive.train_collisions
+
+
+class TestGreedyResult:
+    def _result(self):
+        return GreedyResult(
+            positions=[16, 0],
+            word_size=8,
+            entropies=[10.0, 25.0],
+            train_collisions=[5, 0],
+            train_size=100,
+            eval_size=100,
+        )
+
+    def test_partial_key_prefixes(self):
+        result = self._result()
+        assert result.partial_key(1).positions == (16,)
+        assert result.partial_key().positions == (16, 0)
+        assert result.partial_key(0).positions == ()
+
+    def test_partial_key_bounds(self):
+        with pytest.raises(ValueError):
+            self._result().partial_key(3)
+
+    def test_entropy_at(self):
+        result = self._result()
+        assert result.entropy_at(0) == 0.0
+        assert result.entropy_at(1) == 10.0
+        assert result.entropy_at(2) == 25.0
+        assert result.entropy_at(5) == 25.0  # clamps to best
+
+    def test_pareto_frontier(self):
+        assert self._result().pareto_frontier() == [(8, 10.0), (16, 25.0)]
+
+    def test_min_words_for_entropy(self):
+        result = self._result()
+        assert result.min_words_for_entropy(9.0) == 1
+        assert result.min_words_for_entropy(10.0) == 1
+        assert result.min_words_for_entropy(11.0) == 2
+        assert result.min_words_for_entropy(26.0) is None
+
+    def test_eval_on_train_flag(self, random_bytes_keys):
+        fixed = choose_bytes(random_bytes_keys)
+        split = choose_bytes(random_bytes_keys[:200], random_bytes_keys[200:])
+        assert fixed.eval_on_train
+        assert not split.eval_on_train
+
+
+class TestVariableLengthData:
+    def test_length_separates_keys_without_byte_reads(self):
+        """Keys identical except in length are separated by the implicit
+        length component; the selector should finish without selecting
+        a word for them."""
+        keys = [b"x" * n for n in range(5, 60)]
+        result = choose_bytes(keys, word_size=8)
+        assert result.positions == []
+
+    def test_mixed_lengths_converge(self, title_corpus):
+        result = choose_bytes(title_corpus, word_size=4, stride=1, coverage=0.8)
+        # Titles contain near-duplicates; selector should still terminate
+        # with a valid (possibly collision-free) solution.
+        assert isinstance(result.positions, list)
+        L = result.partial_key()
+        assert isinstance(L, PartialKeyFunction)

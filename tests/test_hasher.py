@@ -1,0 +1,127 @@
+"""Tests for EntropyLearnedHasher — the runtime H' = H ∘ L."""
+
+import numpy as np
+import pytest
+
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.partial_key import PartialKeyFunction
+from repro.hashing import get_hash
+from repro.hashing.wyhash import wyhash64
+
+
+class TestScalarPath:
+    def test_full_key_equals_base_hash(self):
+        h = EntropyLearnedHasher.full_key("wyhash", seed=5)
+        assert h(b"hello") == wyhash64(b"hello", 5)
+
+    def test_partial_hashes_subkey(self):
+        L = PartialKeyFunction(positions=(8,), word_size=8)
+        h = EntropyLearnedHasher(L, base="wyhash")
+        key = b"0123456789abcdef"
+        assert h(key) == wyhash64(L.subkey(key))
+
+    def test_short_key_falls_back_to_full(self):
+        L = PartialKeyFunction(positions=(8,), word_size=8)
+        h = EntropyLearnedHasher(L, base="wyhash")
+        assert h(b"short") == wyhash64(b"short")
+
+    def test_insensitive_to_unselected_bytes(self):
+        h = EntropyLearnedHasher.from_positions([8], word_size=8)
+        a = b"AAAAAAAA" + b"same-word-here!"
+        b = b"BBBBBBBB" + b"same-word-here!"
+        assert h(a) == h(b)
+
+    def test_sensitive_to_selected_bytes(self):
+        h = EntropyLearnedHasher.from_positions([0], word_size=8)
+        assert h(b"AAAAAAAAtail") != h(b"BAAAAAAAtail")
+
+    def test_hash_full_key_ignores_L(self):
+        h = EntropyLearnedHasher.from_positions([0], word_size=8)
+        key = b"0123456789"
+        assert h.hash_full_key(key) == wyhash64(key)
+
+    def test_str_keys(self):
+        h = EntropyLearnedHasher.full_key()
+        assert h("abc") == h(b"abc")
+
+
+class TestBatchPath:
+    @pytest.mark.parametrize("base", ["wyhash", "xxh3", "crc32"])
+    def test_batch_equals_scalar_full_key(self, base, url_corpus):
+        h = EntropyLearnedHasher.full_key(base, seed=9)
+        keys = url_corpus[:100]
+        batch = h.hash_batch(keys)
+        assert all(int(batch[i]) == h(k) for i, k in enumerate(keys))
+
+    @pytest.mark.parametrize("base", ["wyhash", "xxh3", "crc32"])
+    def test_batch_equals_scalar_partial(self, base, url_corpus):
+        h = EntropyLearnedHasher.from_positions([8, 24], base=base, seed=3)
+        keys = url_corpus[:100]
+        batch = h.hash_batch(keys)
+        assert all(int(batch[i]) == h(k) for i, k in enumerate(keys))
+
+    def test_batch_with_length_fallback_mix(self):
+        """Keys shorter than the last selected byte must take the
+        full-key path inside the batch too."""
+        h = EntropyLearnedHasher.from_positions([16], word_size=8)
+        keys = [b"tiny", b"x" * 24, b"y" * 10, b"z" * 30]
+        batch = h.hash_batch(keys)
+        assert all(int(batch[i]) == h(k) for i, k in enumerate(keys))
+
+    def test_empty_batch(self):
+        h = EntropyLearnedHasher.full_key()
+        result = h.hash_batch([])
+        assert result.shape == (0,)
+        assert result.dtype == np.uint64
+
+    def test_fallback_loop_for_kernel_less_base(self):
+        h = EntropyLearnedHasher.full_key("fnv1a")
+        keys = [b"a", b"bb", b"ccc"]
+        batch = h.hash_batch(keys)
+        assert all(int(batch[i]) == h(k) for i, k in enumerate(keys))
+
+    def test_word_size_4_batch(self):
+        h = EntropyLearnedHasher.from_positions([0, 8], word_size=4, base="wyhash")
+        keys = [bytes(range(16)), bytes(range(1, 17))]
+        batch = h.hash_batch(keys)
+        assert all(int(batch[i]) == h(k) for i, k in enumerate(keys))
+
+
+class TestAccounting:
+    def test_bytes_read_partial(self):
+        h = EntropyLearnedHasher.from_positions([0, 8], word_size=8)
+        assert h.bytes_read(b"x" * 100) == 16
+
+    def test_bytes_read_fallback(self):
+        h = EntropyLearnedHasher.from_positions([16], word_size=8)
+        assert h.bytes_read(b"x" * 10) == 10
+
+    def test_bytes_read_full_key(self):
+        h = EntropyLearnedHasher.full_key()
+        assert h.bytes_read(b"x" * 100) == 100
+
+    def test_average_words_read(self):
+        partial = EntropyLearnedHasher.from_positions([0], word_size=8)
+        full = EntropyLearnedHasher.full_key()
+        keys = [b"x" * 80] * 10
+        assert partial.average_words_read(keys) == 1.0
+        assert full.average_words_read(keys) == 10.0
+
+
+class TestConstruction:
+    def test_with_seed_changes_output(self):
+        h = EntropyLearnedHasher.from_positions([0], word_size=8)
+        h2 = h.with_seed(99)
+        key = b"0123456789"
+        assert h(key) != h2(key)
+        assert h2.partial_key is h.partial_key
+
+    def test_base_instance_reseeded(self):
+        base = get_hash("wyhash", seed=1)
+        h = EntropyLearnedHasher(PartialKeyFunction.full_key(), base=base, seed=2)
+        assert h.seed == 2
+
+    def test_repr(self):
+        h = EntropyLearnedHasher.from_positions([8], base="xxh3")
+        assert "xxh3" in repr(h)
+        assert "(8,)" in repr(h)

@@ -1,0 +1,91 @@
+"""Statistical quality tests: uniformity and avalanche behaviour.
+
+The library leans on base hashes behaving like ideal random functions
+(the paper's hash-function model); these tests check the properties the
+analysis actually uses — bucket uniformity under realistic key sets and
+avalanche on single-bit flips.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.hashing import murmur3_64, wyhash64, xxh3_64, xxh64
+from repro.hashing.crc import crc32_hash64
+
+FUNCS = [wyhash64, xxh64, xxh3_64, murmur3_64, crc32_hash64]
+
+
+def _chi_squared_uniform(buckets):
+    expected = sum(buckets) / len(buckets)
+    return sum((b - expected) ** 2 / expected for b in buckets)
+
+
+@pytest.mark.parametrize("func", FUNCS, ids=lambda f: f.__name__)
+class TestBucketUniformity:
+    """Chi-squared test over 256 buckets; threshold is the 99.9% quantile
+    of chi2(255) ≈ 340, so a correct hash fails with p < 0.001."""
+
+    def test_sequential_string_keys(self, func):
+        buckets = [0] * 256
+        for i in range(20000):
+            buckets[func(f"user:{i}".encode()) & 0xFF] += 1
+        assert _chi_squared_uniform(buckets) < 340
+
+    def test_high_bits_uniform(self, func):
+        buckets = [0] * 256
+        for i in range(20000):
+            buckets[func(f"user:{i}".encode()) >> 56] += 1
+        assert _chi_squared_uniform(buckets) < 340
+
+    def test_low_entropy_binary_keys(self, func):
+        # Keys differing in a single counter byte region.
+        buckets = [0] * 256
+        prefix = b"\x00" * 24
+        for i in range(20000):
+            key = prefix + i.to_bytes(4, "little") + b"\x00" * 4
+            buckets[func(key) & 0xFF] += 1
+        assert _chi_squared_uniform(buckets) < 340
+
+
+@pytest.mark.parametrize("func", FUNCS, ids=lambda f: f.__name__)
+def test_avalanche(func):
+    """Flipping one input bit should flip ~half the output bits."""
+    rng = random.Random(99)
+    total_flips = 0
+    trials = 0
+    for _ in range(60):
+        data = bytearray(rng.randrange(256) for _ in range(32))
+        reference = func(bytes(data))
+        bit = rng.randrange(32 * 8)
+        data[bit // 8] ^= 1 << (bit % 8)
+        flipped = bin(reference ^ func(bytes(data))).count("1")
+        total_flips += flipped
+        trials += 1
+    mean_flips = total_flips / trials
+    # Ideal is 32; CRC-based is weakest but the fmix finalizer fixes it.
+    assert 24 < mean_flips < 40
+
+
+@pytest.mark.parametrize("func", FUNCS, ids=lambda f: f.__name__)
+def test_no_trivial_length_extension_collisions(func):
+    """Appending zero bytes must change the hash (length is mixed in)."""
+    base = b"prefix-data"
+    hashes = {func(base + b"\x00" * i) for i in range(8)}
+    assert len(hashes) == 8
+
+
+def test_empirical_collision_rate_matches_birthday_bound():
+    """With 2^16 random keys into 2^32 buckets, expect ~0.5 collisions;
+    seeing many would indicate a broken mixer."""
+    rng = random.Random(5)
+    seen = {}
+    collisions = 0
+    for _ in range(1 << 16):
+        key = rng.getrandbits(128).to_bytes(16, "little")
+        h = wyhash64(key) & 0xFFFFFFFF
+        if h in seen and seen[h] != key:
+            collisions += 1
+        seen[h] = key
+    assert collisions < 10

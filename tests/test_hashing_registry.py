@@ -1,0 +1,49 @@
+"""Tests for the hash-function registry and HashFunction wrapper."""
+
+import pytest
+
+from repro.hashing import available_hashes, get_hash, register_hash
+from repro.hashing.base import HashFunction
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        names = available_hashes()
+        for expected in ("wyhash", "xxh64", "xxh3", "crc32", "murmur3", "fnv1a"):
+            assert expected in names
+
+    def test_get_unknown_raises_keyerror_with_suggestions(self):
+        with pytest.raises(KeyError, match="available"):
+            get_hash("nope")
+
+    def test_duplicate_registration_same_func_is_idempotent(self):
+        func = get_hash("wyhash")._func
+        register_hash("wyhash", func)  # no error
+
+    def test_duplicate_registration_different_func_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_hash("wyhash", lambda d, s: 0)
+
+
+class TestHashFunctionWrapper:
+    def test_call_coerces_str(self):
+        h = get_hash("xxh64")
+        assert h("abc") == h(b"abc")
+
+    def test_with_seed_returns_new_instance(self):
+        h = get_hash("wyhash")
+        h2 = h.with_seed(42)
+        assert h2.seed == 42
+        assert h.seed == 0
+        assert h2(b"x") != h(b"x")
+
+    def test_seed_is_masked_to_64_bits(self):
+        h = get_hash("wyhash", seed=2**64 + 7)
+        assert h.seed == 7
+
+    def test_repr_contains_name(self):
+        assert "wyhash" in repr(get_hash("wyhash"))
+
+    def test_hash_bytes_equals_call(self):
+        h = get_hash("xxh3", seed=3)
+        assert h.hash_bytes(b"data") == h(b"data")

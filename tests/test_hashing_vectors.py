@@ -1,0 +1,104 @@
+"""Known-answer vectors and cross-checks for the base hash functions."""
+
+import zlib
+
+import pytest
+
+from repro.hashing import crc32, fnv1a64, murmur3_64, wyhash64, xxh3_64, xxh64
+from repro.hashing.crc import crc32c, crc32_hash64
+
+
+class TestXXH64Vectors:
+    """Reference vectors from the xxHash specification."""
+
+    def test_empty_seed0(self):
+        assert xxh64(b"") == 0xEF46DB3751D8E999
+
+    def test_abc_seed0(self):
+        assert xxh64(b"abc") == 0x44BC2CF5AD770999
+
+    def test_seed_changes_output(self):
+        assert xxh64(b"abc", 1) != xxh64(b"abc", 0)
+
+    @pytest.mark.parametrize("length", [0, 1, 3, 4, 7, 8, 15, 16, 31, 32, 33, 63, 64, 100])
+    def test_deterministic_across_lengths(self, length):
+        data = bytes(range(256))[:length] * 1
+        assert xxh64(data) == xxh64(data)
+
+    def test_all_paths_differ(self):
+        # 32-byte bulk path vs short path must not coincide by accident.
+        outputs = {xxh64(bytes([i]) * n) for i in range(4) for n in (1, 8, 16, 33, 64)}
+        assert len(outputs) == 20
+
+
+class TestCRC32:
+    def test_check_value(self):
+        # The canonical CRC-32 check value.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_crc32c_check_value(self):
+        assert crc32c(b"123456789") == 0xE3069283
+
+    @pytest.mark.parametrize(
+        "data", [b"", b"a", b"hello world", bytes(range(256)), b"x" * 1000]
+    )
+    def test_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    def test_hash64_differs_from_raw_crc(self):
+        assert crc32_hash64(b"abc") != crc32(b"abc")
+
+    def test_hash64_length_sensitive(self):
+        # Raw CRC32 of b"\x00" and b"\x00\x00" differ, but the widened
+        # version must also separate length-only differences robustly.
+        assert crc32_hash64(b"") != crc32_hash64(b"\x00")
+
+
+class TestFNV:
+    def test_offset_basis(self):
+        assert fnv1a64(b"") == 0xCBF29CE484222325
+
+    def test_known_vector_a(self):
+        assert fnv1a64(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_known_vector_foobar(self):
+        assert fnv1a64(b"foobar") == 0x85944171F73967E8
+
+
+class TestDeterminismAndSpread:
+    """Sanity shared by every base hash."""
+
+    FUNCS = [wyhash64, xxh64, xxh3_64, murmur3_64, fnv1a64, crc32_hash64]
+
+    @pytest.mark.parametrize("func", FUNCS, ids=lambda f: f.__name__)
+    def test_deterministic(self, func):
+        for data in (b"", b"x", b"hello", bytes(range(200))):
+            assert func(data) == func(data)
+
+    @pytest.mark.parametrize("func", FUNCS, ids=lambda f: f.__name__)
+    def test_output_in_64_bits(self, func):
+        for data in (b"", b"abc", bytes(range(100))):
+            assert 0 <= func(data) < 2**64
+
+    @pytest.mark.parametrize("func", FUNCS, ids=lambda f: f.__name__)
+    def test_distinct_inputs_distinct_outputs(self, func):
+        inputs = [f"key-{i}".encode() for i in range(2000)]
+        outputs = {func(k) for k in inputs}
+        assert len(outputs) == len(inputs)  # 64-bit collisions ~ impossible
+
+    @pytest.mark.parametrize(
+        "func", [wyhash64, xxh64, xxh3_64, murmur3_64, crc32_hash64],
+        ids=lambda f: f.__name__,
+    )
+    def test_seed_sensitivity(self, func):
+        data = b"the quick brown fox"
+        assert func(data, 1) != func(data, 2)
+
+    @pytest.mark.parametrize("func", FUNCS, ids=lambda f: f.__name__)
+    def test_single_byte_flip_changes_output(self, func):
+        base = bytearray(b"a" * 64)
+        reference = func(bytes(base))
+        for i in range(0, 64, 7):
+            mutated = bytearray(base)
+            mutated[i] ^= 0x01
+            assert func(bytes(mutated)) != reference

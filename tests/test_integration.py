@@ -1,0 +1,176 @@
+"""End-to-end integration tests: the full paper pipeline per task.
+
+Each test walks Figure 2's three steps — learn entropy from samples,
+derive the task requirement, build and exercise the structure — and
+checks both exact correctness and the Section 4 analytical bounds.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.analysis import (
+    bloom_fpr_partial,
+    chaining_existing_partial,
+    probing_existing_partial,
+)
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import train_model
+from repro.datasets import google_urls, hn_urls, uuid_keys
+from repro.filters.blocked import BlockedBloomFilter
+from repro.filters.bloom import BloomFilter
+from repro.partitioning.partitioner import Partitioner
+from repro.partitioning.stats import relative_std
+from repro.tables.chaining import SeparateChainingTable
+from repro.tables.probing import LinearProbingTable
+
+
+@pytest.fixture(scope="module")
+def url_model_and_data():
+    keys = google_urls(3000, seed=21)
+    sample, rest = keys[:1000], keys[1000:]
+    model = train_model(sample, base="wyhash")
+    return model, rest
+
+
+class TestHashTablePipeline:
+    def test_probing_table_end_to_end(self, url_model_and_data):
+        model, data = url_model_and_data
+        stored, missing = data[:800], data[800:1600]
+        hasher = model.hasher_for_probing_table(len(stored))
+        assert not hasher.partial_key.is_full_key  # URLs have the entropy
+
+        table = LinearProbingTable(hasher, capacity=1024)
+        for i, k in enumerate(stored):
+            table.insert(k, i)
+
+        # Exact correctness despite hashing ~2 words of ~80-byte keys.
+        assert all(table.get(k) == i for i, k in enumerate(stored))
+        assert all(table.get(k) is None for k in missing)
+
+        # The comparison count obeys eq. (6) with the learned entropy.
+        table.stats.clear()
+        for k in stored:
+            table.get(k)
+        entropy = model.result.entropy_at(len(hasher.partial_key.positions))
+        bound = probing_existing_partial(table.num_slots, len(table), entropy)
+        assert table.stats.comparisons_per_probe <= 1.5 * bound
+
+    def test_chaining_table_end_to_end(self, url_model_and_data):
+        model, data = url_model_and_data
+        stored = data[:800]
+        hasher = model.hasher_for_chaining_table(len(stored))
+        table = SeparateChainingTable(hasher, capacity=1024)
+        for i, k in enumerate(stored):
+            table.insert(k, i)
+        assert all(table.get(k) == i for i, k in enumerate(stored))
+
+        table.stats.clear()
+        for k in stored:
+            table.get(k)
+        entropy = model.result.entropy_at(len(hasher.partial_key.positions))
+        alpha = len(table) / table.num_buckets
+        bound = chaining_existing_partial(alpha, len(table), entropy)
+        assert table.stats.comparisons_per_probe <= 1.5 * bound
+
+    def test_partial_cheaper_than_full(self, url_model_and_data):
+        """The point of the whole exercise: fewer words hashed at equal
+        correctness."""
+        model, data = url_model_and_data
+        hasher = model.hasher_for_probing_table(500)
+        full = EntropyLearnedHasher.full_key("wyhash")
+        assert hasher.average_words_read(data) < full.average_words_read(data) / 2
+
+
+class TestBloomPipeline:
+    def test_blocked_filter_end_to_end(self, url_model_and_data):
+        model, data = url_model_and_data
+        stored, negatives = data[:700], data[700:1700]
+        hasher = model.hasher_for_bloom_filter(len(stored), added_fpr=0.01)
+        f = BlockedBloomFilter.for_items(hasher, len(stored), target_fpr=0.03)
+        f.add_batch(stored)
+        assert f.validate_randomness()
+        assert f.contains_batch(stored).all()
+        assert f.measured_fpr(negatives) < 0.03 + 0.01 + 0.03
+
+    def test_standard_filter_fpr_bound(self, url_model_and_data):
+        model, data = url_model_and_data
+        stored, negatives = data[:700], data[700:1700]
+        hasher = model.hasher_for_bloom_filter(len(stored), added_fpr=0.01)
+        f = BloomFilter.for_items(hasher, len(stored), target_fpr=0.01)
+        f.add_batch(stored)
+        entropy = model.entropy_available()
+        bound = bloom_fpr_partial(f.num_bits, len(stored), f.num_hashes, entropy)
+        assert f.measured_fpr(negatives) <= max(2.0 * bound, 0.03)
+
+
+class TestPartitioningPipeline:
+    def test_partitioning_end_to_end(self, url_model_and_data):
+        model, data = url_model_and_data
+        hasher = model.hasher_for_partitioning(len(data), 64, mode="relative")
+        result = Partitioner(hasher, 64).partition(data, mode="data")
+        # Conservation + quality.
+        assert sum(len(p) for p in result.partitions) == len(data)
+        assert relative_std(result.counts) < 0.5
+
+    def test_partition_within_5pct_rule_large_n(self):
+        """Section 5's relative regime on a larger corpus."""
+        keys = uuid_keys(20_000, seed=30)
+        model = train_model(keys[:2000])
+        hasher = model.hasher_for_partitioning(len(keys), 16, mode="relative")
+        counts = Partitioner(hasher, 16).partition(keys, "pure").counts
+        assert relative_std(counts) < 0.10  # 5% target + sampling noise
+
+
+class TestCrossDatasetRobustness:
+    """Appendix experiment 3: train on one distribution, use another."""
+
+    def test_train_google_use_hn_still_correct(self):
+        google = google_urls(1500, seed=40)
+        hn = hn_urls(1200, seed=41)
+        model = train_model(google)
+        hasher = model.hasher_for_probing_table(600)
+        table = LinearProbingTable(hasher, capacity=1024)
+        stored, missing = hn[:600], hn[600:]
+        for i, k in enumerate(stored):
+            table.insert(k, i)
+        assert all(table.get(k) == i for i, k in enumerate(stored))
+        assert all(table.get(k) is None for k in missing)
+
+    def test_train_uuid_use_hn_degrades_gracefully(self):
+        """UUID-trained positions may collide badly on HN URLs, but the
+        structures remain exactly correct — only comparisons grow."""
+        uuids = uuid_keys(1000, seed=42)
+        hn = hn_urls(800, seed=43)
+        model = train_model(uuids)
+        hasher = model.hasher_for_probing_table(400)
+        table = LinearProbingTable(hasher, capacity=1024)
+        for i, k in enumerate(hn[:400]):
+            table.insert(k, i)
+        assert all(table.get(k) == i for i, k in enumerate(hn[:400]))
+
+
+class TestEntropyAccounting:
+    def test_frontier_supports_paper_figure5_claim(self):
+        """Figure 5: a couple of words support structures far larger than
+        the dataset itself for high-entropy sources."""
+        keys = google_urls(2000, seed=50)
+        model = train_model(keys)
+        assert model.result.min_words_for_entropy(math.log2(len(keys)) + 1) <= 2
+
+    def test_validation_entropy_generalizes(self):
+        """Entropy estimated on the validation half must be achievable on
+        completely fresh data (the generalization claim of Section 3)."""
+        train = google_urls(2000, seed=60)
+        fresh = google_urls(2000, seed=61)
+        model = train_model(train)
+        L = model.partial_key
+        if L.is_full_key:
+            pytest.skip("no partial key learned")
+        from repro.core.entropy import renyi2_entropy
+
+        claimed = model.result.entropies[-1]
+        measured = renyi2_entropy([L.subkey(k) for k in fresh])
+        if claimed != math.inf and measured != math.inf:
+            assert measured >= claimed - 3.0

@@ -1,0 +1,157 @@
+"""Deeper cross-module invariants and identities.
+
+These tests pin down relationships the implementation relies on but no
+single module owns: the finite-calculus identities behind the appendix
+proof, greedy optimality at the first step, and end-to-end agreement
+between independently implemented paths.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import q_series
+from repro.core.entropy import renyi2_entropy
+from repro.core.greedy import choose_bytes
+from repro.core.partial_key import PartialKeyFunction
+from repro.core.sizing import positions_for_entropy
+from repro.core.trainer import train_model
+from repro.datasets import composite_keys, hn_urls
+
+
+class TestQSeriesIdentities:
+    """The identities used in appendix A's induction:
+    (n/m)·Q0(m, n−1) = Q0(m, n) − 1 and
+    (n/m)·Q1(m, n−1) = Q1(m, n) − Q0(m, n)."""
+
+    @pytest.mark.parametrize("m,n", [(10, 5), (100, 60), (64, 50), (1000, 800)])
+    def test_q0_recurrence(self, m, n):
+        lhs = n / m * q_series(0, m, n - 1)
+        rhs = q_series(0, m, n) - 1.0
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    @pytest.mark.parametrize("m,n", [(10, 5), (100, 60), (64, 50), (1000, 800)])
+    def test_q1_recurrence(self, m, n):
+        lhs = n / m * q_series(1, m, n - 1)
+        rhs = q_series(1, m, n) - q_series(0, m, n)
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    @pytest.mark.parametrize("m,n", [(10, 3), (50, 20)])
+    def test_q_monotone_in_r(self, m, n):
+        assert q_series(0, m, n) <= q_series(1, m, n) <= q_series(2, m, n)
+
+
+class TestGreedyFirstStepOptimality:
+    def test_first_position_minimizes_collisions(self):
+        """Step 1 of the greedy must pick the globally best single word
+        (it *is* exhaustive over candidates at each step)."""
+        keys = hn_urls(400, seed=91)
+        result = choose_bytes(keys, word_size=8)
+        chosen = result.positions[0]
+
+        def collisions_at(pos):
+            L = PartialKeyFunction((pos,), 8)
+            from collections import Counter
+
+            counts = Counter(L.subkey(k) for k in keys)
+            return sum(c * (c - 1) // 2 for c in counts.values())
+
+        limit = max(0, sorted(len(k) for k in keys)[len(keys) // 10] - 8)
+        best = min(collisions_at(p) for p in range(0, limit + 1, 8))
+        assert collisions_at(chosen) == best
+
+    def test_prefix_positions_are_stable(self):
+        keys = composite_keys(400, seed=7)
+        result = choose_bytes(keys, word_size=4, max_words=4)
+        for k in range(len(result.positions) + 1):
+            assert result.partial_key(k).positions == tuple(result.positions[:k])
+
+
+class TestSelectionMeetsRequirement:
+    @given(required=st.floats(min_value=1.0, max_value=25.0))
+    @settings(max_examples=25, deadline=None)
+    def test_positions_for_entropy_contract(self, required):
+        keys = hn_urls(500, seed=17)
+        result = choose_bytes(keys[:250], keys[250:], word_size=8)
+        L = positions_for_entropy(result, required)
+        if L is not None:
+            achieved = result.entropy_at(len(L.positions))
+            assert achieved >= required
+            # And it is the cheapest such prefix.
+            if len(L.positions) > 1:
+                assert result.entropy_at(len(L.positions) - 1) < required
+
+    def test_model_word_count_monotone_in_requirement(self):
+        keys = hn_urls(800, seed=19)
+        model = train_model(keys, seed=2)
+        words = []
+        for required in (2.0, 8.0, 12.0, 16.0, 20.0):
+            hasher = model.hasher_for_entropy(required)
+            if hasher.partial_key.is_full_key:
+                words.append(float("inf"))
+            else:
+                words.append(len(hasher.partial_key.positions))
+        assert words == sorted(words)
+
+
+class TestIndependentPathAgreement:
+    """Quantities computed two ways must agree."""
+
+    def test_subkey_entropy_equals_view_based_entropy(self):
+        keys = hn_urls(300, seed=23)
+        L = PartialKeyFunction((8, 24), 8)
+        direct = renyi2_entropy([L.subkey(k) for k in keys])
+        from repro.core.partial_key import SubkeyView
+
+        view = SubkeyView.build(L, keys)
+        pairs = len(keys) * (len(keys) - 1) / 2
+        if view.num_collisions == 0:
+            assert direct == math.inf
+        else:
+            assert direct == pytest.approx(
+                -math.log2(view.num_collisions / pairs)
+            )
+
+    def test_partitioner_counts_equal_bincount_of_assign(self):
+        from repro.core.hasher import EntropyLearnedHasher
+        from repro.partitioning.partitioner import Partitioner
+        from repro.partitioning.stats import bin_counts
+
+        keys = hn_urls(400, seed=29)
+        p = Partitioner(EntropyLearnedHasher.full_key("crc32"), 16)
+        result = p.partition(keys, "pure")
+        assert (result.counts == bin_counts(result.assignments, 16)).all()
+
+    def test_table_stats_comparisons_equal_subkey_prediction(self):
+        """Measured chaining comparisons for hits equal the exact
+        fixed-data expression 1 + (z_x - 1 + (n - z_x)/m)/2 averaged."""
+        from repro.core.hasher import EntropyLearnedHasher
+        from repro.core.partial_key import SubkeyView
+        from repro.tables.chaining import SeparateChainingTable
+
+        hasher = EntropyLearnedHasher.from_positions([0], word_size=8)
+        rng = random.Random(3)
+        # Inject controlled duplicates on the first word.
+        keys = [
+            bytes([rng.randrange(4)]) * 8 + f"-{i:04d}".encode()
+            for i in range(400)
+        ]
+        table = SeparateChainingTable(hasher, capacity=1024)
+        for k in keys:
+            table.insert(k)
+        table.stats.clear()
+        for k in keys:
+            table.get(k)
+        measured = table.stats.comparisons_per_probe
+
+        view = SubkeyView.build(hasher.partial_key, keys)
+        n, m = len(keys), table.num_buckets
+        predicted = sum(
+            1 + 0.5 * (view.z[hasher.partial_key.hash_input(k)] - 1
+                       + (n - view.z[hasher.partial_key.hash_input(k)]) / m)
+            for k in keys
+        ) / n
+        assert measured == pytest.approx(predicted, rel=0.15)

@@ -1,0 +1,223 @@
+"""Tests for the LSM key-value store substrate."""
+
+import random
+
+import pytest
+
+from repro.datasets import google_urls
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+from repro.kvstore.sstable import SSTable, merge_runs
+from repro.kvstore.store import LSMStore
+
+
+class TestMemTable:
+    def test_put_get(self):
+        mt = MemTable()
+        mt.put(b"k", b"v")
+        assert mt.get(b"k") == b"v"
+        assert mt.get(b"absent") is None
+
+    def test_tombstone(self):
+        mt = MemTable()
+        mt.put(b"k", b"v")
+        mt.delete(b"k")
+        assert mt.get(b"k") is TOMBSTONE
+
+    def test_size_accounting(self):
+        mt = MemTable(max_bytes=100)
+        mt.put(b"abc", b"defgh")
+        assert mt.size_bytes == 8
+        mt.put(b"abc", b"xy")  # overwrite shrinks
+        assert mt.size_bytes == 5
+        mt.delete(b"abc")
+        assert mt.size_bytes == 3
+
+    def test_is_full(self):
+        mt = MemTable(max_bytes=8)
+        mt.put(b"0123", b"4567")
+        assert mt.is_full
+
+    def test_sorted_entries(self):
+        mt = MemTable()
+        for key in (b"c", b"a", b"b"):
+            mt.put(key, key)
+        assert [k for k, _ in mt.sorted_entries()] == [b"a", b"b", b"c"]
+
+    def test_clear(self):
+        mt = MemTable()
+        mt.put(b"k", b"v")
+        mt.clear()
+        assert len(mt) == 0 and mt.size_bytes == 0
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            MemTable(max_bytes=0)
+
+
+class TestSSTable:
+    def _run(self, n=100):
+        keys = sorted(google_urls(n, seed=9))
+        return SSTable([(k, b"v-" + k[:8]) for k in keys]), keys
+
+    def test_lookup(self):
+        run, keys = self._run()
+        assert run.get(keys[0]) == b"v-" + keys[0][:8]
+        assert run.get(b"definitely-not-present") is None
+
+    def test_key_range_pruning(self):
+        run, keys = self._run()
+        assert not run.may_contain(b"\x00")
+        assert not run.may_contain(b"\xff" * 4)
+
+    def test_filter_built_and_exact_on_members(self):
+        run, keys = self._run(200)
+        assert run.filter is not None
+        assert all(run.may_contain(k) for k in keys)
+
+    def test_small_runs_skip_filter(self):
+        run = SSTable([(b"a", b"1"), (b"b", b"2")])
+        assert run.filter is None
+        assert run.get(b"a") == b"1"
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            SSTable([(b"b", b"1"), (b"a", b"2")])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            SSTable([(b"a", b"1"), (b"a", b"2")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SSTable([])
+
+    def test_filter_rejections_counted(self):
+        run, keys = self._run(200)
+        # Probe keys inside the range but not stored.
+        inside = keys[0] + b"zz"
+        before = run.filter_rejections
+        for _ in range(50):
+            run.may_contain(inside)
+        assert run.filter_rejections >= before  # most should be rejected
+
+    def test_merge_newest_wins(self):
+        old = SSTable([(b"a", b"old"), (b"b", b"old")])
+        new = SSTable([(b"a", b"new")])
+        merged = merge_runs([new, old], drop_tombstones=False)
+        assert dict(merged) == {b"a": b"new", b"b": b"old"}
+
+    def test_merge_drops_tombstones(self):
+        old = SSTable([(b"a", b"v")])
+        new = SSTable([(b"a", TOMBSTONE)])
+        assert merge_runs([new, old], drop_tombstones=True) == []
+        kept = merge_runs([new, old], drop_tombstones=False)
+        assert kept[0][1] is TOMBSTONE
+
+
+class TestLSMStore:
+    def test_put_get_through_memtable(self):
+        store = LSMStore()
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+
+    def test_get_after_flush(self):
+        store = LSMStore(memtable_bytes=1 << 20)
+        for i in range(100):
+            store.put(f"key-{i:04d}".encode(), f"value-{i}".encode())
+        store.flush()
+        assert store.num_runs == 1
+        assert store.get(b"key-0042") == b"value-42"
+        assert store.get(b"missing") is None
+
+    def test_newest_version_wins_across_runs(self):
+        store = LSMStore()
+        store.put(b"k", b"v1")
+        store.flush()
+        store.put(b"k", b"v2")
+        store.flush()
+        assert store.get(b"k") == b"v2"
+
+    def test_delete_shadows_older_runs(self):
+        store = LSMStore()
+        store.put(b"k", b"v")
+        store.flush()
+        store.delete(b"k")
+        assert store.get(b"k") is None
+        store.flush()
+        assert store.get(b"k") is None
+        assert b"k" not in store
+
+    def test_compaction_merges_runs_and_drops_garbage(self):
+        store = LSMStore(compaction_fanout=2)
+        for round_index in range(4):
+            for i in range(30):
+                store.put(f"key-{i:03d}".encode(),
+                          f"v{round_index}-{i}".encode())
+            store.flush()
+        assert store.num_runs <= 2
+        assert store.stats.compactions >= 1
+        # Latest versions visible; shadowed versions gone from storage.
+        for i in range(30):
+            assert store.get(f"key-{i:03d}".encode()).startswith(b"v3")
+        assert store.total_entries() <= 60
+
+    def test_compaction_removes_deleted_keys_entirely(self):
+        store = LSMStore(compaction_fanout=2)
+        for i in range(40):
+            store.put(f"key-{i:03d}".encode(), b"v")
+        store.flush()
+        for i in range(40):
+            store.delete(f"key-{i:03d}".encode())
+        store.flush()
+        store.compact()
+        assert store.num_runs <= 1
+        assert store.total_entries() == 0
+
+    def test_automatic_flush_on_memtable_fill(self):
+        store = LSMStore(memtable_bytes=256)
+        for i in range(100):
+            store.put(f"key-{i:05d}".encode(), b"x" * 16)
+        assert store.stats.flushes > 0
+        assert all(
+            store.get(f"key-{i:05d}".encode()) == b"x" * 16 for i in range(100)
+        )
+
+    def test_filters_prune_negative_lookups(self):
+        store = LSMStore(compaction_fanout=100)  # keep runs separate
+        keys = google_urls(600, seed=11)
+        for chunk_start in range(0, 600, 200):
+            for k in keys[chunk_start:chunk_start + 200]:
+                store.put(k, b"v")
+            store.flush()
+        negatives = google_urls(400, seed=12)
+        for k in negatives:
+            store.get(k)
+        stats = store.stats
+        # Nearly every (in-range) negative probe should be answered by a
+        # filter instead of a binary search.
+        assert stats.runs_pruned_by_filter > 0
+        assert stats.searches_per_get < 0.25
+
+    def test_fuzz_against_dict(self):
+        rng = random.Random(13)
+        store = LSMStore(memtable_bytes=512, compaction_fanout=3)
+        reference = {}
+        universe = [f"key-{i:03d}".encode() for i in range(120)]
+        for _ in range(3000):
+            key = rng.choice(universe)
+            op = rng.random()
+            if op < 0.55:
+                value = f"v{rng.randrange(1000)}".encode()
+                store.put(key, value)
+                reference[key] = value
+            elif op < 0.8:
+                assert store.get(key) == reference.get(key)
+            else:
+                store.delete(key)
+                reference.pop(key, None)
+        for key in universe:
+            assert store.get(key) == reference.get(key)
+
+    def test_rejects_bad_fanout(self):
+        with pytest.raises(ValueError):
+            LSMStore(compaction_fanout=1)

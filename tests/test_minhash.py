@@ -1,0 +1,90 @@
+"""Tests for MinHash resemblance signatures."""
+
+import random
+
+import pytest
+
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import train_model
+from repro.sketches.minhash import MinHashSignature
+
+
+@pytest.fixture
+def full_hasher():
+    return EntropyLearnedHasher.full_key("xxh3")
+
+
+def _sets_with_jaccard(similarity: float, size: int = 400, seed: int = 0):
+    """Two sets of byte strings with the requested Jaccard similarity."""
+    rng = random.Random(seed)
+    shared = int(size * 2 * similarity / (1 + similarity))
+    common = [f"common-{i}-{rng.random()}".encode() for i in range(shared)]
+    only_a = [f"a-{i}-{rng.random()}".encode() for i in range(size - shared)]
+    only_b = [f"b-{i}-{rng.random()}".encode() for i in range(size - shared)]
+    return common + only_a, common + only_b
+
+
+class TestEstimation:
+    def test_identical_sets(self, full_hasher):
+        items = [f"item-{i}".encode() for i in range(200)]
+        a = MinHashSignature.from_items(full_hasher, items, k=64)
+        b = MinHashSignature.from_items(full_hasher, items, k=64)
+        assert a.jaccard(b) == 1.0
+
+    def test_disjoint_sets(self, full_hasher):
+        a = MinHashSignature.from_items(
+            full_hasher, [f"a{i}".encode() for i in range(300)], k=128
+        )
+        b = MinHashSignature.from_items(
+            full_hasher, [f"b{i}".encode() for i in range(300)], k=128
+        )
+        assert a.jaccard(b) < 0.06
+
+    @pytest.mark.parametrize("target", [0.3, 0.7])
+    def test_estimates_within_error(self, full_hasher, target):
+        set_a, set_b = _sets_with_jaccard(target, seed=3)
+        a = MinHashSignature.from_items(full_hasher, set_a, k=256)
+        b = MinHashSignature.from_items(full_hasher, set_b, k=256)
+        estimate = a.jaccard(b)
+        assert abs(estimate - target) < 4 * a.standard_error() + 0.03
+
+    def test_merge_is_union(self, full_hasher):
+        set_a = [f"a{i}".encode() for i in range(200)]
+        set_b = [f"b{i}".encode() for i in range(200)]
+        union_sig = MinHashSignature.from_items(full_hasher, set_a + set_b, k=64)
+        merged = MinHashSignature.from_items(full_hasher, set_a, k=64).merge(
+            MinHashSignature.from_items(full_hasher, set_b, k=64)
+        )
+        assert (merged.mins == union_sig.mins).all()
+
+
+class TestValidation:
+    def test_rejects_empty_set(self, full_hasher):
+        with pytest.raises(ValueError):
+            MinHashSignature.from_items(full_hasher, [], k=16)
+
+    def test_rejects_bad_k(self, full_hasher):
+        with pytest.raises(ValueError):
+            MinHashSignature.from_items(full_hasher, [b"x"], k=0)
+
+    def test_mismatched_k(self, full_hasher):
+        a = MinHashSignature.from_items(full_hasher, [b"x"], k=16)
+        b = MinHashSignature.from_items(full_hasher, [b"x"], k=32)
+        with pytest.raises(ValueError):
+            a.jaccard(b)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestWithEntropyLearnedHashing:
+    def test_elh_minhash_matches_full_key_estimates(self, google_corpus):
+        """With enough entropy, ELH MinHash estimates the same Jaccard."""
+        model = train_model(google_corpus, fixed_dataset=True)
+        elh = model.hasher_for_entropy(20.0)
+        full = EntropyLearnedHasher.full_key("wyhash")
+        set_a = google_corpus[:400]
+        set_b = google_corpus[200:]
+        sig = lambda h, s: MinHashSignature.from_items(h, s, k=128)
+        est_full = sig(full, set_a).jaccard(sig(full, set_b))
+        est_elh = sig(elh, set_a).jaccard(sig(elh, set_b))
+        assert abs(est_full - est_elh) < 0.15

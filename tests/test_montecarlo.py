@@ -1,0 +1,112 @@
+"""Monte-Carlo validation of the appendix-A linear-probing bounds.
+
+These tests check the paper's equations against simulation of the exact
+probabilistic model they were derived in (ideal random hash over
+distinct partial keys), which is a stronger check than measuring our
+concrete hash tables: no hash-function quality or implementation detail
+can mask an analysis error.
+"""
+
+import math
+
+import pytest
+
+from repro.core.analysis import (
+    probing_existing_fixed,
+    probing_existing_full,
+    probing_existing_partial,
+    probing_missing_full,
+    probing_missing_partial,
+    q_series,
+)
+from repro.simulation.montecarlo import (
+    ProbingSample,
+    multiplicities_for_entropy,
+    simulate_probing,
+)
+
+
+class TestFullKeyKnuth:
+    """With all-unique keys the simulation must match Knuth's exact
+    formulas (the appendix re-derives them as its base case)."""
+
+    @pytest.mark.parametrize("m,n", [(128, 64), (256, 192), (64, 16)])
+    def test_missing_key_cost(self, m, n):
+        sample = simulate_probing([1] * n, m=m, trials=60, seed=3)
+        exact = 0.5 * (1 + q_series(1, m, n))
+        assert sample.mean_missing_probes == pytest.approx(exact, rel=0.12)
+
+    @pytest.mark.parametrize("m,n", [(128, 64), (256, 192)])
+    def test_existing_key_cost(self, m, n):
+        sample = simulate_probing([1] * n, m=m, trials=60, seed=4)
+        exact = 0.5 * (1 + q_series(0, m, n - 1))
+        assert sample.mean_existing_probes == pytest.approx(exact, rel=0.12)
+
+    @pytest.mark.parametrize("m,n", [(128, 64), (256, 192)])
+    def test_chain_length(self, m, n):
+        sample = simulate_probing([1] * n, m=m, trials=60, seed=5)
+        exact = q_series(1, m, n)
+        assert sample.mean_chain_length == pytest.approx(exact, rel=0.15)
+
+    def test_bounds_dominate_simulation(self, ):
+        m, n = 256, 200
+        sample = simulate_probing([1] * n, m=m, trials=40, seed=6)
+        assert sample.mean_missing_probes <= probing_missing_full(m, n) * 1.1
+        assert sample.mean_existing_probes <= probing_existing_full(m, n) * 1.1
+
+
+class TestPartialKeyBounds:
+    """Equations (3)-(6): simulated costs under multisets stay under the
+    paper's bounds (which are upper bounds, so <= with noise slack)."""
+
+    def test_fixed_data_bound_eq4(self):
+        # Multiset with a few heavy partial keys.
+        multiplicities = [3, 3, 2, 2] + [1] * 90
+        n = sum(multiplicities)
+        m = 256
+        collisions = sum(z * (z - 1) for z in multiplicities)  # falling power
+        sample = simulate_probing(multiplicities, m=m, trials=60, seed=7)
+        bound = probing_existing_fixed(m, n, collisions // 1)
+        assert sample.mean_existing_probes <= bound * 1.15
+
+    @pytest.mark.parametrize("entropy_offset", [0.0, 2.0])
+    def test_random_data_bounds_eq5_eq6(self, entropy_offset):
+        n, m = 150, 512
+        entropy = math.log2(n) + entropy_offset
+        # Average the bound check over several drawn multisets.
+        missing_total = existing_total = 0.0
+        draws = 12
+        for seed in range(draws):
+            multiplicities = multiplicities_for_entropy(n, entropy, seed=seed)
+            actual_n = sum(multiplicities)
+            sample = simulate_probing(multiplicities, m=m, trials=25,
+                                      seed=100 + seed)
+            missing_total += sample.mean_missing_probes
+            existing_total += sample.mean_existing_probes
+        mean_missing = missing_total / draws
+        mean_existing = existing_total / draws
+        assert mean_missing <= probing_missing_partial(m, n, entropy) * 1.15
+        assert mean_existing <= probing_existing_partial(m, n, entropy) * 1.15
+
+    def test_heavier_collisions_cost_more(self):
+        """Directional sanity: more partial-key mass -> more probes."""
+        m = 256
+        light = simulate_probing([1] * 100, m=m, trials=40, seed=9)
+        heavy = simulate_probing([10] * 10, m=m, trials=40, seed=9)
+        assert heavy.mean_existing_probes > light.mean_existing_probes
+
+
+class TestHelpers:
+    def test_multiplicities_sum_to_n(self):
+        assert sum(multiplicities_for_entropy(200, 6.0, seed=1)) == 200
+
+    def test_low_entropy_concentrates(self):
+        few = multiplicities_for_entropy(200, 2.0, seed=2)
+        many = multiplicities_for_entropy(200, 12.0, seed=2)
+        assert len(few) < len(many)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_probing([1] * 10, m=10)
+        with pytest.raises(ValueError):
+            simulate_probing([0, 1], m=10)

@@ -1,0 +1,144 @@
+"""Tests for the relational operators (group-by, hash join)."""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.core.trainer import train_model
+from repro.datasets import hn_urls
+from repro.operators.aggregate import COUNT, MAX, MIN, SUM, hash_group_by
+from repro.operators.join import hash_join, partitioned_hash_join
+
+
+def _reference_group_by(rows):
+    groups = defaultdict(list)
+    for key, value in rows:
+        groups[key].append(value)
+    return groups
+
+
+class TestGroupBy:
+    def test_count_and_sum(self):
+        rows = [(b"a", 1), (b"b", 5), (b"a", 3), (b"c", 2), (b"a", 1)]
+        result = hash_group_by(rows, [COUNT, SUM])
+        assert result[b"a"] == (3, 5)
+        assert result[b"b"] == (1, 5)
+        assert result[b"c"] == (1, 2)
+        assert len(result) == 3
+        assert result.num_rows == 5
+
+    def test_min_max(self):
+        rows = [(b"g", 4), (b"g", -2), (b"g", 9)]
+        result = hash_group_by(rows, [MIN, MAX])
+        assert result[b"g"] == (-2, 9)
+
+    def test_contains(self):
+        result = hash_group_by([(b"x", 1)], [COUNT])
+        assert b"x" in result
+        assert b"y" not in result
+
+    def test_requires_aggregates(self):
+        with pytest.raises(ValueError):
+            hash_group_by([(b"x", 1)], [])
+
+    def test_str_keys_coerced(self):
+        result = hash_group_by([("key", 1), (b"key", 2)], [COUNT])
+        assert result["key"] == (2,)
+
+    def test_matches_reference_on_random_data(self):
+        rng = random.Random(5)
+        rows = [
+            (f"group-{rng.randrange(40)}".encode(), rng.randrange(100))
+            for _ in range(5000)
+        ]
+        result = hash_group_by(rows, [COUNT, SUM, MIN, MAX])
+        reference = _reference_group_by(rows)
+        assert len(result) == len(reference)
+        for key, values in reference.items():
+            assert result[key] == (
+                len(values), sum(values), min(values), max(values)
+            )
+
+    def test_with_entropy_model(self):
+        """A trained model drives the table's hasher; results identical."""
+        urls = hn_urls(2000, seed=3)
+        model = train_model(urls[:1000], fixed_dataset=True)
+        rows = [(k, 1) for k in urls for _ in range(1)]
+        with_model = hash_group_by(rows, [COUNT], model=model,
+                                   expected_groups=len(urls))
+        without = hash_group_by(rows, [COUNT])
+        assert with_model.groups == without.groups
+        # And it reads fewer bytes per row.
+        assert with_model.hasher_bytes_read < without.hasher_bytes_read
+
+
+class TestHashJoin:
+    def test_basic_inner_join(self):
+        build = [(b"k1", "b1"), (b"k2", "b2")]
+        probe = [(b"k1", "p1"), (b"k3", "p3"), (b"k2", "p2")]
+        result = hash_join(build, probe)
+        assert sorted(result) == [
+            (b"k1", "b1", "p1"), (b"k2", "b2", "p2"),
+        ]
+
+    def test_duplicate_build_keys_fan_out(self):
+        build = [(b"k", "b1"), (b"k", "b2")]
+        probe = [(b"k", "p")]
+        result = hash_join(build, probe)
+        assert sorted(result) == [(b"k", "b1", "p"), (b"k", "b2", "p")]
+
+    def test_duplicate_probe_keys_fan_out(self):
+        build = [(b"k", "b")]
+        probe = [(b"k", "p1"), (b"k", "p2")]
+        assert len(hash_join(build, probe)) == 2
+
+    def test_empty_inputs(self):
+        assert hash_join([], [(b"k", 1)]) == []
+        assert hash_join([(b"k", 1)], []) == []
+
+    def test_matches_reference_on_random_data(self):
+        rng = random.Random(8)
+        build = [(f"k{rng.randrange(100)}".encode(), i) for i in range(300)]
+        probe = [(f"k{rng.randrange(150)}".encode(), i) for i in range(500)]
+        result = sorted(hash_join(build, probe))
+        reference = sorted(
+            (bk, bv, pv)
+            for bk, bv in build
+            for pk, pv in probe
+            if bk == pk
+        )
+        assert result == reference
+
+
+class TestPartitionedJoin:
+    def test_same_output_as_plain_join(self):
+        rng = random.Random(21)
+        urls = hn_urls(800, seed=4)
+        build = [(k, f"b{i}") for i, k in enumerate(urls[:500])]
+        probe = [(rng.choice(urls), f"p{i}") for i in range(1000)]
+        plain = sorted(hash_join(build, probe))
+        grace = sorted(partitioned_hash_join(build, probe, num_partitions=8))
+        assert plain == grace
+
+    def test_with_entropy_model(self):
+        urls = hn_urls(1200, seed=6)
+        model = train_model(urls[:600], fixed_dataset=True)
+        build = [(k, i) for i, k in enumerate(urls[:600])]
+        probe = [(k, i) for i, k in enumerate(urls[300:900])]
+        with_model = sorted(
+            partitioned_hash_join(build, probe, num_partitions=16, model=model)
+        )
+        without = sorted(partitioned_hash_join(build, probe, num_partitions=16))
+        assert with_model == without
+        assert len(with_model) == 300  # overlap region
+
+    def test_single_partition_degenerates_to_plain(self):
+        build = [(b"a", 1), (b"b", 2)]
+        probe = [(b"a", 3)]
+        assert partitioned_hash_join(build, probe, num_partitions=1) == \
+            hash_join(build, probe)
+
+    def test_rejects_bad_partition_count(self):
+        with pytest.raises(ValueError):
+            partitioned_hash_join([], [], num_partitions=0)

@@ -1,0 +1,145 @@
+"""Tests for PartialKeyFunction and SubkeyView (paper Sections 2-3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partial_key import PartialKeyFunction, SubkeyView
+
+
+class TestConstruction:
+    def test_rejects_bad_word_size(self):
+        with pytest.raises(ValueError):
+            PartialKeyFunction(positions=(0,), word_size=3)
+
+    def test_rejects_negative_positions(self):
+        with pytest.raises(ValueError):
+            PartialKeyFunction(positions=(-1,), word_size=8)
+
+    def test_rejects_duplicate_positions(self):
+        with pytest.raises(ValueError):
+            PartialKeyFunction(positions=(0, 0), word_size=8)
+
+    def test_full_key_constructor(self):
+        L = PartialKeyFunction.full_key()
+        assert L.is_full_key
+        assert L.last_byte_used == 0
+        assert L.bytes_read == 0
+
+    def test_from_positions(self):
+        L = PartialKeyFunction.from_positions([8, 0], word_size=4)
+        assert L.positions == (8, 0)
+        assert L.last_byte_used == 12
+        assert L.bytes_read == 8
+
+
+class TestSubkey:
+    def test_paper_example(self):
+        """The paper's K = {dog, dot, cat, fan} with first-two-chars L."""
+        L = PartialKeyFunction(positions=(0,), word_size=2)
+        assert L.subkey(b"dog") == L.subkey(b"dot")
+        assert L.subkey(b"dog") != L.subkey(b"cat")
+        assert L.subkey(b"cat") != L.subkey(b"fan")
+
+    def test_length_always_included(self):
+        # Same selected bytes, different total length -> different subkey.
+        L = PartialKeyFunction(positions=(0,), word_size=2)
+        assert L.subkey(b"ab") != L.subkey(b"abc")
+
+    def test_zero_pads_past_end(self):
+        L = PartialKeyFunction(positions=(4,), word_size=8)
+        short = L.subkey(b"abcdef")  # bytes 4..11, only ef present
+        assert short[4:] == b"ef" + b"\x00" * 6
+
+    def test_subkey_deterministic_order(self):
+        L = PartialKeyFunction(positions=(8, 0), word_size=2)
+        key = b"0123456789abcdef"
+        assert L.subkey(key)[4:] == b"89" + b"01"
+
+
+class TestHashInput:
+    def test_fallback_for_short_keys(self):
+        L = PartialKeyFunction(positions=(8,), word_size=8)
+        assert L.hash_input(b"short") == b"short"  # len 5 < 16
+        assert not L.applies_to(b"short")
+
+    def test_partial_for_long_keys(self):
+        L = PartialKeyFunction(positions=(8,), word_size=8)
+        key = b"0123456789abcdef"  # len 16 == last_byte_used
+        assert L.applies_to(key)
+        assert L.hash_input(key) == L.subkey(key)
+
+    def test_full_key_identity(self):
+        L = PartialKeyFunction.full_key()
+        assert L.hash_input(b"anything") == b"anything"
+
+    def test_callable_alias(self):
+        L = PartialKeyFunction(positions=(0,), word_size=4)
+        assert L(b"abcdefgh") == L.hash_input(b"abcdefgh")
+
+    def test_str_keys_coerced(self):
+        L = PartialKeyFunction(positions=(0,), word_size=4)
+        assert L.hash_input("abcdefgh") == L.hash_input(b"abcdefgh")
+
+
+class TestPrefix:
+    def test_prefix_walks_frontier(self):
+        L = PartialKeyFunction(positions=(16, 0, 8), word_size=8)
+        assert L.prefix(1).positions == (16,)
+        assert L.prefix(2).positions == (16, 0)
+        assert L.prefix(0).is_full_key is False or L.prefix(0).positions == ()
+
+    def test_prefix_rejects_negative(self):
+        L = PartialKeyFunction(positions=(0,), word_size=8)
+        with pytest.raises(ValueError):
+            L.prefix(-1)
+
+
+class TestProjectionProperties:
+    """L behaves like a projection: agreement on selected bytes + length
+    determines the subkey, nothing else does."""
+
+    @given(st.binary(min_size=16, max_size=64), st.binary(min_size=16, max_size=64))
+    @settings(max_examples=200)
+    def test_subkey_equality_iff_projection_equal(self, x, y):
+        L = PartialKeyFunction(positions=(0, 8), word_size=8)
+        same_projection = (
+            len(x) == len(y) and x[0:8] == y[0:8] and x[8:16] == y[8:16]
+        )
+        assert (L.subkey(x) == L.subkey(y)) == same_projection
+
+    @given(st.binary(min_size=0, max_size=80))
+    @settings(max_examples=200)
+    def test_hash_input_total(self, key):
+        L = PartialKeyFunction(positions=(4, 20), word_size=8)
+        result = L.hash_input(key)
+        assert isinstance(result, bytes)
+
+    @given(st.binary(min_size=28, max_size=80))
+    @settings(max_examples=100)
+    def test_subkey_ignores_unselected_bytes(self, key):
+        L = PartialKeyFunction(positions=(4, 20), word_size=8)
+        mutated = bytearray(key)
+        mutated[0] ^= 0xFF  # byte 0 is not selected
+        assert L.subkey(key) == L.subkey(bytes(mutated))
+
+
+class TestSubkeyView:
+    def test_paper_multiset_example(self):
+        L = PartialKeyFunction(positions=(0,), word_size=2)
+        view = SubkeyView.build(L, [b"dog", b"dot", b"cat", b"fan"])
+        assert view.num_distinct == 3
+        assert view.z[L.hash_input(b"dog")] == 2
+        assert view.z[L.hash_input(b"cat")] == 1
+
+    def test_collision_and_duplicate_counts(self):
+        L = PartialKeyFunction(positions=(0,), word_size=1)
+        view = SubkeyView.build(L, [b"aa", b"ab", b"ac", b"bd"])
+        assert view.num_collisions == 3  # C(3,2) for the 'a' group
+        assert view.num_duplicated_items == 3
+
+    def test_no_collisions(self):
+        L = PartialKeyFunction.full_key()
+        view = SubkeyView.build(L, [b"x", b"y", b"z"])
+        assert view.num_collisions == 0
+        assert view.num_duplicated_items == 0

@@ -1,0 +1,131 @@
+"""Tests for hash partitioning and its quality statistics (Section 4.3)."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import partition_relative_std_bound, partition_variance_full
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import train_model
+from repro.partitioning.partitioner import Partitioner
+from repro.partitioning.stats import (
+    bin_counts,
+    max_overload,
+    normalized_relative_std,
+    relative_std,
+    variance,
+)
+
+
+@pytest.fixture
+def full_hasher():
+    return EntropyLearnedHasher.full_key("crc32")
+
+
+class TestPartitioner:
+    def test_conserves_items_pure(self, full_hasher, url_corpus):
+        p = Partitioner(full_hasher, 16)
+        result = p.partition(url_corpus, mode="pure")
+        assert result.total_items() == len(url_corpus)
+        assert result.counts.sum() == len(url_corpus)
+
+    def test_positional_mode_indexes(self, full_hasher, url_corpus):
+        p = Partitioner(full_hasher, 8)
+        result = p.partition(url_corpus[:100], mode="positional")
+        flat = sorted(i for bucket in result.positions for i in bucket)
+        assert flat == list(range(100))
+
+    def test_data_mode_copies_keys(self, full_hasher, url_corpus):
+        p = Partitioner(full_hasher, 8)
+        result = p.partition(url_corpus[:100], mode="data")
+        flat = sorted(k for bucket in result.partitions for k in bucket)
+        assert flat == sorted(url_corpus[:100])
+
+    def test_assignment_matches_partition_contents(self, full_hasher, url_corpus):
+        p = Partitioner(full_hasher, 4)
+        result = p.partition(url_corpus[:50], mode="data")
+        for key, bin_index in zip(url_corpus[:50], result.assignments):
+            assert key in result.partitions[bin_index]
+
+    def test_deterministic(self, full_hasher, url_corpus):
+        p = Partitioner(full_hasher, 32)
+        a = p.assign(url_corpus[:200])
+        b = p.assign(url_corpus[:200])
+        assert (a == b).all()
+
+    def test_all_bins_in_range(self, full_hasher, url_corpus):
+        p = Partitioner(full_hasher, 7)  # non power of two
+        assignments = p.assign(url_corpus)
+        assert assignments.min() >= 0 and assignments.max() < 7
+
+    def test_rejects_bad_mode(self, full_hasher):
+        p = Partitioner(full_hasher, 4)
+        with pytest.raises(ValueError):
+            p.partition([b"x"], mode="banana")
+
+    def test_rejects_bad_partition_count(self, full_hasher):
+        with pytest.raises(ValueError):
+            Partitioner(full_hasher, 0)
+
+
+class TestQuality:
+    def test_full_key_variance_matches_binomial(self, full_hasher):
+        rng = random.Random(11)
+        keys = [rng.randbytes(16) for _ in range(20_000)]
+        p = Partitioner(full_hasher, 64)
+        counts = p.partition(keys, "pure").counts
+        predicted = partition_variance_full(len(keys), 64)
+        assert variance(counts) == pytest.approx(predicted, rel=0.4)
+
+    def test_partial_key_quality_near_full_key(self, google_corpus):
+        """Table 5's claim: normalized relative std concentrates near 1."""
+        model = train_model(google_corpus, fixed_dataset=True)
+        hasher = model.hasher_for_partitioning(len(google_corpus), 16)
+        full = EntropyLearnedHasher.full_key(hasher.base.name)
+        partial_counts = Partitioner(hasher, 16).partition(google_corpus, "pure").counts
+        full_counts = Partitioner(full, 16).partition(google_corpus, "pure").counts
+        ratio = normalized_relative_std(partial_counts, full_counts)
+        assert 0.4 < ratio < 2.5  # the paper's observed spread (Table 5)
+
+    def test_relative_std_obeys_paper_bound(self, google_corpus):
+        model = train_model(google_corpus, fixed_dataset=True)
+        hasher = model.hasher_for_partitioning(len(google_corpus), 16)
+        counts = Partitioner(hasher, 16).partition(google_corpus, "pure").counts
+        entropy = model.entropy_available()
+        bound = partition_relative_std_bound(len(google_corpus), 16, entropy)
+        # rel-std is one sample of a quantity whose *mean* is bounded;
+        # allow 3x for sampling noise.
+        assert relative_std(counts) <= 3 * bound
+
+
+class TestStats:
+    def test_bin_counts(self):
+        assert list(bin_counts([0, 1, 1, 3], 4)) == [1, 2, 0, 1]
+
+    def test_bin_counts_range_check(self):
+        with pytest.raises(ValueError):
+            bin_counts([5], 4)
+
+    def test_variance(self):
+        assert variance([2, 2, 2]) == 0.0
+        assert variance([0, 4]) == 4.0
+
+    def test_variance_requires_bins(self):
+        with pytest.raises(ValueError):
+            variance([])
+
+    def test_relative_std(self):
+        assert relative_std([5, 5, 5]) == 0.0
+        assert relative_std([0, 10]) == 1.0
+        assert relative_std([0, 0]) == 0.0
+
+    def test_normalized_relative_std(self):
+        assert normalized_relative_std([5, 5], [0, 10]) == 0.0
+        assert normalized_relative_std([1, 1], [1, 1]) == 1.0
+        assert normalized_relative_std([0, 2], [1, 1]) == math.inf
+
+    def test_max_overload(self):
+        assert max_overload([1, 1, 4]) == 2.0
+        assert max_overload([0, 0]) == 0.0

@@ -1,0 +1,78 @@
+"""Tests for model serialization (repro.core.persist)."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.persist import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.core.trainer import train_model
+
+
+@pytest.fixture(scope="module")
+def trained(google_corpus=None):
+    from repro.datasets import google_urls
+
+    return train_model(google_urls(800, seed=3), fixed_dataset=True)
+
+
+class TestRoundTrip:
+    def test_positions_survive(self, trained, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(trained, path)
+        loaded = load_model(path)
+        assert loaded.result.positions == trained.result.positions
+        assert loaded.result.word_size == trained.result.word_size
+
+    def test_entropies_survive_including_inf(self, trained):
+        payload = model_to_dict(trained)
+        loaded = model_from_dict(payload)
+        assert loaded.result.entropies == trained.result.entropies
+
+    def test_hashers_identical_after_round_trip(self, trained, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(trained, path)
+        loaded = load_model(path)
+        a = trained.hasher_for_probing_table(500, seed=7)
+        b = loaded.hasher_for_probing_table(500, seed=7)
+        key = b"http://static1.example-images.com/photos/1234/abc_def.jpg"
+        assert a(key) == b(key)
+
+    def test_base_hash_survives(self, tmp_path):
+        from repro.datasets import uuid_keys
+
+        model = train_model(uuid_keys(300), base="xxh3", fixed_dataset=True)
+        path = tmp_path / "m.json"
+        save_model(model, path)
+        assert load_model(path).base == "xxh3"
+
+    def test_file_is_valid_json(self, trained, tmp_path):
+        path = tmp_path / "m.json"
+        save_model(trained, path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+
+    def test_inf_encoded_as_string(self, trained):
+        payload = model_to_dict(trained)
+        assert all(
+            e == "inf" or isinstance(e, float) for e in payload["entropies"]
+        )
+
+
+class TestValidation:
+    def test_rejects_unknown_version(self, trained):
+        payload = model_to_dict(trained)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            model_from_dict(payload)
+
+    def test_rejects_missing_version(self, trained):
+        payload = model_to_dict(trained)
+        del payload["format_version"]
+        with pytest.raises(ValueError):
+            model_from_dict(payload)

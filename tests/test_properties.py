@@ -1,0 +1,172 @@
+"""Hypothesis property-based tests over the core invariants.
+
+These complement the per-module unit tests with randomized adversarial
+inputs: hash/structure correctness must hold for *any* byte strings, not
+just the friendly corpora.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.entropy import collision_count, renyi2_entropy
+from repro.core.greedy import choose_bytes
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.partial_key import PartialKeyFunction
+from repro.filters.blocked import BlockedBloomFilter
+from repro.filters.bloom import BloomFilter
+from repro.partitioning.partitioner import Partitioner
+from repro.sketches.countmin import CountMinSketch
+from repro.tables.chaining import SeparateChainingTable
+from repro.tables.probing import LinearProbingTable
+
+keys_strategy = st.lists(
+    st.binary(min_size=0, max_size=64), min_size=1, max_size=60, unique=True
+)
+
+positions_strategy = st.lists(
+    st.integers(0, 40), min_size=0, max_size=4, unique=True
+).map(tuple)
+
+
+@given(keys=keys_strategy, positions=positions_strategy)
+@settings(max_examples=80, deadline=None)
+def test_tables_never_lose_keys(keys, positions):
+    """Any partial-key function — even an awful one — keeps tables exact."""
+    hasher = EntropyLearnedHasher(PartialKeyFunction(positions, 8))
+    probing = LinearProbingTable(hasher, capacity=4)
+    chaining = SeparateChainingTable(hasher, capacity=4)
+    for i, k in enumerate(keys):
+        probing.insert(k, i)
+        chaining.insert(k, i)
+    for i, k in enumerate(keys):
+        assert probing.get(k) == i
+        assert chaining.get(k) == i
+    assert len(probing) == len(keys)
+    assert len(chaining) == len(keys)
+
+
+@given(keys=keys_strategy, positions=positions_strategy)
+@settings(max_examples=60, deadline=None)
+def test_bloom_filters_never_false_negative(keys, positions):
+    hasher = EntropyLearnedHasher(PartialKeyFunction(positions, 8), base="xxh3")
+    bloom = BloomFilter(hasher, num_bits=2048, num_hashes=3)
+    blocked = BlockedBloomFilter(hasher, num_blocks=64)
+    for k in keys:
+        bloom.add(k)
+        blocked.add(k)
+    for k in keys:
+        assert bloom.contains(k)
+        assert blocked.contains(k)
+
+
+@given(keys=keys_strategy)
+@settings(max_examples=60, deadline=None)
+def test_batch_scalar_hash_agreement(keys):
+    for base in ("wyhash", "xxh3", "crc32"):
+        hasher = EntropyLearnedHasher(PartialKeyFunction((0, 16), 8), base=base)
+        batch = hasher.hash_batch(keys)
+        for i, k in enumerate(keys):
+            assert int(batch[i]) == hasher(k)
+
+
+@given(keys=keys_strategy, num_partitions=st.integers(1, 32))
+@settings(max_examples=60, deadline=None)
+def test_partitioner_conserves_items(keys, num_partitions):
+    hasher = EntropyLearnedHasher.full_key("crc32")
+    result = Partitioner(hasher, num_partitions).partition(keys, mode="data")
+    assert sorted(k for p in result.partitions for k in p) == sorted(keys)
+    assert int(result.counts.sum()) == len(keys)
+
+
+@given(
+    keys=st.lists(st.binary(min_size=4, max_size=32), min_size=2, max_size=50,
+                  unique=True)
+)
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
+def test_greedy_entropy_monotone(keys):
+    result = choose_bytes(keys, word_size=4, stride=2)
+    finite = [e for e in result.entropies if e != math.inf]
+    assert all(b >= a - 1e-9 for a, b in zip(finite, finite[1:]))
+    # Collisions must never increase as words are added.
+    colls = result.train_collisions
+    assert all(b <= a for a, b in zip(colls, colls[1:]))
+
+
+@given(st.lists(st.integers(0, 9), min_size=2, max_size=100))
+@settings(max_examples=100)
+def test_collision_count_matches_pair_definition(sample):
+    brute = sum(
+        1
+        for i in range(len(sample))
+        for j in range(i + 1, len(sample))
+        if sample[i] == sample[j]
+    )
+    assert collision_count(sample) == brute
+
+
+@given(st.lists(st.binary(min_size=1, max_size=16), min_size=2, max_size=100))
+@settings(max_examples=100)
+def test_entropy_estimate_bounded_by_sample(sample):
+    entropy = renyi2_entropy(sample)
+    assert entropy >= 0
+    # A sample of n items can show at most log2(C(n,2)) bits before
+    # reporting "no collisions" (inf).
+    if entropy != math.inf:
+        n = len(sample)
+        assert entropy <= math.log2(n * (n - 1) / 2) + 1e-9
+
+
+@given(
+    keys=st.lists(st.binary(min_size=1, max_size=24), min_size=1, max_size=40),
+    counts=st.lists(st.integers(1, 5), min_size=1, max_size=40),
+)
+@settings(max_examples=50, deadline=None)
+def test_countmin_never_underestimates(keys, counts):
+    hasher = EntropyLearnedHasher.full_key("xxh3")
+    sketch = CountMinSketch(hasher, width=64, depth=3)
+    truth = {}
+    for k, c in zip(keys, counts):
+        sketch.add(k, c)
+        truth[k] = truth.get(k, 0) + c
+    for k, c in truth.items():
+        assert sketch.estimate(k) >= c
+
+
+@given(keys=keys_strategy)
+@settings(max_examples=40, deadline=None)
+def test_delete_insert_roundtrip(keys):
+    hasher = EntropyLearnedHasher.full_key()
+    table = LinearProbingTable(hasher, capacity=4)
+    for i, k in enumerate(keys):
+        table.insert(k, i)
+    for k in keys[: len(keys) // 2]:
+        assert table.delete(k)
+    for i, k in enumerate(keys):
+        if k in dict.fromkeys(keys[: len(keys) // 2]):
+            assert table.get(k) is None
+        else:
+            assert table.get(k) == i
+    # Re-insert the deleted half.
+    for k in keys[: len(keys) // 2]:
+        table.insert(k, "back")
+    for k in keys[: len(keys) // 2]:
+        assert table.get(k) == "back"
+
+
+@given(key=st.binary(min_size=0, max_size=100), seed=st.integers(0, 2**64 - 1))
+@settings(max_examples=150)
+def test_partial_key_hash_respects_fallback_boundary(key, seed):
+    """For len(key) >= last_byte_used the hash depends only on the
+    selected words + length; below it, on the whole key."""
+    L = PartialKeyFunction((8,), 8)
+    h = EntropyLearnedHasher(L, seed=seed)
+    if len(key) >= 16:
+        twin = key[:8] + key[8:16] + bytes(len(key) - 16)  # zero the tail
+        assert h(key) == h(twin)
+    else:
+        assert h(key) == h.hash_full_key(key)

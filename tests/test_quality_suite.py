@@ -1,0 +1,99 @@
+"""Tests for the SMHasher-lite quality suite — and, through it, the
+paper's empirical claim that ELH outputs stay uniform on real corpora."""
+
+import pytest
+
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import train_model
+from repro.hashing.fnv import fnv1a64
+from repro.hashing.quality import (
+    assess,
+    avalanche_test,
+    bit_balance_test,
+    bucket_chi2_test,
+    differential_test,
+    summarize,
+)
+from repro.hashing.wyhash import wyhash64
+from repro.hashing.xxhash import xxh3_64, xxh64
+
+
+GOOD_HASHES = [
+    ("wyhash", lambda d: wyhash64(d)),
+    ("xxh64", lambda d: xxh64(d)),
+    ("xxh3", lambda d: xxh3_64(d)),
+]
+
+
+class TestGoodHashesPass:
+    @pytest.mark.parametrize("name,func", GOOD_HASHES, ids=lambda x: str(x)[:8])
+    def test_full_battery(self, name, func):
+        reports = assess(func)
+        assert all(r.passed for r in reports), summarize(reports)
+
+
+class TestBadHashesFail:
+    def test_identity_like_hash_fails_avalanche(self):
+        bad = lambda d: int.from_bytes(d[:8].ljust(8, b"\0"), "little")
+        assert not avalanche_test(bad).passed
+
+    def test_constant_hash_fails_balance(self):
+        assert not bit_balance_test(lambda d: 0xAAAA).passed
+
+    def test_low_bit_entropy_fails_chi2(self):
+        bad = lambda d: (sum(d) & 0xF) | (0xDEADBEEF << 32)
+        assert not bucket_chi2_test(bad).passed
+
+    def test_xor_fold_fails_differential(self):
+        """A pure XOR of words has perfect differential structure: a
+        flipped bit always flips the same output bit."""
+        def xor_fold(d):
+            acc = len(d)
+            for i in range(0, len(d), 8):
+                acc ^= int.from_bytes(d[i:i + 8], "little")
+            return acc
+
+        report = differential_test(xor_fold, max_flips=2, num_pairs=500)
+        # Differential structure shows as avalanche failure too.
+        assert not report.passed or not avalanche_test(xor_fold).passed
+
+
+class TestFnvWeaknessVisible:
+    def test_fnv_high_bits_weaker_than_wyhash(self):
+        """FNV-1a's known weakness: little avalanche into high bits for
+        short inputs.  The suite should show a worse avalanche statistic
+        than wyhash (even if both clear the lenient threshold)."""
+        fnv_stat = avalanche_test(lambda d: fnv1a64(d), key_len=4).statistic
+        wy_stat = avalanche_test(lambda d: wyhash64(d), key_len=4).statistic
+        assert fnv_stat > wy_stat
+
+
+class TestEntropyLearnedHashQuality:
+    """The paper's uniformity claim, checked directly: an ELH hasher
+    over its trained corpus passes the same batteries a full-key hash
+    passes (on corpus-driven tests; avalanche is evaluated only on the
+    bytes the hasher reads)."""
+
+    def test_elh_uniform_on_trained_corpus(self, google_corpus):
+        model = train_model(google_corpus, fixed_dataset=True)
+        hasher = model.hasher_for_probing_table(len(google_corpus))
+        assert not hasher.partial_key.is_full_key
+        keys = google_corpus
+        reports = [
+            bit_balance_test(hasher, keys),
+            bucket_chi2_test(hasher, keys, use_high_bits=False),
+            bucket_chi2_test(hasher, keys, use_high_bits=True),
+        ]
+        assert all(r.passed for r in reports), summarize(reports)
+
+    def test_full_key_hasher_passes_everything(self):
+        hasher = EntropyLearnedHasher.full_key("wyhash")
+        reports = assess(hasher)
+        assert all(r.passed for r in reports), summarize(reports)
+
+
+class TestReporting:
+    def test_summarize_format(self):
+        reports = [bit_balance_test(lambda d: 0)]
+        text = summarize(reports)
+        assert "FAIL" in text and "bit-balance" in text

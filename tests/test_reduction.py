@@ -1,0 +1,98 @@
+"""Tests for hash post-processing (double hashing, fast range reduction)."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.reduction import (
+    double_hash_probes,
+    fast_range,
+    fast_range_array,
+    split_hash64,
+)
+
+
+class TestSplitHash:
+    def test_halves(self):
+        h1, h2 = split_hash64(0x1234567890ABCDEF)
+        assert h1 == 0x12345678
+        assert h2 == 0x90ABCDEF  # already odd
+
+    def test_h2_forced_odd(self):
+        _, h2 = split_hash64(0x00000000_00000002)
+        assert h2 % 2 == 1
+
+    def test_truncates_input(self):
+        assert split_hash64(2**64 + 5) == split_hash64(5)
+
+
+class TestDoubleHashProbes:
+    def test_count_and_range(self):
+        probes = double_hash_probes(0xDEADBEEFCAFEBABE, 5, 100)
+        assert len(probes) == 5
+        assert all(0 <= p < 100 for p in probes)
+
+    def test_arithmetic_progression(self):
+        h1, h2 = split_hash64(0xDEADBEEFCAFEBABE)
+        probes = double_hash_probes(0xDEADBEEFCAFEBABE, 4, 1_000_003)
+        for i, p in enumerate(probes):
+            assert p == (h1 + i * h2) % 1_000_003
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            double_hash_probes(1, 0, 10)
+        with pytest.raises(ValueError):
+            double_hash_probes(1, 3, 0)
+
+
+class TestFastRange:
+    def test_boundaries(self):
+        assert fast_range(0, 100) == 0
+        assert fast_range(2**64 - 1, 100) == 99
+
+    def test_proportionality(self):
+        # fast_range maps x to floor(x * m / 2^64).
+        assert fast_range(2**63, 100) == 50
+
+    @given(st.integers(0, 2**64 - 1), st.integers(1, 2**31))
+    @settings(max_examples=300)
+    def test_matches_definition(self, x, m):
+        assert fast_range(x, m) == (x * m) >> 64
+
+    def test_rejects_zero_m(self):
+        with pytest.raises(ValueError):
+            fast_range(5, 0)
+
+    def test_uniformity(self):
+        rng = random.Random(3)
+        buckets = [0] * 64
+        for _ in range(64_000):
+            buckets[fast_range(rng.getrandbits(64), 64)] += 1
+        expected = 1000
+        chi2 = sum((b - expected) ** 2 / expected for b in buckets)
+        assert chi2 < 120  # chi2(63) 99.9% quantile ~ 103, allow slack
+
+
+class TestFastRangeArray:
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=50),
+        st.integers(1, 2**31),
+    )
+    @settings(max_examples=200)
+    def test_matches_scalar(self, values, m):
+        array = np.array(values, dtype=np.uint64)
+        result = fast_range_array(array, m)
+        for i, x in enumerate(values):
+            assert int(result[i]) == (x * m) >> 64  # bit-exact with scalar
+
+    def test_rejects_zero_m(self):
+        with pytest.raises(ValueError):
+            fast_range_array(np.array([1], dtype=np.uint64), 0)
+
+    def test_all_in_range_near_max(self):
+        array = np.array([2**64 - 1, 2**64 - 2], dtype=np.uint64)
+        result = fast_range_array(array, 7)
+        assert all(0 <= int(v) < 7 for v in result)

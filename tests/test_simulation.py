@@ -1,0 +1,106 @@
+"""Tests for the analytic cost and pipeline models (Figure 8/9 substitute)."""
+
+import pytest
+
+from repro.core.hasher import EntropyLearnedHasher
+from repro.simulation.cost import ProbeWork, probe_work
+from repro.simulation.pipeline import PipelineModel
+
+
+class TestProbeWork:
+    def test_partial_vs_full_words(self, url_corpus):
+        full = EntropyLearnedHasher.full_key()
+        partial = EntropyLearnedHasher.from_positions([24], word_size=8)
+        w_full = probe_work(full, url_corpus, hit_rate=0.0)
+        w_partial = probe_work(partial, url_corpus, hit_rate=0.0)
+        assert w_partial.words_hashed < w_full.words_hashed / 4
+
+    def test_hit_rate_drives_comparisons(self, url_corpus):
+        h = EntropyLearnedHasher.full_key()
+        miss = probe_work(h, url_corpus, hit_rate=0.0)
+        hit = probe_work(h, url_corpus, hit_rate=1.0)
+        assert hit.key_bytes_compared > miss.key_bytes_compared
+
+    def test_hit_rate_validation(self, url_corpus):
+        with pytest.raises(ValueError):
+            probe_work(EntropyLearnedHasher.full_key(), url_corpus, hit_rate=1.5)
+
+    def test_scaled(self):
+        work = ProbeWork(2.0, 10.0, 1.5)
+        scaled = work.scaled(2.0)
+        assert scaled.words_hashed == 4.0
+        assert scaled.cache_lines_touched == 3.0
+
+
+class TestPipelineModel:
+    def _works(self):
+        full = ProbeWork(words_hashed=10.0, key_bytes_compared=40.0,
+                         cache_lines_touched=2.0)
+        partial = ProbeWork(words_hashed=2.0, key_bytes_compared=40.0,
+                            cache_lines_touched=2.0)
+        return full, partial
+
+    def test_cheaper_hash_is_faster_everywhere(self):
+        model = PipelineModel()
+        full, partial = self._works()
+        for resident in ("cache", "l3", "memory"):
+            assert model.speedup(full, partial, resident=resident) > 1.0
+
+    def test_cache_resident_speedup_is_compute_ratio(self):
+        """In cache the model reduces to instruction counts (Figure 7)."""
+        model = PipelineModel()
+        full, partial = self._works()
+        expected = model.instructions_per_probe(full) / model.instructions_per_probe(
+            partial
+        )
+        assert model.speedup(full, partial, resident="cache") == pytest.approx(
+            expected
+        )
+
+    def test_memory_resident_mlp_higher_for_partial(self):
+        """Figure 8a: ELH sustains more outstanding misses."""
+        model = PipelineModel()
+        full, partial = self._works()
+        assert model.memory_level_parallelism(
+            partial, "memory"
+        ) >= model.memory_level_parallelism(full, "memory")
+
+    def test_mlp_capped_by_line_fill_buffers(self):
+        model = PipelineModel(max_outstanding_misses=10)
+        tiny = ProbeWork(words_hashed=0.5, key_bytes_compared=0.0,
+                         cache_lines_touched=3.0)
+        assert model.memory_level_parallelism(tiny, "memory") <= 10
+
+    def test_dependent_lookups_slower_than_independent(self):
+        """Appendix experiment 4: dependent probes lose inter-lookup MLP."""
+        model = PipelineModel()
+        full, _ = self._works()
+        independent = model.probe_time_ns(full, resident="memory")
+        dependent = model.probe_time_ns(full, resident="memory", dependent=True)
+        assert dependent > independent
+
+    def test_dependent_speedup_smaller_but_positive(self):
+        """Appendix: ELH still helps dependent lookups, just less."""
+        model = PipelineModel()
+        full, partial = self._works()
+        independent = model.speedup(full, partial, resident="memory")
+        dependent = model.speedup(full, partial, resident="memory", dependent=True)
+        assert 1.0 <= dependent <= independent + 1e-9
+
+    def test_large_keys_unbounded_speedup(self):
+        """Figure 11: hash-bound configs scale with key size."""
+        model = PipelineModel()
+        small = ProbeWork(words_hashed=16.0, key_bytes_compared=0.0,
+                          cache_lines_touched=1.0)
+        huge = ProbeWork(words_hashed=1024.0, key_bytes_compared=0.0,
+                         cache_lines_touched=1.0)
+        partial = ProbeWork(words_hashed=2.0, key_bytes_compared=0.0,
+                            cache_lines_touched=1.0)
+        assert model.speedup(huge, partial, "cache") > 10 * model.speedup(
+            small, partial, "cache"
+        )
+
+    def test_resident_validation(self):
+        model = PipelineModel()
+        with pytest.raises(ValueError):
+            model.probe_time_ns(ProbeWork(1, 1, 1), resident="disk")

@@ -1,0 +1,138 @@
+"""Tests for the per-task entropy requirements (paper Section 5)."""
+
+import math
+
+import pytest
+
+from repro.core.greedy import GreedyResult
+from repro.core.sizing import (
+    entropy_for_bloom_filter,
+    entropy_for_chaining_table,
+    entropy_for_partitioning,
+    entropy_for_probing_table,
+    entropy_for_task,
+    positions_for_entropy,
+)
+
+
+class TestChaining:
+    def test_formula(self):
+        assert entropy_for_chaining_table(1024) == pytest.approx(11.0)
+
+    def test_paper_figure4_example(self):
+        # Capacity 10000 needs ~14.3 bits; the figure's chosen words give
+        # 22.4 bits -> 2^-22.4 * 10000 ≈ 0.001 extra comparisons.
+        required = entropy_for_chaining_table(10_000)
+        assert required == pytest.approx(math.log2(10_000) + 1)
+        extra = 10_000 * 2.0 ** (-22.4)
+        assert extra == pytest.approx(0.002, rel=0.2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            entropy_for_chaining_table(0)
+
+
+class TestProbing:
+    def test_formula(self):
+        assert entropy_for_probing_table(1024) == pytest.approx(10 + math.log2(5))
+
+    def test_needs_more_than_chaining(self):
+        n = 5000
+        assert entropy_for_probing_table(n) > entropy_for_chaining_table(n)
+
+
+class TestBloom:
+    def test_formula(self):
+        assert entropy_for_bloom_filter(1000, 0.01) == pytest.approx(
+            math.log2(1000) + math.log2(100)
+        )
+
+    def test_needs_more_than_tables(self):
+        n = 5000
+        assert entropy_for_bloom_filter(n, 0.01) > entropy_for_probing_table(n)
+
+    def test_tighter_fpr_needs_more_entropy(self):
+        assert entropy_for_bloom_filter(1000, 0.001) > entropy_for_bloom_filter(
+            1000, 0.01
+        )
+
+    def test_rejects_bad_fpr(self):
+        with pytest.raises(ValueError):
+            entropy_for_bloom_filter(1000, 0.0)
+        with pytest.raises(ValueError):
+            entropy_for_bloom_filter(1000, 1.0)
+
+
+class TestPartitioning:
+    def test_absolute_regime(self):
+        assert entropy_for_partitioning(
+            10_000, 64, mode="absolute"
+        ) == pytest.approx(math.log2(10_000) + 3)
+
+    def test_relative_regime_default_5pct(self):
+        assert entropy_for_partitioning(
+            10_000, 64, mode="relative"
+        ) == pytest.approx(math.log2(64) - 2 * math.log2(0.05))
+
+    def test_relative_independent_of_n(self):
+        a = entropy_for_partitioning(1_000, 64, mode="relative")
+        b = entropy_for_partitioning(1_000_000, 64, mode="relative")
+        assert a == b
+
+    def test_absolute_grows_with_n(self):
+        a = entropy_for_partitioning(1_000, 64, mode="absolute")
+        b = entropy_for_partitioning(1_000_000, 64, mode="absolute")
+        assert b > a
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            entropy_for_partitioning(100, 8, mode="nope")
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            entropy_for_partitioning(100, 8, mode="relative", relative_tolerance=2.0)
+
+
+class TestDispatch:
+    def test_by_name(self):
+        assert entropy_for_task("chaining", capacity=100) == pytest.approx(
+            entropy_for_chaining_table(100)
+        )
+        assert entropy_for_task(
+            "bloom", num_items=100, added_fpr=0.01
+        ) == pytest.approx(entropy_for_bloom_filter(100, 0.01))
+
+    def test_unknown_task(self):
+        with pytest.raises(ValueError):
+            entropy_for_task("sorting")
+
+
+class TestPositionsForEntropy:
+    def _result(self):
+        return GreedyResult(
+            positions=[16, 0, 8],
+            word_size=8,
+            entropies=[8.0, 15.0, math.inf],
+            train_collisions=[9, 2, 0],
+            train_size=100,
+            eval_size=100,
+        )
+
+    def test_picks_cheapest_sufficient_prefix(self):
+        L = positions_for_entropy(self._result(), 12.0)
+        assert L.positions == (16, 0)
+
+    def test_exact_threshold(self):
+        L = positions_for_entropy(self._result(), 15.0)
+        assert L.positions == (16, 0)
+
+    def test_infinite_entropy_satisfies_everything(self):
+        L = positions_for_entropy(self._result(), 60.0)
+        assert L.positions == (16, 0, 8)
+
+    def test_falls_back_to_none_when_insufficient(self):
+        result = GreedyResult(
+            positions=[0], word_size=8, entropies=[5.0],
+            train_collisions=[3], train_size=10, eval_size=10,
+        )
+        assert positions_for_entropy(result, 20.0) is None

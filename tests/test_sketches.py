@@ -1,0 +1,130 @@
+"""Tests for Count-Min and HyperLogLog sketches on ELH hashers."""
+
+import random
+
+import pytest
+
+from repro.core.hasher import EntropyLearnedHasher
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.hyperloglog import HyperLogLog
+
+
+@pytest.fixture
+def full_hasher():
+    return EntropyLearnedHasher.full_key("xxh3")
+
+
+class TestCountMin:
+    def test_never_underestimates(self, full_hasher):
+        sketch = CountMinSketch(full_hasher, width=256, depth=4)
+        rng = random.Random(1)
+        truth = {}
+        for _ in range(2000):
+            key = f"item-{rng.randrange(100)}".encode()
+            sketch.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_error_within_classic_bound(self, full_hasher):
+        sketch = CountMinSketch(full_hasher, width=512, depth=4)
+        rng = random.Random(2)
+        truth = {}
+        for _ in range(5000):
+            key = f"item-{rng.randrange(500)}".encode()
+            sketch.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        bound = sketch.error_bound()
+        violations = sum(
+            1 for k, c in truth.items() if sketch.estimate(k) - c > bound
+        )
+        assert violations <= len(truth) * 0.05
+
+    def test_weighted_add(self, full_hasher):
+        sketch = CountMinSketch(full_hasher, width=64, depth=3)
+        sketch.add(b"k", count=10)
+        assert sketch.estimate(b"k") >= 10
+        assert sketch.total == 10
+
+    def test_add_batch_equals_scalar_adds(self, full_hasher, url_corpus):
+        a = CountMinSketch(full_hasher, width=128, depth=3)
+        b = CountMinSketch(full_hasher, width=128, depth=3)
+        a.add_batch(url_corpus[:200])
+        for k in url_corpus[:200]:
+            b.add(k)
+        assert (a._counts == b._counts).all()
+
+    def test_rejects_negative_count(self, full_hasher):
+        sketch = CountMinSketch(full_hasher, width=8, depth=2)
+        with pytest.raises(ValueError):
+            sketch.add(b"k", count=-1)
+
+    def test_validation(self, full_hasher):
+        with pytest.raises(ValueError):
+            CountMinSketch(full_hasher, width=0, depth=1)
+
+    def test_partial_key_collisions_merge_counts(self):
+        """Keys equal on L's bytes are the same item to the sketch —
+        the documented ELH trade-off."""
+        hasher = EntropyLearnedHasher.from_positions([0], word_size=8)
+        sketch = CountMinSketch(hasher, width=1024, depth=4)
+        sketch.add(b"SHAREDWD-first-key", count=5)
+        assert sketch.estimate(b"SHAREDWD-other-kex") >= 5  # same len+word
+
+
+class TestHyperLogLog:
+    def test_estimate_accuracy(self, full_hasher):
+        hll = HyperLogLog(full_hasher, precision=12)
+        keys = [f"user-{i}".encode() for i in range(50_000)]
+        hll.add_batch(keys)
+        error = abs(hll.estimate() - 50_000) / 50_000
+        assert error < 3 * hll.standard_error()
+
+    def test_small_range_linear_counting(self, full_hasher):
+        hll = HyperLogLog(full_hasher, precision=10)
+        for i in range(100):
+            hll.add(f"k{i}".encode())
+        assert abs(hll.estimate() - 100) < 15
+
+    def test_duplicates_not_double_counted(self, full_hasher):
+        hll = HyperLogLog(full_hasher, precision=10)
+        for _ in range(10):
+            hll.add_batch([f"k{i}".encode() for i in range(500)])
+        assert abs(hll.estimate() - 500) < 75
+
+    def test_scalar_batch_equivalence(self, full_hasher, url_corpus):
+        a = HyperLogLog(full_hasher, precision=8)
+        b = HyperLogLog(full_hasher, precision=8)
+        a.add_batch(url_corpus[:300])
+        for k in url_corpus[:300]:
+            b.add(k)
+        assert (a._registers == b._registers).all()
+
+    def test_merge(self, full_hasher):
+        a = HyperLogLog(full_hasher, precision=10)
+        b = HyperLogLog(full_hasher, precision=10)
+        a.add_batch([f"a{i}".encode() for i in range(1000)])
+        b.add_batch([f"b{i}".encode() for i in range(1000)])
+        a.merge(b)
+        assert abs(a.estimate() - 2000) / 2000 < 0.15
+
+    def test_merge_rejects_mismatched_precision(self, full_hasher):
+        with pytest.raises(ValueError):
+            HyperLogLog(full_hasher, 10).merge(HyperLogLog(full_hasher, 11))
+
+    def test_precision_validation(self, full_hasher):
+        with pytest.raises(ValueError):
+            HyperLogLog(full_hasher, precision=3)
+
+    def test_partial_key_undercount_bounded(self, google_corpus):
+        """With enough entropy the ELH sketch matches the full-key one."""
+        from repro.core.trainer import train_model
+
+        model = train_model(google_corpus, fixed_dataset=True)
+        hasher = model.hasher_for_entropy(20.0)
+        full = EntropyLearnedHasher.full_key("xxh3")
+        a = HyperLogLog(hasher, precision=10)
+        b = HyperLogLog(full, precision=10)
+        a.add_batch(google_corpus)
+        b.add_batch(google_corpus)
+        assert abs(a.estimate() - b.estimate()) / b.estimate() < 0.1

@@ -1,0 +1,149 @@
+"""Hypothesis stateful (rule-based) tests.
+
+Each machine drives a structure through arbitrary interleavings of its
+operations while mirroring them on a plain-Python reference model; any
+divergence — after any sequence hypothesis can invent — is a bug.  This
+is the strongest correctness net in the suite: it covers interactions
+(delete-then-grow, flush-mid-scan, overwrite-after-compaction) that
+example-based tests rarely reach.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.hasher import EntropyLearnedHasher
+from repro.kvstore.store import LSMStore
+from repro.tables.cuckoo import CuckooTable
+from repro.tables.probing import LinearProbingTable
+
+# A small key universe maximizes operation interactions.
+KEYS = st.sampled_from([f"key-{i:02d}".encode() for i in range(24)])
+VALUES = st.integers(0, 999)
+
+
+class ProbingTableMachine(RuleBasedStateMachine):
+    """LinearProbingTable vs dict under insert/get/delete/grow."""
+
+    def __init__(self):
+        super().__init__()
+        # A deliberately colliding partial key stresses probe chains.
+        self.table = LinearProbingTable(
+            EntropyLearnedHasher.from_positions([0], word_size=4),
+            capacity=4,
+        )
+        self.model = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def insert(self, key, value):
+        self.table.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        assert self.table.delete(key) == (self.model.pop(key, None) is not None)
+
+    @rule(key=KEYS)
+    def lookup(self, key):
+        assert self.table.get(key) == self.model.get(key)
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.table) == len(self.model)
+
+    @invariant()
+    def items_agree(self):
+        assert dict(self.table.items()) == self.model
+
+
+class CuckooTableMachine(RuleBasedStateMachine):
+    """CuckooTable vs dict."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = CuckooTable(
+            EntropyLearnedHasher.full_key("wyhash"), capacity=8
+        )
+        self.model = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def insert(self, key, value):
+        self.table.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        assert self.table.delete(key) == (self.model.pop(key, None) is not None)
+
+    @rule(key=KEYS)
+    def lookup(self, key):
+        assert self.table.get(key) == self.model.get(key)
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.table) == len(self.model)
+
+
+class LSMStoreMachine(RuleBasedStateMachine):
+    """LSMStore vs dict under put/get/delete/flush/compact/scan."""
+
+    def __init__(self):
+        super().__init__()
+        self.store = LSMStore(memtable_bytes=256, compaction_fanout=3)
+        self.model = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        payload = b"v%03d" % value
+        self.store.put(key, payload)
+        self.model[key] = payload
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.store.delete(key)
+        self.model.pop(key, None)
+
+    @rule(key=KEYS)
+    def lookup(self, key):
+        assert self.store.get(key) == self.model.get(key)
+
+    @rule()
+    def flush(self):
+        self.store.flush()
+
+    @rule()
+    def compact(self):
+        self.store.compact()
+
+    @rule(lo=KEYS, hi=KEYS)
+    def scan(self, lo, hi):
+        start, end = min(lo, hi), max(lo, hi)
+        observed = dict(self.store.scan(start, end))
+        expected = {
+            k: v for k, v in self.model.items() if start <= k < end
+        }
+        assert observed == expected
+
+    @invariant()
+    def full_agreement_periodically(self):
+        # Cheap invariant: a couple of spot keys, not the whole universe.
+        for key in (b"key-00", b"key-11", b"key-23"):
+            assert self.store.get(key) == self.model.get(key)
+
+
+common = settings(max_examples=30, stateful_step_count=40, deadline=None)
+
+TestProbingTableMachine = ProbingTableMachine.TestCase
+TestProbingTableMachine.settings = common
+TestCuckooTableMachine = CuckooTableMachine.TestCase
+TestCuckooTableMachine.settings = common
+TestLSMStoreMachine = LSMStoreMachine.TestCase
+TestLSMStoreMachine.settings = common

@@ -1,0 +1,76 @@
+"""Tests for streaming XXH64."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.streaming import XXH64Stream
+from repro.hashing.xxhash import xxh64
+
+
+class TestAgainstOneShot:
+    def test_single_update(self):
+        assert XXH64Stream().update(b"hello").digest() == xxh64(b"hello")
+
+    def test_empty(self):
+        assert XXH64Stream().digest() == xxh64(b"")
+        assert XXH64Stream(seed=9).digest() == xxh64(b"", 9)
+
+    def test_chunked_equals_one_shot(self):
+        data = bytes(range(256)) * 5
+        stream = XXH64Stream(seed=3)
+        for start in range(0, len(data), 7):
+            stream.update(data[start:start + 7])
+        assert stream.digest() == xxh64(data, 3)
+
+    @given(
+        chunks=st.lists(st.binary(min_size=0, max_size=100), max_size=20),
+        seed=st.integers(0, 2**64 - 1),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_any_chunking(self, chunks, seed):
+        stream = XXH64Stream(seed=seed)
+        for chunk in chunks:
+            stream.update(chunk)
+        assert stream.digest() == xxh64(b"".join(chunks), seed)
+
+    def test_digest_is_nondestructive(self):
+        stream = XXH64Stream()
+        stream.update(b"part one ")
+        first = stream.digest()
+        assert stream.digest() == first
+        stream.update(b"part two")
+        assert stream.digest() == xxh64(b"part one part two")
+
+    def test_boundary_chunk_sizes(self):
+        """Chunks straddling the 32-byte stripe boundary."""
+        data = bytes(range(200))
+        for cut in (31, 32, 33, 63, 64, 65):
+            stream = XXH64Stream()
+            stream.update(data[:cut])
+            stream.update(data[cut:])
+            assert stream.digest() == xxh64(data), cut
+
+
+class TestInterface:
+    def test_update_returns_self(self):
+        stream = XXH64Stream()
+        assert stream.update(b"a") is stream
+
+    def test_reset(self):
+        stream = XXH64Stream(seed=4)
+        stream.update(b"junk")
+        stream.reset()
+        assert stream.total_length == 0
+        assert stream.digest() == xxh64(b"", 4)
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeError):
+            XXH64Stream().update("text")
+
+    def test_total_length(self):
+        stream = XXH64Stream()
+        stream.update(b"abc").update(b"de")
+        assert stream.total_length == 5

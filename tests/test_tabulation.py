@@ -1,0 +1,82 @@
+"""Tests for simple tabulation hashing (related-work baseline)."""
+
+import random
+
+import pytest
+
+from repro.hashing.tabulation import TabulationHash
+
+
+class TestConstruction:
+    def test_rejects_bad_max_len(self):
+        with pytest.raises(ValueError):
+            TabulationHash(max_len=0)
+
+    def test_deterministic(self):
+        a = TabulationHash(max_len=16, seed=1)
+        assert a(b"abc") == a(b"abc")
+
+    def test_seed_changes_tables(self):
+        a = TabulationHash(max_len=8, seed=1)
+        b = TabulationHash(max_len=8, seed=2)
+        assert a(b"abc") != b(b"abc")
+
+
+class TestHashing:
+    def test_64_bit_output(self):
+        h = TabulationHash(max_len=8, seed=0)
+        assert 0 <= h(b"hello") < 2**64
+
+    def test_length_mixed_in(self):
+        h = TabulationHash(max_len=8, seed=0)
+        assert h(b"") != h(b"\x00")
+
+    def test_single_byte_flip_changes_hash(self):
+        h = TabulationHash(max_len=16, seed=4)
+        base = bytearray(b"0123456789abcdef")
+        reference = h(bytes(base))
+        for i in range(16):
+            mutated = bytearray(base)
+            mutated[i] ^= 1
+            assert h(bytes(mutated)) != reference
+
+    def test_3_independence_spot_check(self):
+        """XOR structure: h(a) ^ h(b) ^ h(c) determines h(a^b^c) for
+        single-byte keys — the known limit of simple tabulation — but
+        pairwise collisions must still be ~uniform."""
+        collisions = 0
+        trials = 2000
+        for seed in range(trials):
+            h = TabulationHash(max_len=4, seed=seed)
+            if (h(b"ax") & 0xFF) == (h(b"by") & 0xFF):
+                collisions += 1
+        assert collisions < 3 * trials / 256 + 10
+
+    def test_positions_mode_ignores_other_bytes(self):
+        h = TabulationHash(max_len=8, seed=2)
+        a = h.hash_positions(b"AAAAAAAABBBB", [8, 9])
+        b = h.hash_positions(b"CCCCCCCCBBBB", [8, 9])
+        assert a == b
+
+    def test_positions_mode_reads_selected(self):
+        h = TabulationHash(max_len=8, seed=2)
+        a = h.hash_positions(b"AAAAAAAAXB", [8])
+        b = h.hash_positions(b"AAAAAAAAYB", [8])
+        assert a != b
+
+    def test_positions_past_end_read_zero(self):
+        h = TabulationHash(max_len=8, seed=2)
+        assert h.hash_positions(b"ab", [5]) == h.hash_positions(b"ab", [7])
+
+    def test_long_input_wraps_positions(self):
+        h = TabulationHash(max_len=4, seed=0)
+        assert isinstance(h(b"longer-than-four"), int)
+
+    def test_bucket_uniformity(self):
+        h = TabulationHash(max_len=16, seed=9)
+        buckets = [0] * 256
+        for i in range(20000):
+            buckets[h(f"key:{i}".encode()) & 0xFF] += 1
+        expected = 20000 / 256
+        chi2 = sum((b - expected) ** 2 / expected for b in buckets)
+        assert chi2 < 340

@@ -1,0 +1,140 @@
+"""Tests for end-to-end training orchestration (EntropyModel)."""
+
+import math
+
+import pytest
+
+from repro.core.trainer import EntropyModel, describe_frontier, split_sample, train_model
+from repro.core.sizing import entropy_for_probing_table
+from repro.datasets import structured_keys, uuid_keys
+
+
+class TestSplitSample:
+    def test_partition_is_complete(self):
+        keys = [bytes([i]) * 4 for i in range(100)]
+        train, validation = split_sample(keys, seed=1)
+        assert sorted(train + validation) == sorted(keys)
+
+    def test_fraction_respected(self):
+        keys = [bytes([i]) * 4 for i in range(100)]
+        train, validation = split_sample(keys, train_fraction=0.7)
+        assert len(train) == 70
+
+    def test_deterministic(self):
+        keys = [bytes([i]) * 4 for i in range(50)]
+        assert split_sample(keys, seed=3) == split_sample(keys, seed=3)
+
+    def test_minimum_sizes(self):
+        keys = [bytes([i]) for i in range(5)]
+        train, validation = split_sample(keys, train_fraction=0.01)
+        assert len(train) >= 2 and len(validation) >= 2
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            split_sample([b"a", b"b"])
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            split_sample([b"a"] * 10, train_fraction=1.0)
+
+
+class TestTrainModel:
+    def test_fixed_dataset_evaluates_on_train(self, uuid_corpus):
+        model = train_model(uuid_corpus, fixed_dataset=True)
+        assert model.result.eval_on_train
+
+    def test_split_generalizes(self, url_corpus):
+        model = train_model(url_corpus)
+        assert not model.result.eval_on_train
+        assert model.result.eval_size > 0
+
+    def test_structured_keys_find_window(self):
+        keys = structured_keys(400, seed=2)
+        model = train_model(keys, fixed_dataset=True)
+        L = model.partial_key
+        assert L.positions and 25 <= L.positions[0] <= 32
+
+    def test_max_words_forwarded(self, url_corpus):
+        model = train_model(url_corpus, max_words=1)
+        assert len(model.result.positions) <= 1
+
+
+class TestHasherSelection:
+    def test_uses_partial_when_entropy_sufficient(self, uuid_corpus):
+        model = train_model(uuid_corpus, fixed_dataset=True)
+        hasher = model.hasher_for_probing_table(1000)
+        assert not hasher.partial_key.is_full_key
+
+    def test_falls_back_when_entropy_insufficient(self):
+        """Low-entropy data cannot support a demanding structure; the
+        model must hand back a full-key hasher."""
+        import random as _r
+
+        rng = _r.Random(0)
+        # Every byte is drawn from a 2-symbol alphabet: ~1 bit per byte,
+        # and a single selected byte can never reach 30 bits.
+        keys = list({
+            bytes(rng.choice(b"ab") for _ in range(12)) for _ in range(300)
+        })
+        model = train_model(keys, word_size=1, max_words=1)
+        hasher = model.hasher_for_entropy(30.0)
+        assert hasher.partial_key.is_full_key
+
+    def test_larger_structures_need_at_least_as_many_words(self, google_corpus):
+        model = train_model(google_corpus, fixed_dataset=True)
+        small = model.hasher_for_chaining_table(100)
+        large = model.hasher_for_chaining_table(100_000)
+        assert len(large.partial_key.positions) >= len(small.partial_key.positions)
+
+    def test_bloom_needs_at_least_table_entropy(self, google_corpus):
+        model = train_model(google_corpus, fixed_dataset=True)
+        table = model.hasher_for_chaining_table(1000)
+        bloom = model.hasher_for_bloom_filter(1000, added_fpr=0.001)
+        assert len(bloom.partial_key.positions) >= len(table.partial_key.positions)
+
+    def test_partitioning_modes(self, google_corpus):
+        model = train_model(google_corpus, fixed_dataset=True)
+        relative = model.hasher_for_partitioning(10**6, 64, mode="relative")
+        absolute = model.hasher_for_partitioning(10**6, 64, mode="absolute")
+        assert relative.partial_key is not None
+        assert absolute.partial_key is not None
+
+    def test_base_hash_propagates(self, uuid_corpus):
+        model = train_model(uuid_corpus, base="xxh3", fixed_dataset=True)
+        hasher = model.hasher_for_chaining_table(100)
+        assert hasher.base.name == "xxh3"
+
+    def test_seed_propagates(self, uuid_corpus):
+        model = train_model(uuid_corpus, fixed_dataset=True)
+        a = model.hasher_for_chaining_table(100, seed=1)
+        b = model.hasher_for_chaining_table(100, seed=2)
+        assert a(b"k" * 40) != b(b"k" * 40)
+
+
+class TestDiagnostics:
+    def test_entropy_available(self, uuid_corpus):
+        model = train_model(uuid_corpus, fixed_dataset=True)
+        assert model.entropy_available() > 10
+
+    def test_empty_frontier_entropy_zero(self):
+        keys = [b"x" * n for n in range(5, 40)]  # separated by length alone
+        model = train_model(keys, fixed_dataset=True)
+        assert model.entropy_available() == 0.0
+
+    def test_max_supported_items(self, google_corpus):
+        model = train_model(google_corpus, fixed_dataset=True)
+        n_words = len(model.result.positions)
+        supported = model.max_supported_items(n_words)
+        assert supported > 1
+
+    def test_certified_entropy_below_estimate(self, uuid_corpus):
+        model = train_model(uuid_corpus)
+        estimate = model.result.entropy_at(1)
+        if estimate != math.inf:
+            assert model.certified_entropy(1) <= estimate
+
+    def test_describe_frontier(self, google_corpus):
+        model = train_model(google_corpus, fixed_dataset=True)
+        lines = describe_frontier(model)
+        assert len(lines) == len(model.result.positions)
+        assert all("H2" in line for line in lines)

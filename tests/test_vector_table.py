@@ -1,0 +1,121 @@
+"""Tests for the numpy-backed VectorProbingTable."""
+
+import random
+
+import pytest
+
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import train_model
+from repro.tables.probing import LinearProbingTable
+from repro.tables.vectorized import VectorProbingTable
+
+
+@pytest.fixture
+def full_hasher():
+    return EntropyLearnedHasher.full_key("wyhash")
+
+
+class TestBasics:
+    def test_insert_get(self, full_hasher):
+        table = VectorProbingTable(full_hasher, capacity=8)
+        table.insert(b"k", 42)
+        assert table.get(b"k") == 42
+        assert table.get(b"missing") is None
+
+    def test_probe_batch_order(self, full_hasher):
+        table = VectorProbingTable(full_hasher, capacity=8)
+        table.insert_batch([b"a", b"b", b"c"], [1, 2, 3])
+        assert table.probe_batch([b"c", b"x", b"a"]) == [3, None, 1]
+
+    def test_default_value(self, full_hasher):
+        table = VectorProbingTable(full_hasher, capacity=8)
+        assert table.probe_batch([b"nope"], default=-1) == [-1]
+
+    def test_overwrite(self, full_hasher):
+        table = VectorProbingTable(full_hasher, capacity=8)
+        table.insert(b"k", 1)
+        table.insert(b"k", 2)
+        assert table.get(b"k") == 2
+        assert len(table) == 1
+
+    def test_contains(self, full_hasher):
+        table = VectorProbingTable(full_hasher)
+        table.insert(b"x")
+        assert b"x" in table and b"y" not in table
+
+    def test_growth(self, full_hasher):
+        table = VectorProbingTable(full_hasher, capacity=4)
+        keys = [f"k{i}".encode() for i in range(2000)]
+        table.insert_batch(keys, list(range(2000)))
+        assert len(table) == 2000
+        assert table.load_factor <= table.max_load
+        results = table.probe_batch(keys)
+        assert results == list(range(2000))
+
+    def test_values_length_check(self, full_hasher):
+        table = VectorProbingTable(full_hasher)
+        with pytest.raises(ValueError):
+            table.insert_batch([b"a"], [1, 2])
+
+    def test_empty_batch(self, full_hasher):
+        table = VectorProbingTable(full_hasher)
+        assert table.probe_batch([]) == []
+
+    def test_items(self, full_hasher):
+        table = VectorProbingTable(full_hasher, capacity=16)
+        data = {f"k{i}".encode(): i for i in range(10)}
+        table.insert_batch(list(data), list(data.values()))
+        assert dict(table.items()) == data
+
+    def test_rejects_bad_max_load(self, full_hasher):
+        with pytest.raises(ValueError):
+            VectorProbingTable(full_hasher, max_load=1.5)
+
+
+class TestAgreementWithScalarTable:
+    def test_same_answers_as_linear_probing(self, full_hasher):
+        rng = random.Random(9)
+        stored = [rng.randbytes(20) for _ in range(1500)]
+        missing = [rng.randbytes(20) for _ in range(1500)]
+        values = list(range(1500))
+
+        scalar = LinearProbingTable(full_hasher, capacity=4096)
+        vector = VectorProbingTable(full_hasher, capacity=4096)
+        for k, v in zip(stored, values):
+            scalar.insert(k, v)
+        vector.insert_batch(stored, values)
+
+        probes = stored[:700] + missing[:700]
+        assert vector.probe_batch(probes) == [scalar.get(k) for k in probes]
+
+    def test_partial_key_hasher(self, google_corpus):
+        model = train_model(google_corpus, fixed_dataset=True)
+        hasher = model.hasher_for_probing_table(len(google_corpus))
+        table = VectorProbingTable(hasher, capacity=1024)
+        table.insert_batch(google_corpus, list(range(len(google_corpus))))
+        results = table.probe_batch(google_corpus)
+        assert results == list(range(len(google_corpus)))
+
+    def test_colliding_partial_keys_resolved_by_comparison(self):
+        hasher = EntropyLearnedHasher.from_positions([0], word_size=8)
+        keys = [b"SAMEWORD" + f"-{i:03d}".encode() for i in range(40)]
+        table = VectorProbingTable(hasher, capacity=128)
+        table.insert_batch(keys, list(range(40)))
+        assert table.probe_batch(keys) == list(range(40))
+        assert table.probe_batch([b"SAMEWORD-zzz"]) == [None]
+
+    def test_fuzz_mixed_single_and_batch(self, full_hasher):
+        rng = random.Random(31)
+        table = VectorProbingTable(full_hasher, capacity=8)
+        reference = {}
+        universe = [f"key-{i}".encode() for i in range(120)]
+        for _ in range(40):
+            batch = [rng.choice(universe) for _ in range(rng.randrange(1, 20))]
+            values = [rng.randrange(1000) for _ in batch]
+            table.insert_batch(batch, values)
+            for k, v in zip(batch, values):
+                reference[k] = v
+            probes = [rng.choice(universe) for _ in range(30)]
+            assert table.probe_batch(probes) == [
+                reference.get(k) for k in probes
+            ]

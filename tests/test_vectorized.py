@@ -1,0 +1,188 @@
+"""Bit-exactness and packing tests for the numpy batch kernels."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.crc import crc32_hash64
+from repro.hashing.vectorized import (
+    BATCH_KERNELS,
+    gather_words,
+    has_batch_kernel,
+    hash_batch_grouped,
+    mul128,
+    mum_vec,
+    pack_matrix,
+    words_per_key,
+)
+from repro.hashing.murmur import murmur3_64
+from repro.hashing.wyhash import wyhash64
+from repro.hashing.xxhash import xxh3_64, xxh64
+
+SCALARS = {
+    "wyhash": wyhash64,
+    "xxh3": xxh3_64,
+    "crc32": crc32_hash64,
+    "xxh64": xxh64,
+    "murmur3": murmur3_64,
+}
+
+
+class TestMul128:
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    @settings(max_examples=200)
+    def test_matches_python_bigint(self, a, b):
+        low, high = mul128(np.array([a], dtype=np.uint64), np.uint64(b))
+        product = a * b
+        assert int(low[0]) == product & (2**64 - 1)
+        assert int(high[0]) == product >> 64
+
+    def test_mum_vec_matches_scalar(self):
+        from repro._util import mum
+
+        a = np.array([0xDEADBEEF, 2**63, 1, 0], dtype=np.uint64)
+        b = np.uint64(0x12345678ABCDEF01)
+        result = mum_vec(a, b)
+        for i, value in enumerate(a):
+            assert int(result[i]) == mum(int(value), int(b))
+
+
+class TestBitExactness:
+    """Every batch kernel must equal its scalar function, byte for byte."""
+
+    LENGTHS = list(range(0, 70)) + [100, 128, 129, 255, 1000]
+
+    @pytest.mark.parametrize("name", sorted(BATCH_KERNELS))
+    def test_exhaustive_lengths(self, name):
+        rng = random.Random(11)
+        scalar = SCALARS[name]
+        keys = [bytes(rng.randrange(256) for _ in range(n)) for n in self.LENGTHS]
+        batch = hash_batch_grouped(keys, name, seed=0)
+        for i, key in enumerate(keys):
+            assert int(batch[i]) == scalar(key, 0), f"len={len(key)}"
+
+    @pytest.mark.parametrize("name", sorted(BATCH_KERNELS))
+    @pytest.mark.parametrize("seed", [1, 0xDEADBEEF, 2**64 - 1])
+    def test_seeds(self, name, seed):
+        rng = random.Random(12)
+        scalar = SCALARS[name]
+        keys = [bytes(rng.randrange(256) for _ in range(n)) for n in (0, 5, 16, 47, 90)]
+        batch = hash_batch_grouped(keys, name, seed=seed)
+        for i, key in enumerate(keys):
+            assert int(batch[i]) == scalar(key, seed)
+
+    @given(st.lists(st.binary(min_size=0, max_size=200), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_wyhash(self, keys):
+        batch = hash_batch_grouped(keys, "wyhash", seed=7)
+        for i, key in enumerate(keys):
+            assert int(batch[i]) == wyhash64(key, 7)
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError, match="no batch kernel"):
+            hash_batch_grouped([b"x"], "fnv1a")
+
+    def test_has_batch_kernel(self):
+        assert has_batch_kernel("wyhash")
+        assert not has_batch_kernel("fnv1a")
+
+
+class TestPackMatrix:
+    def test_zero_pads_short_keys(self):
+        matrix = pack_matrix([b"ab", b"abcd"], width=4)
+        assert matrix.shape == (2, 4)
+        assert list(matrix[0]) == [ord("a"), ord("b"), 0, 0]
+
+    def test_truncates_long_keys(self):
+        matrix = pack_matrix([b"abcdef"], width=3)
+        assert matrix.shape == (1, 3)
+        assert bytes(matrix[0]) == b"abc"
+
+    def test_default_width_is_max_length(self):
+        matrix = pack_matrix([b"ab", b"abcde"])
+        assert matrix.shape == (2, 5)
+
+    def test_empty_keys(self):
+        matrix = pack_matrix([b"", b""])
+        assert matrix.shape == (2, 1)
+        assert matrix.sum() == 0
+
+
+class TestGatherWords:
+    def test_reads_little_endian(self):
+        matrix = pack_matrix([bytes(range(1, 17))], width=16)
+        words = gather_words(matrix, [0, 8], word_size=8)
+        assert int(words[0, 0]) == int.from_bytes(bytes(range(1, 9)), "little")
+        assert int(words[0, 1]) == int.from_bytes(bytes(range(9, 17)), "little")
+
+    def test_positions_past_end_read_zero(self):
+        matrix = pack_matrix([b"abc"], width=3)
+        words = gather_words(matrix, [10], word_size=8)
+        assert int(words[0, 0]) == 0
+
+    def test_partial_word_at_boundary(self):
+        matrix = pack_matrix([b"abcd"], width=4)
+        words = gather_words(matrix, [2], word_size=8)
+        assert int(words[0, 0]) == int.from_bytes(b"cd", "little")
+
+    def test_word_size_validation(self):
+        matrix = pack_matrix([b"abc"])
+        with pytest.raises(ValueError):
+            gather_words(matrix, [0], word_size=3)
+
+    @pytest.mark.parametrize("word_size", [1, 2, 4, 8])
+    def test_word_sizes(self, word_size):
+        matrix = pack_matrix([bytes(range(16))], width=16)
+        words = gather_words(matrix, [4], word_size=word_size)
+        expected = int.from_bytes(bytes(range(4, 4 + word_size)), "little")
+        assert int(words[0, 0]) == expected
+
+
+class TestWordsPerKey:
+    def test_full_key_counts_words(self):
+        assert words_per_key([b"x" * 8, b"x" * 16]) == 1.5
+
+    def test_rounds_up_partial_words(self):
+        assert words_per_key([b"x" * 9]) == 2.0
+
+    def test_positions_override(self):
+        assert words_per_key([b"x" * 100], positions=[0, 8]) == 2.0
+
+    def test_empty_corpus(self):
+        assert words_per_key([]) == 0.0
+
+
+class TestExtendedKernels:
+    """XXH64 and Murmur3 batch kernels, added beyond the paper's three."""
+
+    LENGTHS = list(range(0, 70)) + [100, 129, 255, 513]
+
+    @pytest.mark.parametrize("name,scalar_name", [
+        ("xxh64", "xxh64"), ("murmur3", "murmur3"),
+    ])
+    def test_bit_exact(self, name, scalar_name):
+        from repro.hashing.murmur import murmur3_64
+        from repro.hashing.xxhash import xxh64
+
+        scalars = {"xxh64": xxh64, "murmur3": murmur3_64}
+        rng = random.Random(31)
+        keys = [bytes(rng.randrange(256) for _ in range(n)) for n in self.LENGTHS]
+        batch = hash_batch_grouped(keys, name, seed=5)
+        scalar = scalars[scalar_name]
+        for i, key in enumerate(keys):
+            assert int(batch[i]) == scalar(key, 5), f"len={len(key)}"
+
+    def test_all_five_kernels_registered(self):
+        for name in ("wyhash", "xxh3", "crc32", "xxh64", "murmur3"):
+            assert has_batch_kernel(name)
+
+    def test_elh_hasher_with_xxh64_batch(self):
+        from repro.core.hasher import EntropyLearnedHasher
+
+        h = EntropyLearnedHasher.from_positions([8], base="xxh64", seed=2)
+        keys = [bytes(range(i, i + 30)) for i in range(20)]
+        batch = h.hash_batch(keys)
+        assert all(int(batch[i]) == h(k) for i, k in enumerate(keys))

@@ -1,0 +1,188 @@
+"""Tests for the YCSB-style workload generator and LSM scan support."""
+
+import random
+
+import pytest
+
+from repro.datasets import google_urls
+from repro.kvstore.store import LSMStore
+from repro.workloads.ycsb import MIXES, Operation, WorkloadGenerator, run_workload
+
+
+@pytest.fixture(scope="module")
+def population():
+    return [f"user{i:06d}".encode() for i in range(500)]
+
+
+class TestGenerator:
+    def test_deterministic(self, population):
+        a = list(WorkloadGenerator(population, "A", seed=3).operations(100))
+        b = list(WorkloadGenerator(population, "A", seed=3).operations(100))
+        assert [(o.kind, o.key) for o in a] == [(o.kind, o.key) for o in b]
+
+    def test_mix_proportions(self, population):
+        gen = WorkloadGenerator(population, "B", seed=1)
+        ops = list(gen.operations(4000))
+        reads = sum(op.kind == "read" for op in ops)
+        assert 0.9 < reads / len(ops) < 0.99  # nominal 0.95
+
+    def test_read_only_mix(self, population):
+        ops = list(WorkloadGenerator(population, "C", seed=2).operations(200))
+        assert all(op.kind == "read" for op in ops)
+
+    def test_inserts_extend_population(self, population):
+        gen = WorkloadGenerator(list(population), "D", seed=4)
+        before = len(gen.keys)
+        list(gen.operations(1000))
+        assert len(gen.keys) > before
+
+    def test_scan_lengths_bounded(self, population):
+        gen = WorkloadGenerator(population, "E", seed=5, max_scan_length=7)
+        ops = [op for op in gen.operations(500) if op.kind == "scan"]
+        assert ops and all(1 <= op.scan_length <= 7 for op in ops)
+
+    def test_zipf_skew(self, population):
+        gen = WorkloadGenerator(population, "C", seed=6)
+        ops = list(gen.operations(5000))
+        counts = {}
+        for op in ops:
+            counts[op.key] = counts.get(op.key, 0) + 1
+        top = max(counts.values())
+        assert top > 5000 / len(population) * 10  # head much hotter than mean
+
+    def test_negative_reads(self, population):
+        negatives = [f"ghost{i}".encode() for i in range(100)]
+        gen = WorkloadGenerator(population, "C", seed=7,
+                                negative_fraction=0.5,
+                                negative_keys=negatives)
+        ops = list(gen.operations(2000))
+        ghost = sum(op.key.startswith(b"ghost") for op in ops)
+        assert 0.4 < ghost / len(ops) < 0.6
+
+    def test_validation(self, population):
+        with pytest.raises(ValueError):
+            WorkloadGenerator([], "A")
+        with pytest.raises(ValueError):
+            WorkloadGenerator(population, "Z")
+        with pytest.raises(ValueError):
+            WorkloadGenerator(population, "A", negative_fraction=0.5)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(population, "A", negative_fraction=1.5,
+                              negative_keys=[b"x"])
+
+
+class TestLSMScan:
+    def _loaded_store(self):
+        store = LSMStore(memtable_bytes=1 << 20, compaction_fanout=10)
+        for i in range(100):
+            store.put(b"key-%03d" % i, b"v%d" % i)
+        return store
+
+    def test_scan_range(self):
+        store = self._loaded_store()
+        store.flush()
+        result = list(store.scan(b"key-010", b"key-015"))
+        assert [k for k, _ in result] == [b"key-%03d" % i for i in range(10, 15)]
+
+    def test_scan_merges_memtable_and_runs(self):
+        store = self._loaded_store()
+        store.flush()
+        store.put(b"key-012", b"newer")
+        result = dict(store.scan(b"key-010", b"key-015"))
+        assert result[b"key-012"] == b"newer"
+
+    def test_scan_skips_tombstones(self):
+        store = self._loaded_store()
+        store.flush()
+        store.delete(b"key-011")
+        keys = [k for k, _ in store.scan(b"key-010", b"key-015")]
+        assert b"key-011" not in keys
+
+    def test_scan_across_multiple_runs(self):
+        store = LSMStore(compaction_fanout=10)
+        for round_index in range(3):
+            for i in range(round_index, 60, 3):
+                store.put(b"k%02d" % i, b"r%d" % round_index)
+            store.flush()
+        result = list(store.scan(b"k00", b"k99"))
+        assert len(result) == 60
+        assert [k for k, _ in result] == sorted(k for k, _ in result)
+
+    def test_empty_and_inverted_ranges(self):
+        store = self._loaded_store()
+        assert list(store.scan(b"zzz", b"zzzz")) == []
+        assert list(store.scan(b"key-050", b"key-010")) == []
+
+
+class TestRunWorkload:
+    def test_drives_store_without_errors(self, population):
+        store = LSMStore(memtable_bytes=4 << 10, compaction_fanout=3)
+        for key in population:
+            store.put(key, b"seed-value")
+        gen = WorkloadGenerator(population, "F", seed=9)
+        counts = run_workload(store, gen.operations(2000))
+        assert sum(counts.values()) == 2000
+        assert set(counts) <= {"read", "rmw"}
+
+    def test_scan_workload(self, population):
+        store = LSMStore(memtable_bytes=1 << 20)
+        for key in population:
+            store.put(key, b"v")
+        store.flush()
+        gen = WorkloadGenerator(population, "E", seed=10)
+        counts = run_workload(store, gen.operations(300))
+        assert counts.get("scan", 0) > 0
+
+    def test_mixed_workload_preserves_consistency(self, population):
+        """After any workload, every live key reads back a value that
+        was written for it."""
+        store = LSMStore(memtable_bytes=2 << 10, compaction_fanout=3)
+        reference = {}
+        for key in population[:200]:
+            store.put(key, b"initial")
+            reference[key] = True
+        gen = WorkloadGenerator(population[:200], "A", seed=11)
+        for op in gen.operations(3000):
+            if op.kind == "read":
+                store.get(op.key)
+            else:
+                store.put(op.key, op.value)
+        for key in population[:200]:
+            assert store.get(key) is not None
+
+
+class TestModelDrift:
+    def test_no_drift_on_same_distribution(self):
+        from repro.core.trainer import train_model
+
+        urls = google_urls(2000, seed=51)
+        model = train_model(urls[:1000])
+        assert not model.check_drift(urls[1000:])
+
+    def test_drift_detected_on_constant_bytes(self):
+        from repro.core.trainer import train_model
+
+        urls = google_urls(1000, seed=52)
+        model = train_model(urls)
+        if model.partial_key.is_full_key:
+            pytest.skip("no partial key learned")
+        width = model.partial_key.last_byte_used
+        drifted = [b"Z" * width + b"-%04d" % i for i in range(500)]
+        assert model.check_drift(drifted)
+
+    def test_full_key_model_never_drifts(self):
+        from repro.core.greedy import GreedyResult
+        from repro.core.trainer import EntropyModel
+
+        model = EntropyModel(result=GreedyResult(
+            positions=[], word_size=8, entropies=[], train_collisions=[],
+            train_size=0, eval_size=0,
+        ))
+        assert not model.check_drift([b"a", b"b"])
+
+    def test_requires_sample(self):
+        from repro.core.trainer import train_model
+
+        model = train_model(google_urls(300, seed=53))
+        with pytest.raises(ValueError):
+            model.check_drift([b"only-one"])
