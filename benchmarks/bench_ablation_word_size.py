@@ -1,4 +1,4 @@
-"""Ablation — greedy word granularity (1 vs 4 vs 8 bytes).
+"""Ablation — greedy word granularity (1 vs 2 vs 4 vs 8 bytes).
 
 The paper selects 4 or 8 bytes at a time because base hashes consume a
 word per step.  This ablation quantifies the trade: smaller words find
@@ -12,7 +12,7 @@ from repro.core.sizing import entropy_for_probing_table
 from repro.datasets import hn_urls
 
 NUM_KEYS = 6_000
-WORD_SIZES = (1, 4, 8)
+WORD_SIZES = (1, 2, 4, 8)
 
 
 def run_table():

@@ -1,0 +1,146 @@
+"""Engine benchmark — one batched pipeline pass vs the scalar loop.
+
+Every structure now routes hashing through its
+:class:`~repro.engine.HashEngine`; this benchmark quantifies what that
+buys.  For each structure it times the batched path (one compiled
+gather + one numpy kernel call + fused reduction) against the per-key
+scalar loop over the same mixed-length keys, and reports ns/key plus
+the speedup.  ``bench_records()`` returns the same numbers as JSON-able
+records; ``run_all.py`` collects them into ``BENCH_engine.json``.
+"""
+
+from repro.bench.harness import build_probe_mix, time_callable
+from repro.bench.reporting import format_speedup_table, print_header
+from repro.core.trainer import train_model
+from repro.datasets import hn_urls
+from repro.filters.blocked import BlockedBloomFilter
+from repro.partitioning.partitioner import Partitioner
+from repro.tables.chaining import SeparateChainingTable
+from repro.tables.probing import LinearProbingTable
+
+NUM_KEYS = 10_000          # mixed-length HN URLs; half stored
+NUM_PROBES = 5_000         # acceptance floor is 4k
+REPEATS = 3
+
+
+def _workload():
+    keys = hn_urls(NUM_KEYS, seed=23)
+    half = len(keys) // 2
+    stored, missing = keys[:half], keys[half:]
+    model = train_model(stored, seed=5)
+    probes = build_probe_mix(stored, missing, hit_rate=0.5,
+                             num_probes=NUM_PROBES, seed=7)
+    return model, stored, probes
+
+
+def _record(name, n, scalar_s, batch_s):
+    return {
+        "benchmark": name,
+        "n_keys": n,
+        "batch_size": n,
+        "scalar_ns_per_key": scalar_s * 1e9 / n,
+        "batch_ns_per_key": batch_s * 1e9 / n,
+        "keys_per_second_batched": n / batch_s if batch_s else float("inf"),
+        "speedup": scalar_s / batch_s if batch_s else float("inf"),
+    }
+
+
+def bench_records():
+    """Time each structure's batch path against its scalar loop."""
+    model, stored, probes = _workload()
+    records = []
+
+    hasher = model.hasher_for_probing_table(len(stored))
+    capacity = int(len(stored) / 0.7)
+
+    def insert_scalar():
+        fresh = LinearProbingTable(hasher, capacity=capacity)
+        for key in stored:
+            fresh.insert(key, None)
+
+    def insert_batched():
+        LinearProbingTable(hasher, capacity=capacity).insert_batch(stored)
+
+    scalar_s = time_callable(insert_scalar, repeats=REPEATS)
+    batch_s = time_callable(insert_batched, repeats=REPEATS)
+    records.append(_record("probing_insert", len(stored), scalar_s, batch_s))
+
+    table = LinearProbingTable(hasher, capacity=capacity)
+    table.insert_batch(stored)
+    scalar_s = time_callable(lambda: [table.get(k) for k in probes],
+                             repeats=REPEATS)
+    batch_s = time_callable(lambda: table.probe_batch(probes),
+                            repeats=REPEATS)
+    records.append(_record("probing_probe", len(probes), scalar_s, batch_s))
+
+    chaining = SeparateChainingTable(
+        model.hasher_for_chaining_table(len(stored)), capacity=len(stored))
+    chaining.insert_batch(stored)
+    scalar_s = time_callable(lambda: [chaining.get(k) for k in probes],
+                             repeats=REPEATS)
+    batch_s = time_callable(lambda: chaining.probe_batch(probes),
+                            repeats=REPEATS)
+    records.append(_record("chaining_probe", len(probes), scalar_s, batch_s))
+
+    bloom = BlockedBloomFilter.for_items(
+        model.hasher_for_bloom_filter(len(stored)), expected_items=len(stored))
+    bloom.add_batch(stored)
+    scalar_s = time_callable(lambda: [bloom.contains(k) for k in probes],
+                             repeats=REPEATS)
+    batch_s = time_callable(lambda: bloom.contains_batch(probes),
+                            repeats=REPEATS)
+    records.append(_record("bloom_contains", len(probes), scalar_s, batch_s))
+
+    partitioner = Partitioner(
+        model.hasher_for_partitioning(len(probes), 64), num_partitions=64)
+    engine = partitioner.engine
+    reducer = partitioner._reducer
+    scalar_s = time_callable(
+        lambda: [engine.hash_one(k, reducer) for k in probes],
+        repeats=REPEATS)
+    batch_s = time_callable(lambda: partitioner.assign(probes),
+                            repeats=REPEATS)
+    records.append(_record("partition_assign", len(probes), scalar_s, batch_s))
+    return records
+
+
+def run_table():
+    return {
+        r["benchmark"]: {
+            "scalar_ns": r["scalar_ns_per_key"],
+            "batch_ns": r["batch_ns_per_key"],
+            "speedup": r["speedup"],
+        }
+        for r in bench_records()
+    }
+
+
+def main():
+    print_header(f"Engine batch pipeline vs scalar loop "
+                 f"({NUM_PROBES} mixed-length HN probes)")
+    print(format_speedup_table(
+        run_table(), ["scalar_ns", "batch_ns", "speedup"],
+        row_title="operation", digits=1,
+    ))
+
+
+def test_batch_path_faster_than_scalar():
+    # The acceptance bar: batched probe/insert on >= 4k mixed-length
+    # keys measurably faster through the engine than the scalar loop.
+    records = {r["benchmark"]: r for r in bench_records()}
+    assert records["probing_probe"]["n_keys"] >= 4_000
+    assert records["probing_probe"]["speedup"] > 1.0
+    assert records["probing_insert"]["speedup"] > 1.0
+
+
+def test_engine_benchmark(benchmark):
+    model, stored, probes = _workload()
+    table = LinearProbingTable(
+        model.hasher_for_probing_table(len(stored)),
+        capacity=int(len(stored) / 0.7))
+    table.insert_batch(stored)
+    benchmark(lambda: table.probe_batch(probes))
+
+
+if __name__ == "__main__":
+    main()

@@ -4,15 +4,23 @@ Usage::
 
     python benchmarks/run_all.py            # everything
     python benchmarks/run_all.py fig6 tbl4  # filter by substring
+    python benchmarks/run_all.py engine     # smoke run; still emits JSON
 
-The output of a full run is what EXPERIMENTS.md records.
+The output of a full run is what EXPERIMENTS.md records.  Any selected
+module that exposes ``bench_records()`` (currently ``bench_engine``)
+also contributes machine-readable records, which are written to
+``BENCH_engine.json`` at the repo root together with the git revision.
 """
 
 import importlib
+import json
+import os
+import subprocess
 import sys
 import time
 
 MODULES = [
+    "bench_engine",
     "bench_fig5_entropy_vs_words",
     "bench_fig6_probe_time",
     "bench_fig7_breakdown",
@@ -42,12 +50,40 @@ MODULES = [
 ]
 
 
+def _git_rev():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        ).stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def write_engine_report(records, path=None):
+    """Persist engine benchmark records as ``BENCH_engine.json``."""
+    if path is None:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        path = os.path.join(repo_root, "BENCH_engine.json")
+    report = {
+        "git_rev": _git_rev(),
+        "generated_at_unix": time.time(),
+        "records": records,
+    }
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"\n[wrote {len(records)} engine record(s) to {path}]")
+    return path
+
+
 def main(filters):
     selected = [
         name for name in MODULES
         if not filters or any(f in name for f in filters)
     ]
     overall_start = time.perf_counter()
+    engine_records = []
     for name in selected:
         start = time.perf_counter()
         try:
@@ -55,7 +91,11 @@ def main(filters):
         except ImportError:
             module = importlib.import_module(f"benchmarks.{name}")
         module.main()
+        if hasattr(module, "bench_records"):
+            engine_records.extend(module.bench_records())
         print(f"\n[{name} finished in {time.perf_counter() - start:.1f}s]")
+    if engine_records:
+        write_engine_report(engine_records)
     print(f"\nTotal: {time.perf_counter() - overall_start:.1f}s "
           f"for {len(selected)} experiment(s)")
 

@@ -22,6 +22,7 @@ from repro.core import (
     renyi2_entropy,
     train_model,
 )
+from repro.engine import HashEngine
 from repro.filters import BlockedBloomFilter, BloomFilter
 from repro.partitioning import Partitioner
 from repro.tables import (
@@ -40,6 +41,7 @@ __all__ = [
     "EntropyModel",
     "EntropyLearnedHasher",
     "PartialKeyFunction",
+    "HashEngine",
     "LinearProbingTable",
     "SeparateChainingTable",
     "EntropyAwareTable",

@@ -6,11 +6,15 @@ Usage::
     python -m repro train keys.txt --out model.json --base wyhash
     python -m repro recommend model.json --task probing --size 100000
     python -m repro quality wyhash [--keyfile keys.txt]
+    python -m repro engine keys.txt [--base wyhash] [--batch-size 4096]
 
 ``analyze`` profiles a newline-delimited key file (per-position entropy,
 the learned frontier).  ``train`` persists a model; ``recommend`` loads
 one and prints the hasher it would hand out for a task — the same answer
-``EntropyModel.hasher_for_<task>`` gives in code.
+``EntropyModel.hasher_for_<task>`` gives in code.  ``engine`` trains a
+model, streams the key file through a table's
+:class:`~repro.engine.HashEngine` in batches, and prints the engine's
+counters — the observability surface of the unified pipeline.
 """
 
 from __future__ import annotations
@@ -112,6 +116,55 @@ def cmd_quality(args: argparse.Namespace) -> int:
     return 0 if all(r.passed for r in reports) else 1
 
 
+def cmd_engine(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.tables.chaining import SeparateChainingTable
+
+    keys = _read_keys(args.keyfile, args.limit)
+    model = train_model(keys, base=args.base, word_size=args.word_size,
+                        fixed_dataset=args.fixed)
+    hasher = model.hasher_for_chaining_table(len(keys))
+    table = SeparateChainingTable(hasher, capacity=len(keys))
+
+    batch = max(1, args.batch_size)
+    for start in range(0, len(keys), batch):
+        chunk = keys[start:start + batch]
+        table.insert_batch(chunk, list(range(start, start + len(chunk))))
+    for start in range(0, len(keys), batch):
+        table.probe_batch(keys[start:start + batch])
+
+    stats = table.engine.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    L = table.engine.partial_key
+    print(f"engine over {len(keys)} keys "
+          f"(base={stats['base']}, word_size={stats['word_size']}, "
+          f"positions={stats['positions']})")
+    if L.is_full_key:
+        print("  hasher: full-key (the frontier could not certify "
+              "enough entropy)")
+    print(f"  keys hashed:        {stats['keys_hashed']}")
+    print(f"  bytes hashed:       {stats['bytes_hashed']}")
+    print(f"  batches:            {stats['batches']} "
+          f"(mean size {stats['mean_batch_size']:.1f})")
+    print(f"  scalar calls:       {stats['scalar_calls']}")
+    print(f"  plan cache:         {stats['plan_cache_hits']} hits / "
+          f"{stats['plan_cache_misses']} misses "
+          f"({stats['plans_compiled']} plans compiled)")
+    print(f"  short-key fallbacks: {stats['short_key_fallbacks']}")
+    print(f"  fallback events:    {stats['fallback_events']} "
+          f"(fell_back={stats['fell_back']})")
+    print("  batch-size histogram:")
+    for bucket, count in sorted(
+        stats["batch_size_histogram"].items(),
+        key=lambda item: int(str(item[0]).split("-")[0]),
+    ):
+        print(f"    {bucket:>11}: {count}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Entropy-Learned Hashing toolkit"
@@ -153,6 +206,19 @@ def build_parser() -> argparse.ArgumentParser:
     quality.add_argument("--seed", type=int, default=0)
     quality.add_argument("--limit", type=int, default=0)
     quality.set_defaults(func=cmd_quality)
+
+    engine = sub.add_parser(
+        "engine", help="stream a key file through the unified hash engine"
+    )
+    engine.add_argument("keyfile")
+    engine.add_argument("--base", default="wyhash")
+    engine.add_argument("--word-size", type=int, default=8)
+    engine.add_argument("--batch-size", type=int, default=4096)
+    engine.add_argument("--limit", type=int, default=0)
+    engine.add_argument("--fixed", action="store_true")
+    engine.add_argument("--json", action="store_true",
+                        help="emit the raw stats() dict as JSON")
+    engine.set_defaults(func=cmd_engine)
     return parser
 
 

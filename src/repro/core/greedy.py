@@ -198,6 +198,8 @@ def choose_bytes(
     """
     start = time.perf_counter()
     keys = as_bytes_list(train_data)
+    if word_size not in (1, 2, 4, 8):
+        raise ValueError(f"word_size must be 1, 2, 4, or 8, got {word_size}")
     if len(keys) < 2:
         raise ValueError("need at least 2 training items")
     if not 0.0 < coverage <= 1.0:

@@ -1,0 +1,287 @@
+"""The unified batched hash pipeline every structure routes through.
+
+One :class:`HashEngine` owns an
+:class:`~repro.core.hasher.EntropyLearnedHasher` and turns every hashing
+request — from tables, filters, partitioners, sketches, operators, the
+kv-store — into the same three-step vectorized pass:
+
+1. **gather** the learned byte positions of the whole batch into a
+   contiguous subkey matrix (vectorized ``L``, bit-exact with
+   :meth:`~repro.core.partial_key.PartialKeyFunction.subkey`, including
+   the short-key full-hash branch and the length prefix);
+2. **hash** with the bit-exact numpy kernel of the base hash;
+3. **reduce** with the structure's :class:`~repro.engine.reducers.Reducer`
+   (bucket mask, fingerprint split, partition id, ...) in the same pass.
+
+Plans (kernel + gather layout per key-length-group) are compiled once
+and cached.  The engine also centralizes the Section 5 robustness story:
+it owns the optional :class:`~repro.engine.monitor.CollisionMonitor`,
+and when observed collisions exceed the entropy budget it rebuilds its
+plans around full-key hashing and records the event in ``stats()``.
+``hash_one`` is the single-key degenerate case of the same pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro._util import Key, as_bytes, as_bytes_list
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.partial_key import PartialKeyFunction
+from repro.engine.monitor import CollisionMonitor
+from repro.engine.plan import (
+    HashPlan,
+    compile_fixed_plan,
+    compile_subkey_plan,
+    pack_exact,
+    subkey_matrix,
+)
+from repro.engine.reducers import Reducer
+from repro.engine.stats import EngineStats
+from repro.hashing.base import HashFunction
+from repro.hashing.vectorized import has_batch_kernel
+
+
+class HashEngine:
+    """Compiled partial-key -> hash -> reduce pipeline with observability.
+
+    >>> from repro.core.hasher import EntropyLearnedHasher
+    >>> engine = HashEngine(EntropyLearnedHasher.from_positions((0, 8)))
+    >>> keys = [b"0123456789abcdef", b"0123456789ABCDEF"]
+    >>> list(engine.hash_batch(keys)) == [engine.hasher(k) for k in keys]
+    True
+    >>> engine.stats()["batches"]
+    1
+    """
+
+    def __init__(
+        self,
+        hasher: EntropyLearnedHasher,
+        monitor: Optional[CollisionMonitor] = None,
+    ):
+        self._hasher = hasher
+        self.monitor = monitor
+        self._stats = EngineStats()
+        self._plans: Dict[tuple, HashPlan] = {}
+        self._seeded: Dict[int, EntropyLearnedHasher] = {}
+        self._fell_back = False
+
+    # ----------------------------------------------------------- construction
+
+    @classmethod
+    def full_key(
+        cls, base: Union[str, HashFunction] = "wyhash", seed: int = 0
+    ) -> "HashEngine":
+        """An engine around a traditional full-key hasher."""
+        return cls(EntropyLearnedHasher.full_key(base, seed=seed))
+
+    # -------------------------------------------------------------- accessors
+
+    @property
+    def hasher(self) -> EntropyLearnedHasher:
+        """The hasher whose configuration the current plans compile."""
+        return self._hasher
+
+    def set_hasher(self, hasher: EntropyLearnedHasher) -> None:
+        """Swap the hasher and invalidate every compiled plan."""
+        self._hasher = hasher
+        self._plans.clear()
+        self._seeded.clear()
+
+    @property
+    def partial_key(self) -> PartialKeyFunction:
+        return self._hasher.partial_key
+
+    @property
+    def seed(self) -> int:
+        return self._hasher.seed
+
+    @property
+    def fell_back(self) -> bool:
+        """True once the monitor forced full-key rebuilding."""
+        return self._fell_back
+
+    # ------------------------------------------------------------- batch path
+
+    def hash_batch(
+        self,
+        keys: Sequence[Key],
+        reducer: Optional[Reducer] = None,
+        seed: Optional[int] = None,
+    ):
+        """Hash a batch; optionally fuse the structure's reducer.
+
+        Bit-exact with ``[self.hasher(k) for k in keys]`` (and, with a
+        reducer, with ``reducer.apply_one`` of each scalar hash).
+        ``seed`` overrides the hasher's seed for this call only — plans
+        are seed-independent, so multi-hash structures (Count-Min rows,
+        MinHash permutations) reuse one engine and one plan cache.
+        """
+        keys = as_bytes_list(keys)
+        self._stats.observe_batch(len(keys))
+        hashes = self._hash_batch_raw(keys, seed)
+        if reducer is None:
+            return hashes
+        return reducer.apply(hashes)
+
+    def _hash_batch_raw(self, keys: Sequence[bytes], seed: Optional[int]) -> np.ndarray:
+        hasher = self._hasher
+        if seed is None:
+            seed = hasher.seed
+        n = len(keys)
+        if n == 0:
+            return np.zeros(0, dtype=np.uint64)
+
+        if not has_batch_kernel(hasher.base.name):
+            # Base hashes without a numpy kernel take the scalar loop —
+            # still one engine call, still counted.
+            scalar = self._scalar_hasher(seed)
+            self._stats.bytes_hashed += sum(scalar.bytes_read(k) for k in keys)
+            return np.fromiter((scalar(k) for k in keys), dtype=np.uint64, count=n)
+
+        base = hasher.base.name
+        L = hasher.partial_key
+        if L.is_full_key:
+            self._stats.bytes_hashed += sum(map(len, keys))
+            return self._hash_full(keys, base, seed)
+
+        cutoff = L.last_byte_used
+        lengths = [len(k) for k in keys]
+        plan = self._plan(
+            ("subkey", base, L.positions, L.word_size),
+            lambda: compile_subkey_plan(L, base),
+        )
+        if min(lengths) >= cutoff:
+            # The common case Section 3 designs for: every key takes the
+            # partial-key branch; one gather, one kernel call.
+            self._stats.bytes_hashed += L.bytes_read * n
+            return plan.run(subkey_matrix(plan, keys, lengths), seed)
+
+        applies = [i for i, length in enumerate(lengths) if length >= cutoff]
+        shorts = [i for i, length in enumerate(lengths) if length < cutoff]
+        self._stats.short_key_fallbacks += len(shorts)
+        out = np.zeros(n, dtype=np.uint64)
+        if applies:
+            subset = [keys[i] for i in applies]
+            self._stats.bytes_hashed += L.bytes_read * len(applies)
+            out[np.asarray(applies)] = plan.run(
+                subkey_matrix(plan, subset, [lengths[i] for i in applies]), seed
+            )
+        if shorts:
+            subset = [keys[i] for i in shorts]
+            self._stats.bytes_hashed += sum(map(len, subset))
+            out[np.asarray(shorts)] = self._hash_full(subset, base, seed)
+        return out
+
+    def _hash_full(
+        self, keys: Sequence[bytes], base: str, seed: int
+    ) -> np.ndarray:
+        """Full-key hashing, grouped by exact length (one plan each)."""
+        out = np.zeros(len(keys), dtype=np.uint64)
+        by_length: Dict[int, list] = {}
+        for i, key in enumerate(keys):
+            by_length.setdefault(len(key), []).append(i)
+        for length, indices in by_length.items():
+            plan = self._plan(
+                ("fixed", base, length),
+                lambda length=length: compile_fixed_plan(length, base),
+            )
+            matrix = pack_exact([keys[i] for i in indices], length)
+            out[np.asarray(indices)] = plan.run(matrix, seed)
+        return out
+
+    def _plan(self, key: tuple, builder) -> HashPlan:
+        plan = self._plans.get(key)
+        if plan is None:
+            self._stats.plan_cache_misses += 1
+            plan = builder()
+            self._plans[key] = plan
+        else:
+            self._stats.plan_cache_hits += 1
+        return plan
+
+    # ------------------------------------------------------------ scalar path
+
+    def hash_one(
+        self,
+        key: Key,
+        reducer: Optional[Reducer] = None,
+        seed: Optional[int] = None,
+    ):
+        """Hash one key — the degenerate case of the batch pipeline."""
+        self._stats.observe_scalar()
+        scalar = self._scalar_hasher(seed)
+        key = as_bytes(key)
+        self._stats.bytes_hashed += scalar.bytes_read(key)
+        h = scalar(key)
+        if reducer is None:
+            return h
+        return reducer.apply_one(h)
+
+    def _scalar_hasher(self, seed: Optional[int]) -> EntropyLearnedHasher:
+        hasher = self._hasher
+        if seed is None or seed == hasher.seed:
+            return hasher
+        cached = self._seeded.get(seed)
+        if cached is None:
+            cached = hasher.with_seed(seed)
+            self._seeded[seed] = cached
+        return cached
+
+    # --------------------------------------------- robustness / observability
+
+    def record_insert(
+        self,
+        displacement: float,
+        expected: Optional[float] = None,
+        n: Optional[int] = None,
+    ) -> bool:
+        """Feed one insert's collision signal to the central monitor.
+
+        Returns True exactly when this signal pushed the monitor over
+        its budget: the engine has already rebuilt its plans around
+        full-key hashing, and the caller should rehash its entries with
+        the engine's (new) hasher.
+        """
+        if self.monitor is None or self._fell_back:
+            return False
+        if self._hasher.partial_key.is_full_key:
+            return False
+        self.monitor.record_insert(displacement, expected)
+        if self.monitor.should_fall_back(n):
+            self.fall_back_to_full_key()
+            return True
+        return False
+
+    def fall_back_to_full_key(self) -> None:
+        """Rebuild every plan around the full-key hash (Section 5)."""
+        self._fell_back = True
+        self._stats.fallback_events += 1
+        self.set_hasher(
+            EntropyLearnedHasher.full_key(self._hasher.base, seed=self._hasher.seed)
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the engine's counters."""
+        snapshot = self._stats.snapshot()
+        snapshot["plans_compiled"] = len(self._plans)
+        snapshot["fell_back"] = self._fell_back
+        snapshot["base"] = self._hasher.base.name
+        snapshot["positions"] = list(self._hasher.partial_key.positions)
+        snapshot["word_size"] = self._hasher.partial_key.word_size
+        return snapshot
+
+    @property
+    def counters(self) -> EngineStats:
+        """The live counter object (tests and benchmarks poke at it)."""
+        return self._stats
+
+    def __repr__(self) -> str:
+        return (
+            f"HashEngine(base={self._hasher.base.name!r}, "
+            f"positions={self._hasher.partial_key.positions}, "
+            f"word_size={self._hasher.partial_key.word_size}, "
+            f"fell_back={self._fell_back})"
+        )

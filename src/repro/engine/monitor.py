@@ -1,0 +1,123 @@
+"""Collision monitoring and the full-key fallback decision.
+
+Paper Section 5 / appendix B: hash tables are the most robust
+Entropy-Learned structure because (1) they can watch collisions during
+inserts almost for free, and (2) rehashing is already a native operation,
+so when observed collisions exceed what the learned entropy predicts the
+table can simply rebuild with the full-key hash.
+
+:class:`CollisionMonitor` accumulates the cheap per-insert signal
+(bucket occupancy for chaining, probe displacement for open addressing)
+and compares it against a budget with two parts:
+
+* a *structural baseline* supplied by the table for each insert — the
+  displacement an ideal hash would cause anyway at the current load
+  (``n/m`` for chaining; Knuth's ``(Q1 - 1)/2`` for linear probing);
+* the *entropy term* from Lemma 1 — among ``n`` inserted keys with
+  partial-key entropy ``H2`` we expect about ``C(n, 2) * 2^-H2``
+  colliding pairs, each contributing extra displacement.
+
+A verdict of ``FALL_BACK`` means the data violated the learned entropy
+badly enough that full-key hashing is the safer configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class MonitorVerdict(enum.Enum):
+    """Outcome of a robustness check."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FALL_BACK = "fall_back"
+
+
+@dataclass
+class CollisionMonitor:
+    """Tracks insert-time collision signals against an entropy budget.
+
+    Args:
+        entropy: the learned Rényi-2 entropy of the partial key in use.
+        num_slots: slots/buckets of the structure being monitored (used
+            for the default chaining-style baseline when the caller does
+            not supply one).
+        tolerance: multiple of the expected signal that is still healthy
+            (default 4× — generous, so random fluctuation never triggers
+            a rebuild, but adversarial/shifted data does quickly).
+        min_inserts: don't judge before this many inserts (small-sample
+            noise guard).
+
+    >>> monitor = CollisionMonitor(entropy=20.0, num_slots=1024)
+    >>> monitor.record_insert(0)
+    >>> monitor.verdict()
+    <MonitorVerdict.HEALTHY: 'healthy'>
+    """
+
+    entropy: float
+    num_slots: int
+    tolerance: float = 4.0
+    min_inserts: int = 64
+    observed_collisions: float = field(default=0.0, init=False)
+    baseline_total: float = field(default=0.0, init=False)
+    inserts: int = field(default=0, init=False)
+
+    def record_insert(
+        self, displacement: float, expected: Optional[float] = None
+    ) -> None:
+        """Record one insert's collision signal.
+
+        ``displacement`` is the number of occupied positions the insert
+        had to pass.  ``expected`` is the structural baseline — what an
+        ideal hash would have cost at the structure's current load; when
+        omitted, the chaining-style ``inserts / num_slots`` is used.
+        """
+        if displacement < 0:
+            raise ValueError(f"displacement must be >= 0, got {displacement}")
+        if expected is None:
+            expected = self.inserts / self.num_slots
+        self.observed_collisions += displacement
+        self.baseline_total += max(0.0, expected)
+        self.inserts += 1
+
+    def expected_signal(self, n: Optional[int] = None) -> float:
+        """Expected cumulative displacement after the recorded inserts.
+
+        Structural baseline (accumulated per insert) plus the Lemma 1
+        partial-key collision mass ``C(n, 2) * 2^-H2``.
+        """
+        if n is None:
+            n = self.inserts
+        pairs = n * (n - 1) / 2.0
+        entropy_term = (
+            0.0 if self.entropy == math.inf else pairs * 2.0 ** (-self.entropy)
+        )
+        return self.baseline_total + entropy_term
+
+    def verdict(self, n: Optional[int] = None) -> MonitorVerdict:
+        """Judge the signal so far."""
+        if self.inserts < self.min_inserts:
+            return MonitorVerdict.HEALTHY
+        expected = self.expected_signal(n)
+        # Allow an absolute grace of a few collisions so tiny expected
+        # values (high entropy, few inserts) don't trip on one fluke.
+        threshold = self.tolerance * expected + 8.0
+        if self.observed_collisions <= threshold:
+            return MonitorVerdict.HEALTHY
+        if self.observed_collisions <= 2.0 * threshold:
+            return MonitorVerdict.DEGRADED
+        return MonitorVerdict.FALL_BACK
+
+    def should_fall_back(self, n: Optional[int] = None) -> bool:
+        """Convenience: True when the verdict is ``FALL_BACK``."""
+        return self.verdict(n) is MonitorVerdict.FALL_BACK
+
+    def reset(self) -> None:
+        """Forget accumulated signal (after a rebuild)."""
+        self.observed_collisions = 0.0
+        self.baseline_total = 0.0
+        self.inserts = 0

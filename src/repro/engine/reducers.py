@@ -1,0 +1,194 @@
+"""Structure-specific hash reducers, applied in the engine's vectorized pass.
+
+Every consumer of a 64-bit hash ends with a small arithmetic step that
+turns the hash into what the structure actually indexes with: a bucket
+mask for chaining tables, a (slot, tag) split for SwissTable-style
+probing, an (h1, h2) double-hashing pair for Bloom filters, a
+(block, bit-mask) pair for register-blocked filters, a
+(bucket, fingerprint) pair for cuckoo filters, a fast-range partition id,
+or HyperLogLog's (register, rank) split.  Before the engine existed each
+structure re-implemented its reduction twice — once scalar, once numpy —
+and the two copies could drift.  A :class:`Reducer` is the single
+definition: ``apply`` is the vectorized form the engine fuses onto a
+batch, ``apply_one`` the bit-identical scalar form for single-key paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+_U64 = np.uint64
+
+
+class Reducer:
+    """Base class: turn raw 64-bit hashes into structure-ready values.
+
+    Subclasses guarantee ``apply(np.array([h]))`` and ``apply_one(h)``
+    agree element-wise — the engine's scalar path is the degenerate case
+    of its batch path, never a separate implementation.
+    """
+
+    def apply(self, hashes: np.ndarray):
+        raise NotImplementedError
+
+    def apply_one(self, h: int):
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MaskReducer(Reducer):
+    """Bucket index for power-of-two structures: ``h & mask``."""
+
+    mask: int
+
+    def apply(self, hashes: np.ndarray) -> np.ndarray:
+        return (hashes & _U64(self.mask)).astype(np.int64)
+
+    def apply_one(self, h: int) -> int:
+        return h & self.mask
+
+
+@dataclass(frozen=True)
+class SlotTagReducer(Reducer):
+    """SwissTable split: high bits pick the slot, low 8 bits the tag.
+
+    Matches ``LinearProbingTable._slot_and_tag_from_hash`` exactly (tags
+    0/1 are reserved control states, so tag values live in 2..255).
+    """
+
+    mask: int
+    tag_states: int = 2
+
+    def apply(self, hashes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        slots = ((hashes >> _U64(8)) & _U64(self.mask)).astype(np.int64)
+        tags = (
+            (hashes & _U64(0xFF)) % _U64(256 - self.tag_states)
+            + _U64(self.tag_states)
+        ).astype(np.uint8)
+        return slots, tags
+
+    def apply_one(self, h: int) -> Tuple[int, int]:
+        slot = (h >> 8) & self.mask
+        tag = (h & 0xFF) % (256 - self.tag_states) + self.tag_states
+        return slot, tag
+
+
+@dataclass(frozen=True)
+class FastRangeReducer(Reducer):
+    """Lemire fast-range partition id: ``(h * n) >> 64``."""
+
+    num_partitions: int
+
+    def apply(self, hashes: np.ndarray) -> np.ndarray:
+        # Imported lazily: repro.filters imports the engine package, so a
+        # module-level import here would be circular.
+        from repro.filters.reduction import fast_range_array
+
+        return fast_range_array(hashes, self.num_partitions)
+
+    def apply_one(self, h: int) -> int:
+        from repro.filters.reduction import fast_range
+
+        return fast_range(h, self.num_partitions)
+
+
+@dataclass(frozen=True)
+class BloomSplitReducer(Reducer):
+    """Kirsch-Mitzenmacher split: one hash -> (h1, h2) probe streams.
+
+    ``h2`` is forced odd so the double-hashing stride never degenerates
+    modulo a power-of-two size.
+    """
+
+    def apply(self, hashes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        h1 = (hashes >> _U64(32)).astype(_U64)
+        h2 = ((hashes & _U64(0xFFFFFFFF)) | _U64(1)).astype(_U64)
+        return h1, h2
+
+    def apply_one(self, h: int) -> Tuple[int, int]:
+        from repro.filters.reduction import split_hash64
+
+        return split_hash64(h)
+
+
+@dataclass(frozen=True)
+class BlockMaskReducer(Reducer):
+    """Register-blocked Bloom split: (block index, k-bit probe mask).
+
+    High bits select the block by multiply-shift reduction; successive
+    6-bit groups select the probe bits inside the 64-bit block.
+    """
+
+    num_blocks: int
+    num_probe_bits: int
+
+    def apply(self, hashes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        blocks = (
+            ((hashes >> _U64(32)) * _U64(self.num_blocks)) >> _U64(32)
+        ).astype(np.int64)
+        masks = np.zeros(len(hashes), dtype=_U64)
+        bits = hashes.copy()
+        for _ in range(self.num_probe_bits):
+            masks |= _U64(1) << (bits & _U64(0x3F))
+            bits >>= _U64(6)
+        return blocks, masks
+
+    def apply_one(self, h: int) -> Tuple[int, int]:
+        block = ((h >> 32) * self.num_blocks) >> 32
+        mask = 0
+        bits = h
+        for _ in range(self.num_probe_bits):
+            mask |= 1 << (bits & 0x3F)
+            bits >>= 6
+        return block, mask
+
+
+@dataclass(frozen=True)
+class FingerprintReducer(Reducer):
+    """Cuckoo-filter split: (bucket index, nonzero fingerprint).
+
+    The fingerprint comes from the low bits (0 is remapped to 1, the
+    empty marker), the bucket index from the high bits.
+    """
+
+    fp_mask: int
+    bucket_mask: int
+
+    def apply(self, hashes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        fingerprints = hashes & _U64(self.fp_mask)
+        fingerprints = np.where(fingerprints == 0, _U64(1), fingerprints)
+        indexes = ((hashes >> _U64(32)) & _U64(self.bucket_mask)).astype(np.int64)
+        return indexes, fingerprints.astype(np.int64)
+
+    def apply_one(self, h: int) -> Tuple[int, int]:
+        fingerprint = (h & self.fp_mask) or 1
+        index = (h >> 32) & self.bucket_mask
+        return index, fingerprint
+
+
+@dataclass(frozen=True)
+class IndexRankReducer(Reducer):
+    """HyperLogLog split: (register index, 1-based rank of first 1 bit)."""
+
+    precision: int
+
+    def apply(self, hashes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        shift = _U64(64 - self.precision)
+        indexes = (hashes >> shift).astype(np.int64)
+        rest = hashes & ((_U64(1) << shift) - _U64(1))
+        # bit_length via log2; rest == 0 maps to the maximum rank.
+        with np.errstate(divide="ignore"):
+            bit_length = np.where(
+                rest > 0, np.floor(np.log2(rest.astype(np.float64))) + 1, 0
+            ).astype(np.int64)
+        ranks = (64 - self.precision) - bit_length + 1
+        return indexes, ranks
+
+    def apply_one(self, h: int) -> Tuple[int, int]:
+        index = h >> (64 - self.precision)
+        rest = h & ((1 << (64 - self.precision)) - 1)
+        rank = (64 - self.precision) - rest.bit_length() + 1
+        return index, rank

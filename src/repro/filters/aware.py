@@ -86,6 +86,8 @@ def build_filter(
 
     fallback_hasher = EntropyLearnedHasher.full_key(hasher.base, seed=seed)
     fallback = factory.for_items(fallback_hasher, len(keys), target_fpr)
+    # Record the rebuild on the engine so it shows up in engine.stats().
+    fallback.engine.fall_back_to_full_key()
     fallback.add_batch(keys)
     return FilterBuildReport(
         filter=fallback,

@@ -9,7 +9,10 @@ xxh3 as the base hash.
 
 Register blocking trades a slightly worse FPR-per-bit for much higher
 throughput; :meth:`BlockedBloomFilter.for_items` applies the standard
-correction by over-provisioning bits for the blocked layout.
+correction by over-provisioning bits for the blocked layout.  The
+(block, probe-mask) split is a
+:class:`~repro.engine.reducers.BlockMaskReducer` applied inside the
+shared :class:`~repro.engine.HashEngine` pass.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import numpy as np
 
 from repro._util import Key, as_bytes, as_bytes_list
 from repro.core.hasher import EntropyLearnedHasher
+from repro.engine import BlockMaskReducer, HashEngine
 
 _BLOCK_BITS = 64
 _BLOCK_SHIFT = 6  # log2(64)
@@ -49,11 +53,20 @@ class BlockedBloomFilter:
             raise ValueError(
                 f"num_probe_bits must be in [1, 8], got {num_probe_bits}"
             )
-        self.hasher = hasher
+        self.engine = HashEngine(hasher)
         self.num_blocks = num_blocks
         self.num_probe_bits = num_probe_bits
+        self._reducer = BlockMaskReducer(num_blocks, num_probe_bits)
         self._blocks = np.zeros(num_blocks, dtype=np.uint64)
         self._num_added = 0
+
+    @property
+    def hasher(self) -> EntropyLearnedHasher:
+        return self.engine.hasher
+
+    @hasher.setter
+    def hasher(self, hasher: EntropyLearnedHasher) -> None:
+        self.engine.set_hasher(hasher)
 
     # ----------------------------------------------------------- construction
 
@@ -80,49 +93,29 @@ class BlockedBloomFilter:
     # ---------------------------------------------------------------- helpers
 
     def _block_and_mask(self, h: int) -> tuple:
-        """Split one 64-bit hash into a block index and a k-bit mask.
-
-        High bits select the block by multiply-shift reduction; the next
-        bit groups select the probe bits inside the block (6 bits each).
-        """
-        block = ((h >> 32) * self.num_blocks) >> 32
-        mask = 0
-        bits = h
-        for _ in range(self.num_probe_bits):
-            mask |= 1 << (bits & 0x3F)
-            bits >>= _BLOCK_SHIFT
+        """Split one 64-bit hash into a block index and a k-bit mask."""
+        block, mask = self._reducer.apply_one(int(h))
         return block, np.uint64(mask)
-
-    def _blocks_and_masks(self, hashes: np.ndarray) -> tuple:
-        """Vectorized :meth:`_block_and_mask` over a hash array."""
-        blocks = (((hashes >> np.uint64(32)) * np.uint64(self.num_blocks))
-                  >> np.uint64(32)).astype(np.int64)
-        masks = np.zeros(len(hashes), dtype=np.uint64)
-        bits = hashes.copy()
-        for _ in range(self.num_probe_bits):
-            masks |= np.uint64(1) << (bits & np.uint64(0x3F))
-            bits >>= np.uint64(_BLOCK_SHIFT)
-        return blocks, masks
 
     # ------------------------------------------------------------- operations
 
     def add(self, key: Key) -> None:
         """Insert one key (touches exactly one block)."""
-        block, mask = self._block_and_mask(self.hasher(as_bytes(key)))
-        self._blocks[block] |= mask
+        block, mask = self.engine.hash_one(as_bytes(key), self._reducer)
+        self._blocks[block] |= np.uint64(mask)
         self._num_added += 1
 
     def add_batch(self, keys: Sequence[Key]) -> None:
-        """Insert many keys via the vectorized hash kernel."""
+        """Insert many keys via the engine's vectorized pass."""
         keys = as_bytes_list(keys)
-        hashes = self.hasher.hash_batch(keys)
-        blocks, masks = self._blocks_and_masks(hashes)
+        blocks, masks = self.engine.hash_batch(keys, self._reducer)
         np.bitwise_or.at(self._blocks, blocks, masks)
         self._num_added += len(keys)
 
     def contains(self, key: Key) -> bool:
         """Membership test against a single block."""
-        block, mask = self._block_and_mask(self.hasher(as_bytes(key)))
+        block, mask = self.engine.hash_one(as_bytes(key), self._reducer)
+        mask = np.uint64(mask)
         return bool((self._blocks[block] & mask) == mask)
 
     def __contains__(self, key: Key) -> bool:
@@ -131,8 +124,7 @@ class BlockedBloomFilter:
     def contains_batch(self, keys: Sequence[Key]) -> np.ndarray:
         """Vectorized membership test (the Figure 10 inner loop)."""
         keys = as_bytes_list(keys)
-        hashes = self.hasher.hash_batch(keys)
-        blocks, masks = self._blocks_and_masks(hashes)
+        blocks, masks = self.engine.hash_batch(keys, self._reducer)
         return (self._blocks[blocks] & masks) == masks
 
     # ------------------------------------------------------------ diagnostics

@@ -7,6 +7,11 @@ key's subkey (eq. 7).  The class below exposes both the probabilistic
 machinery (set-bit counting, the construction-time randomness validation
 from Section 5) and exact FPR measurement helpers used by the tests and
 the Figure 10 benchmark.
+
+Hashing goes through the shared :class:`~repro.engine.HashEngine`; the
+Kirsch-Mitzenmacher (h1, h2) split is a
+:class:`~repro.engine.reducers.BloomSplitReducer` fused into the same
+vectorized pass.
 """
 
 from __future__ import annotations
@@ -19,7 +24,9 @@ import numpy as np
 from repro._util import Key, as_bytes, as_bytes_list
 from repro.core.analysis import bloom_bits_for_fpr, bloom_optimal_k
 from repro.core.hasher import EntropyLearnedHasher
-from repro.filters.reduction import double_hash_probes, fast_range_array, split_hash64
+from repro.engine import BloomSplitReducer, HashEngine
+
+_SPLIT = BloomSplitReducer()
 
 
 class BloomFilter:
@@ -42,11 +49,19 @@ class BloomFilter:
             raise ValueError(f"num_bits must be positive, got {num_bits}")
         if num_hashes <= 0:
             raise ValueError(f"num_hashes must be positive, got {num_hashes}")
-        self.hasher = hasher
+        self.engine = HashEngine(hasher)
         self.num_bits = num_bits
         self.num_hashes = num_hashes
         self._bits = np.zeros(num_bits, dtype=bool)
         self._num_added = 0
+
+    @property
+    def hasher(self) -> EntropyLearnedHasher:
+        return self.engine.hasher
+
+    @hasher.setter
+    def hasher(self, hasher: EntropyLearnedHasher) -> None:
+        self.engine.set_hasher(hasher)
 
     # ----------------------------------------------------------- construction
 
@@ -64,17 +79,15 @@ class BloomFilter:
 
     def add(self, key: Key) -> None:
         """Insert one key."""
-        h = self.hasher(as_bytes(key))
-        for pos in double_hash_probes(h, self.num_hashes, self.num_bits):
-            self._bits[pos] = True
+        h1, h2 = self.engine.hash_one(as_bytes(key), _SPLIT)
+        for i in range(self.num_hashes):
+            self._bits[(h1 + i * h2) % self.num_bits] = True
         self._num_added += 1
 
     def add_batch(self, keys: Sequence[Key]) -> None:
-        """Insert many keys using the vectorized hash kernel."""
+        """Insert many keys using the engine's vectorized pass."""
         keys = as_bytes_list(keys)
-        hashes = self.hasher.hash_batch(keys)
-        h1 = (hashes >> np.uint64(32)).astype(np.uint64)
-        h2 = ((hashes & np.uint64(0xFFFFFFFF)) | np.uint64(1)).astype(np.uint64)
+        h1, h2 = self.engine.hash_batch(keys, _SPLIT)
         for i in range(self.num_hashes):
             positions = (h1 + np.uint64(i) * h2) % np.uint64(self.num_bits)
             self._bits[positions.astype(np.int64)] = True
@@ -84,8 +97,7 @@ class BloomFilter:
 
     def contains(self, key: Key) -> bool:
         """Membership test; false positives possible, negatives exact."""
-        h = self.hasher(as_bytes(key))
-        h1, h2 = split_hash64(h)
+        h1, h2 = self.engine.hash_one(as_bytes(key), _SPLIT)
         for i in range(self.num_hashes):
             if not self._bits[(h1 + i * h2) % self.num_bits]:
                 return False
@@ -97,9 +109,7 @@ class BloomFilter:
     def contains_batch(self, keys: Sequence[Key]) -> np.ndarray:
         """Vectorized membership test for many keys."""
         keys = as_bytes_list(keys)
-        hashes = self.hasher.hash_batch(keys)
-        h1 = (hashes >> np.uint64(32)).astype(np.uint64)
-        h2 = ((hashes & np.uint64(0xFFFFFFFF)) | np.uint64(1)).astype(np.uint64)
+        h1, h2 = self.engine.hash_batch(keys, _SPLIT)
         result = np.ones(len(keys), dtype=bool)
         for i in range(self.num_hashes):
             positions = (h1 + np.uint64(i) * h2) % np.uint64(self.num_bits)

@@ -9,7 +9,8 @@ sequence in which removes only target added keys.
 
 Entropy-Learned hashing applies unchanged: the k probes come from one
 partial-key hash split by double hashing, exactly like
-:class:`~repro.filters.bloom.BloomFilter`.
+:class:`~repro.filters.bloom.BloomFilter`.  Hashing routes through the
+shared :class:`~repro.engine.HashEngine`, batch paths included.
 """
 
 from __future__ import annotations
@@ -18,12 +19,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro._util import Key, as_bytes
+from repro._util import Key, as_bytes, as_bytes_list
 from repro.core.analysis import bloom_bits_for_fpr, bloom_optimal_k
 from repro.core.hasher import EntropyLearnedHasher
-from repro.filters.reduction import double_hash_probes
+from repro.engine import BloomSplitReducer, HashEngine
 
 _COUNTER_MAX = 255  # uint8 counters; saturate instead of overflowing
+_SPLIT = BloomSplitReducer()
 
 
 class CountingBloomFilter:
@@ -51,11 +53,19 @@ class CountingBloomFilter:
             raise ValueError(f"num_counters must be positive, got {num_counters}")
         if num_hashes <= 0:
             raise ValueError(f"num_hashes must be positive, got {num_hashes}")
-        self.hasher = hasher
+        self.engine = HashEngine(hasher)
         self.num_counters = num_counters
         self.num_hashes = num_hashes
         self._counters = np.zeros(num_counters, dtype=np.uint8)
         self._num_items = 0
+
+    @property
+    def hasher(self) -> EntropyLearnedHasher:
+        return self.engine.hasher
+
+    @hasher.setter
+    def hasher(self, hasher: EntropyLearnedHasher) -> None:
+        self.engine.set_hasher(hasher)
 
     @classmethod
     def for_items(
@@ -70,9 +80,8 @@ class CountingBloomFilter:
         return cls(hasher, num_counters=num_counters, num_hashes=num_hashes)
 
     def _probes(self, key: Key):
-        return double_hash_probes(
-            self.hasher(as_bytes(key)), self.num_hashes, self.num_counters
-        )
+        h1, h2 = self.engine.hash_one(as_bytes(key), _SPLIT)
+        return [(h1 + i * h2) % self.num_counters for i in range(self.num_hashes)]
 
     def add(self, key: Key) -> None:
         """Insert one occurrence of ``key``."""
@@ -80,6 +89,25 @@ class CountingBloomFilter:
             if self._counters[pos] < _COUNTER_MAX:
                 self._counters[pos] += 1
         self._num_items += 1
+
+    def add_batch(self, keys: Sequence[Key]) -> None:
+        """Insert many keys in one engine pass.
+
+        Increments accumulate in a wide work array and are clipped to
+        the counter maximum, which matches the scalar saturating rule
+        ``min(counter + hits, 255)`` exactly.
+        """
+        keys = as_bytes_list(keys)
+        if not keys:
+            return
+        h1, h2 = self.engine.hash_batch(keys, _SPLIT)
+        work = self._counters.astype(np.int64)
+        for i in range(self.num_hashes):
+            positions = ((h1 + np.uint64(i) * h2) % np.uint64(self.num_counters))
+            np.add.at(work, positions.astype(np.int64), 1)
+        np.clip(work, 0, _COUNTER_MAX, out=work)
+        self._counters = work.astype(np.uint8)
+        self._num_items += len(keys)
 
     def remove(self, key: Key) -> bool:
         """Remove one occurrence; returns False (no-op) if the filter
@@ -107,12 +135,23 @@ class CountingBloomFilter:
     def __contains__(self, key: Key) -> bool:
         return self.contains(key)
 
+    def contains_batch(self, keys: Sequence[Key]) -> np.ndarray:
+        """Vectorized membership test for many keys."""
+        keys = as_bytes_list(keys)
+        if not keys:
+            return np.zeros(0, dtype=bool)
+        h1, h2 = self.engine.hash_batch(keys, _SPLIT)
+        result = np.ones(len(keys), dtype=bool)
+        for i in range(self.num_hashes):
+            positions = ((h1 + np.uint64(i) * h2) % np.uint64(self.num_counters))
+            result &= self._counters[positions.astype(np.int64)] > 0
+        return result
+
     def measured_fpr(self, negatives: Sequence[Key]) -> float:
         """Empirical FPR over keys known not to be present."""
         if not negatives:
             raise ValueError("need at least one negative key")
-        hits = sum(self.contains(k) for k in negatives)
-        return hits / len(negatives)
+        return float(self.contains_batch(list(negatives)).mean())
 
     @property
     def num_items(self) -> int:

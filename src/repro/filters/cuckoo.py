@@ -18,8 +18,11 @@ from __future__ import annotations
 import random
 from typing import List, Sequence
 
-from repro._util import Key, as_bytes, next_power_of_two, u64
+import numpy as np
+
+from repro._util import Key, as_bytes, as_bytes_list, next_power_of_two, u64
 from repro.core.hasher import EntropyLearnedHasher
+from repro.engine import FingerprintReducer, HashEngine
 
 BUCKET_SLOTS = 4
 MAX_KICKS = 500
@@ -59,13 +62,14 @@ class CuckooFilter:
             raise ValueError(
                 f"fingerprint_bits must be in [4, 32], got {fingerprint_bits}"
             )
-        self.hasher = hasher
+        self.engine = HashEngine(hasher)
         self.fingerprint_bits = fingerprint_bits
         self._fp_mask = (1 << fingerprint_bits) - 1
         num_buckets = next_power_of_two(
             max(2, (capacity + BUCKET_SLOTS - 1) // BUCKET_SLOTS)
         )
         self._bucket_mask = num_buckets - 1
+        self._reducer = FingerprintReducer(self._fp_mask, self._bucket_mask)
         self._buckets: List[List[int]] = [[] for _ in range(num_buckets)]
         self._size = 0
         # Victim cache: when an eviction walk fails, the homeless
@@ -75,6 +79,14 @@ class CuckooFilter:
         self._rng = random.Random(0xF11E)
 
     # ---------------------------------------------------------------- helpers
+
+    @property
+    def hasher(self) -> EntropyLearnedHasher:
+        return self.engine.hasher
+
+    @hasher.setter
+    def hasher(self, hasher: EntropyLearnedHasher) -> None:
+        self.engine.set_hasher(hasher)
 
     @property
     def num_buckets(self) -> int:
@@ -88,10 +100,8 @@ class CuckooFilter:
         return self._size
 
     def _index_and_fingerprint(self, key: Key):
-        h = self.hasher(as_bytes(key))
-        fingerprint = (h & self._fp_mask) or 1  # 0 is the empty marker
-        index = (h >> 32) & self._bucket_mask
-        return index, fingerprint
+        # 0 is the empty marker; the reducer remaps it to 1.
+        return self.engine.hash_one(as_bytes(key), self._reducer)
 
     def _alt_index(self, index: int, fingerprint: int) -> int:
         return (index ^ _fingerprint_hash(fingerprint)) & self._bucket_mask
@@ -108,6 +118,20 @@ class CuckooFilter:
         that cannot be placed directly are refused.
         """
         i1, fingerprint = self._index_and_fingerprint(key)
+        return self._add_fingerprint(i1, fingerprint)
+
+    def add_batch(self, keys: Sequence[Key]) -> List[bool]:
+        """Insert many keys: one engine pass, scalar placement."""
+        keys = as_bytes_list(keys)
+        if not keys:
+            return []
+        indexes, fingerprints = self.engine.hash_batch(keys, self._reducer)
+        return [
+            self._add_fingerprint(int(index), int(fingerprint))
+            for index, fingerprint in zip(indexes, fingerprints)
+        ]
+
+    def _add_fingerprint(self, i1: int, fingerprint: int) -> bool:
         i2 = self._alt_index(i1, fingerprint)
         for index in (i1, i2):
             if len(self._buckets[index]) < BUCKET_SLOTS:
@@ -138,6 +162,9 @@ class CuckooFilter:
     def contains(self, key: Key) -> bool:
         """Membership test (two bucket reads plus the victim cache)."""
         i1, fingerprint = self._index_and_fingerprint(key)
+        return self._contains_fingerprint(i1, fingerprint)
+
+    def _contains_fingerprint(self, i1: int, fingerprint: int) -> bool:
         if fingerprint in self._buckets[i1]:
             return True
         i2 = self._alt_index(i1, fingerprint)
@@ -150,6 +177,20 @@ class CuckooFilter:
 
     def __contains__(self, key: Key) -> bool:
         return self.contains(key)
+
+    def contains_batch(self, keys: Sequence[Key]) -> np.ndarray:
+        """Membership for many keys: one engine pass, two reads each."""
+        keys = as_bytes_list(keys)
+        if not keys:
+            return np.zeros(0, dtype=bool)
+        indexes, fingerprints = self.engine.hash_batch(keys, self._reducer)
+        return np.array(
+            [
+                self._contains_fingerprint(int(index), int(fingerprint))
+                for index, fingerprint in zip(indexes, fingerprints)
+            ],
+            dtype=bool,
+        )
 
     def remove(self, key: Key) -> bool:
         """Delete one copy of the key's fingerprint if present."""
@@ -185,7 +226,7 @@ class CuckooFilter:
         """Empirical FPR over keys known not to be present."""
         if not negatives:
             raise ValueError("need at least one negative key")
-        return sum(self.contains(k) for k in negatives) / len(negatives)
+        return float(self.contains_batch(list(negatives)).mean())
 
     def theoretical_fpr(self) -> float:
         """~ ``2 * BUCKET_SLOTS / 2^f`` at full load (standard bound)."""

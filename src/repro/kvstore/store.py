@@ -137,6 +137,60 @@ class LSMStore:
                 return value
         return default
 
+    def multi_get(self, keys, default=None) -> List:
+        """Batched lookup: each run's filter sees one engine pass.
+
+        Semantics match calling :meth:`get` per key (newest wins,
+        tombstones hide older versions), but unresolved keys are checked
+        against each run's Bloom filter in a single ``contains_batch``
+        call instead of one filter probe per key.
+        """
+        keys = [as_bytes(k) for k in keys]
+        self.stats.gets += len(keys)
+        results: List = [default] * len(keys)
+
+        unresolved: List[int] = []
+        for i, key in enumerate(keys):
+            buffered = self.memtable.get(key)
+            if buffered is TOMBSTONE:
+                continue
+            if buffered is not None:
+                self.stats.memtable_hits += 1
+                results[i] = buffered
+                continue
+            unresolved.append(i)
+
+        for run in self.runs:
+            if not unresolved:
+                break
+            in_range = [
+                i for i in unresolved if run.min_key <= keys[i] <= run.max_key
+            ]
+            self.stats.runs_pruned_by_range += len(unresolved) - len(in_range)
+            if not in_range:
+                continue
+            if run.filter is not None:
+                mask = run.filter.contains_batch([keys[i] for i in in_range])
+                passed = [i for i, ok in zip(in_range, mask) if ok]
+                rejected = len(in_range) - len(passed)
+                self.stats.runs_pruned_by_filter += rejected
+                run.filter_rejections += rejected
+            else:
+                passed = in_range
+            passed_set = set(passed)
+            next_unresolved = [i for i in unresolved if i not in passed_set]
+            for i in passed:
+                self.stats.run_searches += 1
+                value = run.search(keys[i])
+                if value is TOMBSTONE:
+                    continue  # resolved to default; hides older versions
+                if value is not None:
+                    results[i] = value
+                    continue
+                next_unresolved.append(i)
+            unresolved = next_unresolved
+        return results
+
     def scan(self, start: Key, end: Key):
         """Sorted iteration over live entries with ``start <= key < end``.
 

@@ -49,18 +49,22 @@ def hash_join(
         _build_hasher(model, len(build_rows)),
         capacity=max(4, len(build_rows)),
     )
+    # Group duplicate build keys first, then hash all distinct keys in
+    # one engine pass via the table's batch insert.
+    grouped: dict = {}
     for key, payload in build_rows:
-        key = as_bytes(key)
-        existing = table.get(key)
-        if existing is None:
-            table.insert(key, [payload])
-        else:
-            existing.append(payload)
+        grouped.setdefault(as_bytes(key), []).append(payload)
+    if grouped:
+        table.insert_batch(list(grouped.keys()), list(grouped.values()))
+
+    probe_rows = list(probe_rows)
+    probe_keys = [as_bytes(k) for k, _ in probe_rows]
+    matches_per_key = table.probe_batch(probe_keys)
 
     output: List[JoinedRow] = []
-    for key, probe_payload in probe_rows:
-        key = as_bytes(key)
-        matches = table.get(key)
+    for (_, probe_payload), key, matches in zip(
+        probe_rows, probe_keys, matches_per_key
+    ):
         if matches is not None:
             for build_payload in matches:
                 output.append((key, build_payload, probe_payload))

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro._util import Key, as_bytes_list
 from repro.core.hasher import EntropyLearnedHasher
-from repro.filters.reduction import fast_range_array
+from repro.engine import FastRangeReducer, HashEngine
 
 
 class DChoiceBalancer:
@@ -41,18 +41,21 @@ class DChoiceBalancer:
             raise ValueError(f"choices must be >= 1, got {choices}")
         self.num_bins = num_bins
         self.choices = choices
-        # Independent candidate streams come from re-seeding the hasher,
-        # so partial-key savings apply to every choice.
-        self._hashers = [hasher.with_seed(hasher.seed + i + 1) for i in range(choices)]
+        # Independent candidate streams come from re-seeding the same
+        # engine per call, so partial-key savings (and the compiled plan)
+        # apply to every choice.
+        self.engine = HashEngine(hasher)
+        self._seeds = [hasher.seed + i + 1 for i in range(choices)]
+        self._reducer = FastRangeReducer(num_bins)
         self.loads = np.zeros(num_bins, dtype=np.int64)
 
     def candidate_bins(self, keys: Sequence[Key]) -> np.ndarray:
         """(n, d) matrix of candidate bins per key."""
         keys = as_bytes_list(keys)
-        columns = []
-        for hasher in self._hashers:
-            hashes = hasher.hash_batch(keys)
-            columns.append(fast_range_array(hashes, self.num_bins))
+        columns = [
+            self.engine.hash_batch(keys, self._reducer, seed=seed)
+            for seed in self._seeds
+        ]
         return np.stack(columns, axis=1)
 
     def assign(self, keys: Sequence[Key]) -> List[int]:

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro._util import Key, as_bytes_list
 from repro.core.hasher import EntropyLearnedHasher
-from repro.filters.reduction import fast_range_array
+from repro.engine import FastRangeReducer, HashEngine
 
 MODES = ("pure", "positional", "data")
 
@@ -63,14 +63,22 @@ class Partitioner:
             raise ValueError(
                 f"num_partitions must be positive, got {num_partitions}"
             )
-        self.hasher = hasher
+        self.engine = HashEngine(hasher)
         self.num_partitions = num_partitions
+        self._reducer = FastRangeReducer(num_partitions)
+
+    @property
+    def hasher(self) -> EntropyLearnedHasher:
+        return self.engine.hasher
+
+    @hasher.setter
+    def hasher(self, hasher: EntropyLearnedHasher) -> None:
+        self.engine.set_hasher(hasher)
 
     def assign(self, keys: Sequence[Key]) -> np.ndarray:
-        """Bin index per key, via the batched hash + fast-range reduce."""
+        """Bin index per key: one engine pass with a fast-range reducer."""
         keys = as_bytes_list(keys)
-        hashes = self.hasher.hash_batch(keys)
-        return fast_range_array(hashes, self.num_partitions)
+        return self.engine.hash_batch(keys, self._reducer)
 
     def partition(self, keys: Sequence[Key], mode: str = "data") -> PartitionResult:
         """Partition ``keys`` in one of the paper's three modes."""

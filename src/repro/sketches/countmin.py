@@ -17,7 +17,7 @@ import numpy as np
 
 from repro._util import Key, as_bytes, as_bytes_list
 from repro.core.hasher import EntropyLearnedHasher
-from repro.filters.reduction import fast_range, fast_range_array
+from repro.engine import FastRangeReducer, HashEngine
 
 
 class CountMinSketch:
@@ -35,7 +35,11 @@ class CountMinSketch:
             raise ValueError("width and depth must be positive")
         self.width = width
         self.depth = depth
-        self._hashers = [hasher.with_seed(hasher.seed + row + 1) for row in range(depth)]
+        # One engine serves every row: the per-row seed is passed through
+        # at kernel-call time, so all rows share one compiled plan.
+        self.engine = HashEngine(hasher)
+        self._seeds = [hasher.seed + row + 1 for row in range(depth)]
+        self._reducer = FastRangeReducer(width)
         self._counts = np.zeros((depth, width), dtype=np.int64)
         self._total = 0
 
@@ -44,15 +48,16 @@ class CountMinSketch:
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
         key = as_bytes(key)
-        for row, hasher in enumerate(self._hashers):
-            self._counts[row, fast_range(hasher(key), self.width)] += count
+        for row, seed in enumerate(self._seeds):
+            column = self.engine.hash_one(key, self._reducer, seed=seed)
+            self._counts[row, column] += count
         self._total += count
 
     def add_batch(self, keys: Sequence[Key]) -> None:
-        """Add one occurrence of each key, vectorized per row."""
+        """Add one occurrence of each key, one engine pass per row."""
         keys = as_bytes_list(keys)
-        for row, hasher in enumerate(self._hashers):
-            columns = fast_range_array(hasher.hash_batch(keys), self.width)
+        for row, seed in enumerate(self._seeds):
+            columns = self.engine.hash_batch(keys, self._reducer, seed=seed)
             np.add.at(self._counts[row], columns, 1)
         self._total += len(keys)
 
@@ -61,8 +66,10 @@ class CountMinSketch:
         key = as_bytes(key)
         return int(
             min(
-                self._counts[row, fast_range(hasher(key), self.width)]
-                for row, hasher in enumerate(self._hashers)
+                self._counts[
+                    row, self.engine.hash_one(key, self._reducer, seed=seed)
+                ]
+                for row, seed in enumerate(self._seeds)
             )
         )
 

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro._util import Key, as_bytes, as_bytes_list
 from repro.core.hasher import EntropyLearnedHasher
+from repro.engine import HashEngine, IndexRankReducer
 
 
 def _alpha(m: int) -> float:
@@ -42,37 +43,36 @@ class HyperLogLog:
     def __init__(self, hasher: EntropyLearnedHasher, precision: int = 12):
         if not 4 <= precision <= 18:
             raise ValueError(f"precision must be in [4, 18], got {precision}")
-        self.hasher = hasher
+        self.engine = HashEngine(hasher)
         self.precision = precision
         self.num_registers = 1 << precision
+        self._reducer = IndexRankReducer(precision)
         self._registers = np.zeros(self.num_registers, dtype=np.uint8)
 
+    @property
+    def hasher(self) -> EntropyLearnedHasher:
+        return self.engine.hasher
+
+    @hasher.setter
+    def hasher(self, hasher: EntropyLearnedHasher) -> None:
+        self.engine.set_hasher(hasher)
+
     def _index_and_rank(self, h: int) -> tuple:
-        index = h >> (64 - self.precision)
-        rest = h & ((1 << (64 - self.precision)) - 1)
         # Rank: 1-based position of the leftmost 1 in the remaining bits.
-        rank = (64 - self.precision) - rest.bit_length() + 1
-        return index, rank
+        return self._reducer.apply_one(int(h))
 
     def add(self, key: Key) -> None:
         """Observe one key."""
-        index, rank = self._index_and_rank(self.hasher(as_bytes(key)))
+        index, rank = self.engine.hash_one(as_bytes(key), self._reducer)
         if rank > self._registers[index]:
             self._registers[index] = rank
 
     def add_batch(self, keys: Sequence[Key]) -> None:
-        """Observe many keys via the vectorized hash kernel."""
+        """Observe many keys in one engine pass."""
         keys = as_bytes_list(keys)
-        hashes = self.hasher.hash_batch(keys)
-        shift = np.uint64(64 - self.precision)
-        indexes = (hashes >> shift).astype(np.int64)
-        rest = hashes & ((np.uint64(1) << shift) - np.uint64(1))
-        # bit_length via log2; rest==0 maps to the maximum rank.
-        with np.errstate(divide="ignore"):
-            bit_length = np.where(
-                rest > 0, np.floor(np.log2(rest.astype(np.float64))) + 1, 0
-            ).astype(np.int64)
-        ranks = (64 - self.precision) - bit_length + 1
+        if not keys:
+            return
+        indexes, ranks = self.engine.hash_batch(keys, self._reducer)
         np.maximum.at(self._registers, indexes, ranks.astype(np.uint8))
 
     def estimate(self) -> float:

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro._util import Key, as_bytes_list
 from repro.core.hasher import EntropyLearnedHasher
+from repro.engine import HashEngine
 
 
 class MinHashSignature:
@@ -40,18 +41,19 @@ class MinHashSignature:
     ) -> "MinHashSignature":
         """Build a signature from a set of elements.
 
-        Each of the k "permutations" is the hasher re-seeded; element
-        hashing is batched, so cost is k vectorized passes.
+        Each of the k "permutations" is the same engine re-seeded at
+        kernel-call time; element hashing is batched, so cost is k
+        vectorized passes over one compiled plan.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         items = as_bytes_list(items)
         if not items:
             raise ValueError("need at least one element")
+        engine = HashEngine(hasher)
         mins = np.empty(k, dtype=np.uint64)
         for row in range(k):
-            seeded = hasher.with_seed(hasher.seed + row + 1)
-            mins[row] = seeded.hash_batch(items).min()
+            mins[row] = engine.hash_batch(items, seed=hasher.seed + row + 1).min()
         return cls(mins)
 
     def jaccard(self, other: "MinHashSignature") -> float:

@@ -11,6 +11,10 @@ asks a trained :class:`~repro.core.trainer.EntropyModel` for a hasher
 with ``log2(capacity) + 1`` bits; every growth re-consults the model, so
 the hash gains words exactly when the data structure's entropy demand
 crosses the next frontier step (the Figure 4 life cycle).
+
+All hashing — scalar and batched — routes through one
+:class:`~repro.engine.HashEngine`, which compiles the partial-key gather,
+fuses the bucket-mask reduction, and owns the collision-monitor fallback.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 from repro._util import Key, as_bytes, next_power_of_two
 from repro.core.hasher import EntropyLearnedHasher
 from repro.core.trainer import EntropyModel
-from repro.tables.monitor import CollisionMonitor
+from repro.engine import CollisionMonitor, HashEngine, MaskReducer
 from repro.tables.probing import ProbeStats
 
 DEFAULT_MAX_LOAD = 1.0
@@ -44,7 +48,7 @@ class SeparateChainingTable:
     ):
         if max_load <= 0.0:
             raise ValueError(f"max_load must be positive, got {max_load}")
-        self.hasher = hasher
+        self.engine = HashEngine(hasher)
         self.max_load = max_load
         self._size = 0
         self._in_rehash = False
@@ -53,7 +57,16 @@ class SeparateChainingTable:
 
     def _init_buckets(self, num_buckets: int) -> None:
         self._mask = num_buckets - 1
+        self._reducer = MaskReducer(self._mask)
         self._buckets: List[List[Tuple[bytes, Any]]] = [[] for _ in range(num_buckets)]
+
+    @property
+    def hasher(self) -> EntropyLearnedHasher:
+        return self.engine.hasher
+
+    @hasher.setter
+    def hasher(self, hasher: EntropyLearnedHasher) -> None:
+        self.engine.set_hasher(hasher)
 
     @property
     def num_buckets(self) -> int:
@@ -72,7 +85,7 @@ class SeparateChainingTable:
         return self._size
 
     def _bucket_index(self, key: bytes) -> int:
-        return self.hasher(key) & self._mask
+        return self.engine.hash_one(key, self._reducer)
 
     # ------------------------------------------------------------ operations
 
@@ -124,7 +137,7 @@ class SeparateChainingTable:
             yield from bucket
 
     def insert_batch(self, keys: Sequence[Key], values=None) -> None:
-        """Insert many keys, hashing them in one vectorized pass."""
+        """Insert many keys, hashing them in one engine pass."""
         keys = [as_bytes(k) for k in keys]
         if values is None:
             values = keys
@@ -132,10 +145,9 @@ class SeparateChainingTable:
             raise ValueError("values must match keys in length")
         while self._size + len(keys) > int(self.max_load * self.num_buckets):
             self._grow()
-        hashes = self.hasher.hash_batch(keys)
-        mask = self._mask
-        for key, value, h in zip(keys, values, hashes):
-            bucket = self._buckets[int(h) & mask]
+        indices = self.engine.hash_batch(keys, self._reducer)
+        for key, value, index in zip(keys, values, indices):
+            bucket = self._buckets[index]
             for i, (existing, _) in enumerate(bucket):
                 if existing == key:
                     bucket[i] = (key, value)
@@ -145,7 +157,24 @@ class SeparateChainingTable:
                 self._size += 1
 
     def probe_batch(self, keys: Sequence[Key]) -> List[Any]:
-        return [self.get(k) for k in keys]
+        """Look up many keys, hashing them in one engine pass."""
+        keys = [as_bytes(k) for k in keys]
+        indices = self.engine.hash_batch(keys, self._reducer)
+        results = []
+        buckets = self._buckets
+        stats = self.stats
+        for key, index in zip(keys, indices):
+            bucket = buckets[index]
+            stats.probes += 1
+            stats.chain_total += len(bucket)
+            found = None
+            for existing, value in bucket:
+                stats.key_comparisons += 1
+                if existing == key:
+                    found = value
+                    break
+            results.append(found)
+        return results
 
     def probe_batch_hashed(self, keys: Sequence[bytes], hashes) -> List[Any]:
         """Probe with precomputed hashes (see LinearProbingTable)."""
@@ -185,7 +214,7 @@ class SeparateChainingTable:
 
     def rebuild_with_hasher(self, hasher: EntropyLearnedHasher) -> None:
         """Rehash all entries under a new hash (robustness fallback)."""
-        self.hasher = hasher
+        self.engine.set_hasher(hasher)
         self._rehash(self.num_buckets)
 
     # ------------------------------------------------------------ diagnostics
@@ -201,7 +230,7 @@ class EntropyAwareTable(SeparateChainingTable):
     On construction and at every growth, asks the trained model for the
     cheapest partial-key hasher with ``log2(capacity) + 1`` bits for the
     *new* capacity; if the frontier cannot provide it, falls back to
-    full-key hashing.  An optional collision monitor triggers the
+    full-key hashing.  The engine's collision monitor triggers the
     full-key rebuild when observed collisions exceed what the learned
     entropy predicts (the Section 5 robustness story).
     """
@@ -215,26 +244,33 @@ class EntropyAwareTable(SeparateChainingTable):
         seed: int = 0,
     ):
         self.model = model
-        self.monitor = monitor
         self._seed = seed
-        self._fallen_back = False
         num_buckets = next_power_of_two(max(capacity, 2))
         hasher = model.hasher_for_chaining_table(
             max(1, int(max_load * num_buckets)), seed=seed
         )
         super().__init__(hasher, capacity=capacity, max_load=max_load)
+        self.engine.monitor = monitor
+
+    @property
+    def monitor(self) -> Optional[CollisionMonitor]:
+        return self.engine.monitor
+
+    @monitor.setter
+    def monitor(self, monitor: Optional[CollisionMonitor]) -> None:
+        self.engine.monitor = monitor
 
     @property
     def fallen_back(self) -> bool:
         """True once the monitor forced a full-key rebuild."""
-        return self._fallen_back
+        return self.engine.fell_back
 
     def _on_grow(self, new_num_buckets: int) -> None:
-        if self._fallen_back:
+        if self.fallen_back:
             return
         new_capacity = max(1, int(self.max_load * new_num_buckets))
-        self.hasher = self.model.hasher_for_chaining_table(
-            new_capacity, seed=self._seed
+        self.engine.set_hasher(
+            self.model.hasher_for_chaining_table(new_capacity, seed=self._seed)
         )
 
     def insert(self, key: Key, value: Any = None) -> None:
@@ -247,21 +283,22 @@ class EntropyAwareTable(SeparateChainingTable):
             if existing == key:
                 bucket[i] = (key, value)
                 return
-        if (self.monitor is not None and not self._fallen_back
-                and not self._in_rehash):
+        if not self._in_rehash:
             # Displacement for chaining = how many keys already share the
-            # bucket; the cheap signal the paper says to track.
-            self.monitor.record_insert(
-                len(bucket), expected=self._size / self.num_buckets
-            )
-            if self.monitor.should_fall_back(self._size + 1):
-                self._fall_back_to_full_key()
+            # bucket; the cheap signal the paper says to track.  The
+            # engine compares it against the entropy budget and, past it,
+            # swaps itself to full-key hashing before we rehash.
+            if self.engine.record_insert(
+                len(bucket),
+                expected=self._size / self.num_buckets,
+                n=self._size + 1,
+            ):
+                self._rehash(self.num_buckets)
                 index = self._bucket_index(key)
                 bucket = self._buckets[index]
         bucket.append((key, value))
         self._size += 1
 
     def _fall_back_to_full_key(self) -> None:
-        self._fallen_back = True
-        fallback = EntropyLearnedHasher.full_key(self.hasher.base, seed=self._seed)
-        self.rebuild_with_hasher(fallback)
+        self.engine.fall_back_to_full_key()
+        self._rehash(self.num_buckets)

@@ -18,10 +18,13 @@ eviction with a relocation cap, growth on failure.
 from __future__ import annotations
 
 import random
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro._util import Key, as_bytes, next_power_of_two, u64
 from repro.core.hasher import EntropyLearnedHasher
+from repro.engine import HashEngine
 
 BUCKET_SLOTS = 4
 MAX_RELOCATIONS = 256
@@ -54,7 +57,7 @@ class CuckooTable:
     ):
         if not 0.0 < max_load <= 0.98:
             raise ValueError(f"max_load must be in (0, 0.98], got {max_load}")
-        self.hasher = hasher
+        self.engine = HashEngine(hasher)
         self.max_load = max_load
         self._size = 0
         self._rng = random.Random(0xC0C0)
@@ -71,8 +74,16 @@ class CuckooTable:
 
     # ------------------------------------------------------------- internals
 
+    @property
+    def hasher(self) -> EntropyLearnedHasher:
+        return self.engine.hasher
+
+    @hasher.setter
+    def hasher(self, hasher: EntropyLearnedHasher) -> None:
+        self.engine.set_hasher(hasher)
+
     def _bucket_pair(self, key: bytes) -> Tuple[int, int]:
-        h = self.hasher(key)
+        h = self.engine.hash_one(key)
         b1 = _mix(h, 0x9E3779B97F4A7C15) % self._num_buckets
         b2 = _mix(h, 0xC2B2AE3D27D4EB4F) % self._num_buckets
         if b2 == b1:
@@ -108,6 +119,45 @@ class CuckooTable:
 
     def __contains__(self, key: Key) -> bool:
         return self.contains(key)
+
+    def probe_batch(self, keys: Sequence[Key], default: Any = None) -> List[Any]:
+        """Look up many keys: one engine pass, vectorized bucket derivation."""
+        keys = [as_bytes(k) for k in keys]
+        if not keys:
+            return []
+        hashes = self.engine.hash_batch(keys)
+        b1s, b2s = self._bucket_pairs_from_hashes(hashes)
+        results: List[Any] = []
+        buckets = self._buckets
+        for key, b1, b2 in zip(keys, b1s, b2s):
+            found = default
+            for bucket_index in (int(b1), int(b2)):
+                for existing, value in buckets[bucket_index]:
+                    if existing == key:
+                        found = value
+                        break
+                else:
+                    continue
+                break
+            results.append(found)
+        return results
+
+    def _bucket_pairs_from_hashes(self, hashes) -> Tuple[Any, Any]:
+        """Vectorized :func:`_mix` pair, bit-exact with :meth:`_bucket_pair`."""
+
+        def mix(h, salt):
+            h = h ^ np.uint64(salt)
+            h ^= h >> np.uint64(33)
+            h *= np.uint64(0xFF51AFD7ED558CCD)
+            h ^= h >> np.uint64(29)
+            return h
+
+        h = np.asarray(hashes, dtype=np.uint64)
+        m = np.uint64(self._num_buckets)
+        b1 = mix(h, 0x9E3779B97F4A7C15) % m
+        b2 = mix(h, 0xC2B2AE3D27D4EB4F) % m
+        b2 = np.where(b2 == b1, (b1 + np.uint64(1)) % m, b2)
+        return b1, b2
 
     def insert(self, key: Key, value: Any = None) -> None:
         """Insert or overwrite; grows on load or on eviction failure."""

@@ -10,15 +10,20 @@ mismatches alone.
 The table counts tag probes, full-key comparisons, and probe-chain
 lengths so experiments can validate the paper's comparison-count bounds
 (eqs. 3-6) exactly rather than inferring them from timings.
+
+Hashing routes through one :class:`~repro.engine.HashEngine` whose
+:class:`~repro.engine.reducers.SlotTagReducer` performs the (slot, tag)
+split in the same vectorized pass as the hash itself.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro._util import Key, as_bytes, next_power_of_two
 from repro.core.hasher import EntropyLearnedHasher
+from repro.engine import HashEngine, SlotTagReducer
 
 _EMPTY = 0
 _DELETED = 1
@@ -78,7 +83,7 @@ class LinearProbingTable:
     ):
         if not 0.0 < max_load < 1.0:
             raise ValueError(f"max_load must be in (0, 1), got {max_load}")
-        self.hasher = hasher
+        self.engine = HashEngine(hasher)
         self.max_load = max_load
         self._size = 0
         self._tombstones = 0
@@ -88,21 +93,28 @@ class LinearProbingTable:
 
     def _init_slots(self, num_slots: int) -> None:
         self._mask = num_slots - 1
+        self._reducer = SlotTagReducer(self._mask, tag_states=_TAG_STATES)
         self._tags: List[int] = [_EMPTY] * num_slots
         self._keys: List[Optional[bytes]] = [None] * num_slots
         self._values: List[Any] = [None] * num_slots
 
     # ------------------------------------------------------------- internals
 
+    @property
+    def hasher(self) -> EntropyLearnedHasher:
+        return self.engine.hasher
+
+    @hasher.setter
+    def hasher(self, hasher: EntropyLearnedHasher) -> None:
+        self.engine.set_hasher(hasher)
+
     def _slot_and_tag(self, key: bytes) -> Tuple[int, int]:
-        return self._slot_and_tag_from_hash(self.hasher(key))
+        return self.engine.hash_one(key, self._reducer)
 
     def _slot_and_tag_from_hash(self, h: int) -> Tuple[int, int]:
         # High bits pick the slot, low 8 bits (excluding control states)
         # make the tag — disjoint bit ranges, as SwissTable does.
-        slot = (h >> 8) & self._mask
-        tag = (h & 0xFF) % (256 - _TAG_STATES) + _TAG_STATES
-        return slot, tag
+        return self._reducer.apply_one(int(h))
 
     @property
     def num_slots(self) -> int:
@@ -128,6 +140,9 @@ class LinearProbingTable:
         if (self._size + self._tombstones + 1) > self.max_load * self.num_slots:
             self._grow()
         slot, tag = self._slot_and_tag(key)
+        self._insert_at(key, value, slot, tag)
+
+    def _insert_at(self, key: bytes, value: Any, slot: int, tag: int) -> None:
         first_deleted = None
         displacement = 0
         while True:
@@ -207,7 +222,7 @@ class LinearProbingTable:
                 yield self._keys[i], self._values[i]
 
     def insert_batch(self, keys: Sequence[Key], values=None) -> None:
-        """Insert many keys, hashing them in one vectorized pass.
+        """Insert many keys, hashing them in one engine pass.
 
         ``values`` defaults to the keys themselves.  Growth is triggered
         up front for the whole batch so hashes are computed against the
@@ -223,38 +238,45 @@ class LinearProbingTable:
             self.max_load * self.num_slots
         ):
             self._grow()
-        hashes = self.hasher.hash_batch(keys)
-        for key, value, h in zip(keys, values, hashes):
-            self._insert_hashed(key, value, int(h))
+        slots, tags = self.engine.hash_batch(keys, self._reducer)
+        for key, value, slot, tag in zip(keys, values, slots, tags):
+            self._insert_at(key, value, int(slot), int(tag))
 
     def _insert_hashed(self, key: bytes, value: Any, h: int) -> None:
         slot, tag = self._slot_and_tag_from_hash(h)
-        first_deleted = None
-        displacement = 0
-        while True:
-            state = self._tags[slot]
-            if state == _EMPTY:
-                target = first_deleted if first_deleted is not None else slot
-                if first_deleted is not None:
-                    self._tombstones -= 1
-                self._tags[target] = tag
-                self._keys[target] = key
-                self._values[target] = value
-                self._size += 1
-                self._after_insert(displacement)
-                return
-            if state == _DELETED:
-                if first_deleted is None:
-                    first_deleted = slot
-            elif state == tag and self._keys[slot] == key:
-                self._values[slot] = value
-                return
-            displacement += 1
-            slot = (slot + 1) & self._mask
+        self._insert_at(key, value, slot, tag)
 
     def probe_batch(self, keys: Sequence[Key]) -> List[Any]:
-        """Probe many keys; the benchmark inner loop."""
-        return [self.get(k) for k in keys]
+        """Probe many keys, hashing them in one engine pass."""
+        keys = [as_bytes(k) for k in keys]
+        slots, probe_tags = self.engine.hash_batch(keys, self._reducer)
+        results = []
+        tags = self._tags
+        table_keys = self._keys
+        values = self._values
+        mask = self._mask
+        stats = self.stats
+        for key, slot, tag in zip(keys, slots, probe_tags):
+            slot = int(slot)
+            tag = int(tag)
+            stats.probes += 1
+            chain = 0
+            while True:
+                state = tags[slot]
+                chain += 1
+                stats.tag_checks += 1
+                if state == _EMPTY:
+                    stats.chain_total += chain
+                    results.append(None)
+                    break
+                if state == tag:
+                    stats.key_comparisons += 1
+                    if table_keys[slot] == key:
+                        stats.chain_total += chain
+                        results.append(values[slot])
+                        break
+                slot = (slot + 1) & mask
+        return results
 
     def probe_batch_hashed(self, keys: Sequence[bytes], hashes) -> List[Any]:
         """Probe with precomputed hashes (paper-style pipelining).
@@ -308,7 +330,7 @@ class LinearProbingTable:
 
     def rebuild_with_hasher(self, hasher: EntropyLearnedHasher) -> None:
         """Rehash every entry with a new hash (robustness fallback path)."""
-        self.hasher = hasher
+        self.engine.set_hasher(hasher)
         self._rehash(self.num_slots)
 
     # ------------------------------------------------------------ diagnostics
@@ -328,7 +350,7 @@ class EntropyAwareProbingTable(LinearProbingTable):
     """Linear-probing table with Section 5's full runtime infrastructure.
 
     On construction and at every growth it asks a trained model for the
-    cheapest hasher with ``log2(capacity) + log2(5)`` bits; an optional
+    cheapest hasher with ``log2(capacity) + log2(5)`` bits; the engine's
     collision monitor watches insert displacements and, when they exceed
     what the learned entropy predicts, rebuilds the table with full-key
     hashing (the robustness fallback the appendix's train/test-mismatch
@@ -343,12 +365,10 @@ class EntropyAwareProbingTable(LinearProbingTable):
         monitor: Optional["CollisionMonitor"] = None,
         seed: int = 0,
     ):
-        from repro.core.sizing import entropy_for_probing_table
-        from repro.tables.monitor import CollisionMonitor
+        from repro.engine.monitor import CollisionMonitor
 
         self.model = model
         self._seed = seed
-        self._fallen_back = False
         num_slots = next_power_of_two(max(capacity, 2))
         target = max(1, int(max_load * num_slots))
         hasher = model.hasher_for_probing_table(target, seed=seed)
@@ -357,39 +377,45 @@ class EntropyAwareProbingTable(LinearProbingTable):
             monitor = CollisionMonitor(
                 entropy=model.result.entropy_at(words), num_slots=num_slots
             )
-        self.monitor = monitor
         super().__init__(hasher, capacity=capacity, max_load=max_load)
+        self.engine.monitor = monitor
+
+    @property
+    def monitor(self):
+        return self.engine.monitor
+
+    @monitor.setter
+    def monitor(self, monitor) -> None:
+        self.engine.monitor = monitor
 
     @property
     def fallen_back(self) -> bool:
         """True once the monitor forced a full-key rebuild."""
-        return self._fallen_back
+        return self.engine.fell_back
 
     def _on_grow(self, new_num_slots: int) -> None:
-        if self._fallen_back:
+        if self.fallen_back:
             return
         target = max(1, int(self.max_load * new_num_slots))
-        self.hasher = self.model.hasher_for_probing_table(target, seed=self._seed)
+        self.engine.set_hasher(
+            self.model.hasher_for_probing_table(target, seed=self._seed)
+        )
         if self.monitor is not None:
             self.monitor.num_slots = new_num_slots
             self.monitor.reset()
 
     def _after_insert(self, displacement: int) -> None:
-        if self.monitor is None or self._fallen_back or self._in_rehash:
-            return
-        if self.hasher.partial_key.is_full_key:
+        if self._in_rehash:
             return
         # Structural baseline: Knuth's expected displacement for an
-        # ideal hash at the current load, (Q1(m, n) - 1) / 2.
+        # ideal hash at the current load, (Q1(m, n) - 1) / 2.  The
+        # engine weighs it against the entropy budget and swaps itself
+        # to full-key hashing when the budget is blown.
         alpha = min(0.95, self._size / self.num_slots)
         baseline = 0.5 * (1.0 / (1.0 - alpha) ** 2 - 1.0)
-        self.monitor.record_insert(displacement, expected=baseline)
-        if self.monitor.should_fall_back(self._size):
-            self._fall_back_to_full_key()
+        if self.engine.record_insert(displacement, expected=baseline, n=self._size):
+            self._rehash(self.num_slots)
 
     def _fall_back_to_full_key(self) -> None:
-        from repro.core.hasher import EntropyLearnedHasher
-
-        self._fallen_back = True
-        fallback = EntropyLearnedHasher.full_key(self.hasher.base, seed=self._seed)
-        self.rebuild_with_hasher(fallback)
+        self.engine.fall_back_to_full_key()
+        self._rehash(self.num_slots)

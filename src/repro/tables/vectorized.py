@@ -12,7 +12,8 @@ and the engine behind the sharpest Figure 6-style measurements.
 Semantics match :class:`~repro.tables.probing.LinearProbingTable`
 (inserts, lookups, growth); deletion is intentionally unsupported — the
 batch engine targets build-once/probe-many phases like hash joins, where
-tombstone handling would only slow the common path.
+tombstone handling would only slow the common path.  Hashing and the
+(slot, tag) split run inside the shared :class:`~repro.engine.HashEngine`.
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ import numpy as np
 
 from repro._util import Key, as_bytes, next_power_of_two
 from repro.core.hasher import EntropyLearnedHasher
+from repro.engine import HashEngine, SlotTagReducer
 
 _EMPTY = 0
 _TAG_STATES = 2  # keep tag encoding identical to LinearProbingTable
@@ -46,16 +48,25 @@ class VectorProbingTable:
     ):
         if not 0.0 < max_load < 1.0:
             raise ValueError(f"max_load must be in (0, 1), got {max_load}")
-        self.hasher = hasher
+        self.engine = HashEngine(hasher)
         self.max_load = max_load
         self._size = 0
         self._init_slots(next_power_of_two(max(capacity, 2)))
 
     def _init_slots(self, num_slots: int) -> None:
         self._mask = num_slots - 1
+        self._reducer = SlotTagReducer(self._mask, tag_states=_TAG_STATES)
         self._tags = np.zeros(num_slots, dtype=np.uint8)
         self._keys: List[Optional[bytes]] = [None] * num_slots
         self._values: List[Any] = [None] * num_slots
+
+    @property
+    def hasher(self) -> EntropyLearnedHasher:
+        return self.engine.hasher
+
+    @hasher.setter
+    def hasher(self, hasher: EntropyLearnedHasher) -> None:
+        self.engine.set_hasher(hasher)
 
     @property
     def num_slots(self) -> int:
@@ -79,13 +90,12 @@ class VectorProbingTable:
             raise ValueError("values must match keys in length")
         while (self._size + len(keys)) > self.max_load * self.num_slots:
             self._grow()
-        hashes = self.hasher.hash_batch(keys)
+        slots, probe_tags = self.engine.hash_batch(keys, self._reducer)
         tags = self._tags
         mask = self._mask
-        for key, value, h in zip(keys, values, hashes):
-            h = int(h)
-            slot = (h >> 8) & mask
-            tag = (h & 0xFF) % (256 - _TAG_STATES) + _TAG_STATES
+        for key, value, slot, tag in zip(keys, values, slots, probe_tags):
+            slot = int(slot)
+            tag = int(tag)
             while True:
                 state = tags[slot]
                 if state == _EMPTY:
@@ -127,11 +137,7 @@ class VectorProbingTable:
         n = len(keys)
         if n == 0:
             return []
-        hashes = self.hasher.hash_batch(keys)
-        mask = np.uint64(self._mask)
-        slots = ((hashes >> np.uint64(8)) & mask).astype(np.int64)
-        tags = ((hashes & np.uint64(0xFF)) % np.uint64(256 - _TAG_STATES)
-                + np.uint64(_TAG_STATES)).astype(np.uint8)
+        slots, tags = self.engine.hash_batch(keys, self._reducer)
 
         results: List[Any] = [default] * n
         active = np.arange(n)

@@ -19,6 +19,11 @@ import repro.core.sizing
 import repro.core.trainer
 import repro.datasets.profiles
 import repro.datasets.synthetic
+import repro.engine.engine
+import repro.engine.monitor
+import repro.engine.plan
+import repro.engine.reducers
+import repro.engine.stats
 import repro.filters.aware
 import repro.filters.blocked
 import repro.filters.bloom
@@ -65,6 +70,11 @@ MODULES = [
     repro.core.trainer,
     repro.datasets.profiles,
     repro.datasets.synthetic,
+    repro.engine.engine,
+    repro.engine.monitor,
+    repro.engine.plan,
+    repro.engine.reducers,
+    repro.engine.stats,
     repro.filters.aware,
     repro.filters.blocked,
     repro.filters.bloom,

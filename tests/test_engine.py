@@ -1,0 +1,238 @@
+"""The unified hash engine: bit-exactness, observability, fallback,
+and the no-direct-substrate lint over every consumer package.
+
+The engine's contract is that ``hash_batch`` is indistinguishable from
+the scalar hasher — for any base hash, any word size, any mix of key
+lengths (including keys short enough for the full-hash branch), any
+reducer, and any per-call seed override.  These tests pin that contract
+down, then check the counters and the monitor-driven full-key rebuild,
+and finally grep the consumer packages to ensure nothing bypasses the
+engine to call a hash substrate directly in a batch path.
+"""
+
+import random
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.partial_key import PartialKeyFunction
+from repro.engine import (
+    BlockMaskReducer,
+    BloomSplitReducer,
+    CollisionMonitor,
+    FastRangeReducer,
+    FingerprintReducer,
+    HashEngine,
+    IndexRankReducer,
+    MaskReducer,
+    SlotTagReducer,
+)
+
+BASES = ("wyhash", "xxh3", "crc32")
+WORD_SIZES = (1, 2, 4, 8)
+
+
+def _mixed_keys(seed, n=200, max_len=40):
+    """Random keys with lengths 0..max_len — plenty below any cutoff."""
+    rng = random.Random(seed)
+    return [
+        bytes(rng.randrange(256) for _ in range(rng.randrange(max_len + 1)))
+        for _ in range(n)
+    ]
+
+
+# ------------------------------------------------------- batch == scalar
+
+
+@pytest.mark.parametrize("base", BASES)
+@pytest.mark.parametrize("word_size", WORD_SIZES)
+def test_hash_batch_matches_scalar(base, word_size):
+    hasher = EntropyLearnedHasher.from_positions(
+        (8, 0, 16), word_size=word_size, base=base
+    )
+    engine = HashEngine(hasher)
+    keys = _mixed_keys(seed=word_size * 101)
+    batch = engine.hash_batch(keys)
+    assert batch.dtype == np.uint64
+    assert list(batch) == [hasher(k) for k in keys]
+
+
+@pytest.mark.parametrize("base", BASES)
+def test_full_key_engine_matches_scalar(base):
+    engine = HashEngine.full_key(base, seed=3)
+    keys = _mixed_keys(seed=77)
+    assert list(engine.hash_batch(keys)) == [engine.hasher(k) for k in keys]
+
+
+def test_seed_override_matches_reseeded_hasher():
+    hasher = EntropyLearnedHasher.from_positions((0, 8), base="xxh3")
+    engine = HashEngine(hasher)
+    keys = _mixed_keys(seed=5)
+    for seed in (1, 42, 2**31):
+        reseeded = hasher.with_seed(seed)
+        assert list(engine.hash_batch(keys, seed=seed)) == [
+            reseeded(k) for k in keys
+        ]
+    # The override is per-call: the engine's own seed is untouched.
+    assert engine.seed == hasher.seed
+    assert list(engine.hash_batch(keys)) == [hasher(k) for k in keys]
+
+
+def test_hash_one_matches_batch():
+    engine = HashEngine(EntropyLearnedHasher.from_positions((4,), base="wyhash"))
+    keys = _mixed_keys(seed=9, n=50)
+    batch = engine.hash_batch(keys)
+    assert [engine.hash_one(k) for k in keys] == list(batch)
+
+
+@given(
+    keys=st.lists(st.binary(min_size=0, max_size=64), min_size=1, max_size=50),
+    positions=st.lists(st.integers(0, 32), min_size=0, max_size=3,
+                       unique=True).map(tuple),
+    word_size=st.sampled_from(WORD_SIZES),
+    base=st.sampled_from(BASES),
+)
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_batch_equals_scalar(keys, positions, word_size, base):
+    """For any key mix and any L, the engine is the hasher, vectorized."""
+    hasher = EntropyLearnedHasher(
+        PartialKeyFunction(positions, word_size), base=base
+    )
+    engine = HashEngine(hasher)
+    assert list(engine.hash_batch(keys)) == [hasher(k) for k in keys]
+
+
+# ---------------------------------------------------------------- reducers
+
+
+@pytest.mark.parametrize("reducer", [
+    MaskReducer(1023),
+    SlotTagReducer(511),
+    FastRangeReducer(37),
+    BloomSplitReducer(),
+    BlockMaskReducer(64, 3),
+    FingerprintReducer(0xFFF, 255),
+    IndexRankReducer(10),
+], ids=lambda r: type(r).__name__)
+def test_reducer_batch_matches_apply_one(reducer):
+    engine = HashEngine(EntropyLearnedHasher.from_positions((0, 8)))
+    keys = _mixed_keys(seed=31, n=100)
+    reduced = engine.hash_batch(keys, reducer)
+    hashes = engine.hash_batch(keys)
+    if isinstance(reduced, tuple):
+        for i, h in enumerate(hashes):
+            assert tuple(int(part[i]) for part in reduced) == tuple(
+                int(x) for x in reducer.apply_one(int(h))
+            )
+    else:
+        for i, h in enumerate(hashes):
+            assert int(reduced[i]) == int(reducer.apply_one(int(h)))
+
+
+# ------------------------------------------------------------------- stats
+
+
+def test_stats_counters():
+    hasher = EntropyLearnedHasher.from_positions((0,), word_size=4)
+    engine = HashEngine(hasher)
+    long_keys = [b"x" * 8] * 100
+    engine.hash_batch(long_keys)
+    engine.hash_batch(long_keys)
+    engine.hash_one(b"y" * 8)
+
+    stats = engine.stats()
+    assert stats["batches"] == 2
+    assert stats["scalar_calls"] == 1
+    assert stats["keys_hashed"] == 201
+    # Partial key reads 4 length-prefix bytes + one 4-byte word.
+    assert stats["bytes_hashed"] == 201 * hasher.partial_key.bytes_read
+    assert stats["plan_cache_misses"] == 1
+    assert stats["plan_cache_hits"] == 1
+    assert stats["short_key_fallbacks"] == 0
+    assert stats["batch_size_histogram"] == {"64-127": 2}
+    assert stats["fell_back"] is False
+
+    # Keys below the cutoff are counted as short-key fallbacks.
+    engine.hash_batch([b"ab", b"x" * 16])
+    assert engine.stats()["short_key_fallbacks"] == 1
+
+
+def test_set_hasher_invalidates_plans():
+    engine = HashEngine(EntropyLearnedHasher.from_positions((0,)))
+    engine.hash_batch([b"k" * 16] * 4)
+    assert engine.stats()["plans_compiled"] == 1
+    engine.set_hasher(EntropyLearnedHasher.from_positions((8,)))
+    assert engine.stats()["plans_compiled"] == 0
+    keys = _mixed_keys(seed=3, n=30)
+    assert list(engine.hash_batch(keys)) == [engine.hasher(k) for k in keys]
+
+
+# ------------------------------------------------- monitor-driven fallback
+
+
+def test_monitor_fallback_rebuilds_to_full_key():
+    hasher = EntropyLearnedHasher.from_positions((0,), word_size=1)
+    monitor = CollisionMonitor(entropy=1.0, num_slots=64, min_inserts=8)
+    engine = HashEngine(hasher, monitor=monitor)
+
+    fired = False
+    for i in range(200):
+        fired = engine.record_insert(displacement=50.0, expected=0.5,
+                                     n=i + 1)
+        if fired:
+            break
+    assert fired, "pathological displacements must trip the monitor"
+    assert engine.fell_back
+    assert engine.hasher.partial_key.is_full_key
+    assert engine.stats()["fallback_events"] == 1
+    assert engine.stats()["fell_back"] is True
+
+    # Post-fallback hashing is the full-key hash, batch == scalar.
+    keys = _mixed_keys(seed=13, n=60)
+    assert list(engine.hash_batch(keys)) == [engine.hasher(k) for k in keys]
+    # Further inserts are no-ops: the engine already fell back.
+    assert engine.record_insert(displacement=100.0, n=500) is False
+    assert engine.stats()["fallback_events"] == 1
+
+
+def test_record_insert_without_monitor_is_noop():
+    engine = HashEngine(EntropyLearnedHasher.from_positions((0,)))
+    assert engine.record_insert(displacement=1e9, n=10**6) is False
+    assert not engine.fell_back
+
+
+# ------------------------------------------- no direct substrate calls
+
+
+# Batch paths must route through HashEngine: no consumer may call the
+# hasher's own batch entry points or reach into the kernel registry.
+_FORBIDDEN = re.compile(
+    r"hasher\.hash_batch\(|\.base\.hash_bytes\(|hash_batch_grouped"
+    r"|BATCH_KERNELS|wyhash_fixed\(|xxh3_fixed\(|crc32_fixed\("
+    r"|xxh64_fixed\(|murmur3_fixed\("
+)
+_CONSUMER_DIRS = (
+    "tables", "filters", "partitioning", "sketches", "operators", "kvstore"
+)
+
+
+def test_no_consumer_bypasses_the_engine():
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    offenders = []
+    for directory in _CONSUMER_DIRS:
+        for path in sorted((src / directory).glob("*.py")):
+            for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if _FORBIDDEN.search(line):
+                    offenders.append(f"{path.name}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "batch paths must go through HashEngine, found direct substrate "
+        "calls:\n" + "\n".join(offenders)
+    )
