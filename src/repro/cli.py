@@ -7,6 +7,8 @@ Usage::
     python -m repro recommend model.json --task probing --size 100000
     python -m repro quality wyhash [--keyfile keys.txt]
     python -m repro engine keys.txt [--base wyhash] [--batch-size 4096]
+    python -m repro fuzz --structure probing --seed 7 --ops 200
+    python -m repro fuzz --structure all --ci
 
 ``analyze`` profiles a newline-delimited key file (per-position entropy,
 the learned frontier).  ``train`` persists a model; ``recommend`` loads
@@ -14,7 +16,10 @@ one and prints the hasher it would hand out for a task — the same answer
 ``EntropyModel.hasher_for_<task>`` gives in code.  ``engine`` trains a
 model, streams the key file through a table's
 :class:`~repro.engine.HashEngine` in batches, and prints the engine's
-counters — the observability surface of the unified pipeline.
+counters — the observability surface of the unified pipeline.  ``fuzz``
+runs the differential correctness harness (:mod:`repro.verify`): every
+structure against its oracle and scalar twin through seeded random op
+sequences, shrinking any divergence to a minimal saved repro.
 """
 
 from __future__ import annotations
@@ -165,6 +170,59 @@ def cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+# Seeds the CI job sweeps; a bounded, deterministic subset of the space.
+_CI_SEEDS = (0, 1, 2)
+_CI_CASES = 5
+_CI_OPS = 120
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.verify import TARGETS, fuzz, save_repro
+
+    if args.list:
+        for name in sorted(TARGETS):
+            print(name)
+        return 0
+
+    if args.structure == "all":
+        names = sorted(TARGETS)
+    elif args.structure in TARGETS:
+        names = [args.structure]
+    else:
+        raise SystemExit(
+            f"unknown structure {args.structure!r}; choose from "
+            f"{', '.join(sorted(TARGETS))} or 'all'"
+        )
+
+    if args.ci:
+        runs = [(name, seed, _CI_CASES, _CI_OPS)
+                for name in names for seed in _CI_SEEDS]
+    else:
+        runs = [(name, args.seed, args.cases, args.ops) for name in names]
+
+    failed = False
+    for name, seed, cases, ops_per_case in runs:
+        report = fuzz(name, seed=seed, cases=cases, ops_per_case=ops_per_case)
+        status = "ok" if report.ok else "DIVERGED"
+        print(f"{name:16s} seed={seed:<4d} cases={report.cases:<3d} "
+              f"ops={report.ops_run:<6d} {status}")
+        if report.ok:
+            continue
+        failed = True
+        repro = report.failure.to_repro()
+        print(f"  error: {report.failure.error}")
+        print(f"  shrunk to {len(report.failure.ops)} op(s):")
+        print(json.dumps(repro, indent=2, sort_keys=True))
+        if args.save_repros:
+            Path(args.save_repros).mkdir(parents=True, exist_ok=True)
+            out = Path(args.save_repros) / f"{name}_seed{seed}.json"
+            save_repro(out, repro)
+            print(f"  repro written to {out}")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Entropy-Learned Hashing toolkit"
@@ -219,6 +277,26 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--json", action="store_true",
                         help="emit the raw stats() dict as JSON")
     engine.set_defaults(func=cmd_engine)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz a structure against its oracle",
+    )
+    fuzz.add_argument("--structure", default="all",
+                      help="target name or 'all' (see --list)")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--cases", type=int, default=10,
+                      help="independent seeded cases per target")
+    fuzz.add_argument("--ops", type=int, default=120,
+                      help="ops per case")
+    fuzz.add_argument("--save-repros", default=None, metavar="DIR",
+                      help="write shrunk repros for failures into DIR")
+    fuzz.add_argument("--ci", action="store_true",
+                      help="run the fixed CI seed sweep (ignores "
+                           "--seed/--cases/--ops)")
+    fuzz.add_argument("--list", action="store_true",
+                      help="list available targets and exit")
+    fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -67,6 +67,7 @@ class HashEngine:
         self._plans: Dict[tuple, HashPlan] = {}
         self._seeded: Dict[int, EntropyLearnedHasher] = {}
         self._fell_back = False
+        self._generation = 0
 
     # ----------------------------------------------------------- construction
 
@@ -89,6 +90,17 @@ class HashEngine:
         self._hasher = hasher
         self._plans.clear()
         self._seeded.clear()
+        self._generation += 1
+
+    @property
+    def generation(self) -> int:
+        """Bumped whenever the hasher (and thus every plan) is swapped.
+
+        Batch callers snapshot the generation before precomputing hashes
+        and recompute any key whose generation went stale mid-batch (a
+        monitor fallback or plan-cache invalidation occurred).
+        """
+        return self._generation
 
     @property
     def partial_key(self) -> PartialKeyFunction:
@@ -268,6 +280,7 @@ class HashEngine:
         snapshot = self._stats.snapshot()
         snapshot["plans_compiled"] = len(self._plans)
         snapshot["fell_back"] = self._fell_back
+        snapshot["generation"] = self._generation
         snapshot["base"] = self._hasher.base.name
         snapshot["positions"] = list(self._hasher.partial_key.positions)
         snapshot["word_size"] = self._hasher.partial_key.word_size

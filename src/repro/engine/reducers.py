@@ -23,6 +23,25 @@ import numpy as np
 _U64 = np.uint64
 
 
+def _bit_length_u64(values: np.ndarray) -> np.ndarray:
+    """Exact vectorized ``int.bit_length`` for uint64 arrays.
+
+    ``floor(log2(x)) + 1`` via float64 is wrong for x with more than 53
+    significant bits: values just below a power of two round *up*, which
+    overstates the bit length by one (and can push a HyperLogLog rank to
+    0).  Six shift/compare rounds compute it exactly instead.
+    """
+    x = values.astype(_U64, copy=True)
+    out = np.zeros(x.shape, dtype=np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        s = _U64(shift)
+        big = x >= (_U64(1) << s)
+        out[big] += shift
+        x[big] >>= s
+    out += (x > 0).astype(np.int64)
+    return out
+
+
 class Reducer:
     """Base class: turn raw 64-bit hashes into structure-ready values.
 
@@ -179,12 +198,9 @@ class IndexRankReducer(Reducer):
         shift = _U64(64 - self.precision)
         indexes = (hashes >> shift).astype(np.int64)
         rest = hashes & ((_U64(1) << shift) - _U64(1))
-        # bit_length via log2; rest == 0 maps to the maximum rank.
-        with np.errstate(divide="ignore"):
-            bit_length = np.where(
-                rest > 0, np.floor(np.log2(rest.astype(np.float64))) + 1, 0
-            ).astype(np.int64)
-        ranks = (64 - self.precision) - bit_length + 1
+        # Exact bit length: rest == 0 saturates at the maximum rank
+        # 64 - p + 1, and a rank can never be 0 or negative.
+        ranks = (64 - self.precision) - _bit_length_u64(rest) + 1
         return indexes, ranks
 
     def apply_one(self, h: int) -> Tuple[int, int]:

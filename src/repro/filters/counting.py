@@ -114,16 +114,26 @@ class CountingBloomFilter:
         rules the key out.
 
         Removing keys that were never added corrupts counting filters;
-        the membership pre-check blocks the common form of that misuse.
+        the pre-check blocks every form of that misuse the filter can
+        detect: a probed counter that is zero, or — when double hashing
+        lands several probes on the *same* counter — a counter smaller
+        than the probe multiplicity (an added key would have incremented
+        it once per probe).  Without the multiplicity check the second
+        decrement of a 1-valued counter wraps the uint8 to 255.
         Saturated counters are left untouched on decrement (they can no
         longer be trusted), preserving no-false-negatives.
         """
-        probes = self._probes(key)
-        if any(self._counters[pos] == 0 for pos in probes):
-            return False
-        for pos in probes:
-            if self._counters[pos] < _COUNTER_MAX:
-                self._counters[pos] -= 1
+        needed: dict = {}
+        for pos in self._probes(key):
+            needed[pos] = needed.get(pos, 0) + 1
+        for pos, count in needed.items():
+            counter = int(self._counters[pos])
+            if counter < _COUNTER_MAX and counter < count:
+                return False
+        for pos, count in needed.items():
+            counter = int(self._counters[pos])
+            if counter < _COUNTER_MAX:
+                self._counters[pos] = counter - count
         self._num_items = max(0, self._num_items - 1)
         return True
 

@@ -92,15 +92,29 @@ class SeparateChainingTable:
     def insert(self, key: Key, value: Any = None) -> None:
         """Insert or overwrite ``key``; grows ×2 past ``max_load``."""
         key = as_bytes(key)
+        self._insert_one(key, value, None, -1)
+
+    def _insert_one(self, key: bytes, value: Any, h: Optional[int], generation: int) -> None:
+        """Shared insert step for the scalar and batch paths.
+
+        ``h`` is a precomputed raw hash from the batch pipeline; it is
+        recomputed when the engine generation moved (growth swapped the
+        hasher, or a monitor fallback fired mid-batch).
+        """
         if self._size + 1 > self.capacity_before_rehash:
             self._grow()
-        bucket = self._buckets[self._bucket_index(key)]
+        bucket = self._buckets[self._bucket_for(key, h, generation)]
         for i, (existing, _) in enumerate(bucket):
             if existing == key:
                 bucket[i] = (key, value)
                 return
         bucket.append((key, value))
         self._size += 1
+
+    def _bucket_for(self, key: bytes, h: Optional[int], generation: int) -> int:
+        if h is None or generation != self.engine.generation:
+            return self._bucket_index(key)
+        return int(h) & self._mask
 
     def get(self, key: Key, default: Any = None) -> Any:
         """Value stored under ``key``; counts comparisons in ``stats``."""
@@ -137,24 +151,26 @@ class SeparateChainingTable:
             yield from bucket
 
     def insert_batch(self, keys: Sequence[Key], values=None) -> None:
-        """Insert many keys, hashing them in one engine pass."""
+        """Insert many keys, hashing them in one engine pass.
+
+        Growth decisions are made per key, exactly as the equivalent
+        scalar loop would — duplicate keys in a batch no longer over-grow
+        the bucket array, so batch- and scalar-built tables have
+        identical geometry and :class:`ProbeStats`.  The raw hashes are
+        geometry-independent, so mid-batch growth does not invalidate
+        the one vectorized hash pass.
+        """
         keys = [as_bytes(k) for k in keys]
         if values is None:
             values = keys
         if len(values) != len(keys):
             raise ValueError("values must match keys in length")
-        while self._size + len(keys) > int(self.max_load * self.num_buckets):
-            self._grow()
-        indices = self.engine.hash_batch(keys, self._reducer)
-        for key, value, index in zip(keys, values, indices):
-            bucket = self._buckets[index]
-            for i, (existing, _) in enumerate(bucket):
-                if existing == key:
-                    bucket[i] = (key, value)
-                    break
-            else:
-                bucket.append((key, value))
-                self._size += 1
+        if not keys:
+            return
+        generation = self.engine.generation
+        hashes = self.engine.hash_batch(keys)
+        for key, value, h in zip(keys, values, hashes):
+            self._insert_one(key, value, int(h), generation)
 
     def probe_batch(self, keys: Sequence[Key]) -> List[Any]:
         """Look up many keys, hashing them in one engine pass."""
@@ -273,12 +289,10 @@ class EntropyAwareTable(SeparateChainingTable):
             self.model.hasher_for_chaining_table(new_capacity, seed=self._seed)
         )
 
-    def insert(self, key: Key, value: Any = None) -> None:
-        key = as_bytes(key)
+    def _insert_one(self, key: bytes, value: Any, h: Optional[int], generation: int) -> None:
         if self._size + 1 > self.capacity_before_rehash:
             self._grow()
-        index = self._bucket_index(key)
-        bucket = self._buckets[index]
+        bucket = self._buckets[self._bucket_for(key, h, generation)]
         for i, (existing, _) in enumerate(bucket):
             if existing == key:
                 bucket[i] = (key, value)
@@ -287,15 +301,18 @@ class EntropyAwareTable(SeparateChainingTable):
             # Displacement for chaining = how many keys already share the
             # bucket; the cheap signal the paper says to track.  The
             # engine compares it against the entropy budget and, past it,
-            # swaps itself to full-key hashing before we rehash.
+            # swaps itself to full-key hashing before we rehash.  Batch
+            # inserts route through here too, so the monitor sees every
+            # insert regardless of code path.
             if self.engine.record_insert(
                 len(bucket),
                 expected=self._size / self.num_buckets,
                 n=self._size + 1,
             ):
                 self._rehash(self.num_buckets)
-                index = self._bucket_index(key)
-                bucket = self._buckets[index]
+                # The fallback bumped the engine generation, so a batch-
+                # precomputed hash is recomputed with the full-key hasher.
+                bucket = self._buckets[self._bucket_for(key, h, generation)]
         bucket.append((key, value))
         self._size += 1
 

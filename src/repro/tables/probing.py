@@ -134,13 +134,40 @@ class LinearProbingTable:
 
         Grows (×2) when the load factor would exceed ``max_load``; growth
         calls :meth:`_on_grow`, the hook entropy-aware wrappers use to
-        upgrade the hash function (Section 5).
+        upgrade the hash function (Section 5).  A table dominated by
+        tombstones instead rehashes in place at the same capacity, so
+        delete-heavy churn cannot double capacity indefinitely.
         """
         key = as_bytes(key)
-        if (self._size + self._tombstones + 1) > self.max_load * self.num_slots:
-            self._grow()
-        slot, tag = self._slot_and_tag(key)
+        self._insert_one(key, value, None, -1)
+
+    def _insert_one(self, key: bytes, value: Any, h: Optional[int], generation: int) -> None:
+        """Shared insert step for the scalar and batch paths.
+
+        ``h`` is a precomputed raw 64-bit hash from the batch pipeline
+        (geometry-independent, so it survives growth); it is recomputed
+        whenever the engine's generation moved past ``generation`` — a
+        resize upgraded the hasher or a monitor fallback fired mid-batch.
+        """
+        self._ensure_room()
+        if h is None or generation != self.engine.generation:
+            slot, tag = self._slot_and_tag(key)
+        else:
+            slot, tag = self._slot_and_tag_from_hash(h)
         self._insert_at(key, value, slot, tag)
+
+    def _ensure_room(self) -> None:
+        """Make room for one more entry.
+
+        Mostly-tombstone tables (``_tombstones >= _size``) compact in
+        place — same capacity, tombstones dropped — instead of growing;
+        otherwise the table doubles as usual.
+        """
+        while (self._size + self._tombstones + 1) > self.max_load * self.num_slots:
+            if self._tombstones > 0 and self._tombstones >= self._size:
+                self._rehash(self.num_slots)
+            else:
+                self._grow()
 
     def _insert_at(self, key: bytes, value: Any, slot: int, tag: int) -> None:
         first_deleted = None
@@ -224,23 +251,25 @@ class LinearProbingTable:
     def insert_batch(self, keys: Sequence[Key], values=None) -> None:
         """Insert many keys, hashing them in one engine pass.
 
-        ``values`` defaults to the keys themselves.  Growth is triggered
-        up front for the whole batch so hashes are computed against the
-        final table geometry.
+        ``values`` defaults to the keys themselves.  Growth decisions are
+        made per key, exactly as the equivalent scalar loop would make
+        them, so batch- and scalar-built tables end with identical
+        geometry and identical :class:`ProbeStats` — duplicate keys in a
+        batch no longer over-grow the table.  The raw 64-bit hashes are
+        still computed in one vectorized pass; they are geometry-
+        independent, so mid-batch growth does not invalidate them.
         """
         keys = [as_bytes(k) for k in keys]
         if values is None:
             values = keys
         if len(values) != len(keys):
             raise ValueError("values must match keys in length")
-        # Pre-grow so no rehash invalidates the precomputed hashes.
-        while (self._size + self._tombstones + len(keys)) > (
-            self.max_load * self.num_slots
-        ):
-            self._grow()
-        slots, tags = self.engine.hash_batch(keys, self._reducer)
-        for key, value, slot, tag in zip(keys, values, slots, tags):
-            self._insert_at(key, value, int(slot), int(tag))
+        if not keys:
+            return
+        generation = self.engine.generation
+        hashes = self.engine.hash_batch(keys)
+        for key, value, h in zip(keys, values, hashes):
+            self._insert_one(key, value, int(h), generation)
 
     def _insert_hashed(self, key: bytes, value: Any, h: int) -> None:
         slot, tag = self._slot_and_tag_from_hash(h)

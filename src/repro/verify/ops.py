@@ -1,0 +1,287 @@
+"""Deterministic op-sequence generation and repro serialization.
+
+An *op* is one JSON-serializable dict — ``{"op": "insert", "key":
+"6b2d31", "v": 3}`` — carrying every piece of randomness inline (keys
+are hex-encoded bytes), so a saved op list replays bit-identically with
+no generator state.  The generators below draw ops from per-family
+menus over an adversarial key pool:
+
+* a small structured space (forces repeats, overwrites, deletes of
+  live keys);
+* keys *shorter* than the partial key's cutoff (the engine's short-key
+  full-hash branch);
+* groups of keys identical at the learned byte positions (partial-key
+  collisions — the monitor/fallback trigger);
+* random binary keys of varied length.
+
+Fault-injection ops (``fall_back``, ``clear_plans``) ride in the same
+stream: a forced full-key fallback or plan-cache invalidation
+mid-sequence must never change any answer.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+
+Op = Dict[str, object]
+
+
+# --------------------------------------------------------------- keys
+
+
+def encode_key(key: bytes) -> str:
+    return key.hex()
+
+
+def decode_key(text: str) -> bytes:
+    return bytes.fromhex(text)
+
+
+def make_key_pool(rng: random.Random, size: int = 96) -> List[bytes]:
+    """An adversarial mix of keys (see module docstring)."""
+    pool: List[bytes] = []
+    # Small structured space: repeats and delete-then-reinsert churn.
+    pool.extend(b"key-%04d" % i for i in range(size // 3))
+    # Shorter than any realistic partial-key cutoff.
+    pool.extend([b"", b"a", b"xy", b"abc", b"abcd"])
+    # Identical at bytes [0:2] and [4:6] (the fuzz hashers' learned
+    # positions) but distinct elsewhere: pure partial-key collisions.
+    for i in range(size // 6):
+        pool.append(b"ZZ" + (b"%02d" % (i % 100)) + b"QQ-tail%d" % i)
+    # Random binary keys, varied length (including > 64 bytes).
+    for _ in range(size // 3):
+        n = rng.randrange(0, 72)
+        pool.append(bytes(rng.randrange(256) for _ in range(n)))
+    return pool
+
+
+def pick_key(rng: random.Random, pool: Sequence[bytes]) -> bytes:
+    return pool[rng.randrange(len(pool))]
+
+
+def pick_keys(
+    rng: random.Random, pool: Sequence[bytes], low: int = 1, high: int = 12
+) -> List[bytes]:
+    n = rng.randrange(low, high + 1)
+    keys = [pick_key(rng, pool) for _ in range(n)]
+    if n >= 3 and rng.random() < 0.5:
+        # Duplicate-heavy batches: the historical over-growth trigger.
+        keys.extend(keys[: rng.randrange(1, n)])
+    return keys
+
+
+# ---------------------------------------------------------- generators
+
+
+def _keyed(op: str, key: bytes, **extra: object) -> Op:
+    out: Op = {"op": op, "key": encode_key(key)}
+    out.update(extra)
+    return out
+
+
+def _batch(op: str, keys: Sequence[bytes], **extra: object) -> Op:
+    out: Op = {"op": op, "keys": [encode_key(k) for k in keys]}
+    out.update(extra)
+    return out
+
+
+def generate_table_ops(rng: random.Random, n: int) -> List[Op]:
+    """insert/get/delete/batch interleavings with fault injections."""
+    pool = make_key_pool(rng)
+    ops: List[Op] = []
+    counter = 0
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.30:
+            counter += 1
+            ops.append(_keyed("insert", pick_key(rng, pool), v=counter))
+        elif roll < 0.45:
+            ops.append(_keyed("get", pick_key(rng, pool)))
+        elif roll < 0.60:
+            ops.append(_keyed("delete", pick_key(rng, pool)))
+        elif roll < 0.72:
+            keys = pick_keys(rng, pool)
+            counter += len(keys)
+            values = list(range(counter, counter + len(keys)))
+            ops.append(_batch("insert_batch", keys, values=values))
+        elif roll < 0.86:
+            ops.append(_batch("probe_batch", pick_keys(rng, pool, 1, 16)))
+        elif roll < 0.92:
+            ops.append({"op": "check_items"})
+        elif roll < 0.96:
+            ops.append({"op": "clear_plans"})
+        else:
+            ops.append({"op": "fall_back"})
+    ops.append({"op": "check_items"})
+    return ops
+
+
+def generate_filter_ops(rng: random.Random, n: int, removes: bool) -> List[Op]:
+    """add/contains/batch (and remove, for deletable filters)."""
+    pool = make_key_pool(rng, size=60)
+    ops: List[Op] = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.30:
+            ops.append(_keyed("add", pick_key(rng, pool)))
+        elif roll < 0.45:
+            ops.append(_batch("add_batch", pick_keys(rng, pool)))
+        elif roll < 0.62:
+            ops.append(_keyed("contains", pick_key(rng, pool)))
+        elif roll < 0.74:
+            ops.append(_batch("contains_batch", pick_keys(rng, pool, 1, 16)))
+        elif roll < 0.92 and removes:
+            ops.append(_keyed("remove", pick_key(rng, pool)))
+        elif roll < 0.96:
+            ops.append({"op": "check_members"})
+        else:
+            ops.append({"op": "clear_plans"})
+    ops.append({"op": "check_members"})
+    return ops
+
+
+def generate_sketch_ops(rng: random.Random, n: int) -> List[Op]:
+    """add/add_batch/estimate checks for frequency/cardinality sketches."""
+    pool = make_key_pool(rng, size=120)
+    ops: List[Op] = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.35:
+            ops.append(_keyed("add", pick_key(rng, pool)))
+        elif roll < 0.70:
+            ops.append(_batch("add_batch", pick_keys(rng, pool, 1, 24)))
+        elif roll < 0.90:
+            ops.append(_keyed("estimate", pick_key(rng, pool)))
+        else:
+            ops.append({"op": "check_state"})
+    ops.append({"op": "check_state"})
+    return ops
+
+
+def generate_store_ops(rng: random.Random, n: int) -> List[Op]:
+    """put/get/delete/multi_get/scan with flush/compact interleavings."""
+    pool = make_key_pool(rng, size=72)
+    ops: List[Op] = []
+    counter = 0
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.32:
+            counter += 1
+            ops.append(_keyed("put", pick_key(rng, pool), v=counter))
+        elif roll < 0.48:
+            ops.append(_keyed("get", pick_key(rng, pool)))
+        elif roll < 0.60:
+            ops.append(_keyed("delete", pick_key(rng, pool)))
+        elif roll < 0.72:
+            ops.append(_batch("multi_get", pick_keys(rng, pool, 1, 16)))
+        elif roll < 0.80:
+            lo, hi = sorted((pick_key(rng, pool), pick_key(rng, pool)))
+            ops.append({"op": "scan", "start": encode_key(lo), "end": encode_key(hi)})
+        elif roll < 0.88:
+            ops.append({"op": "flush"})
+        elif roll < 0.94:
+            ops.append({"op": "compact"})
+        else:
+            ops.append({"op": "check_items"})
+    ops.append({"op": "check_items"})
+    return ops
+
+
+def generate_engine_ops(rng: random.Random, n: int) -> List[Op]:
+    """hash_batch/hash_one parity under plan churn and forced fallback."""
+    pool = make_key_pool(rng)
+    ops: List[Op] = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.45:
+            seed = rng.randrange(4) if rng.random() < 0.3 else None
+            ops.append(_batch("hash_batch", pick_keys(rng, pool, 1, 24), seed=seed))
+        elif roll < 0.70:
+            ops.append(_keyed("hash_one", pick_key(rng, pool)))
+        elif roll < 0.85:
+            ops.append({"op": "clear_plans"})
+        elif roll < 0.95:
+            ops.append({"op": "monitor_fall_back"})
+        else:
+            ops.append({"op": "check_stats"})
+    return ops
+
+
+def generate_reducer_ops(rng: random.Random, n: int) -> List[Op]:
+    """Batch-vs-scalar reducer parity over adversarial 64-bit values.
+
+    Random uint64s almost never land on the boundary cases that break
+    float-based reductions, so every op mixes in crafted values: all-ones
+    suffixes (``2^k - 1``), exact powers of two, and the extremes.
+    """
+    kinds = ("index_rank", "slot_tag", "mask", "bloom_split",
+             "block_mask", "fingerprint", "fast_range")
+    ops: List[Op] = []
+    for _ in range(n):
+        kind = kinds[rng.randrange(len(kinds))]
+        hashes = [rng.randrange(1 << 64) for _ in range(8)]
+        for _ in range(6):
+            k = rng.randrange(1, 64)
+            top = rng.randrange(1 << 8) << 56
+            hashes.append((top | ((1 << k) - 1)) & ((1 << 64) - 1))
+            hashes.append(1 << k)
+        hashes.extend([0, (1 << 64) - 1])
+        op: Op = {"op": "reduce", "kind": kind, "hashes": hashes}
+        if kind == "index_rank":
+            op["precision"] = rng.choice((4, 6, 8, 10, 12, 14, 16))
+        elif kind in ("mask", "slot_tag"):
+            op["mask"] = (1 << rng.randrange(1, 16)) - 1
+        elif kind == "fast_range":
+            op["n"] = rng.randrange(1, 1 << 20)
+        elif kind == "block_mask":
+            op["num_blocks"] = rng.randrange(1, 4096)
+            op["num_probe_bits"] = rng.randrange(1, 9)
+        elif kind == "fingerprint":
+            op["fp_bits"] = rng.choice((4, 8, 12, 16, 24, 32))
+            op["bucket_bits"] = rng.randrange(1, 16)
+        ops.append(op)
+    return ops
+
+
+def generate_minhash_ops(rng: random.Random, n: int) -> List[Op]:
+    """Signature construction vs reference scalar minima."""
+    pool = make_key_pool(rng, size=60)
+    ops: List[Op] = []
+    for _ in range(max(2, n // 12)):  # each op hashes k x items: keep few
+        items = list({pick_key(rng, pool) for _ in range(rng.randrange(2, 14))})
+        if not items:
+            items = [b"solo"]
+        ops.append(_batch("signature", items, k=rng.choice((4, 8, 16))))
+    return ops
+
+
+# ------------------------------------------------------------- repros
+
+
+def save_repro(path, repro: Dict[str, object]) -> None:
+    Path(path).write_text(json.dumps(repro, indent=2, sort_keys=True) + "\n")
+
+
+def load_repro(path) -> Dict[str, object]:
+    return json.loads(Path(path).read_text())
+
+
+__all__ = [
+    "Op",
+    "encode_key",
+    "decode_key",
+    "make_key_pool",
+    "generate_table_ops",
+    "generate_filter_ops",
+    "generate_sketch_ops",
+    "generate_store_ops",
+    "generate_engine_ops",
+    "generate_reducer_ops",
+    "generate_minhash_ops",
+    "save_repro",
+    "load_repro",
+]

@@ -1,0 +1,214 @@
+"""Trusted oracles the differential fuzzer checks structures against.
+
+Each oracle is a deliberately naive, obviously-correct model of one
+structure family's *contract*:
+
+* :class:`DictOracle` — exact mapping semantics (hash tables, the LSM
+  store): ``get`` returns the last value put, ``delete`` returns whether
+  the key was live.
+* :class:`MembershipOracle` — exact membership multiset for approximate
+  filters.  Filters may report false positives but never false
+  negatives, so the oracle only *convicts* on a missing present key.
+* :class:`CounterOracle` — an exact (unsaturated-int) mirror of a
+  counting Bloom filter's counter array, computed from reference scalar
+  probe positions.  It predicts both each ``remove``'s return value and
+  the exact post-state of every counter.
+* :class:`FrequencyOracle` — exact frequency counts; Count-Min estimates
+  must never undercount.
+* :class:`DistinctOracle` — exact distinct count for HyperLogLog
+  estimate-accuracy checks.
+
+Oracles never touch the engine's batch pipeline: anything they derive
+from a hash uses the scalar ``EntropyLearnedHasher.__call__`` path,
+which is the bit-exactness reference the engine itself is tested
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.hasher import EntropyLearnedHasher
+from repro.filters.reduction import split_hash64
+
+
+class DictOracle:
+    """Exact key/value mapping semantics."""
+
+    def __init__(self) -> None:
+        self.data: Dict[bytes, Any] = {}
+
+    def insert(self, key: bytes, value: Any) -> None:
+        self.data[key] = value
+
+    def get(self, key: bytes, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+    def delete(self, key: bytes) -> bool:
+        if key in self.data:
+            del self.data[key]
+            return True
+        return False
+
+    def contains(self, key: bytes) -> bool:
+        return key in self.data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def items(self) -> List[Tuple[bytes, Any]]:
+        return sorted(self.data.items())
+
+
+class MembershipOracle:
+    """Exact multiset of live additions for approximate filters.
+
+    ``tainted`` flips when the structure legitimately performed an
+    operation that voids the no-false-negative guarantee (e.g. a
+    counting-filter remove of an absent key that happened to pass the
+    counter pre-check).  Once tainted, present-key checks stop
+    convicting.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[bytes, int] = {}
+        self.tainted = False
+
+    def add(self, key: bytes) -> None:
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def remove(self, key: bytes) -> None:
+        live = self.counts.get(key, 0)
+        if live <= 1:
+            self.counts.pop(key, None)
+        else:
+            self.counts[key] = live - 1
+
+    def contains(self, key: bytes) -> bool:
+        return key in self.counts
+
+    def present_keys(self) -> List[bytes]:
+        return sorted(self.counts)
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+
+class CounterOracle:
+    """Exact mirror of a counting Bloom filter's counter semantics.
+
+    Uses the reference scalar hash path to compute probe positions, and
+    plain Python ints for the counters, applying the documented
+    saturating rules: increments stop at ``counter_max``; a saturated
+    counter is never decremented; a remove is a checked no-op unless
+    every probed counter can afford its probe multiplicity.
+    """
+
+    def __init__(
+        self,
+        hasher: EntropyLearnedHasher,
+        num_counters: int,
+        num_hashes: int,
+        counter_max: int = 255,
+    ) -> None:
+        # A fresh hasher instance: same configuration, independent object,
+        # so a subject-side hasher mutation cannot leak into the oracle.
+        self.hasher = EntropyLearnedHasher(
+            hasher.partial_key, hasher.base, seed=hasher.seed
+        )
+        self.num_counters = num_counters
+        self.num_hashes = num_hashes
+        self.counter_max = counter_max
+        self.counters = [0] * num_counters
+
+    def probes(self, key: bytes) -> List[int]:
+        h1, h2 = split_hash64(self.hasher(key))
+        return [(h1 + i * h2) % self.num_counters for i in range(self.num_hashes)]
+
+    def _needed(self, key: bytes) -> Dict[int, int]:
+        needed: Dict[int, int] = {}
+        for pos in self.probes(key):
+            needed[pos] = needed.get(pos, 0) + 1
+        return needed
+
+    def add(self, key: bytes) -> None:
+        for pos in self.probes(key):
+            if self.counters[pos] < self.counter_max:
+                self.counters[pos] += 1
+
+    def predict_remove(self, key: bytes) -> bool:
+        """Whether a correct filter would accept this remove."""
+        for pos, count in self._needed(key).items():
+            counter = self.counters[pos]
+            if counter < self.counter_max and counter < count:
+                return False
+        return True
+
+    def remove(self, key: bytes) -> None:
+        """Apply an accepted remove's decrements."""
+        for pos, count in self._needed(key).items():
+            if self.counters[pos] < self.counter_max:
+                self.counters[pos] -= count
+
+    def contains(self, key: bytes) -> bool:
+        return all(self.counters[pos] > 0 for pos in self.probes(key))
+
+
+class FrequencyOracle:
+    """Exact frequency counts (Count-Min may overcount, never under)."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[bytes, int] = {}
+        self.total = 0
+
+    def add(self, key: bytes, count: int = 1) -> None:
+        self.counts[key] = self.counts.get(key, 0) + count
+        self.total += count
+
+    def count(self, key: bytes) -> int:
+        return self.counts.get(key, 0)
+
+
+class DistinctOracle:
+    """Exact distinct count for cardinality-estimate accuracy checks."""
+
+    def __init__(self) -> None:
+        self.seen: set = set()
+
+    def add(self, key: bytes) -> None:
+        self.seen.add(key)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.seen)
+
+
+class StoreOracle(DictOracle):
+    """LSM-store semantics: newest write wins, deletes hide older data."""
+
+    def scan(self, start: bytes, end: bytes) -> List[Tuple[bytes, Any]]:
+        return sorted(
+            (k, v) for k, v in self.data.items() if start <= k < end
+        )
+
+
+def reference_hasher(hasher: EntropyLearnedHasher) -> EntropyLearnedHasher:
+    """A fresh scalar-path hasher with the same configuration.
+
+    The scalar ``__call__`` path of :class:`EntropyLearnedHasher` is the
+    trusted reference the engine's compiled batch plans are measured
+    against; building a fresh instance guarantees no engine state (plan
+    caches, fallback rebuilds) is shared with the structure under test.
+    """
+    return EntropyLearnedHasher(hasher.partial_key, hasher.base, seed=hasher.seed)
+
+
+__all__ = [
+    "DictOracle",
+    "MembershipOracle",
+    "CounterOracle",
+    "FrequencyOracle",
+    "DistinctOracle",
+    "StoreOracle",
+    "reference_hasher",
+]

@@ -1,0 +1,1080 @@
+"""Differential-fuzz targets: one class per structure family.
+
+A *target* owns three views of the same logical state:
+
+* the **subject** — the real structure, driven through its batch paths
+  wherever the op stream says so;
+* the **shadow** — an identically-configured second instance driven
+  exclusively through scalar ops (the batch-vs-scalar differential);
+* the **oracle** — a trusted naive model of the structure's contract
+  (:mod:`repro.verify.oracles`).
+
+``apply(op)`` executes one op against all three and raises
+:class:`Divergence` the moment any pair disagrees — on results, on
+internal state (bit arrays, counter arrays, registers), on work
+counters (:class:`~repro.tables.probing.ProbeStats` parity), or on
+geometry (a batch-built table must end with the same capacity as its
+scalar twin).  Fault-injection ops (``fall_back``, ``clear_plans``,
+``monitor_fall_back``) exercise the engine's robustness machinery
+mid-sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from repro._util import next_power_of_two
+from repro.core.hasher import EntropyLearnedHasher
+from repro.engine import (
+    BlockMaskReducer,
+    BloomSplitReducer,
+    CollisionMonitor,
+    FastRangeReducer,
+    FingerprintReducer,
+    HashEngine,
+    IndexRankReducer,
+    MaskReducer,
+    SlotTagReducer,
+)
+from repro.verify import ops as opslib
+from repro.verify.oracles import (
+    CounterOracle,
+    DictOracle,
+    DistinctOracle,
+    FrequencyOracle,
+    MembershipOracle,
+    StoreOracle,
+    reference_hasher,
+)
+from repro.verify.ops import Op, decode_key
+
+
+class Divergence(AssertionError):
+    """The structure under test disagreed with an oracle or its twin."""
+
+
+class ExhaustedCase(Exception):
+    """The structure legitimately refused to continue (documented limit).
+
+    Example: a cuckoo table under a low-entropy partial-key hasher hits
+    its documented ``RuntimeError`` once more identical-hash keys arrive
+    than two buckets can hold.  The runner ends the case cleanly instead
+    of recording a failure.
+    """
+
+
+def build_hasher(spec: Dict[str, object]) -> EntropyLearnedHasher:
+    """Construct a hasher from a JSON-safe config spec."""
+    base = str(spec.get("base", "wyhash"))
+    seed = int(spec.get("seed", 0))
+    if spec.get("full_key"):
+        return EntropyLearnedHasher.full_key(base, seed=seed)
+    positions = tuple(int(p) for p in spec.get("positions", (0, 4)))
+    word_size = int(spec.get("word_size", 2))
+    return EntropyLearnedHasher.from_positions(
+        positions, word_size=word_size, base=base, seed=seed
+    )
+
+
+def random_hasher_spec(rng: random.Random) -> Dict[str, object]:
+    base = rng.choice(("wyhash", "wyhash", "xxh3", "fnv1a"))
+    if rng.random() < 0.25:
+        return {"full_key": True, "base": base, "seed": rng.randrange(4)}
+    positions = rng.choice(((0, 4), (0, 2), (2, 6), (0,)))
+    return {
+        "positions": list(positions),
+        "word_size": 2,
+        "base": base,
+        "seed": rng.randrange(4),
+    }
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise Divergence(message)
+
+
+# Bases whose high bits avalanche poorly on short similar keys (fnv1a
+# folds bytes low-to-high; crc32 is linear).  Differential checks still
+# apply to them — only invariants that assume hash *uniformity* (the
+# HLL estimate-accuracy window) are skipped.
+_WEAK_AVALANCHE_BASES = frozenset({"fnv1a", "crc32"})
+
+
+class Target:
+    """Base class; subclasses set ``name`` and implement the hooks."""
+
+    name: str = ""
+
+    def __init__(self, config: Dict[str, object]):
+        self.config = config
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        return {}
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        return cls.default_config()
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        raise NotImplementedError
+
+    def apply(self, op: Op) -> None:
+        raise NotImplementedError
+
+    def final_check(self) -> None:
+        """Invariants checked once after the whole sequence."""
+
+
+# ------------------------------------------------------------- tables
+
+
+class _TableTarget(Target):
+    """Shared machinery for chaining/probing tables (subject + shadow)."""
+
+    table_cls: type = None  # set by subclasses
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        return {"hasher": {"positions": [0, 4], "word_size": 2}, "capacity": 8}
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        return {
+            "hasher": random_hasher_spec(rng),
+            "capacity": rng.choice((4, 8, 16, 64)),
+        }
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        return opslib.generate_table_ops(rng, n)
+
+    def __init__(self, config: Dict[str, object]):
+        super().__init__(config)
+        capacity = int(config.get("capacity", 8))
+        self.subject = self.table_cls(build_hasher(config["hasher"]), capacity=capacity)
+        self.shadow = self.table_cls(build_hasher(config["hasher"]), capacity=capacity)
+        self.oracle = DictOracle()
+        self.peak = 0
+        self.initial_geometry = self._geometry(self.subject)
+
+    @staticmethod
+    def _geometry(table) -> int:
+        return table.num_slots if hasattr(table, "num_slots") else table.num_buckets
+
+    def apply(self, op: Op) -> None:
+        name = op["op"]
+        if name == "insert":
+            key, value = decode_key(op["key"]), op["v"]
+            self.subject.insert(key, value)
+            self.shadow.insert(key, value)
+            self.oracle.insert(key, value)
+        elif name == "insert_batch":
+            keys = [decode_key(k) for k in op["keys"]]
+            values = list(op["values"])
+            self.subject.insert_batch(keys, values)
+            for key, value in zip(keys, values):  # scalar twin
+                self.shadow.insert(key, value)
+                self.oracle.insert(key, value)
+        elif name == "get":
+            key = decode_key(op["key"])
+            got = self.subject.get(key)
+            ref = self.shadow.get(key)
+            want = self.oracle.get(key)
+            _require(got == want, f"get({key!r}) -> {got!r}, oracle says {want!r}")
+            _require(ref == want, f"shadow get({key!r}) -> {ref!r}, oracle says {want!r}")
+        elif name == "delete":
+            key = decode_key(op["key"])
+            got = self.subject.delete(key)
+            ref = self.shadow.delete(key)
+            want = self.oracle.delete(key)
+            _require(got == want, f"delete({key!r}) -> {got}, oracle says {want}")
+            _require(ref == want, f"shadow delete({key!r}) -> {ref}, oracle says {want}")
+        elif name == "probe_batch":
+            keys = [decode_key(k) for k in op["keys"]]
+            got = self.subject.probe_batch(keys)
+            want = [self.oracle.get(k) for k in keys]
+            ref = [self.shadow.get(k) for k in keys]
+            _require(got == want, f"probe_batch diverged from oracle: {got!r} != {want!r}")
+            _require(ref == want, "shadow scalar probes diverged from oracle")
+        elif name == "check_items":
+            _require(
+                sorted(self.subject.items()) == self.oracle.items(),
+                "items() diverged from oracle contents",
+            )
+        elif name == "clear_plans":
+            # Same hasher, fresh plans: answers must not change.
+            self.subject.engine.set_hasher(self.subject.engine.hasher)
+        elif name == "fall_back":
+            full = EntropyLearnedHasher.full_key(
+                self.subject.engine.hasher.base, seed=self.subject.engine.seed
+            )
+            self.subject.rebuild_with_hasher(full)
+            self.shadow.rebuild_with_hasher(full)
+        else:
+            raise ValueError(f"unknown table op {name!r}")
+        self.peak = max(self.peak, len(self.oracle))
+        self._check_invariants()
+
+    def _check_invariants(self) -> None:
+        _require(
+            len(self.subject) == len(self.oracle),
+            f"size {len(self.subject)} != oracle {len(self.oracle)}",
+        )
+        _require(
+            len(self.shadow) == len(self.oracle),
+            f"shadow size {len(self.shadow)} != oracle {len(self.oracle)}",
+        )
+        geometry = self._geometry(self.subject)
+        _require(
+            geometry == self._geometry(self.shadow),
+            f"batch-built geometry {geometry} != scalar-built "
+            f"{self._geometry(self.shadow)}",
+        )
+        stats = self.subject.stats
+        ref = self.shadow.stats
+        # probe_batch ops on the subject were scalar gets on the shadow:
+        # the ProbeStats contract says those code paths count identically.
+        for field in ("probes", "tag_checks", "key_comparisons", "chain_total"):
+            _require(
+                getattr(stats, field) == getattr(ref, field),
+                f"ProbeStats.{field} parity broke: batch path "
+                f"{getattr(stats, field)} != scalar path {getattr(ref, field)}",
+            )
+        self._check_capacity_bound(geometry)
+
+    def _check_capacity_bound(self, geometry: int) -> None:
+        raise NotImplementedError
+
+
+class ChainingTarget(_TableTarget):
+    name = "chaining"
+
+    from repro.tables.chaining import SeparateChainingTable as table_cls
+
+    def _check_capacity_bound(self, geometry: int) -> None:
+        load = self.subject.max_load
+        bound = max(
+            self.initial_geometry,
+            next_power_of_two(int(2 * (max(self.peak, 1) + 1) / load) + 1),
+        )
+        _require(
+            geometry <= bound,
+            f"bucket array grew to {geometry} with peak size {self.peak} "
+            f"(bound {bound})",
+        )
+
+
+class ProbingTarget(_TableTarget):
+    name = "probing"
+
+    from repro.tables.probing import LinearProbingTable as table_cls
+
+    def _check_capacity_bound(self, geometry: int) -> None:
+        load = self.subject.max_load
+        bound = max(
+            self.initial_geometry,
+            next_power_of_two(int(4 * max(self.peak, 1) / load) + 1),
+        )
+        _require(
+            geometry <= bound,
+            f"table grew to {geometry} slots with peak size {self.peak} "
+            f"(bound {bound}); tombstone churn must compact in place",
+        )
+
+
+class CuckooTableTarget(Target):
+    """Cuckoo table vs dict oracle (no shadow: rng-driven placement)."""
+
+    name = "cuckoo_table"
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        return {"hasher": {"positions": [0, 4], "word_size": 2}, "capacity": 16}
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        return {
+            "hasher": random_hasher_spec(rng),
+            "capacity": rng.choice((16, 32, 128)),
+        }
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        ops = opslib.generate_table_ops(rng, n)
+        # Cuckoo placement cannot survive a bare hasher swap, and there
+        # is no batch insert; drop the ops that do not apply.
+        keep = ("insert", "get", "delete", "probe_batch", "check_items",
+                "clear_plans")
+        return [op for op in ops if op["op"] in keep]
+
+    def __init__(self, config: Dict[str, object]):
+        super().__init__(config)
+        from repro.tables.cuckoo import CuckooTable
+
+        self.subject = CuckooTable(
+            build_hasher(config["hasher"]), capacity=int(config.get("capacity", 16))
+        )
+        self.oracle = DictOracle()
+
+    def apply(self, op: Op) -> None:
+        name = op["op"]
+        if name == "insert":
+            key, value = decode_key(op["key"]), op["v"]
+            try:
+                self.subject.insert(key, value)
+            except RuntimeError:
+                # Documented limit: more identical-hash keys than two
+                # buckets hold.  Not a divergence — end the case.
+                raise ExhaustedCase("cuckoo insertion exhausted") from None
+            self.oracle.insert(key, value)
+        elif name == "get":
+            key = decode_key(op["key"])
+            got, want = self.subject.get(key), self.oracle.get(key)
+            _require(got == want, f"get({key!r}) -> {got!r}, oracle says {want!r}")
+        elif name == "delete":
+            key = decode_key(op["key"])
+            got, want = self.subject.delete(key), self.oracle.delete(key)
+            _require(got == want, f"delete({key!r}) -> {got}, oracle says {want}")
+        elif name == "probe_batch":
+            keys = [decode_key(k) for k in op["keys"]]
+            got = self.subject.probe_batch(keys)
+            want = [self.oracle.get(k) for k in keys]
+            scalar = [self.subject.get(k) for k in keys]
+            _require(got == want, "probe_batch diverged from oracle")
+            _require(got == scalar, "probe_batch diverged from scalar gets")
+        elif name == "check_items":
+            _require(
+                sorted(self.subject.items()) == self.oracle.items(),
+                "items() diverged from oracle contents",
+            )
+        elif name == "clear_plans":
+            self.subject.engine.set_hasher(self.subject.engine.hasher)
+        else:
+            raise ValueError(f"unknown cuckoo-table op {name!r}")
+        _require(
+            len(self.subject) == len(self.oracle),
+            f"size {len(self.subject)} != oracle {len(self.oracle)}",
+        )
+
+
+# ------------------------------------------------------------ filters
+
+
+class BloomTarget(Target):
+    """Bloom filter: no false negatives + batch/scalar bit-array parity."""
+
+    name = "bloom"
+    removes = False
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        return {
+            "hasher": {"positions": [0, 4], "word_size": 2},
+            "bits": 512,
+            "hashes": 3,
+        }
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        return {
+            "hasher": random_hasher_spec(rng),
+            # Tiny and non-power-of-two sizes maximize probe collisions.
+            "bits": rng.choice((5, 6, 7, 64, 97, 512)),
+            "hashes": rng.randrange(1, 6),
+        }
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        return opslib.generate_filter_ops(rng, n, removes=cls.removes)
+
+    def __init__(self, config: Dict[str, object]):
+        super().__init__(config)
+        self.subject = self._build(config)
+        self.shadow = self._build(config)
+        self.members = MembershipOracle()
+
+    def _build(self, config):
+        from repro.filters.bloom import BloomFilter
+
+        return BloomFilter(
+            build_hasher(config["hasher"]),
+            num_bits=int(config["bits"]),
+            num_hashes=int(config["hashes"]),
+        )
+
+    def _state_parity(self) -> None:
+        _require(
+            np.array_equal(self.subject._bits, self.shadow._bits),
+            "batch-built bit array != scalar-built bit array",
+        )
+
+    def apply(self, op: Op) -> None:
+        name = op["op"]
+        if name == "add":
+            key = decode_key(op["key"])
+            self.subject.add(key)
+            self.shadow.add(key)
+            self.members.add(key)
+        elif name == "add_batch":
+            keys = [decode_key(k) for k in op["keys"]]
+            self.subject.add_batch(keys)
+            for key in keys:
+                self.shadow.add(key)
+                self.members.add(key)
+        elif name == "contains":
+            key = decode_key(op["key"])
+            got, ref = self.subject.contains(key), self.shadow.contains(key)
+            _require(got == ref, f"contains({key!r}): batch {got} != scalar {ref}")
+            if self.members.contains(key) and not self.members.tainted:
+                _require(got, f"false negative for present key {key!r}")
+        elif name == "contains_batch":
+            keys = [decode_key(k) for k in op["keys"]]
+            got = list(self.subject.contains_batch(keys))
+            scalar = [self.subject.contains(k) for k in keys]
+            _require(got == scalar, "contains_batch != scalar contains loop")
+            if not self.members.tainted:
+                for key, hit in zip(keys, got):
+                    if self.members.contains(key):
+                        _require(hit, f"false negative for present key {key!r}")
+        elif name == "remove":
+            self._apply_remove(decode_key(op["key"]))
+        elif name == "check_members":
+            self._state_parity()
+            if not self.members.tainted:
+                for key in self.members.present_keys():
+                    _require(
+                        self.subject.contains(key),
+                        f"false negative for present key {key!r}",
+                    )
+        elif name == "clear_plans":
+            self.subject.engine.set_hasher(self.subject.engine.hasher)
+        else:
+            raise ValueError(f"unknown filter op {name!r}")
+        self._state_parity()
+
+    def _apply_remove(self, key: bytes) -> None:
+        raise ValueError("remove not supported by this filter")
+
+    def final_check(self) -> None:
+        self.apply({"op": "check_members"})
+
+
+class CountingBloomTarget(BloomTarget):
+    """Counting filter: adds an exact counter-array oracle and removes."""
+
+    name = "counting_bloom"
+    removes = True
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        return {
+            "hasher": {"positions": [0, 4], "word_size": 2},
+            "bits": 6,
+            "hashes": 4,
+        }
+
+    def __init__(self, config: Dict[str, object]):
+        super().__init__(config)
+        self.counter_oracle = CounterOracle(
+            build_hasher(config["hasher"]),
+            num_counters=int(config["bits"]),
+            num_hashes=int(config["hashes"]),
+        )
+
+    def _build(self, config):
+        from repro.filters.counting import CountingBloomFilter
+
+        return CountingBloomFilter(
+            build_hasher(config["hasher"]),
+            num_counters=int(config["bits"]),
+            num_hashes=int(config["hashes"]),
+        )
+
+    def _state_parity(self) -> None:
+        _require(
+            np.array_equal(self.subject._counters, self.shadow._counters),
+            "batch-built counters != scalar-built counters",
+        )
+        if hasattr(self, "counter_oracle"):
+            got = [int(c) for c in self.subject._counters]
+            _require(
+                got == self.counter_oracle.counters,
+                f"counter array diverged from exact oracle: {got} != "
+                f"{self.counter_oracle.counters}",
+            )
+
+    def apply(self, op: Op) -> None:
+        name = op["op"]
+        if name == "add":
+            self.counter_oracle.add(decode_key(op["key"]))
+        elif name == "add_batch":
+            for key in op["keys"]:
+                self.counter_oracle.add(decode_key(key))
+        super().apply(op)
+
+    def _apply_remove(self, key: bytes) -> None:
+        expected = self.counter_oracle.predict_remove(key)
+        got = self.subject.remove(key)
+        ref = self.shadow.remove(key)
+        _require(
+            got == expected,
+            f"remove({key!r}) -> {got}, exact counters say {expected}",
+        )
+        _require(ref == expected, f"shadow remove({key!r}) -> {ref} != {expected}")
+        if expected:
+            self.counter_oracle.remove(key)
+            if self.members.contains(key):
+                self.members.remove(key)
+            else:
+                # An absent key slipped past the counter pre-check (all
+                # its counters were backed by other keys): the documented
+                # corruption case — the no-FN guarantee is void from here.
+                self.members.tainted = True
+
+
+class CuckooFilterTarget(BloomTarget):
+    """Cuckoo filter: membership + remove semantics, bucket-state parity."""
+
+    name = "cuckoo_filter"
+    removes = True
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        return {
+            "hasher": {"positions": [0, 4], "word_size": 2},
+            "capacity": 64,
+            "fingerprint_bits": 16,
+        }
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        return {
+            "hasher": random_hasher_spec(rng),
+            "capacity": rng.choice((16, 64, 256)),
+            "fingerprint_bits": rng.choice((8, 12, 16)),
+        }
+
+    def _build(self, config):
+        from repro.filters.cuckoo import CuckooFilter
+
+        return CuckooFilter(
+            build_hasher(config["hasher"]),
+            capacity=int(config["capacity"]),
+            fingerprint_bits=int(config.get("fingerprint_bits", 16)),
+        )
+
+    def _state_parity(self) -> None:
+        _require(
+            self.subject._buckets == self.shadow._buckets
+            and self.subject._victim == self.shadow._victim,
+            "batch-built cuckoo state != scalar-built state",
+        )
+
+    def apply(self, op: Op) -> None:
+        name = op["op"]
+        if name == "add":
+            key = decode_key(op["key"])
+            got = self.subject.add(key)
+            ref = self.shadow.add(key)
+            _require(got == ref, f"add({key!r}): batch {got} != scalar {ref}")
+            if got:
+                self.members.add(key)
+            self._state_parity()
+        elif name == "add_batch":
+            keys = [decode_key(k) for k in op["keys"]]
+            got = self.subject.add_batch(keys)
+            ref = [self.shadow.add(k) for k in keys]
+            _require(got == ref, "add_batch results != scalar add loop")
+            for key, ok in zip(keys, got):
+                if ok:
+                    self.members.add(key)
+            self._state_parity()
+        elif name == "remove":
+            key = decode_key(op["key"])
+            got = self.subject.remove(key)
+            ref = self.shadow.remove(key)
+            _require(got == ref, f"remove({key!r}): batch {got} != scalar {ref}")
+            if self.members.contains(key):
+                _require(got, f"remove of present key {key!r} returned False")
+                self.members.remove(key)
+            elif got:
+                # Removed an aliasing fingerprint of some other key: the
+                # documented deletion caveat — stop convicting on FNs.
+                self.members.tainted = True
+            self._state_parity()
+        else:
+            super().apply(op)
+
+
+# ------------------------------------------------------------ sketches
+
+
+class HyperLogLogTarget(Target):
+    """HLL: register parity batch-vs-scalar + estimate accuracy."""
+
+    name = "hll"
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        return {"hasher": {"positions": [0, 4], "word_size": 2}, "precision": 10}
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        return {
+            "hasher": random_hasher_spec(rng),
+            "precision": rng.choice((4, 6, 8, 10, 12, 14)),
+        }
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        return opslib.generate_sketch_ops(rng, n)
+
+    def __init__(self, config: Dict[str, object]):
+        super().__init__(config)
+        from repro.sketches.hyperloglog import HyperLogLog
+
+        precision = int(config.get("precision", 10))
+        self.subject = HyperLogLog(build_hasher(config["hasher"]), precision=precision)
+        self.shadow = HyperLogLog(build_hasher(config["hasher"]), precision=precision)
+        # An ELH sketch estimates |L(S)| — the cardinality of the
+        # *projected* key set — so the oracle counts distinct reference
+        # hash values, which partial-key collisions collapse exactly as
+        # the sketch sees them.
+        self.reference = reference_hasher(self.subject.hasher)
+        self.oracle = DistinctOracle()
+        self.max_rank = 64 - precision + 1
+
+    def apply(self, op: Op) -> None:
+        name = op["op"]
+        if name == "add":
+            key = decode_key(op["key"])
+            self.subject.add(key)
+            self.shadow.add(key)
+            self.oracle.add(self.reference(key))
+        elif name == "add_batch":
+            keys = [decode_key(k) for k in op["keys"]]
+            self.subject.add_batch(keys)
+            for key in keys:
+                self.shadow.add(key)
+                self.oracle.add(self.reference(key))
+        elif name in ("estimate", "check_state"):
+            self._check_state()
+            return
+        else:
+            raise ValueError(f"unknown sketch op {name!r}")
+        _require(
+            np.array_equal(self.subject._registers, self.shadow._registers),
+            "batch-built registers != scalar-built registers",
+        )
+
+    def _check_state(self) -> None:
+        registers = self.subject._registers
+        _require(
+            int(registers.max(initial=0)) <= self.max_rank,
+            f"register rank exceeded saturation bound {self.max_rank}",
+        )
+        _require(
+            np.array_equal(registers, self.shadow._registers),
+            "batch-built registers != scalar-built registers",
+        )
+        if self.subject.hasher.base.name in _WEAK_AVALANCHE_BASES:
+            return
+        n = self.oracle.cardinality
+        estimate = self.subject.estimate()
+        tolerance = max(12.0, 6.0 * self.subject.standard_error() * n)
+        _require(
+            abs(estimate - n) <= tolerance,
+            f"estimate {estimate:.1f} vs true {n} outside tolerance "
+            f"{tolerance:.1f}",
+        )
+
+    def final_check(self) -> None:
+        self._check_state()
+
+
+class CountMinTarget(Target):
+    """Count-Min: never undercounts + counts-matrix parity."""
+
+    name = "countmin"
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        return {"hasher": {"positions": [0, 4], "word_size": 2},
+                "width": 64, "depth": 3}
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        return {
+            "hasher": random_hasher_spec(rng),
+            "width": rng.choice((8, 37, 64, 256)),
+            "depth": rng.randrange(1, 5),
+        }
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        return opslib.generate_sketch_ops(rng, n)
+
+    def __init__(self, config: Dict[str, object]):
+        super().__init__(config)
+        from repro.sketches.countmin import CountMinSketch
+
+        width, depth = int(config["width"]), int(config["depth"])
+        self.subject = CountMinSketch(build_hasher(config["hasher"]), width, depth)
+        self.shadow = CountMinSketch(build_hasher(config["hasher"]), width, depth)
+        self.oracle = FrequencyOracle()
+
+    def apply(self, op: Op) -> None:
+        name = op["op"]
+        if name == "add":
+            key = decode_key(op["key"])
+            self.subject.add(key)
+            self.shadow.add(key)
+            self.oracle.add(key)
+        elif name == "add_batch":
+            keys = [decode_key(k) for k in op["keys"]]
+            self.subject.add_batch(keys)
+            for key in keys:
+                self.shadow.add(key)
+                self.oracle.add(key)
+        elif name == "estimate":
+            key = decode_key(op["key"])
+            got = self.subject.estimate(key)
+            ref = self.shadow.estimate(key)
+            true = self.oracle.count(key)
+            _require(got == ref, f"estimate({key!r}): batch {got} != scalar {ref}")
+            _require(
+                got >= true,
+                f"Count-Min undercounted {key!r}: {got} < true {true}",
+            )
+            return
+        elif name == "check_state":
+            _require(
+                np.array_equal(self.subject._counts, self.shadow._counts),
+                "batch-built counts != scalar-built counts",
+            )
+            _require(
+                self.subject.total == self.oracle.total,
+                f"total {self.subject.total} != oracle {self.oracle.total}",
+            )
+            return
+        else:
+            raise ValueError(f"unknown sketch op {name!r}")
+        _require(
+            np.array_equal(self.subject._counts, self.shadow._counts),
+            "batch-built counts != scalar-built counts",
+        )
+
+    def final_check(self) -> None:
+        self.apply({"op": "check_state"})
+
+
+class MinHashTarget(Target):
+    """MinHash: engine-batched minima vs reference scalar minima."""
+
+    name = "minhash"
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        return {"hasher": {"positions": [0, 4], "word_size": 2}}
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        return {"hasher": random_hasher_spec(rng)}
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        return opslib.generate_minhash_ops(rng, n)
+
+    def __init__(self, config: Dict[str, object]):
+        super().__init__(config)
+        self.hasher = build_hasher(config["hasher"])
+        self.reference = reference_hasher(self.hasher)
+
+    def apply(self, op: Op) -> None:
+        if op["op"] != "signature":
+            raise ValueError(f"unknown minhash op {op['op']!r}")
+        from repro.sketches.minhash import MinHashSignature
+
+        items = [decode_key(k) for k in op["keys"]]
+        k = int(op["k"])
+        signature = MinHashSignature.from_items(self.hasher, items, k=k)
+        for row in range(k):
+            seeded = self.reference.with_seed(self.reference.seed + row + 1)
+            want = min(seeded(item) for item in items)
+            got = int(signature.mins[row])
+            _require(
+                got == want,
+                f"row {row} minimum {got} != reference scalar minimum {want}",
+            )
+        _require(
+            signature.jaccard(signature) == 1.0,
+            "jaccard(sig, sig) != 1.0",
+        )
+
+
+# ------------------------------------------------------------ kvstore
+
+
+class LSMStoreTarget(Target):
+    """LSM store vs exact newest-wins mapping oracle."""
+
+    name = "lsm"
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        return {"memtable_bytes": 256, "compaction_fanout": 3}
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        return {
+            "memtable_bytes": rng.choice((128, 256, 1024)),
+            "compaction_fanout": rng.choice((2, 3, 4)),
+        }
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        return opslib.generate_store_ops(rng, n)
+
+    def __init__(self, config: Dict[str, object]):
+        super().__init__(config)
+        from repro.kvstore.store import LSMStore
+
+        self.subject = LSMStore(
+            memtable_bytes=int(config.get("memtable_bytes", 256)),
+            compaction_fanout=int(config.get("compaction_fanout", 3)),
+        )
+        self.oracle = StoreOracle()
+
+    def apply(self, op: Op) -> None:
+        name = op["op"]
+        if name == "put":
+            key = decode_key(op["key"])
+            value = b"v%d" % int(op["v"])
+            self.subject.put(key, value)
+            self.oracle.insert(key, value)
+        elif name == "delete":
+            key = decode_key(op["key"])
+            self.subject.delete(key)
+            self.oracle.delete(key)
+        elif name == "get":
+            key = decode_key(op["key"])
+            got, want = self.subject.get(key), self.oracle.get(key)
+            _require(got == want, f"get({key!r}) -> {got!r}, oracle says {want!r}")
+        elif name == "multi_get":
+            keys = [decode_key(k) for k in op["keys"]]
+            got = self.subject.multi_get(keys)
+            want = [self.oracle.get(k) for k in keys]
+            _require(got == want, f"multi_get diverged: {got!r} != {want!r}")
+        elif name == "scan":
+            start, end = decode_key(op["start"]), decode_key(op["end"])
+            got = list(self.subject.scan(start, end))
+            want = self.oracle.scan(start, end)
+            _require(got == want, f"scan diverged: {got!r} != {want!r}")
+        elif name == "flush":
+            self.subject.flush()
+        elif name == "compact":
+            self.subject.compact()
+        elif name == "check_items":
+            for key in list(self.oracle.data):
+                got = self.subject.get(key)
+                want = self.oracle.get(key)
+                _require(
+                    got == want, f"get({key!r}) -> {got!r}, oracle says {want!r}"
+                )
+        else:
+            raise ValueError(f"unknown store op {name!r}")
+
+    def final_check(self) -> None:
+        self.apply({"op": "check_items"})
+
+
+# ------------------------------------------------------------- engine
+
+
+class EngineTarget(Target):
+    """HashEngine plans vs the reference scalar hash path."""
+
+    name = "engine"
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        return {"hasher": {"positions": [0, 4], "word_size": 2}}
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        return {"hasher": random_hasher_spec(rng)}
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        return opslib.generate_engine_ops(rng, n)
+
+    def __init__(self, config: Dict[str, object]):
+        super().__init__(config)
+        hasher = build_hasher(config["hasher"])
+        self.subject = HashEngine(hasher)
+        self.reference = reference_hasher(hasher)
+        self.hashed = 0
+
+    def _expected(self, key: bytes, seed: Optional[int]) -> int:
+        ref = self.reference
+        if seed is not None and seed != ref.seed:
+            ref = ref.with_seed(seed)
+        return ref(key)
+
+    def apply(self, op: Op) -> None:
+        name = op["op"]
+        if name == "hash_batch":
+            keys = [decode_key(k) for k in op["keys"]]
+            seed = op.get("seed")
+            seed = int(seed) if seed is not None else None
+            got = [int(h) for h in self.subject.hash_batch(keys, seed=seed)]
+            want = [self._expected(k, seed) for k in keys]
+            if got != want:
+                bad = next(i for i in range(len(keys)) if got[i] != want[i])
+                raise Divergence(
+                    f"hash_batch[{bad}] for key {keys[bad]!r} (seed={seed}): "
+                    f"{got[bad]} != reference {want[bad]}"
+                )
+            self.hashed += len(keys)
+        elif name == "hash_one":
+            key = decode_key(op["key"])
+            got = int(self.subject.hash_one(key))
+            want = self._expected(key, None)
+            _require(got == want, f"hash_one({key!r}): {got} != reference {want}")
+            self.hashed += 1
+        elif name == "clear_plans":
+            self.subject.set_hasher(self.subject.hasher)
+        elif name == "monitor_fall_back":
+            if not self.subject.fell_back:
+                if self.subject.monitor is None:
+                    self.subject.monitor = CollisionMonitor(
+                        entropy=0.0, num_slots=4, min_inserts=1
+                    )
+                # A pathological burst of displacement: the monitor must
+                # force the full-key rebuild, and every plan after this
+                # point must hash full keys.
+                self.subject.record_insert(1e9, expected=0.0, n=1024)
+                if not self.subject.hasher.partial_key.is_full_key:
+                    raise Divergence(
+                        "forced FALL_BACK left a partial-key hasher installed"
+                    )
+                self.reference = EntropyLearnedHasher.full_key(
+                    self.reference.base, seed=self.reference.seed
+                )
+        elif name == "check_stats":
+            stats = self.subject.stats()
+            _require(
+                stats["keys_hashed"] == self.hashed,
+                f"keys_hashed {stats['keys_hashed']} != {self.hashed} issued",
+            )
+            if self.subject.fell_back:
+                _require(stats["fell_back"], "stats dropped the fallback event")
+                _require(
+                    stats["positions"] == [],
+                    "stats still report partial-key positions after fallback",
+                )
+        else:
+            raise ValueError(f"unknown engine op {name!r}")
+
+
+class ReducerTarget(Target):
+    """Every Reducer: vectorized ``apply`` vs scalar ``apply_one``."""
+
+    name = "reducers"
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        return opslib.generate_reducer_ops(rng, n)
+
+    def _build_reducer(self, op: Op):
+        kind = op["kind"]
+        if kind == "index_rank":
+            return IndexRankReducer(int(op["precision"]))
+        if kind == "slot_tag":
+            return SlotTagReducer(int(op["mask"]))
+        if kind == "mask":
+            return MaskReducer(int(op["mask"]))
+        if kind == "bloom_split":
+            return BloomSplitReducer()
+        if kind == "block_mask":
+            return BlockMaskReducer(int(op["num_blocks"]), int(op["num_probe_bits"]))
+        if kind == "fingerprint":
+            fp_mask = (1 << int(op["fp_bits"])) - 1
+            bucket_mask = (1 << int(op["bucket_bits"])) - 1
+            return FingerprintReducer(fp_mask, bucket_mask)
+        if kind == "fast_range":
+            return FastRangeReducer(int(op["n"]))
+        raise ValueError(f"unknown reducer kind {kind!r}")
+
+    def apply(self, op: Op) -> None:
+        if op["op"] != "reduce":
+            raise ValueError(f"unknown reducer op {op['op']!r}")
+        reducer = self._build_reducer(op)
+        hashes = [int(h) for h in op["hashes"]]
+        batch = reducer.apply(np.array(hashes, dtype=np.uint64))
+        if isinstance(batch, tuple):
+            batch_rows = list(zip(*(part.tolist() for part in batch)))
+            scalar_rows = [tuple(reducer.apply_one(h)) for h in hashes]
+        else:
+            batch_rows = [(v,) for v in batch.tolist()]
+            scalar_rows = [(reducer.apply_one(h),) for h in hashes]
+        for i, (got, want) in enumerate(zip(batch_rows, scalar_rows)):
+            got = tuple(int(g) for g in got)
+            want = tuple(int(w) for w in want)
+            if got != want:
+                raise Divergence(
+                    f"{op['kind']} reducer: apply(h={hashes[i]:#x}) -> {got} "
+                    f"but apply_one -> {want}"
+                )
+        self._domain_checks(op, hashes, scalar_rows, batch_rows)
+
+    def _domain_checks(self, op: Op, hashes, scalar_rows, batch_rows) -> None:
+        kind = op["kind"]
+        if kind == "index_rank":
+            precision = int(op["precision"])
+            max_rank = 64 - precision + 1
+            for rows in (scalar_rows, batch_rows):
+                for index, rank in rows:
+                    _require(
+                        1 <= int(rank) <= max_rank,
+                        f"rank {rank} outside [1, {max_rank}] (p={precision})",
+                    )
+                    _require(0 <= int(index) < (1 << precision), "index out of range")
+        elif kind == "slot_tag":
+            for _, tag in batch_rows:
+                _require(2 <= int(tag) <= 255, f"tag {tag} hit a control state")
+        elif kind == "fingerprint":
+            for _, fingerprint in batch_rows:
+                _require(int(fingerprint) >= 1, "zero fingerprint (empty marker)")
+        elif kind == "fast_range":
+            n = int(op["n"])
+            for (value,) in batch_rows:
+                _require(0 <= int(value) < n, f"fast-range value {value} >= {n}")
+
+
+TARGETS: Dict[str, Type[Target]] = {
+    cls.name: cls
+    for cls in (
+        ChainingTarget,
+        ProbingTarget,
+        CuckooTableTarget,
+        BloomTarget,
+        CountingBloomTarget,
+        CuckooFilterTarget,
+        HyperLogLogTarget,
+        CountMinTarget,
+        MinHashTarget,
+        LSMStoreTarget,
+        EngineTarget,
+        ReducerTarget,
+    )
+}
+
+
+__all__ = ["Divergence", "Target", "TARGETS", "build_hasher", "random_hasher_spec"]

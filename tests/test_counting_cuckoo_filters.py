@@ -156,3 +156,80 @@ class TestCuckooFilter:
         f = CuckooFilter(hasher, capacity=64)
         f.add(b"SAMEWORD-one-key")
         assert f.contains(b"SAMEWORD-two-key")  # same length + word
+
+
+class TestCountingBloomRemoveSafety:
+    def test_remove_never_added_key_is_checked_noop(self, xxh3):
+        f = CountingBloomFilter(xxh3, num_counters=1024, num_hashes=3)
+        assert not f.remove(b"never-added")
+        f.add(b"present")
+        assert f.contains(b"present")
+
+    def test_duplicate_probe_remove_cannot_wrap_counters(self):
+        """Tiny filters force double hashing to land several probes on
+        one counter; removing an absent key whose probes alias a counter
+        holding fewer increments must be refused, not wrap the uint8
+        from 1 to 255 (the repro the fuzzer shrank)."""
+        import numpy as np
+
+        hasher = EntropyLearnedHasher.full_key("wyhash")
+        rng = random.Random(0)
+        for trial in range(200):
+            num_counters = rng.choice((3, 5, 6, 7))
+            f = CountingBloomFilter(
+                hasher, num_counters=num_counters, num_hashes=4
+            )
+            added = [f"add-{trial}-{i}".encode() for i in range(2)]
+            for key in added:
+                f.add(key)
+            before = f._counters.copy()
+            removed = f.remove(f"absent-{trial}".encode())
+            after = f._counters
+            # Whatever the verdict, no counter may ever increase on a
+            # remove — a wrap shows up as 1 -> 255.
+            assert (after <= before).all()
+            assert int(after.max()) < 250
+            if not removed:
+                assert (after == before).all()
+
+    def test_adversarial_churn_keeps_no_false_negatives(self):
+        """Random add/remove churn where removes only target added keys:
+        every live key must remain a member afterwards."""
+        hasher = EntropyLearnedHasher.full_key("xxh3")
+        f = CountingBloomFilter(hasher, num_counters=64, num_hashes=4)
+        rng = random.Random(7)
+        live = []
+        for i in range(2000):
+            if live and rng.random() < 0.45:
+                key = live.pop(rng.randrange(len(live)))
+                assert f.remove(key), key
+            else:
+                key = f"churn-{rng.randrange(50)}-{i}".encode()
+                f.add(key)
+                live.append(key)
+        for key in live:
+            assert f.contains(key), key
+
+    def test_remove_verdicts_match_exact_counter_oracle(self):
+        """Differential lock: the filter's remove verdicts and counter
+        array must track the verify harness's exact-int oracle."""
+        from repro.verify.oracles import CounterOracle
+
+        hasher = EntropyLearnedHasher.from_positions(
+            (0, 4), word_size=2, base="wyhash"
+        )
+        f = CountingBloomFilter(hasher, num_counters=6, num_hashes=4)
+        oracle = CounterOracle(hasher, num_counters=6, num_hashes=4)
+        rng = random.Random(3)
+        pool = [f"key-{i:02d}".encode() for i in range(12)]
+        for _ in range(600):
+            key = pool[rng.randrange(len(pool))]
+            if rng.random() < 0.5:
+                f.add(key)
+                oracle.add(key)
+            else:
+                expected = oracle.predict_remove(key)
+                assert f.remove(key) == expected, key
+                if expected:
+                    oracle.remove(key)
+            assert [int(c) for c in f._counters] == oracle.counters

@@ -236,3 +236,101 @@ def test_no_consumer_bypasses_the_engine():
         "batch paths must go through HashEngine, found direct substrate "
         "calls:\n" + "\n".join(offenders)
     )
+
+
+# ------------------------- plan-cache invalidation across a shared engine
+
+
+class TestFallbackPlanCacheInvalidation:
+    """A forced FALL_BACK mid-batch must invalidate every compiled
+    partial-key plan: no structure sharing the engine may be served a
+    stale plan afterwards."""
+
+    def _tripped_engine(self):
+        hasher = EntropyLearnedHasher.from_positions((0, 4), word_size=2)
+        monitor = CollisionMonitor(entropy=1.0, num_slots=64, min_inserts=1)
+        engine = HashEngine(hasher, monitor=monitor)
+        # Warm the partial-key plan cache first.
+        engine.hash_batch(_mixed_keys(seed=21, n=50))
+        assert engine.stats()["plans_compiled"] >= 1
+        generation = engine.generation
+        fired = False
+        for i in range(50):
+            fired = engine.record_insert(displacement=1e6, expected=0.1,
+                                         n=i + 1)
+            if fired:
+                break
+        assert fired and engine.fell_back
+        assert engine.generation > generation
+        return engine
+
+    def test_no_stale_partial_key_plan_after_fallback(self):
+        engine = self._tripped_engine()
+        stats = engine.stats()
+        # The partial-key plans died with the fallback...
+        assert stats["plans_compiled"] == 0
+        assert stats["positions"] == []
+        # ...and every hash afterwards equals a fresh full-key engine's.
+        fresh = HashEngine(
+            EntropyLearnedHasher.full_key("wyhash", seed=engine.seed)
+        )
+        keys = _mixed_keys(seed=22, n=120)
+        assert list(engine.hash_batch(keys)) == list(fresh.hash_batch(keys))
+        assert engine.hash_one(b"zz") == fresh.hash_one(b"zz")
+
+    def test_reducer_plans_also_recompile(self):
+        engine = self._tripped_engine()
+        fresh = HashEngine(
+            EntropyLearnedHasher.full_key("wyhash", seed=engine.seed)
+        )
+        reducer = MaskReducer(127)
+        keys = _mixed_keys(seed=23, n=80)
+        assert list(engine.hash_batch(keys, reducer)) == list(
+            fresh.hash_batch(keys, reducer)
+        )
+
+    def test_generation_tracks_every_hasher_swap(self):
+        engine = HashEngine(EntropyLearnedHasher.from_positions((0,)))
+        g0 = engine.generation
+        engine.set_hasher(EntropyLearnedHasher.from_positions((8,)))
+        engine.set_hasher(engine.hasher)  # same hasher still bumps
+        assert engine.generation == g0 + 2
+        assert engine.stats()["generation"] == engine.generation
+
+    def test_structures_sharing_one_engine_stay_consistent(self):
+        """Two tables on one engine: after the monitor fires mid-stream,
+        both keep answering correctly (no stale-plan indexing)."""
+        from repro.tables.chaining import SeparateChainingTable
+
+        hasher = EntropyLearnedHasher.from_positions((0, 4), word_size=2)
+        first = SeparateChainingTable(hasher, capacity=64)
+        second = SeparateChainingTable.__new__(SeparateChainingTable)
+        # Share the first table's engine (same compiled plans).
+        second.engine = first.engine
+        second.max_load = first.max_load
+        second._size = 0
+        second._in_rehash = False
+        second._init_buckets(64)
+        from repro.tables.probing import ProbeStats
+
+        second.stats = ProbeStats()
+
+        keys = [f"shared-{i:04d}".encode() for i in range(40)]
+        first.insert_batch(keys, list(range(40)))
+        second.insert_batch(keys, list(range(40)))
+
+        # Force the shared engine's fallback mid-life.
+        first.engine.monitor = CollisionMonitor(
+            entropy=1.0, num_slots=64, min_inserts=1
+        )
+        for i in range(50):
+            if first.engine.record_insert(1e6, expected=0.1, n=i + 1):
+                break
+        assert first.engine.fell_back
+        # Both tables must rehash under the new hasher to keep serving
+        # reads; the engine's bumped generation is what tells them their
+        # precomputed geometry is stale.
+        first._rehash(first.num_buckets)
+        second._rehash(second.num_buckets)
+        assert first.probe_batch(keys) == list(range(40))
+        assert second.probe_batch(keys) == list(range(40))

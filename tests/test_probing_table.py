@@ -252,3 +252,99 @@ class TestEntropyAwareProbingTable:
             table.insert(key, i)
         if table.monitor is not None:
             assert table.monitor.num_slots == table.num_slots
+
+
+class TestTombstoneChurn:
+    def test_delete_churn_does_not_grow_capacity(self, full_hasher):
+        """Insert/delete cycles with ~1 live key must compact in place,
+        not double capacity every time tombstones fill the table."""
+        table = LinearProbingTable(full_hasher, capacity=8)
+        initial = table.num_slots
+        for i in range(5000):
+            key = f"churn-{i}".encode()
+            table.insert(key, i)
+            assert table.delete(key)
+        assert table.num_slots == initial
+        assert len(table) == 0
+        # The table is still fully usable afterwards.
+        table.insert(b"alive", 1)
+        assert table.get(b"alive") == 1
+
+    def test_compaction_preserves_entries(self, full_hasher):
+        table = LinearProbingTable(full_hasher, capacity=8)
+        live = {}
+        for i in range(400):
+            key = f"k-{i}".encode()
+            table.insert(key, i)
+            live[key] = i
+            if i % 2 == 0:
+                assert table.delete(key)
+                del live[key]
+        assert len(table) == len(live)
+        for key, value in live.items():
+            assert table.get(key) == value
+
+    def test_mixed_churn_capacity_tracks_live_size(self, full_hasher):
+        """Capacity stays proportional to the peak live size even under
+        heavy interleaved deletes (the repro the fuzzer shrank)."""
+        table = LinearProbingTable(full_hasher, capacity=8)
+        rng = random.Random(0)
+        live = set()
+        peak = 1
+        for i in range(3000):
+            key = f"m-{rng.randrange(200)}".encode()
+            if key in live and rng.random() < 0.6:
+                table.delete(key)
+                live.discard(key)
+            else:
+                table.insert(key, i)
+                live.add(key)
+            peak = max(peak, len(live))
+        # next_power_of_two(4 * peak / max_load) generously bounds the
+        # legal doubling sequence; unbounded tombstone growth blows it.
+        bound = 8
+        while bound < 4 * peak / table.max_load:
+            bound *= 2
+        assert table.num_slots <= bound
+
+
+class TestBatchScalarParity:
+    def test_insert_batch_geometry_matches_scalar(self, full_hasher):
+        """Duplicate-heavy batches must not over-grow the table: batch-
+        and scalar-built tables end with identical geometry."""
+        batch = LinearProbingTable(full_hasher, capacity=8)
+        scalar = LinearProbingTable(
+            EntropyLearnedHasher.full_key("wyhash"), capacity=8
+        )
+        keys = [b"dup"] * 24 + [f"u-{i}".encode() for i in range(5)]
+        values = list(range(len(keys)))
+        batch.insert_batch(keys, values)
+        for key, value in zip(keys, values):
+            scalar.insert(key, value)
+        assert batch.num_slots == scalar.num_slots
+        assert len(batch) == len(scalar)
+        assert sorted(batch.items()) == sorted(scalar.items())
+
+    def test_probe_stats_parity_batch_vs_scalar(self):
+        """insert_batch + probe_batch must leave the same ProbeStats
+        counters as the equivalent scalar loops."""
+        hasher = EntropyLearnedHasher.from_positions(
+            (4, 6), word_size=2, base="wyhash"
+        )
+        twin = EntropyLearnedHasher.from_positions(
+            (4, 6), word_size=2, base="wyhash"
+        )
+        batch = LinearProbingTable(hasher, capacity=32)
+        scalar = LinearProbingTable(twin, capacity=32)
+        keys = [f"key-{i:04d}".encode() for i in range(300)]
+        keys += keys[:40]  # duplicates in the insert stream
+        probe_keys = keys[::3] + [f"miss-{i:04d}".encode() for i in range(60)]
+
+        batch.insert_batch(keys, list(range(len(keys))))
+        for i, key in enumerate(keys):
+            scalar.insert(key, i)
+        assert batch.probe_batch(probe_keys) == [
+            scalar.get(k) for k in probe_keys
+        ]
+        for field in ("probes", "tag_checks", "key_comparisons", "chain_total"):
+            assert getattr(batch.stats, field) == getattr(scalar.stats, field), field

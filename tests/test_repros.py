@@ -1,0 +1,48 @@
+"""Replay every committed shrunk repro under ``tests/repros/``.
+
+Each JSON file is a minimal failing op sequence the differential fuzzer
+(:mod:`repro.verify`) found against a since-fixed bug, shrunk by ddmin
+and committed as a permanent regression test.  ``replay`` returning a
+Failure means the bug is back.
+
+To add one: take the shrunk repro a failing ``python -m repro fuzz``
+run prints (or writes via ``--save-repros``), drop it in this
+directory, and this module picks it up automatically.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify import load_repro, replay
+
+REPRO_DIR = Path(__file__).parent / "repros"
+REPRO_FILES = sorted(REPRO_DIR.glob("*.json"))
+
+
+def test_repro_corpus_is_nonempty():
+    assert len(REPRO_FILES) >= 4
+
+
+@pytest.mark.parametrize(
+    "path", REPRO_FILES, ids=[p.stem for p in REPRO_FILES]
+)
+def test_repro_stays_fixed(path):
+    repro = load_repro(path)
+    failure = replay(repro)
+    assert failure is None, (
+        f"regression: {path.name} diverged again at op "
+        f"{failure.op_index}: {failure.error}\n"
+        f"(originally: {repro.get('error')})"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", REPRO_FILES, ids=[p.stem for p in REPRO_FILES]
+)
+def test_repro_is_well_formed(path):
+    repro = load_repro(path)
+    assert set(repro) >= {"target", "config", "ops", "error"}
+    assert isinstance(repro["ops"], list) and repro["ops"]
+    for op in repro["ops"]:
+        assert isinstance(op, dict) and "op" in op

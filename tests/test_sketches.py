@@ -128,3 +128,71 @@ class TestHyperLogLog:
         a.add_batch(google_corpus)
         b.add_batch(google_corpus)
         assert abs(a.estimate() - b.estimate()) / b.estimate() < 0.1
+
+
+class TestHyperLogLogRankSaturation:
+    def test_rank_saturates_never_zero_on_crafted_hashes(self):
+        """Hashes whose suffix is all ones (or all zeros) sit exactly on
+        the float64 precision cliff: >53 significant bits used to round
+        up through log2 and produce rank 0.  Rank must stay in
+        [1, 64 - p + 1] for every 64-bit input."""
+        import numpy as np
+
+        from repro.engine import IndexRankReducer
+
+        for precision in (4, 10, 14):
+            reducer = IndexRankReducer(precision)
+            max_rank = 64 - precision + 1
+            crafted = [0, (1 << 64) - 1]
+            for k in range(1, 64):
+                crafted.append((1 << k) - 1)          # all-ones suffix
+                crafted.append(1 << k)                # single bit
+                crafted.append((0xAB << 56) | ((1 << k) - 1))
+            batch_idx, batch_rank = reducer.apply(
+                np.array(crafted, dtype=np.uint64)
+            )
+            for h, index, rank in zip(crafted, batch_idx, batch_rank):
+                one_idx, one_rank = reducer.apply_one(h)
+                assert (int(index), int(rank)) == (one_idx, one_rank), hex(h)
+                assert 1 <= int(rank) <= max_rank, hex(h)
+
+    def test_all_zero_suffix_hits_saturation_rank(self):
+        from repro.engine import IndexRankReducer
+
+        precision = 10
+        reducer = IndexRankReducer(precision)
+        _, rank = reducer.apply_one(0)
+        assert rank == 64 - precision + 1
+
+
+class TestHyperLogLogEstimateRegimes:
+    def test_linear_counting_regime_small_cardinality(self, full_hasher):
+        """Below ~2.5m the estimator switches to linear counting; small
+        true cardinalities must come back near-exact."""
+        for n in (1, 5, 60):
+            sketch = HyperLogLog(full_hasher, precision=12)
+            keys = [f"lin-{n}-{i}".encode() for i in range(n)]
+            sketch.add_batch(keys)
+            estimate = sketch.estimate()
+            assert abs(estimate - n) <= max(2.0, 0.1 * n), (n, estimate)
+
+    def test_large_range_cardinality_within_standard_error(self, full_hasher):
+        n = 200_000
+        sketch = HyperLogLog(full_hasher, precision=12)
+        sketch.add_batch([f"big-{i}".encode() for i in range(n)])
+        estimate = sketch.estimate()
+        tolerance = 5 * sketch.standard_error() * n
+        assert abs(estimate - n) <= tolerance, estimate
+
+    def test_batch_and_scalar_registers_identical(self, full_hasher):
+        import numpy as np
+
+        twin = EntropyLearnedHasher.full_key("xxh3")
+        batch = HyperLogLog(full_hasher, precision=11)
+        scalar = HyperLogLog(twin, precision=11)
+        keys = [f"par-{i}".encode() for i in range(5000)]
+        batch.add_batch(keys)
+        for key in keys:
+            scalar.add(key)
+        assert np.array_equal(batch._registers, scalar._registers)
+        assert batch.estimate() == scalar.estimate()
