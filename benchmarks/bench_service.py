@@ -1,0 +1,180 @@
+"""Service benchmark — YCSB load through the sharded serving layer.
+
+Drives :class:`repro.service.Service` with the YCSB mixes (reusing
+``workloads/ycsb.py``), including the skewed-read variant (Zipfian
+theta past 1) that concentrates traffic on a hot shard, and a
+degraded-mode drill that trips one shard's monitor mid-run and checks
+that no acknowledged write is lost.  ``service_records()`` returns the
+numbers as JSON-able records; ``main()`` (and ``run_all.py``) writes
+them to ``BENCH_service.json`` at the repo root with per-shard
+throughput, queue depth, rejection count, and the relative-balance
+metric.
+"""
+
+import json
+import os
+import subprocess
+import time
+
+from repro.bench.reporting import print_header
+from repro.core.trainer import train_model
+from repro.datasets import google_urls
+from repro.service import Service, ServiceClient, run_service_workload
+from repro.workloads.ycsb import WorkloadGenerator
+
+NUM_KEYS = 3_000
+NUM_OPS = 6_000
+SHARDS = 4
+BACKEND = "probing"
+MAX_QUEUE = 256
+BATCH_SIZE = 64
+
+# (label, mix, zipf theta): the two canonical mixes, a uniform-read
+# baseline, and the hot-key stress the skewed-read variant exists for.
+RUNS = (
+    ("A_zipf", "A", 0.99),
+    ("B_zipf", "B", 0.99),
+    ("C_uniform", "C", 0.0),
+    ("C_hot", "C", 1.3),
+)
+
+
+def _build(model, keys):
+    service = Service(
+        num_shards=SHARDS, backend=BACKEND, model=model,
+        capacity=len(keys), max_queue=MAX_QUEUE, batch_size=BATCH_SIZE,
+    )
+    client = ServiceClient(service)
+    client.put_many((key, b"v0") for key in keys)
+    return service, client
+
+
+def _record(label, mix, theta, service, client, elapsed, ops):
+    stats = service.stats()
+    per_shard = [
+        {
+            "shard": s["shard"],
+            "processed": s["processed"],
+            "ops_per_second": s["processed"] / elapsed if elapsed else 0.0,
+            "mean_batch_size": s["mean_batch_size"],
+            "queue_depth": s["queue_depth"],
+            "peak_queue_depth": s["peak_queue_depth"],
+            "rejected": s["rejected"],
+        }
+        for s in stats["shards"]
+    ]
+    return {
+        "benchmark": f"service_ycsb_{label}",
+        "mix": mix,
+        "zipf_theta": theta,
+        "shards": SHARDS,
+        "backend": BACKEND,
+        "ops": ops,
+        "elapsed_s": elapsed,
+        "ops_per_second": ops / elapsed if elapsed else 0.0,
+        "per_shard": per_shard,
+        "relative_balance": stats["router"]["relative_std"],
+        "balance_bound": stats["router"]["bound"],
+        "within_bound": stats["router"]["within_bound"],
+        "rejections": stats["rejected"],
+        "client_retries": client.retries,
+        "lost_acks": client.lost_acks,
+        "degraded": stats["degraded"],
+    }
+
+
+def service_records():
+    keys = google_urls(NUM_KEYS, seed=17)
+    model = train_model(keys, fixed_dataset=True)
+    records = []
+
+    for label, mix, theta in RUNS:
+        service, client = _build(model, keys)
+        generator = WorkloadGenerator(keys, mix=mix, seed=3, zipf_theta=theta)
+        operations = list(generator.operations(NUM_OPS))
+        start = time.perf_counter()
+        run_service_workload(client, operations)
+        service.drain()
+        elapsed = time.perf_counter() - start
+        records.append(
+            _record(label, mix, theta, service, client, elapsed, NUM_OPS)
+        )
+
+    # Degraded-mode drill: trip shard 0 halfway through a write-heavy
+    # mix, finish the load full-key, then read back every key.
+    service, client = _build(model, keys)
+    generator = WorkloadGenerator(keys, mix="A", seed=3)
+    operations = list(generator.operations(NUM_OPS))
+    half = len(operations) // 2
+    start = time.perf_counter()
+    run_service_workload(client, operations[:half])
+    service.force_trip(0)
+    run_service_workload(client, operations[half:])
+    service.drain()
+    elapsed = time.perf_counter() - start
+    missing = sum(1 for v in client.multi_get(keys) if v is None)
+    record = _record("A_degraded", "A", 0.99, service, client, elapsed, NUM_OPS)
+    record["keys_lost_after_degrade"] = missing
+    records.append(record)
+    return records
+
+
+def write_report(records, path=None):
+    if path is None:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        path = os.path.join(repo_root, "BENCH_service.json")
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or "unknown"
+    except OSError:
+        rev = "unknown"
+    with open(path, "w") as f:
+        json.dump({
+            "git_rev": rev,
+            "generated_at_unix": time.time(),
+            "records": records,
+        }, f, indent=2)
+    print(f"\n[wrote {len(records)} service record(s) to {path}]")
+    return path
+
+
+def main():
+    print_header("Service: sharded YCSB serving "
+                 f"({SHARDS} {BACKEND} shards, {NUM_KEYS} keys)")
+    records = service_records()
+    for r in records:
+        hot = max(s["processed"] for s in r["per_shard"])
+        cold = min(s["processed"] for s in r["per_shard"])
+        print(f"{r['benchmark']:24s} {r['ops_per_second']:8.0f} ops/s  "
+              f"balance {r['relative_balance']:.4f} "
+              f"({'ok' if r['within_bound'] else 'HOT'})  "
+              f"shard ops {cold}-{hot}  "
+              f"rejected {r['rejections']}  "
+              f"degraded {r['degraded']}")
+    drill = records[-1]
+    print(f"degraded drill: {drill['keys_lost_after_degrade']} key(s) lost, "
+          f"{drill['lost_acks']} ack(s) lost")
+    write_report(records)
+
+
+# ------------------------------------------------------------------ tests
+# (exercised by `pytest benchmarks/bench_service.py`; the tier-1 suite
+# collects only tests/, so these never slow it down)
+
+
+def test_zero_lost_acks_per_mix():
+    for record in service_records():
+        assert record["lost_acks"] == 0, record["benchmark"]
+
+
+def test_degraded_drill_loses_nothing():
+    records = service_records()
+    drill = records[-1]
+    assert drill["degraded"] is True
+    assert drill["keys_lost_after_degrade"] == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ import time
 
 MODULES = [
     "bench_engine",
+    "bench_service",
     "bench_fig5_entropy_vs_words",
     "bench_fig6_probe_time",
     "bench_fig7_breakdown",
@@ -84,22 +85,36 @@ def main(filters):
     ]
     overall_start = time.perf_counter()
     engine_records = []
+    failures = []
     for name in selected:
         start = time.perf_counter()
         try:
-            module = importlib.import_module(name)
-        except ImportError:
-            module = importlib.import_module(f"benchmarks.{name}")
-        module.main()
-        if hasattr(module, "bench_records"):
-            engine_records.extend(module.bench_records())
+            try:
+                module = importlib.import_module(name)
+            except ImportError:
+                module = importlib.import_module(f"benchmarks.{name}")
+            module.main()
+            if hasattr(module, "bench_records"):
+                engine_records.extend(module.bench_records())
+        except Exception as exc:  # noqa: BLE001 - keep the sweep going
+            failures.append((name, exc))
+            print(f"\n[{name} FAILED after "
+                  f"{time.perf_counter() - start:.1f}s: {exc!r}]")
+            continue
         print(f"\n[{name} finished in {time.perf_counter() - start:.1f}s]")
     if engine_records:
         write_engine_report(engine_records)
     print(f"\nTotal: {time.perf_counter() - overall_start:.1f}s "
           f"for {len(selected)} experiment(s)")
+    if failures:
+        print(f"\nFAILED: {len(failures)} of {len(selected)} experiment(s) "
+              "errored:")
+        for name, exc in failures:
+            print(f"  {name}: {exc!r}")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
     sys.path.insert(0, __file__.rsplit("/", 1)[0])
-    main(sys.argv[1:])
+    sys.exit(main(sys.argv[1:]))

@@ -9,6 +9,7 @@ Usage::
     python -m repro engine keys.txt [--base wyhash] [--batch-size 4096]
     python -m repro fuzz --structure probing --seed 7 --ops 200
     python -m repro fuzz --structure all --ci
+    python -m repro serve --shards 4 --mix B --ops 20000 [--check]
 
 ``analyze`` profiles a newline-delimited key file (per-position entropy,
 the learned frontier).  ``train`` persists a model; ``recommend`` loads
@@ -19,7 +20,14 @@ model, streams the key file through a table's
 counters — the observability surface of the unified pipeline.  ``fuzz``
 runs the differential correctness harness (:mod:`repro.verify`): every
 structure against its oracle and scalar twin through seeded random op
-sequences, shrinking any divergence to a minimal saved repro.
+sequences, shrinking any divergence to a minimal saved repro.  ``serve``
+stands up the sharded service (:mod:`repro.service`), pushes a YCSB
+load through the in-process client, and reports shard balance,
+backpressure, and degraded-mode status.
+
+Every subcommand returns a nonzero exit code on failure: bad inputs
+(missing key file, unknown hash, corrupt model) exit 2; a failed check
+(quality battery, fuzz divergence, serve --check) exits 1.
 """
 
 from __future__ import annotations
@@ -170,6 +178,127 @@ def cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.datasets import google_urls
+    from repro.service import Service, ServiceClient, run_service_workload
+    from repro.workloads.ycsb import MIXES, WorkloadGenerator
+
+    if "scan" in MIXES[args.mix]:
+        raise ValueError(
+            f"mix {args.mix!r} contains scans, which the service protocol "
+            "does not serve; choose one of "
+            f"{sorted(m for m in MIXES if 'scan' not in MIXES[m])}"
+        )
+    if args.keyfile:
+        keys = _read_keys(args.keyfile, args.limit)
+    else:
+        keys = google_urls(args.num_keys, seed=11)
+    model = train_model(keys, base=args.base, word_size=args.word_size,
+                        fixed_dataset=True)
+    service = Service(
+        num_shards=args.shards, backend=args.backend, model=model,
+        capacity=len(keys), max_queue=args.max_queue,
+        batch_size=args.batch_size, seed=args.seed,
+    )
+    client = ServiceClient(service)
+
+    start = time.perf_counter()
+    client.put_many((key, b"v0") for key in keys)
+    preload_s = time.perf_counter() - start
+
+    generator = WorkloadGenerator(keys, mix=args.mix, seed=args.seed,
+                                  zipf_theta=args.theta)
+    operations = list(generator.operations(args.ops))
+    start = time.perf_counter()
+    if args.force_trip:
+        half = len(operations) // 2
+        counts = run_service_workload(client, operations[:half])
+        service.force_trip(0)
+        for kind, n in run_service_workload(client, operations[half:]).items():
+            counts[kind] = counts.get(kind, 0) + n
+    else:
+        counts = run_service_workload(client, operations)
+    elapsed = time.perf_counter() - start
+    service.drain()
+
+    stats = service.stats()
+    data_balance = service.router.balance_of(sorted(set(keys)))
+    payload = {
+        "stats": stats,
+        "data_balance": data_balance,
+        "operation_counts": counts,
+        "preload_seconds": preload_s,
+        "elapsed_seconds": elapsed,
+        "ops_per_second": args.ops / elapsed if elapsed > 0 else 0.0,
+        "client": {
+            "retries": client.retries,
+            "puts_accepted": client.puts_accepted,
+            "puts_acked": client.puts_acked,
+            "lost_acks": client.lost_acks,
+        },
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"served {args.ops} ops (mix {args.mix}, theta {args.theta}) "
+              f"over {args.shards} {args.backend} shard(s) "
+              f"in {elapsed:.2f}s ({payload['ops_per_second']:.0f} ops/s)")
+        print(f"  preload: {len(keys)} keys in {preload_s:.2f}s")
+        router = stats["router"]
+        print(f"  traffic balance: relative_std {router['relative_std']:.4f} "
+              f"(bound {router['bound']:.4f}, "
+              f"{'within' if router['within_bound'] else 'EXCEEDED'})")
+        print(f"  data balance:    relative_std "
+              f"{data_balance['relative_std']:.4f} "
+              f"(bound {data_balance['bound']:.4f}, "
+              f"{'within' if data_balance['within_bound'] else 'EXCEEDED'})")
+        print(f"  backpressure: {stats['rejected']} rejection(s), "
+              f"{client.retries} client retries")
+        print(f"  degraded: {stats['degraded']} "
+              f"({stats['degrade_events']} event(s))")
+        for shard in stats["shards"]:
+            print(f"  shard {shard['shard']}: {shard['processed']} ops in "
+                  f"{shard['batches']} batches "
+                  f"(mean {shard['mean_batch_size']:.1f}, "
+                  f"peak queue {shard['peak_queue_depth']}, "
+                  f"rejected {shard['rejected']}, "
+                  f"size {shard['structure']['size']})")
+        print(f"  acks: {client.puts_acked}/{client.puts_accepted} OK, "
+              f"{client.lost_acks} lost")
+
+    if not args.check:
+        return 0
+    failures = []
+    if client.lost_acks != 0:
+        failures.append(f"{client.lost_acks} accepted put(s) never answered")
+    if not data_balance["within_bound"]:
+        failures.append(
+            f"data balance {data_balance['relative_std']:.4f} exceeds "
+            f"bound {data_balance['bound']:.4f}"
+        )
+    if service.pending:
+        failures.append(f"{service.pending} op(s) still queued after drain")
+    if args.backend in ("chaining", "probing", "lsm"):
+        # No mix without scans deletes preloaded keys, so a sample must
+        # read back non-None — acknowledged writes survived the run
+        # (and the forced degrade, when --force-trip).
+        sample = keys[: min(200, len(keys))]
+        got = client.multi_get(sample)
+        missing = sum(1 for value in got if value is None)
+        if missing:
+            failures.append(f"{missing}/{len(sample)} preloaded keys lost")
+    if args.force_trip and not service.degraded:
+        failures.append("--force-trip did not flip the service to degraded")
+    for failure in failures:
+        print(f"CHECK FAILED: {failure}", file=sys.stderr)
+    if not failures:
+        print("all checks passed: zero lost acks, shards balanced")
+    return 1 if failures else 0
+
+
 # Seeds the CI job sweeps; a bounded, deterministic subset of the space.
 _CI_SEEDS = (0, 1, 2)
 _CI_CASES = 5
@@ -297,12 +426,52 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--list", action="store_true",
                       help="list available targets and exit")
     fuzz.set_defaults(func=cmd_fuzz)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sharded service under a YCSB load",
+    )
+    serve.add_argument("keyfile", nargs="?", default=None,
+                       help="newline-delimited keys (default: synthetic URLs)")
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--backend", default="chaining",
+                       choices=("chaining", "probing", "lsm", "bloom",
+                                "cuckoo_filter"))
+    serve.add_argument("--mix", default="B",
+                       help="YCSB mix (no-scan mixes: A, B, C, D, F)")
+    serve.add_argument("--ops", type=int, default=20000)
+    serve.add_argument("--theta", type=float, default=0.99,
+                       help="Zipfian skew of key popularity")
+    serve.add_argument("--num-keys", type=int, default=2000,
+                       help="synthetic key count when no keyfile is given")
+    serve.add_argument("--base", default="wyhash")
+    serve.add_argument("--word-size", type=int, default=8)
+    serve.add_argument("--max-queue", type=int, default=256)
+    serve.add_argument("--batch-size", type=int, default=64)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--limit", type=int, default=0)
+    serve.add_argument("--force-trip", action="store_true",
+                       help="trip shard 0's monitor mid-run (degraded-mode "
+                            "drill)")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the full stats payload as JSON")
+    serve.add_argument("--check", action="store_true",
+                       help="exit 1 on lost acks, imbalance, or lost keys")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (OSError, ValueError, KeyError) as exc:
+        # Bad user input (missing key file, corrupt model, unknown hash,
+        # invalid mix) must exit nonzero, never a traceback or a silent 0.
+        # KeyError stringifies to just the repr of the key; unwrap it.
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

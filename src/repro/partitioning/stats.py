@@ -9,6 +9,7 @@ concentrate around 1 when Entropy-Learned Hashing preserves quality.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
@@ -55,6 +56,26 @@ def normalized_relative_std(
     if full == 0.0:
         return 1.0 if relative_std(partial_counts) == 0.0 else float("inf")
     return relative_std(partial_counts) / full
+
+
+def relative_balance_bound(
+    total_items: int, num_partitions: int, tolerance: float = 0.05,
+    sampling_slack: float = 3.0,
+) -> float:
+    """Acceptance threshold for ``relative_std`` of per-bin counts.
+
+    Eq. 11 budgets a relative std of ``tolerance`` (the paper's
+    ``c = 0.05``) for the hash itself; on top of that, even a perfectly
+    uniform hash shows binomial sampling noise with per-bin relative std
+    ``sqrt((m-1)/n)``, so the observable metric is bounded by the sum.
+    ``sampling_slack`` widens the noise term to a ~3-sigma band.
+    """
+    if num_partitions < 1:
+        raise ValueError(f"need at least one partition, got {num_partitions}")
+    if total_items <= 0:
+        return float("inf")
+    noise = math.sqrt((num_partitions - 1) / total_items)
+    return tolerance + sampling_slack * noise
 
 
 def max_overload(counts: Sequence[int]) -> float:

@@ -1,0 +1,41 @@
+"""`repro.service` — a sharded, batched request-serving layer.
+
+The serving story in one paragraph: a :class:`ShardRouter` assigns each
+key to a shard with the learned partitioning hasher (one fused
+engine pass, balance monitored against the paper's relative bound);
+per-shard :class:`Worker`s own one structure each and drain bounded op
+queues in micro-batches down the structures' batch paths; the
+:class:`Service` front door speaks a small typed protocol
+(get/put/delete/contains/stats) with explicit backpressure, and flips
+the whole fleet to full-key hashing the moment any shard's
+CollisionMonitor trips.  :class:`ServiceClient` wraps it all in plain
+blocking calls for in-process use, load generation, and tests.
+"""
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceOverloadedError,
+    run_service_workload,
+)
+from repro.service.protocol import FAILED, OK, OPS, REJECTED, Request, Response, Ticket
+from repro.service.router import ShardRouter
+from repro.service.service import Service
+from repro.service.worker import BACKENDS, Worker, make_adapter
+
+__all__ = [
+    "BACKENDS",
+    "FAILED",
+    "OK",
+    "OPS",
+    "REJECTED",
+    "Request",
+    "Response",
+    "Service",
+    "ServiceClient",
+    "ServiceOverloadedError",
+    "ShardRouter",
+    "Ticket",
+    "Worker",
+    "make_adapter",
+    "run_service_workload",
+]

@@ -1,0 +1,166 @@
+"""In-process client: blocking calls and batched multi-ops.
+
+The client turns the ticket-based service protocol into plain method
+calls.  Backpressure is handled transparently: a rejected submit pumps
+the service (making room) and retries, up to ``max_retries``.  The
+client also keeps the ack ledger the acceptance criteria care about —
+``puts_accepted`` vs ``puts_acked`` — so a load generator can assert
+zero lost acknowledged writes after a run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro._util import as_bytes
+
+from repro.service.protocol import Request, Response, Ticket
+from repro.service.service import Service
+
+
+class ServiceOverloadedError(RuntimeError):
+    """A submit was rejected ``max_retries`` times in a row."""
+
+
+class ServiceClient:
+    """Synchronous facade over an in-process :class:`Service`."""
+
+    def __init__(self, service: Service, max_retries: int = 64):
+        self.service = service
+        self.max_retries = max_retries
+        self.retries = 0
+        self.puts_accepted = 0
+        self.puts_responded = 0
+        self.puts_acked = 0
+
+    # ----------------------------------------------------------- plumbing
+
+    def _submit(self, request: Request) -> Ticket:
+        for _ in range(self.max_retries + 1):
+            ticket = self.service.submit(request)
+            if not ticket.rejected:
+                if request.op == "put":
+                    self.puts_accepted += 1
+                return ticket
+            self.retries += 1
+            # Honor the explicit backpressure hint: pump until the shard
+            # has drained enough to guarantee admission.
+            for _ in range(ticket.response.retry_after or 1):
+                self.service.pump()
+        raise ServiceOverloadedError(
+            f"submit rejected {self.max_retries + 1} times "
+            f"(shard {ticket.shard})"
+        )
+
+    def _complete(self, ticket: Ticket) -> Response:
+        while ticket.response is None:
+            self.service.pump()
+        if ticket.request.op == "put":
+            self.puts_responded += 1
+            if ticket.response.ok:
+                self.puts_acked += 1
+        return ticket.response
+
+    def _complete_all(self, tickets: Sequence[Ticket]) -> List[Response]:
+        self.service.drain()
+        return [self._complete(ticket) for ticket in tickets]
+
+    # ------------------------------------------------------------ scalar
+
+    def get(self, key) -> Optional[bytes]:
+        response = self._complete(self._submit(Request("get", as_bytes(key))))
+        return response.value
+
+    def put(self, key, value) -> Response:
+        return self._complete(
+            self._submit(Request("put", as_bytes(key), as_bytes(value)))
+        )
+
+    def delete(self, key) -> Response:
+        return self._complete(self._submit(Request("delete", as_bytes(key))))
+
+    def contains(self, key) -> bool:
+        response = self._complete(
+            self._submit(Request("contains", as_bytes(key)))
+        )
+        return bool(response.found)
+
+    def stats(self) -> Dict[str, object]:
+        return self._complete(self._submit(Request("stats"))).stats
+
+    # ------------------------------------------------------------- batch
+
+    def put_many(self, pairs: Iterable[Tuple[object, object]]) -> List[Response]:
+        """Submit many puts before pumping: fills the shard queues so the
+        workers see real micro-batches instead of singletons."""
+        tickets = [
+            self._submit(Request("put", as_bytes(k), as_bytes(v)))
+            for k, v in pairs
+        ]
+        return self._complete_all(tickets)
+
+    def multi_get(self, keys: Sequence[object]) -> List[Optional[bytes]]:
+        tickets = [
+            self._submit(Request("get", as_bytes(k))) for k in keys
+        ]
+        return [r.value for r in self._complete_all(tickets)]
+
+    def contains_many(self, keys: Sequence[object]) -> List[bool]:
+        tickets = [
+            self._submit(Request("contains", as_bytes(k))) for k in keys
+        ]
+        return [bool(r.found) for r in self._complete_all(tickets)]
+
+    @property
+    def lost_acks(self) -> int:
+        """Accepted puts whose response never arrived (must stay 0).
+
+        An explicit FAILED response (e.g. a full cuckoo shard) is a
+        *negative* ack, not a lost one; ``puts_acked`` counts the OKs.
+        """
+        return self.puts_accepted - self.puts_responded
+
+
+def run_service_workload(client: ServiceClient, operations) -> Dict[str, int]:
+    """Drive a service with a YCSB stream (see ``repro.workloads.ycsb``).
+
+    Consecutive same-kind operations are dispatched through the client's
+    batch entry points, mirroring how the workers themselves amortize
+    hashing.  ``scan`` is not part of the service protocol (mix E).
+    """
+    counts: Dict[str, int] = {}
+    kind_buffer: List = []
+    buffered_kind = None
+
+    def flush() -> None:
+        nonlocal buffered_kind
+        if not kind_buffer:
+            return
+        if buffered_kind == "read":
+            client.multi_get([op.key for op in kind_buffer])
+        else:
+            client.put_many([(op.key, op.value) for op in kind_buffer])
+        kind_buffer.clear()
+        buffered_kind = None
+
+    for op in operations:
+        counts[op.kind] = counts.get(op.kind, 0) + 1
+        if op.kind == "scan":
+            raise ValueError(
+                "the service protocol has no scan; use a mix without it"
+            )
+        if op.kind == "rmw":
+            flush()
+            current = client.get(op.key)
+            client.put(op.key, (current or b"")[:8] + op.value)
+            continue
+        kind = "read" if op.kind == "read" else "write"
+        if buffered_kind not in (None, kind):
+            flush()
+        buffered_kind = kind
+        kind_buffer.append(op)
+    flush()
+    return counts
+
+
+__all__ = ["ServiceClient", "ServiceOverloadedError", "run_service_workload"]

@@ -1,0 +1,79 @@
+"""Typed request/response protocol for the serving layer.
+
+The protocol is deliberately tiny — five operations, three statuses —
+and every field is JSON-safe, so a request log can be replayed and a
+response can be serialized straight onto a wire later without a schema
+change.  Submitting a request returns a :class:`Ticket` immediately;
+the response materializes on the ticket when the owning shard drains
+its queue (or synchronously, for rejections and ``stats``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+# The complete operation vocabulary.  ``stats`` is answered by the
+# service front door; the rest are routed to a shard.
+OPS = ("get", "put", "delete", "contains", "stats")
+
+# Response statuses.
+OK = "ok"
+REJECTED = "rejected"      # backpressure: queue full, retry later
+FAILED = "failed"          # the shard could not serve it (unsupported op)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One operation against the service."""
+
+    op: str
+    key: bytes = b""
+    value: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unknown op {self.op!r}; choose from {OPS}")
+
+
+@dataclass
+class Response:
+    """The outcome of one request.
+
+    ``retry_after`` is only set on rejections: the number of service
+    pumps after which the queue is guaranteed to have drained enough to
+    accept the retry (explicit backpressure, never silent queuing).
+    """
+
+    status: str
+    value: Optional[bytes] = None
+    found: Optional[bool] = None
+    shard: Optional[int] = None
+    retry_after: Optional[int] = None
+    error: Optional[str] = None
+    stats: Optional[Dict[str, object]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+@dataclass
+class Ticket:
+    """Handle for a submitted request; ``response`` fills in on drain."""
+
+    request: Request
+    request_id: int
+    shard: Optional[int] = None
+    response: Optional[Response] = field(default=None)
+
+    @property
+    def done(self) -> bool:
+        return self.response is not None
+
+    @property
+    def rejected(self) -> bool:
+        return self.response is not None and self.response.status == REJECTED
+
+
+__all__ = ["OPS", "OK", "REJECTED", "FAILED", "Request", "Response", "Ticket"]

@@ -1,0 +1,126 @@
+"""Shard routing via the learned partitioning hasher.
+
+A :class:`ShardRouter` is the service's partitioner: one
+:class:`~repro.engine.HashEngine` pass with a fused
+:class:`~repro.engine.FastRangeReducer` maps a batch of keys to shard
+ids, exactly like :class:`~repro.partitioning.Partitioner` maps keys to
+bins.  The router additionally keeps cumulative per-shard counts and
+checks them against the paper's relative-balance bound (eq. 11 plus
+sampling noise) — partition balance is monitored, not assumed.
+
+The routing hasher is pinned for the lifetime of the service, even in
+degraded mode: swapping it would re-route keys to different shards and
+orphan acknowledged writes.  Only the per-shard *structures* rehash to
+full keys when a monitor trips; the key→shard map never moves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.hasher import EntropyLearnedHasher
+from repro.engine import FastRangeReducer, HashEngine
+from repro.partitioning.stats import relative_balance_bound, relative_std
+
+# Routing must not reuse the structures' hash stream: the same bits that
+# pick the shard would then pick the bucket, correlating placement.
+ROUTER_SEED_OFFSET = 101
+
+
+class ShardRouter:
+    """Assign keys to ``num_shards`` shards and track the balance."""
+
+    def __init__(
+        self,
+        hasher: EntropyLearnedHasher,
+        num_shards: int,
+        tolerance: float = 0.05,
+    ):
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        self.engine = HashEngine(hasher)
+        self.num_shards = num_shards
+        self.tolerance = tolerance
+        self._reducer = FastRangeReducer(num_shards)
+        self.routed = np.zeros(num_shards, dtype=np.int64)
+
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        num_shards: int,
+        expected_items: int,
+        tolerance: float = 0.05,
+        seed: int = 0,
+    ) -> "ShardRouter":
+        """Router over the model's partitioning hasher (relative mode)."""
+        hasher = model.hasher_for_partitioning(
+            max(expected_items, 1), num_shards,
+            mode="relative", seed=seed + ROUTER_SEED_OFFSET,
+        )
+        return cls(hasher, num_shards, tolerance=tolerance)
+
+    def route_batch(self, keys: Sequence[bytes]) -> np.ndarray:
+        """Shard id per key: one compiled engine pass over the batch."""
+        if not keys:
+            return np.zeros(0, dtype=np.int64)
+        shards = np.asarray(
+            self.engine.hash_batch(list(keys), self._reducer), dtype=np.int64
+        )
+        self.routed += np.bincount(shards, minlength=self.num_shards)
+        return shards
+
+    def route_one(self, key: bytes) -> int:
+        shard = int(self.engine.hash_one(key, self._reducer))
+        self.routed[shard] += 1
+        return shard
+
+    # ------------------------------------------------------------ balance
+
+    def balance_of(self, keys: Sequence[bytes]) -> Dict[str, object]:
+        """Balance report for a specific key set (e.g. the distinct keys
+        a service stores), without touching the cumulative counters —
+        the data-placement check, as opposed to the traffic check."""
+        counts = np.zeros(self.num_shards, dtype=np.int64)
+        if keys:
+            shards = np.asarray(
+                self.engine.hash_batch(list(keys), self._reducer),
+                dtype=np.int64,
+            )
+            counts += np.bincount(shards, minlength=self.num_shards)
+        total = int(counts.sum())
+        observed = relative_std(counts)
+        bound = relative_balance_bound(
+            total, self.num_shards, tolerance=self.tolerance
+        )
+        return {
+            "total_routed": total,
+            "per_shard": [int(c) for c in counts],
+            "relative_std": observed,
+            "bound": bound if bound != float("inf") else None,
+            "within_bound": total == 0 or observed <= bound,
+        }
+
+    def balance(self) -> Dict[str, object]:
+        """Observed routing skew against the relative-balance bound."""
+        total = int(self.routed.sum())
+        observed = relative_std(self.routed)
+        bound = relative_balance_bound(
+            total, self.num_shards, tolerance=self.tolerance
+        )
+        return {
+            "total_routed": total,
+            "per_shard": [int(c) for c in self.routed],
+            "relative_std": observed,
+            "bound": bound if bound != float("inf") else None,
+            "within_bound": total == 0 or observed <= bound,
+        }
+
+    def __repr__(self) -> str:
+        return (f"ShardRouter(num_shards={self.num_shards}, "
+                f"routed={int(self.routed.sum())})")
+
+
+__all__ = ["ShardRouter", "ROUTER_SEED_OFFSET"]

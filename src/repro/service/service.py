@@ -1,0 +1,173 @@
+"""The service front door: admission, routing, pumping, degraded mode.
+
+``Service.submit`` routes a request to its shard and either enqueues it
+(bounded queue) or answers synchronously with an explicit backpressure
+rejection carrying ``retry_after`` — the queue never grows without
+limit.  ``pump()`` drains one micro-batch per shard; after each pump
+the service checks every shard's monitor and, the moment one trips,
+enters *degraded mode*: every shard rebuilds its structure under
+full-key hashing.  The shard router's hasher is deliberately left
+untouched — re-routing keys would orphan acknowledged writes; only the
+in-shard placement degrades to full-key cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.hasher import EntropyLearnedHasher
+
+from repro.service.protocol import OK, REJECTED, Request, Response, Ticket
+from repro.service.router import ShardRouter
+from repro.service.worker import BACKENDS, Worker, make_adapter
+
+
+class Service:
+    """A sharded, batched request-serving layer over ELH structures."""
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        backend: str = "chaining",
+        model=None,
+        hasher: Optional[EntropyLearnedHasher] = None,
+        capacity: int = 1024,
+        max_queue: int = 256,
+        batch_size: int = 64,
+        balance_tolerance: float = 0.05,
+        seed: int = 0,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        if (model is None) == (hasher is None):
+            raise ValueError("pass exactly one of model= or hasher=")
+        self.num_shards = num_shards
+        self.backend = backend
+        if model is not None:
+            self.router = ShardRouter.from_model(
+                model, num_shards, expected_items=capacity,
+                tolerance=balance_tolerance, seed=seed,
+            )
+        else:
+            from repro.service.router import ROUTER_SEED_OFFSET
+
+            self.router = ShardRouter(
+                hasher.with_seed(hasher.seed + ROUTER_SEED_OFFSET),
+                num_shards, tolerance=balance_tolerance,
+            )
+        shard_capacity = max(4, capacity // num_shards)
+        self.workers = [
+            Worker(
+                shard,
+                make_adapter(
+                    backend, shard_capacity, model=model, hasher=hasher,
+                    seed=seed,
+                ),
+                max_queue=max_queue,
+                batch_size=batch_size,
+            )
+            for shard in range(num_shards)
+        ]
+        self.degraded = False
+        self._next_request_id = 0
+        self.submitted = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.degrade_events = 0
+
+    # ------------------------------------------------------------- intake
+
+    def submit(self, request: Request) -> Ticket:
+        """Admit one request.  Always returns a ticket; rejections and
+        ``stats`` answer synchronously on it."""
+        ticket = Ticket(request, self._next_request_id)
+        self._next_request_id += 1
+        self.submitted += 1
+        if request.op == "stats":
+            self.accepted += 1
+            ticket.response = Response(OK, stats=self.stats())
+            return ticket
+        shard = self.router.route_one(request.key)
+        ticket.shard = shard
+        worker = self.workers[shard]
+        if not worker.try_enqueue(ticket):
+            self.rejected += 1
+            # After this many pumps the queue has fully drained; a retry
+            # then is guaranteed admission (absent new competing load).
+            retry_after = math.ceil(worker.queue_depth / worker.batch_size)
+            ticket.response = Response(
+                REJECTED, shard=shard, retry_after=max(1, retry_after),
+                error="shard queue full",
+            )
+            return ticket
+        self.accepted += 1
+        return ticket
+
+    def submit_batch(self, requests: Sequence[Request]) -> List[Ticket]:
+        return [self.submit(request) for request in requests]
+
+    # ------------------------------------------------------------ serving
+
+    def pump(self) -> int:
+        """Drain one micro-batch per shard; returns ops served."""
+        served = sum(worker.pump() for worker in self.workers)
+        self._check_monitors()
+        return served
+
+    def drain(self) -> int:
+        """Pump until every queue is empty."""
+        served = 0
+        while any(worker.queue for worker in self.workers):
+            served += self.pump()
+        return served
+
+    @property
+    def pending(self) -> int:
+        return sum(worker.queue_depth for worker in self.workers)
+
+    # ------------------------------------------------------ degraded mode
+
+    def _check_monitors(self) -> None:
+        if self.degraded:
+            return
+        if any(worker.tripped for worker in self.workers):
+            self.enter_degraded_mode()
+
+    def enter_degraded_mode(self) -> None:
+        """Service-wide full-key fallback.  Every shard rebuilds its
+        structure; the router keeps its hasher so no key changes shard
+        and no acknowledged write is orphaned."""
+        if self.degraded:
+            return
+        self.degraded = True
+        self.degrade_events += 1
+        for worker in self.workers:
+            worker.fall_back()
+
+    def force_trip(self, shard: int) -> None:
+        """Trip one shard's monitor (drills/tests); the next pump (or an
+        immediate check here) degrades the whole service."""
+        self.workers[shard].force_trip()
+        self._check_monitors()
+
+    # -------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "num_shards": self.num_shards,
+            "backend": self.backend,
+            "degraded": self.degraded,
+            "degrade_events": self.degrade_events,
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "pending": self.pending,
+            "router": self.router.balance(),
+            "shards": [worker.stats() for worker in self.workers],
+        }
+
+
+__all__ = ["Service"]

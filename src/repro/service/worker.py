@@ -1,0 +1,492 @@
+"""Per-shard workers: one owned structure, one bounded op queue.
+
+A :class:`Worker` owns exactly one structure behind a small adapter
+interface and drains its queue in micro-batches.  Within a batch,
+consecutive requests of the same kind form a *segment* that goes down
+the structure's batch path (``insert_batch``, ``probe_batch``,
+``multi_get``, ``contains_batch`` — i.e. one compiled
+``engine.hash_batch`` pass per segment), so per-key ordering is
+preserved while the hashing cost is amortized exactly like PR 1's
+batch paths.
+
+Adapters also carry the degraded-mode machinery: ``tripped`` reports
+whether the structure's CollisionMonitor forced a full-key fallback,
+``fall_back()`` rebuilds the structure under full-key hashing without
+losing a single stored entry, and ``force_trip()`` injects a
+pathological displacement burst through the real monitor (the same
+trigger the fuzz harness uses) for drills and tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.core.greedy import GreedyResult
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import EntropyModel
+from repro.engine import CollisionMonitor
+
+from repro.service.protocol import FAILED, OK, Request, Response, Ticket
+
+BACKENDS = ("chaining", "probing", "lsm", "bloom", "cuckoo_filter")
+
+
+def _full_key_model(base: str) -> EntropyModel:
+    """A model whose every recommendation is full-key hashing."""
+    return EntropyModel(result=GreedyResult(
+        positions=[], word_size=8, entropies=[], train_collisions=[],
+        train_size=0, eval_size=0,
+    ), base=base)
+
+
+class StructureAdapter:
+    """Uniform batched facade over one ELH structure."""
+
+    backend: str = ""
+    supported: frozenset = frozenset()
+
+    def __init__(self) -> None:
+        self._degraded = False
+
+    # Batch entry points; ``keys`` is never empty.
+    def get_batch(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        raise NotImplementedError
+
+    def put_batch(
+        self, keys: Sequence[bytes], values: Sequence[bytes]
+    ) -> Optional[List[bool]]:
+        """Store key/value pairs; a list of per-key acks, or None for all-ok."""
+        raise NotImplementedError
+
+    def delete_batch(self, keys: Sequence[bytes]) -> List[Optional[bool]]:
+        raise NotImplementedError
+
+    def contains_batch(self, keys: Sequence[bytes]) -> List[bool]:
+        raise NotImplementedError
+
+    # Degraded-mode hooks.
+    @property
+    def tripped(self) -> bool:
+        """Did this structure's monitor force a full-key fallback?"""
+        return self._degraded
+
+    def fall_back(self) -> None:
+        """Rebuild under full-key hashing; every stored entry survives."""
+        raise NotImplementedError
+
+    def force_trip(self) -> None:
+        """Drive the real CollisionMonitor over its budget (drills)."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, object]:
+        return {"backend": self.backend, "fell_back": self.tripped}
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class TableAdapter(StructureAdapter):
+    """Chaining/probing hash tables: the full get/put/delete/contains set."""
+
+    supported = frozenset({"get", "put", "delete", "contains"})
+
+    def __init__(self, table, backend: str):
+        super().__init__()
+        self.table = table
+        self.backend = backend
+
+    @property
+    def tripped(self) -> bool:
+        return self._degraded or self.table.engine.fell_back
+
+    def get_batch(self, keys):
+        return self.table.probe_batch(list(keys))
+
+    def put_batch(self, keys, values):
+        self.table.insert_batch(list(keys), list(values))
+        return None
+
+    def delete_batch(self, keys):
+        return [self.table.delete(k) for k in keys]
+
+    def contains_batch(self, keys):
+        # Stored values are request payload bytes, never None.
+        return [v is not None for v in self.table.probe_batch(list(keys))]
+
+    def fall_back(self):
+        if self._degraded:
+            return
+        engine = self.table.engine
+        if not engine.fell_back:
+            engine.fall_back_to_full_key()
+        # Re-place every entry under the (now full-key) engine hasher.
+        self.table.rebuild_with_hasher(engine.hasher)
+        self._degraded = True
+
+    def force_trip(self):
+        engine = self.table.engine
+        if engine.hasher.partial_key.is_full_key:
+            self.fall_back()
+            return
+        if engine.monitor is None:
+            engine.monitor = CollisionMonitor(
+                entropy=0.0, num_slots=4, min_inserts=1
+            )
+        engine.monitor.min_inserts = 1
+        # A displacement burst no entropy budget survives: the monitor
+        # votes FALL_BACK and the engine swaps itself to full-key.
+        engine.record_insert(1e9, expected=0.0, n=4096)
+        self.table.rebuild_with_hasher(engine.hasher)
+        self._degraded = True
+
+    def stats(self):
+        out = super().stats()
+        out["size"] = len(self.table)
+        out["engine"] = {
+            "keys_hashed": self.table.engine.counters.keys_hashed,
+            "batches": self.table.engine.counters.batches,
+        }
+        return out
+
+    def __len__(self):
+        return len(self.table)
+
+
+class FilterAdapter(StructureAdapter):
+    """Approximate-membership shards: put=add, contains; no get.
+
+    Keeps the acked key list so a full-key fallback can rebuild the
+    filter without losing a member (filters cannot rehash in place).
+    """
+
+    def __init__(self, filter_obj, backend: str, capacity: int):
+        super().__init__()
+        self.filter = filter_obj
+        self.backend = backend
+        self.capacity = capacity
+        self.supported = frozenset(
+            {"put", "contains", "delete"} if backend == "cuckoo_filter"
+            else {"put", "contains"}
+        )
+        self._members: List[bytes] = []
+
+    @property
+    def tripped(self) -> bool:
+        return self._degraded or self.filter.engine.fell_back
+
+    def get_batch(self, keys):  # pragma: no cover - guarded by `supported`
+        raise NotImplementedError("filters store membership, not values")
+
+    def put_batch(self, keys, values):
+        keys = list(keys)
+        if self.backend == "cuckoo_filter":
+            acks = list(self.filter.add_batch(keys))
+            self._members.extend(k for k, ok in zip(keys, acks) if ok)
+            return acks
+        self.filter.add_batch(keys)
+        self._members.extend(keys)
+        return None
+
+    def delete_batch(self, keys):
+        results = []
+        for key in keys:
+            removed = bool(self.filter.remove(key))
+            if removed:
+                self._members.remove(key)
+            results.append(removed)
+        return results
+
+    def contains_batch(self, keys):
+        return [bool(x) for x in self.filter.contains_batch(list(keys))]
+
+    def _rebuild(self, hasher: EntropyLearnedHasher) -> None:
+        from repro.filters.bloom import BloomFilter
+        from repro.filters.cuckoo import CuckooFilter
+
+        old = self.filter
+        if self.backend == "cuckoo_filter":
+            self.filter = CuckooFilter(
+                hasher, self.capacity,
+                fingerprint_bits=old.fingerprint_bits,
+            )
+        else:
+            self.filter = BloomFilter(
+                hasher, num_bits=old.num_bits, num_hashes=old.num_hashes
+            )
+        if self._members:
+            self.filter.add_batch(list(self._members))
+
+    def fall_back(self):
+        if self._degraded:
+            return
+        engine = self.filter.engine
+        if not engine.fell_back:
+            engine.fall_back_to_full_key()
+        self._rebuild(engine.hasher)
+        self._degraded = True
+
+    def force_trip(self):
+        self.fall_back()
+
+    def stats(self):
+        out = super().stats()
+        out["size"] = len(self._members)
+        return out
+
+    def __len__(self):
+        return len(self._members)
+
+
+class LsmAdapter(StructureAdapter):
+    """LSM store shard: get/put/delete/contains over runs with filters."""
+
+    backend = "lsm"
+    supported = frozenset({"get", "put", "delete", "contains"})
+
+    def __init__(self, store):
+        super().__init__()
+        self.store = store
+
+    def get_batch(self, keys):
+        return self.store.multi_get(list(keys))
+
+    def put_batch(self, keys, values):
+        for key, value in zip(keys, values):
+            self.store.put(key, value)
+        return None
+
+    def delete_batch(self, keys):
+        # LSM deletes write tombstones; they don't report prior presence.
+        for key in keys:
+            self.store.delete(key)
+        return [None] * len(keys)
+
+    def contains_batch(self, keys):
+        missing = object()
+        got = self.store.multi_get(list(keys), default=missing)
+        return [value is not missing for value in got]
+
+    def fall_back(self):
+        if self._degraded:
+            return
+        from repro.kvstore.sstable import SSTable
+
+        self.store.flush()
+        empty = _full_key_model("xxh3")
+        # Rebuild every run's filter under full-key hashing; entries are
+        # carried over verbatim, so no acknowledged write is lost.
+        self.store.runs = [
+            SSTable(run.entries(), model=empty) for run in self.store.runs
+        ]
+        self._degraded = True
+
+    def force_trip(self):
+        self.fall_back()
+
+    def stats(self):
+        out = super().stats()
+        out["size"] = self.store.total_entries()
+        out["runs"] = self.store.num_runs
+        return out
+
+    def __len__(self):
+        return self.store.total_entries()
+
+
+def make_adapter(
+    backend: str,
+    capacity: int,
+    model=None,
+    hasher: Optional[EntropyLearnedHasher] = None,
+    seed: int = 0,
+) -> StructureAdapter:
+    """Build one shard's structure from a model (production) or a raw
+    hasher (tests/fuzzing).  Exactly one of ``model``/``hasher``."""
+    if (model is None) == (hasher is None):
+        raise ValueError("pass exactly one of model= or hasher=")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+
+    capacity = max(capacity, 4)
+    if backend == "chaining":
+        from repro.tables.chaining import EntropyAwareTable, SeparateChainingTable
+
+        table = (EntropyAwareTable(model, capacity=capacity, seed=seed)
+                 if model is not None
+                 else SeparateChainingTable(hasher, capacity=capacity))
+        return TableAdapter(table, backend)
+    if backend == "probing":
+        from repro.tables.probing import EntropyAwareProbingTable, LinearProbingTable
+
+        table = (EntropyAwareProbingTable(model, capacity=capacity, seed=seed)
+                 if model is not None
+                 else LinearProbingTable(hasher, capacity=capacity))
+        return TableAdapter(table, backend)
+    if backend == "lsm":
+        from repro.kvstore.store import LSMStore
+
+        return LsmAdapter(LSMStore(memtable_bytes=max(1024, capacity * 8)))
+    if backend == "bloom":
+        from repro.filters.bloom import BloomFilter
+
+        h = hasher if hasher is not None else model.hasher_for_bloom_filter(
+            capacity, seed=seed
+        )
+        return FilterAdapter(
+            BloomFilter.for_items(h, capacity), backend, capacity
+        )
+    from repro.filters.cuckoo import CuckooFilter
+
+    h = hasher if hasher is not None else model.hasher_for_bloom_filter(
+        capacity, seed=seed
+    )
+    return FilterAdapter(CuckooFilter(h, capacity), backend, capacity)
+
+
+class Worker:
+    """One shard: a bounded ticket queue drained in micro-batches."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        adapter: StructureAdapter,
+        max_queue: int = 256,
+        batch_size: int = 64,
+    ):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.shard_id = shard_id
+        self.adapter = adapter
+        self.max_queue = max_queue
+        self.batch_size = batch_size
+        self.queue: Deque[Ticket] = deque()
+        self.enqueued = 0
+        self.processed = 0
+        self.batches = 0
+        self.rejected = 0
+        self.peak_queue_depth = 0
+        self.op_counts: Dict[str, int] = {}
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    @property
+    def tripped(self) -> bool:
+        return self.adapter.tripped
+
+    def try_enqueue(self, ticket: Ticket) -> bool:
+        """Admit a ticket, or refuse when the queue is at capacity."""
+        if len(self.queue) >= self.max_queue:
+            self.rejected += 1
+            return False
+        self.queue.append(ticket)
+        self.enqueued += 1
+        self.peak_queue_depth = max(self.peak_queue_depth, len(self.queue))
+        return True
+
+    def pump(self) -> int:
+        """Drain one micro-batch; returns the number of ops served."""
+        if not self.queue:
+            return 0
+        batch: List[Ticket] = []
+        while self.queue and len(batch) < self.batch_size:
+            batch.append(self.queue.popleft())
+        self.batches += 1
+        # Consecutive same-op segments keep per-key FIFO order while
+        # sharing one engine.hash_batch pass each.
+        start = 0
+        while start < len(batch):
+            end = start + 1
+            op = batch[start].request.op
+            while end < len(batch) and batch[end].request.op == op:
+                end += 1
+            self._serve_segment(op, batch[start:end])
+            start = end
+        self.processed += len(batch)
+        return len(batch)
+
+    def drain(self) -> int:
+        served = 0
+        while self.queue:
+            served += self.pump()
+        return served
+
+    def _serve_segment(self, op: str, tickets: List[Ticket]) -> None:
+        self.op_counts[op] = self.op_counts.get(op, 0) + len(tickets)
+        keys = [t.request.key for t in tickets]
+        if op not in self.adapter.supported:
+            for ticket in tickets:
+                ticket.response = Response(
+                    FAILED, shard=self.shard_id,
+                    error=f"op {op!r} unsupported by backend "
+                          f"{self.adapter.backend!r}",
+                )
+            return
+        if op == "get":
+            for ticket, value in zip(tickets, self.adapter.get_batch(keys)):
+                ticket.response = Response(
+                    OK, value=value, found=value is not None,
+                    shard=self.shard_id,
+                )
+        elif op == "put":
+            values = [t.request.value for t in tickets]
+            acks = self.adapter.put_batch(keys, values)
+            for i, ticket in enumerate(tickets):
+                if acks is not None and not acks[i]:
+                    ticket.response = Response(
+                        FAILED, shard=self.shard_id, error="structure full"
+                    )
+                else:
+                    ticket.response = Response(OK, shard=self.shard_id)
+        elif op == "delete":
+            for ticket, removed in zip(
+                tickets, self.adapter.delete_batch(keys)
+            ):
+                ticket.response = Response(
+                    OK, found=removed, shard=self.shard_id
+                )
+        else:  # contains
+            for ticket, present in zip(
+                tickets, self.adapter.contains_batch(keys)
+            ):
+                ticket.response = Response(
+                    OK, found=present, shard=self.shard_id
+                )
+
+    def fall_back(self) -> None:
+        self.adapter.fall_back()
+
+    def force_trip(self) -> None:
+        self.adapter.force_trip()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard_id,
+            "backend": self.adapter.backend,
+            "enqueued": self.enqueued,
+            "processed": self.processed,
+            "batches": self.batches,
+            "mean_batch_size": (
+                self.processed / self.batches if self.batches else 0.0
+            ),
+            "rejected": self.rejected,
+            "queue_depth": self.queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "op_counts": dict(self.op_counts),
+            "structure": self.adapter.stats(),
+        }
+
+
+__all__ = [
+    "BACKENDS",
+    "StructureAdapter",
+    "TableAdapter",
+    "FilterAdapter",
+    "LsmAdapter",
+    "make_adapter",
+    "Worker",
+]

@@ -191,6 +191,48 @@ def generate_store_ops(rng: random.Random, n: int) -> List[Op]:
     return ops
 
 
+def generate_service_ops(rng: random.Random, n: int) -> List[Op]:
+    """Service protocol streams: keyed ops, bursts, pumps, forced trips.
+
+    ``burst`` submits a run of puts *without* pumping in between, so
+    tiny queues overflow and the explicit-backpressure path (reject, do
+    not apply) gets exercised; ``force_trip`` drives one shard's monitor
+    over budget mid-stream (the shard index is reduced modulo the
+    case's shard count); ``pump``/``drain`` move the micro-batch
+    machinery.  The expected answer for every accepted op is computed
+    against the oracle at admission time — same key, same shard, FIFO
+    queue, so per-key order is linearizable.
+    """
+    pool = make_key_pool(rng, size=72)
+    ops: List[Op] = []
+    counter = 0
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.24:
+            counter += 1
+            ops.append(_keyed("put", pick_key(rng, pool), v=counter))
+        elif roll < 0.42:
+            ops.append(_keyed("get", pick_key(rng, pool)))
+        elif roll < 0.52:
+            ops.append(_keyed("delete", pick_key(rng, pool)))
+        elif roll < 0.64:
+            ops.append(_keyed("contains", pick_key(rng, pool)))
+        elif roll < 0.76:
+            keys = pick_keys(rng, pool, 2, 12)
+            counter += len(keys)
+            ops.append(_batch("burst", keys, v=counter))
+        elif roll < 0.88:
+            ops.append({"op": "pump"})
+        elif roll < 0.92:
+            ops.append({"op": "drain"})
+        elif roll < 0.96:
+            ops.append({"op": "stats"})
+        else:
+            ops.append({"op": "force_trip", "shard": rng.randrange(8)})
+    ops.append({"op": "drain"})
+    return ops
+
+
 def generate_engine_ops(rng: random.Random, n: int) -> List[Op]:
     """hash_batch/hash_one parity under plan churn and forced fallback."""
     pool = make_key_pool(rng)
@@ -279,6 +321,7 @@ __all__ = [
     "generate_filter_ops",
     "generate_sketch_ops",
     "generate_store_ops",
+    "generate_service_ops",
     "generate_engine_ops",
     "generate_reducer_ops",
     "generate_minhash_ops",

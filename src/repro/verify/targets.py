@@ -1058,6 +1058,216 @@ class ReducerTarget(Target):
                 _require(0 <= int(value) < n, f"fast-range value {value} >= {n}")
 
 
+# ------------------------------------------------------------ service
+
+
+class ServiceTarget(Target):
+    """Sharded service vs one flat dict oracle.
+
+    Why the oracle is sound despite queuing: a key always routes to the
+    same shard, the shard queue is FIFO, and segments preserve intra-
+    batch order — so operations on any single key execute in admission
+    order.  The expected answer for each accepted op is therefore
+    computed against the oracle *at admission time*; rejected ops are
+    never applied to the oracle (if the service secretly applied one
+    anyway, later reads diverge).  ``force_trip`` mid-stream checks
+    that the service-wide full-key fallback loses no acknowledged
+    write, and ``drain`` at the end checks that every admitted op got
+    exactly one response.
+    """
+
+    name = "service"
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        return {
+            "hasher": {"positions": [0, 4], "word_size": 2},
+            "shards": 3,
+            "backend": "chaining",
+            "capacity": 16,
+            "max_queue": 8,
+            "batch_size": 4,
+        }
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        return {
+            "hasher": random_hasher_spec(rng),
+            "shards": rng.choice((2, 3, 4, 5)),
+            "backend": rng.choice(("chaining", "probing", "lsm")),
+            "capacity": rng.choice((8, 16, 64)),
+            "max_queue": rng.choice((4, 8, 16)),
+            "batch_size": rng.choice((1, 2, 4, 8)),
+        }
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        return opslib.generate_service_ops(rng, n)
+
+    def __init__(self, config: Dict[str, object]):
+        super().__init__(config)
+        from repro.service import Service
+
+        self.backend = str(config.get("backend", "chaining"))
+        self.max_queue = int(config.get("max_queue", 8))
+        self.service = Service(
+            num_shards=int(config.get("shards", 3)),
+            backend=self.backend,
+            hasher=build_hasher(config["hasher"]),
+            capacity=int(config.get("capacity", 16)),
+            max_queue=self.max_queue,
+            batch_size=int(config.get("batch_size", 4)),
+        )
+        self.oracle = DictOracle()
+        # (ticket, kind, expected-at-admission) for in-flight requests.
+        self.pending: List[tuple] = []
+
+    # ------------------------------------------------------------ helpers
+
+    def _submit(self, request):
+        """Submit; returns the ticket, or None when backpressure rejected."""
+        ticket = self.service.submit(request)
+        if ticket.rejected:
+            _require(
+                (ticket.response.retry_after or 0) >= 1,
+                "rejection without a retry_after hint",
+            )
+            return None
+        return ticket
+
+    def _verify(self, ticket, kind: str, expected) -> None:
+        response = ticket.response
+        _require(
+            response.ok,
+            f"{kind} on shard {response.shard} answered "
+            f"{response.status!r}: {response.error!r}",
+        )
+        if kind == "get":
+            _require(
+                response.value == expected,
+                f"get -> {response.value!r}, oracle says {expected!r}",
+            )
+        elif kind == "contains":
+            _require(
+                bool(response.found) == expected,
+                f"contains -> {response.found}, oracle says {expected}",
+            )
+        elif kind == "delete" and self.backend != "lsm":
+            # LSM deletes are blind tombstones; tables report presence.
+            _require(
+                response.found == expected,
+                f"delete -> {response.found}, oracle says {expected}",
+            )
+
+    def _collect(self) -> None:
+        still = []
+        for entry in self.pending:
+            if entry[0].done:
+                self._verify(*entry)
+            else:
+                still.append(entry)
+        self.pending = still
+
+    # -------------------------------------------------------------- apply
+
+    def apply(self, op: Op) -> None:
+        from repro.service import Request
+
+        name = op["op"]
+        if name == "put":
+            key, value = decode_key(op["key"]), b"v%d" % int(op["v"])
+            ticket = self._submit(Request("put", key, value))
+            if ticket is not None:
+                self.oracle.insert(key, value)
+                self.pending.append((ticket, "put", None))
+        elif name == "burst":
+            # Back-to-back puts with no pumping: overflows tiny queues.
+            base = int(op["v"])
+            for i, encoded in enumerate(op["keys"]):
+                key = decode_key(encoded)
+                value = b"v%d" % (base + i)
+                ticket = self._submit(Request("put", key, value))
+                if ticket is not None:
+                    self.oracle.insert(key, value)
+                    self.pending.append((ticket, "put", None))
+        elif name == "get":
+            key = decode_key(op["key"])
+            ticket = self._submit(Request("get", key))
+            if ticket is not None:
+                self.pending.append((ticket, "get", self.oracle.get(key)))
+        elif name == "contains":
+            key = decode_key(op["key"])
+            ticket = self._submit(Request("contains", key))
+            if ticket is not None:
+                self.pending.append(
+                    (ticket, "contains", self.oracle.contains(key))
+                )
+        elif name == "delete":
+            key = decode_key(op["key"])
+            ticket = self._submit(Request("delete", key))
+            if ticket is not None:
+                self.pending.append((ticket, "delete", self.oracle.delete(key)))
+        elif name == "pump":
+            self.service.pump()
+        elif name == "drain":
+            self.service.drain()
+        elif name == "force_trip":
+            self.service.force_trip(int(op["shard"]) % self.service.num_shards)
+        elif name == "stats":
+            import json
+
+            ticket = self.service.submit(Request("stats"))
+            _require(ticket.done, "stats must answer synchronously")
+            stats = ticket.response.stats
+            json.dumps(stats)  # the protocol promises JSON-safe stats
+            _require(
+                stats["submitted"] == stats["accepted"] + stats["rejected"],
+                f"admission ledger broke: {stats['submitted']} != "
+                f"{stats['accepted']} + {stats['rejected']}",
+            )
+        else:
+            raise ValueError(f"unknown service op {name!r}")
+        self._collect()
+        for worker in self.service.workers:
+            _require(
+                worker.queue_depth <= self.max_queue,
+                f"shard {worker.shard_id} queue grew to "
+                f"{worker.queue_depth} past the bound {self.max_queue}",
+            )
+
+    def final_check(self) -> None:
+        from repro.service import Request
+
+        self.service.drain()
+        self._collect()
+        _require(
+            not self.pending,
+            f"{len(self.pending)} admitted op(s) never answered after drain",
+        )
+        if any(worker.tripped for worker in self.service.workers):
+            _require(
+                self.service.degraded,
+                "a shard monitor tripped but the service never degraded",
+            )
+        if self.service.degraded:
+            _require(
+                all(worker.tripped for worker in self.service.workers),
+                "degraded mode left some shard on partial-key hashing",
+            )
+        # Every acknowledged write must still be readable (including
+        # across a mid-stream degrade/rebuild).
+        for key, want in self.oracle.items():
+            ticket = None
+            for _ in range(self.max_queue + 2):
+                ticket = self._submit(Request("get", key))
+                if ticket is not None:
+                    break
+                self.service.pump()
+            _require(ticket is not None, "final read-back starved by backpressure")
+            self.service.drain()
+            self._verify(ticket, "get", want)
+
+
 TARGETS: Dict[str, Type[Target]] = {
     cls.name: cls
     for cls in (
@@ -1073,6 +1283,7 @@ TARGETS: Dict[str, Type[Target]] = {
         LSMStoreTarget,
         EngineTarget,
         ReducerTarget,
+        ServiceTarget,
     )
 }
 

@@ -50,9 +50,16 @@ class Operation:
 
 
 class _ZipfSampler:
-    """Zipf(s=0.99)-ish sampler over ranks 0..n-1 via inverse CDF."""
+    """Zipf(s)-ish sampler over ranks 0..n-1 via inverse CDF.
+
+    ``s`` (theta) is the skew exponent: 0 is uniform, 0.99 is the
+    stock-YCSB default, and values past 1 concentrate most of the mass
+    on a handful of hot keys (the hot-shard stress for the service).
+    """
 
     def __init__(self, n: int, rng: random.Random, s: float = 0.99):
+        if s < 0.0:
+            raise ValueError(f"zipf theta must be >= 0, got {s}")
         weights = [1.0 / (rank + 1) ** s for rank in range(n)]
         total = 0.0
         self._cdf: List[float] = []
@@ -84,6 +91,7 @@ class WorkloadGenerator:
         negative_keys: Optional[Sequence[Key]] = None,
         max_scan_length: int = 32,
         value_bytes: int = 32,
+        zipf_theta: float = 0.99,
     ):
         self.keys = as_bytes_list(keys)
         if not self.keys:
@@ -100,8 +108,9 @@ class WorkloadGenerator:
         self.negative_keys = as_bytes_list(negative_keys or [])
         self.max_scan_length = max_scan_length
         self.value_bytes = value_bytes
+        self.zipf_theta = zipf_theta
         self._rng = random.Random(seed)
-        self._zipf = _ZipfSampler(len(self.keys), self._rng)
+        self._zipf = _ZipfSampler(len(self.keys), self._rng, s=zipf_theta)
         self._insert_counter = 0
 
     def _pick_key(self, kind: str) -> bytes:

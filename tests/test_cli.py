@@ -90,6 +90,61 @@ class TestQuality:
         assert main(["quality", "xxh3", "--keyfile", keyfile]) == 0
         assert "corpus keys" in capsys.readouterr().out
 
-    def test_unknown_hash(self):
-        with pytest.raises(KeyError):
-            main(["quality", "nonexistent"])
+    def test_unknown_hash(self, capsys):
+        assert main(["quality", "nonexistent"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """Operational failures exit 2 (bad input) or 1 (failed check),
+    never a bare traceback."""
+
+    def test_missing_keyfile(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.txt")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_model(self, tmp_path, capsys):
+        assert main([
+            "recommend", str(tmp_path / "ghost.json"),
+            "--task", "probing", "--size", "100",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_model(self, tmp_path, capsys):
+        path = tmp_path / "model.json"
+        path.write_text("{not json")
+        assert main([
+            "recommend", str(path), "--task", "probing", "--size", "100",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_smoke_run_passes_checks(self, capsys):
+        assert main([
+            "serve", "--shards", "3", "--ops", "600", "--num-keys", "300",
+            "--check",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+
+    def test_force_trip_goes_degraded(self, capsys):
+        assert main([
+            "serve", "--shards", "3", "--ops", "600", "--num-keys", "300",
+            "--check", "--force-trip",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out
+
+    def test_json_output(self, capsys):
+        assert main([
+            "serve", "--shards", "2", "--ops", "300", "--num-keys", "200",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["client"]["lost_acks"] == 0
+        assert len(payload["stats"]["shards"]) == 2
+
+    def test_scan_mix_rejected(self, capsys):
+        assert main(["serve", "--mix", "E", "--ops", "100"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -64,6 +64,62 @@ class TestRoundTrip:
         )
 
 
+class TestEnginePlans:
+    """A reloaded model must feed the HashEngine byte-identical plans —
+    the serve-path cold-start guarantee (train once, load everywhere)."""
+
+    def _corpus(self):
+        from repro.datasets import google_urls
+
+        return google_urls(400, seed=9)
+
+    def test_partial_key_plan_bytes_identical(self, trained, tmp_path):
+        import numpy as np
+
+        from repro.engine.plan import compile_subkey_plan, subkey_matrix
+
+        path = tmp_path / "model.json"
+        save_model(trained, path)
+        loaded = load_model(path)
+        a = trained.hasher_for_probing_table(500, seed=2)
+        b = loaded.hasher_for_probing_table(500, seed=2)
+        assert not a.partial_key.is_full_key
+        plan_a = compile_subkey_plan(a.partial_key, a.base.name)
+        plan_b = compile_subkey_plan(b.partial_key, b.base.name)
+        assert plan_a.width == plan_b.width
+        assert plan_a.cutoff == plan_b.cutoff
+        assert np.array_equal(plan_a.gather, plan_b.gather)
+        keys = [k for k in self._corpus() if len(k) >= plan_a.cutoff]
+        lengths = [len(k) for k in keys]
+        matrix_a = subkey_matrix(plan_a, keys, lengths)
+        matrix_b = subkey_matrix(plan_b, keys, lengths)
+        assert matrix_a.tobytes() == matrix_b.tobytes()
+
+    def test_engine_batches_identical_after_reload(self, trained, tmp_path):
+        from repro.engine import HashEngine
+
+        path = tmp_path / "model.json"
+        save_model(trained, path)
+        loaded = load_model(path)
+        keys = self._corpus()
+        engine_a = HashEngine(trained.hasher_for_chaining_table(400, seed=1))
+        engine_b = HashEngine(loaded.hasher_for_chaining_table(400, seed=1))
+        got_a = [int(h) for h in engine_a.hash_batch(keys)]
+        got_b = [int(h) for h in engine_b.hash_batch(keys)]
+        assert got_a == got_b
+
+    def test_service_router_stable_across_reload(self, trained, tmp_path):
+        from repro.service import ShardRouter
+
+        path = tmp_path / "model.json"
+        save_model(trained, path)
+        loaded = load_model(path)
+        keys = self._corpus()
+        router_a = ShardRouter.from_model(trained, 8, expected_items=400)
+        router_b = ShardRouter.from_model(loaded, 8, expected_items=400)
+        assert list(router_a.route_batch(keys)) == list(router_b.route_batch(keys))
+
+
 class TestValidation:
     def test_rejects_unknown_version(self, trained):
         payload = model_to_dict(trained)

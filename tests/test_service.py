@@ -1,0 +1,261 @@
+"""Tests for the sharded serving layer (repro.service)."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.trainer import train_model
+from repro.datasets import google_urls
+from repro.service import (
+    BACKENDS,
+    FAILED,
+    OK,
+    REJECTED,
+    Request,
+    Service,
+    ServiceClient,
+    ShardRouter,
+    Worker,
+    make_adapter,
+    run_service_workload,
+)
+from repro.workloads.ycsb import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return google_urls(600, seed=21)
+
+
+@pytest.fixture(scope="module")
+def model(corpus):
+    return train_model(corpus, fixed_dataset=True)
+
+
+def _service(model, **kwargs):
+    defaults = dict(num_shards=3, backend="chaining", model=model,
+                    capacity=1024, max_queue=32, batch_size=8)
+    defaults.update(kwargs)
+    return Service(**defaults)
+
+
+class TestProtocol:
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Request(op="scan", key=b"k")
+
+    def test_response_ok_property(self):
+        from repro.service import Response
+
+        assert Response(status=OK).ok
+        assert not Response(status=REJECTED).ok
+        assert not Response(status=FAILED).ok
+
+
+class TestRouter:
+    def test_routing_deterministic(self, model, corpus):
+        a = ShardRouter.from_model(model, 4, expected_items=600)
+        b = ShardRouter.from_model(model, 4, expected_items=600)
+        assert list(a.route_batch(corpus)) == list(b.route_batch(corpus))
+
+    def test_route_one_matches_batch(self, model, corpus):
+        router = ShardRouter.from_model(model, 4, expected_items=600)
+        batch = list(router.route_batch(corpus[:50]))
+        router2 = ShardRouter.from_model(model, 4, expected_items=600)
+        singles = [router2.route_one(k) for k in corpus[:50]]
+        assert batch == singles
+
+    def test_balance_within_paper_bound(self, model, corpus):
+        router = ShardRouter.from_model(model, 4, expected_items=600)
+        report = router.balance_of(corpus)
+        assert report["within_bound"]
+        assert report["relative_std"] <= report["bound"]
+
+    def test_balance_of_does_not_touch_counters(self, model, corpus):
+        router = ShardRouter.from_model(model, 4, expected_items=600)
+        router.balance_of(corpus)
+        assert router.balance()["total_routed"] == 0
+
+    def test_bound_formula(self):
+        from repro.partitioning.stats import relative_balance_bound
+
+        bound = relative_balance_bound(1000, 4, tolerance=0.05)
+        assert bound == pytest.approx(0.05 + 3.0 * math.sqrt(3 / 1000))
+        assert relative_balance_bound(0, 4) == math.inf
+        with pytest.raises(ValueError):
+            relative_balance_bound(1000, 0)
+
+
+class TestWorker:
+    def _worker(self, model, backend="chaining", max_queue=8, batch_size=4):
+        adapter = make_adapter(backend, capacity=256, model=model)
+        return Worker(0, adapter, max_queue=max_queue, batch_size=batch_size)
+
+    def _ticket(self, op, key, value=b""):
+        from repro.service import Ticket
+
+        return Ticket(request=Request(op=op, key=key, value=value),
+                      request_id=0)
+
+    def test_micro_batching(self, model):
+        worker = self._worker(model, batch_size=4)
+        tickets = [self._ticket("put", b"k%d" % i, b"v%d" % i)
+                   for i in range(8)]
+        for t in tickets:
+            assert worker.try_enqueue(t)
+        processed = worker.drain()
+        stats = worker.stats()
+        assert stats["batches"] >= 2
+        assert stats["mean_batch_size"] <= 4
+        assert processed == stats["processed"]
+
+    def test_queue_bound_and_rejection(self, model):
+        worker = self._worker(model, max_queue=4)
+        accepted = sum(
+            worker.try_enqueue(self._ticket("put", b"k%d" % i, b"v"))
+            for i in range(10)
+        )
+        assert accepted == 4
+        assert worker.stats()["rejected"] == 6
+        assert worker.stats()["queue_depth"] == 4
+
+    def test_mixed_op_segments(self, model):
+        worker = self._worker(model, max_queue=32, batch_size=32)
+        ops = [("put", b"a", b"1"), ("put", b"b", b"2"), ("get", b"a", b""),
+               ("contains", b"c", b""), ("delete", b"a", b""),
+               ("get", b"a", b"")]
+        tickets = [self._ticket(*op) for op in ops]
+        for t in tickets:
+            assert worker.try_enqueue(t)
+        worker.drain()
+        assert tickets[2].response.value == b"1"
+        assert tickets[3].response.found is False
+        assert tickets[4].response.found is True
+        assert tickets[5].response.found is False
+
+    @pytest.mark.parametrize("backend", ["bloom", "cuckoo_filter"])
+    def test_filters_reject_unsupported_ops(self, model, backend):
+        worker = self._worker(model, backend=backend)
+        ticket = self._ticket("get", b"k")
+        worker.try_enqueue(ticket)
+        worker.drain()
+        assert ticket.response.status == FAILED
+
+
+class TestService:
+    def test_end_to_end_kv(self, model):
+        service = _service(model)
+        client = ServiceClient(service)
+        client.put_many((b"key%03d" % i, b"val%03d" % i) for i in range(200))
+        assert client.get(b"key007") == b"val007"
+        assert client.contains(b"key199")
+        assert not client.contains(b"missing")
+        assert client.delete(b"key007")
+        assert client.get(b"key007") is None
+        assert client.lost_acks == 0
+
+    def test_backpressure_rejects_with_retry_after(self, model):
+        service = _service(model, num_shards=1, max_queue=4, batch_size=2)
+        tickets = [service.submit(Request(op="put", key=b"k%d" % i,
+                                          value=b"v"))
+                   for i in range(12)]
+        rejected = [t for t in tickets if t.rejected]
+        assert rejected
+        for t in rejected:
+            assert t.response.status == REJECTED
+            assert t.response.retry_after >= 1
+        service.drain()
+        assert service.stats()["submitted"] == 12
+        assert (service.stats()["accepted"] + service.stats()["rejected"]
+                == 12)
+
+    def test_stats_json_serializable(self, model):
+        service = _service(model)
+        client = ServiceClient(service)
+        client.put(b"k", b"v")
+        payload = client.stats()
+        json.dumps(payload)
+        assert payload["num_shards"] == 3
+        assert len(payload["shards"]) == 3
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_degraded_mode_keeps_acked_writes(self, model, backend):
+        service = _service(model, backend=backend, capacity=4096)
+        client = ServiceClient(service)
+        keys = [b"stable%04d" % i for i in range(300)]
+        acked = []
+        for key in keys:
+            ticket = client._submit(Request(op="put", key=key, value=b"v"))
+            client._complete(ticket)
+            if ticket.response.status == OK:
+                acked.append(key)
+        assert acked  # at least some writes must land
+        service.force_trip(0)
+        assert service.degraded
+        for worker in service.workers:
+            assert worker.adapter.tripped
+        missing = [k for k in acked if not client.contains(k)]
+        assert missing == []
+
+    def test_degraded_mode_routes_stay_pinned(self, model):
+        """Degrading must not re-route keys: reads after the trip still
+        find values written before it."""
+        service = _service(model)
+        client = ServiceClient(service)
+        client.put_many((b"pin%03d" % i, b"v%03d" % i) for i in range(100))
+        before = list(service.router.route_batch(
+            [b"pin%03d" % i for i in range(100)]))
+        service.force_trip(1)
+        after = list(service.router.route_batch(
+            [b"pin%03d" % i for i in range(100)]))
+        assert before == after
+        assert client.get(b"pin042") == b"v042"
+
+    def test_natural_monitor_trip_degrades_service(self, model):
+        service = _service(model, num_shards=2)
+        # Simulate a pathological insert stream by force-tripping the
+        # worker adapter directly, then letting pump() notice it.
+        service.workers[0].adapter.force_trip()
+        service.pump()
+        assert service.degraded
+        assert service.stats()["degrade_events"] == 1
+
+    def test_invalid_construction(self, model):
+        with pytest.raises(ValueError):
+            Service(backend="btree", model=model)
+        with pytest.raises(ValueError):
+            Service(backend="chaining")  # neither model nor hasher
+
+
+class TestClient:
+    def test_put_many_fills_batches(self, model):
+        service = _service(model, batch_size=16)
+        client = ServiceClient(service)
+        client.put_many((b"b%04d" % i, b"v") for i in range(256))
+        mean = max(s["mean_batch_size"] for s in service.stats()["shards"])
+        assert mean > 1.5  # queues actually filled before draining
+
+    def test_retry_loop_survives_overload(self, model):
+        service = _service(model, num_shards=1, max_queue=2, batch_size=1)
+        client = ServiceClient(service)
+        client.put_many((b"r%04d" % i, b"v") for i in range(64))
+        assert client.lost_acks == 0
+        assert client.retries > 0
+        assert client.get(b"r0000") == b"v"
+
+    def test_run_service_workload(self, model, corpus):
+        service = _service(model, capacity=len(corpus))
+        client = ServiceClient(service)
+        client.put_many((k, b"v0") for k in corpus)
+        gen = WorkloadGenerator(corpus, "A", seed=5)
+        counts = run_service_workload(client, gen.operations(500))
+        assert sum(counts.values()) == 500
+        assert client.lost_acks == 0
+
+    def test_scan_workload_raises(self, model, corpus):
+        service = _service(model)
+        client = ServiceClient(service)
+        gen = WorkloadGenerator(corpus, "E", seed=5)
+        with pytest.raises(ValueError):
+            run_service_workload(client, gen.operations(200))

@@ -50,6 +50,36 @@ class TestGenerator:
         top = max(counts.values())
         assert top > 5000 / len(population) * 10  # head much hotter than mean
 
+    def test_zipf_theta_zero_is_uniform(self, population):
+        gen = WorkloadGenerator(population, "C", seed=12, zipf_theta=0.0)
+        ops = list(gen.operations(10000))
+        counts = {}
+        for op in ops:
+            counts[op.key] = counts.get(op.key, 0) + 1
+        mean = 10000 / len(population)
+        # Uniform sampling: no key should be wildly hotter than the mean
+        # (the default theta=0.99 head exceeds 10x the mean; see above).
+        assert max(counts.values()) < mean * 4
+
+    def test_zipf_theta_sharpens_the_head(self, population):
+        def head_share(theta):
+            gen = WorkloadGenerator(population, "C", seed=13,
+                                    zipf_theta=theta)
+            counts = {}
+            for op in gen.operations(8000):
+                counts[op.key] = counts.get(op.key, 0) + 1
+            top = sorted(counts.values(), reverse=True)[:10]
+            return sum(top) / 8000
+
+        low, default, hot = head_share(0.3), head_share(0.99), head_share(1.4)
+        assert low < default < hot
+        assert hot > 0.5      # ten keys soak up most of the traffic
+        assert low < 0.15
+
+    def test_zipf_theta_validation(self, population):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(population, "C", zipf_theta=-0.1)
+
     def test_negative_reads(self, population):
         negatives = [f"ghost{i}".encode() for i in range(100)]
         gen = WorkloadGenerator(population, "C", seed=7,
