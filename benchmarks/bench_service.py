@@ -80,6 +80,7 @@ def _record(label, mix, theta, service, client, elapsed, ops):
         "client_retries": client.retries,
         "lost_acks": client.lost_acks,
         "degraded": stats["degraded"],
+        "degrade_events": stats["degrade_events"],
     }
 
 
@@ -172,7 +173,10 @@ def test_zero_lost_acks_per_mix():
 def test_degraded_drill_loses_nothing():
     records = service_records()
     drill = records[-1]
-    assert drill["degraded"] is True
+    # The breaker may already have healed the shard by the end of the
+    # run (degraded is a live property now), but the trip must be on
+    # record and no acknowledged write may have vanished across it.
+    assert drill["degrade_events"] >= 1
     assert drill["keys_lost_after_degrade"] == 0
 
 

@@ -22,6 +22,7 @@ import time
 MODULES = [
     "bench_engine",
     "bench_service",
+    "bench_faults",
     "bench_fig5_entropy_vs_words",
     "bench_fig6_probe_time",
     "bench_fig7_breakdown",

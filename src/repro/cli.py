@@ -203,6 +203,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         capacity=len(keys), max_queue=args.max_queue,
         batch_size=args.batch_size, seed=args.seed,
     )
+    if args.inject:
+        from repro.faults import make_plane
+
+        service.arm_fault_plane(make_plane(args.inject, seed=args.chaos_seed))
     client = ServiceClient(service)
 
     start = time.perf_counter()
@@ -223,6 +227,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         counts = run_service_workload(client, operations)
     elapsed = time.perf_counter() - start
     service.drain()
+    if args.inject:
+        # Pump through a full heal window (cooldown + probe at the
+        # default breaker pacing) so restarts finish and first-trip
+        # breakers get the chance to close before we report/check.
+        for _ in range(120):
+            service.pump()
+        service.drain()
 
     stats = service.stats()
     data_balance = service.router.balance_of(sorted(set(keys)))
@@ -259,6 +270,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"{client.retries} client retries")
         print(f"  degraded: {stats['degraded']} "
               f"({stats['degrade_events']} event(s))")
+        if args.inject:
+            faults = stats["faults"]
+            supervisor = stats["supervisor"]
+            print(f"  faults: {faults['total_fired']} fired of "
+                  f"{len(faults['specs'])} spec(s); "
+                  f"{supervisor['restarts']} restart(s), "
+                  f"{supervisor['reconciled_tickets']} ticket(s) reconciled")
         for shard in stats["shards"]:
             print(f"  shard {shard['shard']}: {shard['processed']} ops in "
                   f"{shard['batches']} batches "
@@ -290,8 +308,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         missing = sum(1 for value in got if value is None)
         if missing:
             failures.append(f"{missing}/{len(sample)} preloaded keys lost")
-    if args.force_trip and not service.degraded:
-        failures.append("--force-trip did not flip the service to degraded")
+    if args.force_trip and stats["degrade_events"] < 1:
+        # Breakers self-heal, so `degraded` can legitimately be False
+        # again by the end of the run; the trip itself must be on record.
+        failures.append("--force-trip never opened a circuit breaker")
+    if args.inject:
+        if stats["faults"]["total_fired"] < 1:
+            failures.append(
+                "no injected fault ever fired (check the spec's shard/after)"
+            )
+        dead = [w.shard_id for w in service.workers if w.crashed]
+        if dead:
+            failures.append(
+                f"shard(s) {dead} left dead after the heal window"
+            )
     for failure in failures:
         print(f"CHECK FAILED: {failure}", file=sys.stderr)
     if not failures:
@@ -453,6 +483,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--force-trip", action="store_true",
                        help="trip shard 0's monitor mid-run (degraded-mode "
                             "drill)")
+    serve.add_argument("--inject", action="append", default=[],
+                       metavar="SPEC",
+                       help="arm a fault spec, e.g. crash:worker:2 or "
+                            "drop:worker:1:after=3:count=2 (repeatable)")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for the fault plane's RNG")
     serve.add_argument("--json", action="store_true",
                        help="emit the full stats payload as JSON")
     serve.add_argument("--check", action="store_true",

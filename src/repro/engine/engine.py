@@ -68,6 +68,11 @@ class HashEngine:
         self._seeded: Dict[int, EntropyLearnedHasher] = {}
         self._fell_back = False
         self._generation = 0
+        # Optional displacement transform applied to every insert signal
+        # before the monitor sees it.  The fault plane mounts one here to
+        # model hasher corruption: answers stay correct, but the monitor
+        # observes an entropy collapse and must react.
+        self.fault_hook = None
 
     # ----------------------------------------------------------- construction
 
@@ -261,6 +266,8 @@ class HashEngine:
             return False
         if self._hasher.partial_key.is_full_key:
             return False
+        if self.fault_hook is not None:
+            displacement = self.fault_hook(displacement)
         self.monitor.record_insert(displacement, expected)
         if self.monitor.should_fall_back(n):
             self.fall_back_to_full_key()
@@ -274,6 +281,20 @@ class HashEngine:
         self.set_hasher(
             EntropyLearnedHasher.full_key(self._hasher.base, seed=self._hasher.seed)
         )
+
+    def rearm(self, hasher: EntropyLearnedHasher) -> None:
+        """Restore partial-key hashing after a fallback.
+
+        The circuit-breaker's half-open probe calls this: the engine
+        swaps back to ``hasher`` (normally the pristine pre-fallback
+        hasher), clears the fallback latch, and resets the monitor so
+        the probe window judges fresh collision statistics rather than
+        the history that caused the trip.
+        """
+        self.set_hasher(hasher)
+        self._fell_back = False
+        if self.monitor is not None:
+            self.monitor.reset()
 
     def stats(self) -> Dict[str, object]:
         """JSON-serializable snapshot of the engine's counters."""

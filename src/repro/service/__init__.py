@@ -1,4 +1,4 @@
-"""`repro.service` — a sharded, batched request-serving layer.
+"""`repro.service` — a sharded, batched, self-healing serving layer.
 
 The serving story in one paragraph: a :class:`ShardRouter` assigns each
 key to a shard with the learned partitioning hasher (one fused
@@ -6,24 +6,36 @@ engine pass, balance monitored against the paper's relative bound);
 per-shard :class:`Worker`s own one structure each and drain bounded op
 queues in micro-batches down the structures' batch paths; the
 :class:`Service` front door speaks a small typed protocol
-(get/put/delete/contains/stats) with explicit backpressure, and flips
-the whole fleet to full-key hashing the moment any shard's
-CollisionMonitor trips.  :class:`ServiceClient` wraps it all in plain
-blocking calls for in-process use, load generation, and tests.
+(get/put/delete/contains/stats) with explicit backpressure.  Since PR 5
+the layer is fault-tolerant: every acked mutation lands in a per-shard
+:class:`ShardJournal`, a :class:`Supervisor` restarts crashed or
+stalled workers from their journals and requeues tickets that fell out
+of the pipeline, and a monitor trip opens only that shard's
+:class:`CircuitBreaker` — the shard serves full-key through a cooldown,
+probes its way back to partial-key hashing, and its siblings never stop
+using the entropy-learned fast path.  :class:`ServiceClient` wraps it
+all in plain blocking calls with bounded waiting (backoff budgets and
+deadlines) for in-process use, load generation, and tests.
 """
 
+from repro.service.breaker import CircuitBreaker
 from repro.service.client import (
+    DeadlineExceededError,
     ServiceClient,
     ServiceOverloadedError,
     run_service_workload,
 )
+from repro.service.journal import ShardJournal
 from repro.service.protocol import FAILED, OK, OPS, REJECTED, Request, Response, Ticket
 from repro.service.router import ShardRouter
 from repro.service.service import Service
+from repro.service.supervisor import Supervisor
 from repro.service.worker import BACKENDS, Worker, make_adapter
 
 __all__ = [
     "BACKENDS",
+    "CircuitBreaker",
+    "DeadlineExceededError",
     "FAILED",
     "OK",
     "OPS",
@@ -33,7 +45,9 @@ __all__ = [
     "Service",
     "ServiceClient",
     "ServiceOverloadedError",
+    "ShardJournal",
     "ShardRouter",
+    "Supervisor",
     "Ticket",
     "Worker",
     "make_adapter",

@@ -1,34 +1,61 @@
 """In-process client: blocking calls and batched multi-ops.
 
 The client turns the ticket-based service protocol into plain method
-calls.  Backpressure is handled transparently: a rejected submit pumps
-the service (making room) and retries, up to ``max_retries``.  The
-client also keeps the ack ledger the acceptance criteria care about —
-``puts_accepted`` vs ``puts_acked`` — so a load generator can assert
-zero lost acknowledged writes after a run.
+calls, and is the layer where *bounded waiting* lives: a rejected
+submit backs off exponentially (with seeded jitter) under a total pump
+budget before raising :class:`ServiceOverloadedError`, and completing a
+ticket pumps at most ``deadline_pumps`` times before the client marks
+the ticket failed, cancels it at its shard, and raises
+:class:`DeadlineExceededError` — no call can spin forever, even when a
+fault plane is stalling workers underneath.  The client also keeps the
+ack ledger the acceptance criteria care about — ``puts_accepted`` vs
+``puts_acked`` — so a load generator can assert zero lost acknowledged
+writes after a run.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro._util import as_bytes
 
-from repro.service.protocol import Request, Response, Ticket
+from repro.service.protocol import FAILED, Request, Response, Ticket
 from repro.service.service import Service
 
 
 class ServiceOverloadedError(RuntimeError):
-    """A submit was rejected ``max_retries`` times in a row."""
+    """A submit was still rejected after every retry and backoff pump."""
+
+
+class DeadlineExceededError(RuntimeError):
+    """A ticket's response did not arrive within the pump deadline.
+
+    The client cancels the ticket at its shard before raising, so the
+    operation is guaranteed *not* to be applied later: a deadline
+    failure is a negative acknowledgement, not an open question.
+    """
 
 
 class ServiceClient:
     """Synchronous facade over an in-process :class:`Service`."""
 
-    def __init__(self, service: Service, max_retries: int = 64):
+    def __init__(
+        self,
+        service: Service,
+        max_retries: int = 64,
+        deadline_pumps: int = 1024,
+        submit_pump_budget: int = 4096,
+        jitter_seed: int = 0xC11E,
+    ):
         self.service = service
         self.max_retries = max_retries
+        self.deadline_pumps = deadline_pumps
+        self.submit_pump_budget = submit_pump_budget
+        self._rng = random.Random(jitter_seed)
         self.retries = 0
+        self.backoff_pumps = 0
+        self.deadline_failures = 0
         self.puts_accepted = 0
         self.puts_responded = 0
         self.puts_acked = 0
@@ -36,25 +63,53 @@ class ServiceClient:
     # ----------------------------------------------------------- plumbing
 
     def _submit(self, request: Request) -> Ticket:
-        for _ in range(self.max_retries + 1):
+        spent = 0
+        ticket = None
+        for attempt in range(self.max_retries + 1):
             ticket = self.service.submit(request)
             if not ticket.rejected:
                 if request.op == "put":
                     self.puts_accepted += 1
                 return ticket
             self.retries += 1
-            # Honor the explicit backpressure hint: pump until the shard
-            # has drained enough to guarantee admission.
-            for _ in range(ticket.response.retry_after or 1):
+            if spent >= self.submit_pump_budget:
+                break
+            # Exponential backoff over the explicit backpressure hint,
+            # with full seeded jitter, capped by the remaining budget —
+            # the total pump spend per submit is bounded no matter how
+            # long the service stays saturated.
+            hint = ticket.response.retry_after or 1
+            ceiling = min(hint * (1 << min(attempt, 6)), 256)
+            pumps = self._rng.randint(1, ceiling)
+            pumps = min(pumps, self.submit_pump_budget - spent)
+            for _ in range(pumps):
                 self.service.pump()
+            spent += pumps
+            self.backoff_pumps += pumps
         raise ServiceOverloadedError(
-            f"submit rejected {self.max_retries + 1} times "
-            f"(shard {ticket.shard})"
+            f"submit rejected {self.retries} times, {spent} backoff pumps "
+            f"spent (shard {ticket.shard})"
         )
 
     def _complete(self, ticket: Ticket) -> Response:
+        pumps = 0
         while ticket.response is None:
+            if pumps >= self.deadline_pumps:
+                # Mark the ticket failed *before* cancelling so the
+                # supervisor's reconciliation can never resurrect it.
+                ticket.response = Response(
+                    FAILED, shard=ticket.shard, error="deadline exceeded"
+                )
+                self.service.cancel(ticket)
+                self.deadline_failures += 1
+                if ticket.request.op == "put":
+                    self.puts_responded += 1  # a negative ack, not a lost one
+                raise DeadlineExceededError(
+                    f"request {ticket.request_id} ({ticket.request.op}) "
+                    f"unanswered after {pumps} pumps (shard {ticket.shard})"
+                )
             self.service.pump()
+            pumps += 1
         if ticket.request.op == "put":
             self.puts_responded += 1
             if ticket.response.ok:
@@ -163,4 +218,9 @@ def run_service_workload(client: ServiceClient, operations) -> Dict[str, int]:
     return counts
 
 
-__all__ = ["ServiceClient", "ServiceOverloadedError", "run_service_workload"]
+__all__ = [
+    "DeadlineExceededError",
+    "ServiceClient",
+    "ServiceOverloadedError",
+    "run_service_workload",
+]

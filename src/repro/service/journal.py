@@ -1,0 +1,132 @@
+"""Per-shard append-only op journals: the crash-recovery source of truth.
+
+A :class:`ShardJournal` records every *acknowledged* mutation a worker
+applied to its structure — ``("put", key, value)`` when the put was
+answered OK, ``("delete", key)`` when the delete was answered — in ack
+order.  Replaying the journal into a fresh adapter reconstructs exactly
+the acknowledged state, which is what lets the
+:class:`~repro.service.supervisor.Supervisor` restart a crashed worker
+without losing a single acked write: un-acked work is simply not in the
+journal, and the reconciliation pass re-enqueues its tickets instead.
+
+Journals are bounded by *checkpointing*: past ``checkpoint_every``
+entries the journal compacts itself to the minimal op list with the
+same replay result — newest-wins per key for map-like backends, net
+add/remove counts for multiset-like ones (a cuckoo filter stores one
+fingerprint copy per add, so newest-wins would corrupt multiplicity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+# One journal entry: (op, key, value-or-None).
+Entry = Tuple[str, bytes, Optional[bytes]]
+
+
+class ShardJournal:
+    """Append-only acked-mutation log with compacting checkpoints."""
+
+    def __init__(self, checkpoint_every: int = 4096, multiset: bool = False):
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        self.entries: List[Entry] = []
+        self.checkpoint_every = checkpoint_every  # 0 disables checkpoints
+        self.multiset = multiset
+        self.appended = 0
+        self.truncations = 0
+        self.replays = 0
+
+    # ------------------------------------------------------------- append
+
+    def record_put(self, key: bytes, value: bytes) -> None:
+        self.entries.append(("put", key, value))
+        self.appended += 1
+        self._maybe_checkpoint()
+
+    def record_delete(self, key: bytes) -> None:
+        self.entries.append(("delete", key, None))
+        self.appended += 1
+        self._maybe_checkpoint()
+
+    # --------------------------------------------------------- checkpoint
+
+    def _maybe_checkpoint(self) -> None:
+        if self.checkpoint_every and len(self.entries) > self.checkpoint_every:
+            self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Compact to the minimal op list with the same replay result."""
+        if self.multiset:
+            # Net copies per key; order of first add is preserved so the
+            # replayed structure fills in a deterministic order.
+            counts: Dict[bytes, int] = {}
+            order: List[bytes] = []
+            for op, key, _ in self.entries:
+                if key not in counts:
+                    counts[key] = 0
+                    order.append(key)
+                counts[key] += 1 if op == "put" else -1
+            compacted: List[Entry] = []
+            for key in order:
+                compacted.extend(("put", key, b"") for _ in range(counts[key])
+                                 if counts[key] > 0)
+        else:
+            live: Dict[bytes, Optional[bytes]] = {}
+            order = []
+            for op, key, value in self.entries:
+                if key not in live:
+                    order.append(key)
+                live[key] = value if op == "put" else None
+            compacted = [
+                ("put", key, live[key])  # type: ignore[misc]
+                for key in order
+                if live[key] is not None
+            ]
+        self.entries = compacted
+        self.truncations += 1
+
+    # ------------------------------------------------------------- replay
+
+    def replay(self, adapter) -> int:
+        """Re-apply every journaled mutation to a fresh adapter.
+
+        Consecutive same-op runs go down the adapter's batch paths, the
+        same amortization the live serving path uses.  Returns the
+        number of ops replayed.
+        """
+        self.replays += 1
+        i, n = 0, len(self.entries)
+        while i < n:
+            op = self.entries[i][0]
+            j = i + 1
+            while j < n and self.entries[j][0] == op:
+                j += 1
+            keys = [entry[1] for entry in self.entries[i:j]]
+            if op == "put":
+                values = [entry[2] or b"" for entry in self.entries[i:j]]
+                adapter.put_batch(keys, values)
+            else:
+                adapter.delete_batch(keys)
+            i = j
+        return n
+
+    # -------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "length": len(self.entries),
+            "appended": self.appended,
+            "truncations": self.truncations,
+            "replays": self.replays,
+            "checkpoint_every": self.checkpoint_every,
+            "multiset": self.multiset,
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+__all__ = ["ShardJournal", "Entry"]

@@ -45,6 +45,10 @@ class ShardRouter:
         self.tolerance = tolerance
         self._reducer = FastRangeReducer(num_shards)
         self.routed = np.zeros(num_shards, dtype=np.int64)
+        # Observation point for the fault plane: the plane never alters
+        # a routing decision (that would orphan acknowledged writes), it
+        # only watches which shards the faults it fires can reach.
+        self.fault_plane = None
 
     @classmethod
     def from_model(
@@ -70,11 +74,16 @@ class ShardRouter:
             self.engine.hash_batch(list(keys), self._reducer), dtype=np.int64
         )
         self.routed += np.bincount(shards, minlength=self.num_shards)
+        if self.fault_plane is not None:
+            for shard in shards:
+                self.fault_plane.note_route(int(shard))
         return shards
 
     def route_one(self, key: bytes) -> int:
         shard = int(self.engine.hash_one(key, self._reducer))
         self.routed[shard] += 1
+        if self.fault_plane is not None:
+            self.fault_plane.note_route(shard)
         return shard
 
     # ------------------------------------------------------------ balance

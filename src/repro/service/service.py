@@ -1,14 +1,30 @@
-"""The service front door: admission, routing, pumping, degraded mode.
+"""The service front door: admission, routing, pumping, self-healing.
 
 ``Service.submit`` routes a request to its shard and either enqueues it
 (bounded queue) or answers synchronously with an explicit backpressure
 rejection carrying ``retry_after`` — the queue never grows without
-limit.  ``pump()`` drains one micro-batch per shard; after each pump
-the service checks every shard's monitor and, the moment one trips,
-enters *degraded mode*: every shard rebuilds its structure under
-full-key hashing.  The shard router's hasher is deliberately left
-untouched — re-routing keys would orphan acknowledged writes; only the
-in-shard placement degrades to full-key cost.
+limit.  ``pump()`` is the service's heartbeat and runs four steps in a
+fixed order:
+
+1. **supervise** — restart crashed workers from their journals, detect
+   stalls, and requeue tickets that fell out of the pipeline *before*
+   anything is served, so recovered tickets keep per-key admission
+   order;
+2. **inject** — give an armed fault plane its service-level injection
+   points (corruption on shards without an insert-signal path, i.e.
+   filters and the LSM);
+3. **serve** — drain one micro-batch per shard, catching injected
+   crashes and handing them to the supervisor;
+4. **react** — check every shard's monitor against its own
+   :class:`~repro.service.breaker.CircuitBreaker` and advance breaker
+   clocks (open shards cool down, half-open shards probe their way
+   back to partial-key hashing).
+
+Unlike PR 4's all-or-nothing degraded mode, a monitor trip now
+quarantines *only* the shard that misbehaved: its breaker opens and it
+serves full-key while its siblings keep the entropy-learned fast path.
+The shard router's hasher is still deliberately pinned — re-routing
+keys would orphan acknowledged writes; only in-shard placement degrades.
 """
 
 from __future__ import annotations
@@ -17,14 +33,18 @@ import math
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.hasher import EntropyLearnedHasher
+from repro.engine import CollisionMonitor
+from repro.faults import InjectedCrash
 
+from repro.service.breaker import OPEN, CircuitBreaker
 from repro.service.protocol import OK, REJECTED, Request, Response, Ticket
 from repro.service.router import ShardRouter
+from repro.service.supervisor import Supervisor
 from repro.service.worker import BACKENDS, Worker, make_adapter
 
 
 class Service:
-    """A sharded, batched request-serving layer over ELH structures."""
+    """A sharded, batched, self-healing request-serving layer."""
 
     def __init__(
         self,
@@ -37,6 +57,12 @@ class Service:
         batch_size: int = 64,
         balance_tolerance: float = 0.05,
         seed: int = 0,
+        fault_plane=None,
+        cooldown_pumps: int = 32,
+        probe_pumps: int = 16,
+        stall_threshold: int = 3,
+        journal_checkpoint: int = 4096,
+        max_drain_pumps: int = 10_000,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -59,24 +85,74 @@ class Service:
                 num_shards, tolerance=balance_tolerance,
             )
         shard_capacity = max(4, capacity // num_shards)
+
+        def factory() -> object:
+            return make_adapter(
+                backend, shard_capacity, model=model, hasher=hasher, seed=seed
+            )
+
         self.workers = [
             Worker(
                 shard,
-                make_adapter(
-                    backend, shard_capacity, model=model, hasher=hasher,
-                    seed=seed,
-                ),
+                factory(),
                 max_queue=max_queue,
                 batch_size=batch_size,
+                factory=factory,
+                journal_checkpoint=journal_checkpoint,
             )
             for shard in range(num_shards)
         ]
-        self.degraded = False
+        self.breakers = [
+            CircuitBreaker(
+                shard, cooldown_pumps=cooldown_pumps, probe_pumps=probe_pumps
+            )
+            for shard in range(num_shards)
+        ]
+        self.supervisor = Supervisor(self, stall_threshold=stall_threshold)
+        self.max_drain_pumps = max_drain_pumps
+        self.pump_index = 0
         self._next_request_id = 0
         self.submitted = 0
         self.accepted = 0
         self.rejected = 0
-        self.degrade_events = 0
+        self.lost_slots = 0
+        self.fault_plane = None
+        if fault_plane is not None:
+            self.arm_fault_plane(fault_plane)
+
+    # ------------------------------------------------------- fault wiring
+
+    def arm_fault_plane(self, plane) -> None:
+        """Thread an armed fault plane through every injection point."""
+        self.fault_plane = plane
+        self.router.fault_plane = plane
+        for worker in self.workers:
+            self._arm_worker(worker)
+
+    def _arm_worker(self, worker: Worker) -> None:
+        """(Re)wire one worker's injection hooks — called at arm time
+        and again after every restart, because restarts rebuild the
+        structure (and with it the engine the hooks live on)."""
+        plane = self.fault_plane
+        if plane is None:
+            return
+        worker.fault_plane = plane
+        engine = worker.adapter.engine
+        if engine is None or not worker.adapter.monitorable:
+            return
+        if plane.plan.targets("corrupt"):
+            # A corrupt spec is useless against a monitor-less engine:
+            # the amplified signal would never be read.  Hasher-built
+            # shards get a permissive monitor so the corruption has a
+            # monitor to fool — and the breaker something to trip on.
+            if (engine.monitor is None
+                    and not engine.hasher.partial_key.is_full_key):
+                engine.monitor = CollisionMonitor(
+                    entropy=16.0,
+                    num_slots=max(4, worker.max_queue),
+                    min_inserts=4,
+                )
+            engine.fault_hook = plane.insert_signal_hook(worker.shard_id)
 
     # ------------------------------------------------------------- intake
 
@@ -93,6 +169,17 @@ class Service:
         shard = self.router.route_one(request.key)
         ticket.shard = shard
         worker = self.workers[shard]
+        if (self.fault_plane is not None
+                and self.fault_plane.should_fire("queue_loss", shard)):
+            # The slot is lost: the request was admitted (the client
+            # holds an acked ticket) but never lands in the queue.  It
+            # parks in the inflight registry, where the supervisor's
+            # reconciliation pass finds and requeues it — at the front,
+            # since nothing admitted later may overtake it.
+            self.accepted += 1
+            self.lost_slots += 1
+            worker.inflight[ticket.request_id] = ticket
+            return ticket
         if not worker.try_enqueue(ticket):
             self.rejected += 1
             # After this many pumps the queue has fully drained; a retry
@@ -112,62 +199,125 @@ class Service:
     # ------------------------------------------------------------ serving
 
     def pump(self) -> int:
-        """Drain one micro-batch per shard; returns ops served."""
-        served = sum(worker.pump() for worker in self.workers)
+        """One heartbeat: supervise, inject, serve, react."""
+        self.pump_index += 1
+        self.supervisor.observe(self.pump_index)
+        self._inject_service_faults()
+        served = 0
+        for worker in self.workers:
+            try:
+                served += worker.pump()
+            except InjectedCrash:
+                # The worker marked itself crashed before raising; the
+                # supervisor rebuilds it from its journal at the start
+                # of the next pump, before anything else is served.
+                self.supervisor.note_crash(worker)
         self._check_monitors()
+        self._tick_breakers()
         return served
 
-    def drain(self) -> int:
-        """Pump until every queue is empty."""
+    def drain(self, max_pumps: Optional[int] = None) -> int:
+        """Pump until nothing is pending (bounded: a fault window can
+        hold tickets hostage for a while, but never forever)."""
+        budget = self.max_drain_pumps if max_pumps is None else max_pumps
         served = 0
-        while any(worker.queue for worker in self.workers):
+        pumps = 0
+        while self.pending and pumps < budget:
             served += self.pump()
+            pumps += 1
         return served
+
+    def cancel(self, ticket: Ticket) -> None:
+        """Drop a ticket the client abandoned (deadline exceeded)."""
+        if ticket.shard is not None:
+            self.workers[ticket.shard].cancel(ticket)
 
     @property
     def pending(self) -> int:
-        return sum(worker.queue_depth for worker in self.workers)
+        """Queued tickets plus unanswered inflight ones — everything
+        that still owes the client a response."""
+        return sum(
+            worker.queue_depth + worker.inflight_unanswered
+            for worker in self.workers
+        )
 
-    # ------------------------------------------------------ degraded mode
+    # --------------------------------------------------- fault injection
+
+    def _inject_service_faults(self) -> None:
+        """Service-level injection points for shards whose structures
+        have no per-insert signal path (filters, LSM): a ``corrupt``
+        fault there trips the shard directly instead of flowing through
+        a CollisionMonitor."""
+        plane = self.fault_plane
+        if plane is None:
+            return
+        for worker in self.workers:
+            if worker.adapter.monitorable or worker.tripped:
+                continue
+            if plane.should_fire("corrupt", worker.shard_id):
+                worker.force_trip()
+
+    # -------------------------------------------- breakers / degradation
 
     def _check_monitors(self) -> None:
-        if self.degraded:
-            return
-        if any(worker.tripped for worker in self.workers):
-            self.enter_degraded_mode()
+        for worker, breaker in zip(self.workers, self.breakers):
+            if worker.tripped and breaker.state != OPEN:
+                breaker.trip(self.pump_index)
+                worker.fall_back()
+
+    def _tick_breakers(self) -> None:
+        for worker, breaker in zip(self.workers, self.breakers):
+            if breaker.tick(self.pump_index) == "probe":
+                worker.restore_partial_key()
+
+    @property
+    def degraded(self) -> bool:
+        """True while any shard's breaker is not closed."""
+        return any(not breaker.closed for breaker in self.breakers)
+
+    @property
+    def degrade_events(self) -> int:
+        """Total breaker trips (opens + failed-probe reopens) so far."""
+        return sum(b.opens + b.reopens for b in self.breakers)
 
     def enter_degraded_mode(self) -> None:
-        """Service-wide full-key fallback.  Every shard rebuilds its
-        structure; the router keeps its hasher so no key changes shard
-        and no acknowledged write is orphaned."""
-        if self.degraded:
-            return
-        self.degraded = True
-        self.degrade_events += 1
-        for worker in self.workers:
+        """Manual kill-switch: trip every shard's breaker at once.
+
+        Shards heal shard-by-shard afterwards, exactly as if each had
+        tripped naturally — cooldown, probe, close."""
+        for worker, breaker in zip(self.workers, self.breakers):
+            if breaker.state != OPEN:
+                breaker.trip(self.pump_index)
             worker.fall_back()
 
     def force_trip(self, shard: int) -> None:
-        """Trip one shard's monitor (drills/tests); the next pump (or an
-        immediate check here) degrades the whole service."""
+        """Trip one shard's monitor (drills/tests); only *that* shard's
+        breaker opens — its siblings keep partial-key serving."""
         self.workers[shard].force_trip()
         self._check_monitors()
 
     # -------------------------------------------------------------- stats
 
     def stats(self) -> Dict[str, object]:
-        return {
+        out = {
             "num_shards": self.num_shards,
             "backend": self.backend,
             "degraded": self.degraded,
             "degrade_events": self.degrade_events,
+            "pump_index": self.pump_index,
             "submitted": self.submitted,
             "accepted": self.accepted,
             "rejected": self.rejected,
+            "lost_slots": self.lost_slots,
             "pending": self.pending,
+            "supervisor": self.supervisor.stats(),
+            "breakers": [breaker.stats() for breaker in self.breakers],
             "router": self.router.balance(),
             "shards": [worker.stats() for worker in self.workers],
         }
+        if self.fault_plane is not None:
+            out["faults"] = self.fault_plane.stats()
+        return out
 
 
 __all__ = ["Service"]

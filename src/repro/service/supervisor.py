@@ -1,0 +1,108 @@
+"""The supervisor: restart crashed workers, unstick stalled ones,
+reconcile tickets that fell out of the pipeline.
+
+The supervisor runs at the *start* of every ``Service.pump`` — before
+any worker serves — so a ticket recovered from a crash, a dropped
+batch, or a lost queue slot is re-enqueued at the *front* of its shard
+queue before any later-admitted operation on the same key can be
+served.  That ordering is what keeps the admission-time oracle of the
+differential harness (and the per-key FIFO contract of PR 4) sound
+under faults.
+
+Recovery sources of truth, in order:
+
+* the per-shard :class:`~repro.service.journal.ShardJournal` — every
+  acknowledged mutation, replayed into a fresh structure on restart;
+* the worker's inflight registry — tickets popped from the queue but
+  never answered (crash or injected drop) are requeued, in
+  ``request_id`` order, ahead of everything still queued;
+* pump-count heartbeats — a worker whose queue is non-empty but whose
+  ``processed`` counter stagnates for ``stall_threshold`` consecutive
+  service pumps is declared stalled and restarted the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class Supervisor:
+    """Pump-clocked babysitter for a service's worker fleet."""
+
+    def __init__(self, service, stall_threshold: int = 3):
+        if stall_threshold < 1:
+            raise ValueError(
+                f"stall_threshold must be >= 1, got {stall_threshold}"
+            )
+        self.service = service
+        self.stall_threshold = stall_threshold
+        n = service.num_shards
+        self._last_processed: List[int] = [0] * n
+        self._stagnant: List[int] = [0] * n
+        self.crashes_seen = 0
+        self.stalls_detected = 0
+        self.restarts = 0
+        self.reconciled_tickets = 0
+
+    # ---------------------------------------------------------- lifecycle
+
+    def note_crash(self, worker) -> None:
+        """A worker raised mid-batch this pump; restart happens at the
+        start of the next pump, before anything else is served."""
+        self.crashes_seen += 1
+
+    def observe(self, pump_index: int) -> None:
+        """One supervision pass; runs before the workers pump."""
+        for worker, breaker in zip(self.service.workers,
+                                   self.service.breakers):
+            shard = worker.shard_id
+            if worker.crashed:
+                self._restart(worker, breaker)
+                continue
+            # Tickets that left the queue but never got an answer
+            # (dropped batch, lost queue slot) go back to the front.
+            lost = worker.reconcile()
+            if lost:
+                self.reconciled_tickets += len(lost)
+                worker.requeue_front(lost)
+            # Heartbeat: queued work + a frozen processed counter for
+            # stall_threshold straight pumps means the worker is stuck.
+            if worker.queue and worker.processed == self._last_processed[shard]:
+                self._stagnant[shard] += 1
+                if self._stagnant[shard] >= self.stall_threshold:
+                    self.stalls_detected += 1
+                    self._restart(worker, breaker)
+            else:
+                self._stagnant[shard] = 0
+            self._last_processed[shard] = worker.processed
+
+    def _restart(self, worker, breaker) -> None:
+        """Fresh structure + journal replay + inflight reconciliation."""
+        lost = worker.restart()
+        # The new structure gets the same fault wiring the old one had
+        # (injection hooks live on the engine, which was just rebuilt).
+        self.service._arm_worker(worker)
+        if not breaker.closed:
+            # The shard is still quarantined: the rebuilt structure must
+            # serve full-key until the breaker's probe says otherwise.
+            worker.fall_back()
+        if lost:
+            self.reconciled_tickets += len(lost)
+            worker.requeue_front(lost)
+        self.restarts += 1
+        shard = worker.shard_id
+        self._stagnant[shard] = 0
+        self._last_processed[shard] = worker.processed
+
+    # -------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "crashes_seen": self.crashes_seen,
+            "stalls_detected": self.stalls_detected,
+            "restarts": self.restarts,
+            "reconciled_tickets": self.reconciled_tickets,
+        }
+
+
+__all__ = ["Supervisor"]

@@ -12,21 +12,34 @@ batch paths.
 Adapters also carry the degraded-mode machinery: ``tripped`` reports
 whether the structure's CollisionMonitor forced a full-key fallback,
 ``fall_back()`` rebuilds the structure under full-key hashing without
-losing a single stored entry, and ``force_trip()`` injects a
+losing a single stored entry, ``restore_partial_key()`` undoes the
+fallback for a circuit-breaker probe, and ``force_trip()`` injects a
 pathological displacement burst through the real monitor (the same
 trigger the fuzz harness uses) for drills and tests.
+
+Since PR 5 a worker is also *crash-safe*: every acknowledged mutation
+is recorded in a per-shard :class:`~repro.service.journal.ShardJournal`
+at ack time, tickets popped from the queue live in an inflight registry
+until answered, and ``restart()`` rebuilds the structure from the
+journal and hands the unanswered tickets back to the supervisor for
+front-of-queue requeue.  The fault plane's injection points (crash,
+stall, drop) live in ``pump()``; a batch is served segment-by-segment,
+and a segment is atomic — apply, acknowledge, journal together — so a
+crash can only land *between* segments, never tear one.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set
 
 from repro.core.greedy import GreedyResult
 from repro.core.hasher import EntropyLearnedHasher
 from repro.core.trainer import EntropyModel
 from repro.engine import CollisionMonitor
+from repro.faults import InjectedCrash
 
+from repro.service.journal import ShardJournal
 from repro.service.protocol import FAILED, OK, Request, Response, Ticket
 
 BACKENDS = ("chaining", "probing", "lsm", "bloom", "cuckoo_filter")
@@ -45,6 +58,10 @@ class StructureAdapter:
 
     backend: str = ""
     supported: frozenset = frozenset()
+    # True when the structure feeds per-insert collision signals through
+    # a HashEngine + CollisionMonitor (tables do; filters and the LSM
+    # trip through coarser, adapter-level paths).
+    monitorable: bool = False
 
     def __init__(self) -> None:
         self._degraded = False
@@ -71,8 +88,18 @@ class StructureAdapter:
         """Did this structure's monitor force a full-key fallback?"""
         return self._degraded
 
+    @property
+    def engine(self):
+        """The structure's HashEngine, or None (LSM shards own several)."""
+        return None
+
     def fall_back(self) -> None:
         """Rebuild under full-key hashing; every stored entry survives."""
+        raise NotImplementedError
+
+    def restore_partial_key(self) -> None:
+        """Undo a fallback: rebuild under the pristine partial-key
+        hasher with a reset monitor (the breaker's half-open probe)."""
         raise NotImplementedError
 
     def force_trip(self) -> None:
@@ -91,14 +118,26 @@ class TableAdapter(StructureAdapter):
 
     supported = frozenset({"get", "put", "delete", "contains"})
 
-    def __init__(self, table, backend: str):
+    def __init__(self, table, backend: str, monitorable: bool = False):
         super().__init__()
         self.table = table
         self.backend = backend
+        # Only the EntropyAware tables feed per-insert displacement
+        # signals to the engine's monitor; plain hasher-built tables
+        # have no record_insert call sites, so corruption must trip
+        # them through the service-level path instead.
+        self.monitorable = monitorable
+        # Pre-fallback hasher, kept so a breaker probe can restore the
+        # learned partial-key configuration after a full-key quarantine.
+        self._pristine_hasher = table.engine.hasher
 
     @property
     def tripped(self) -> bool:
         return self._degraded or self.table.engine.fell_back
+
+    @property
+    def engine(self):
+        return self.table.engine
 
     def get_batch(self, keys):
         return self.table.probe_batch(list(keys))
@@ -140,6 +179,17 @@ class TableAdapter(StructureAdapter):
         self.table.rebuild_with_hasher(engine.hasher)
         self._degraded = True
 
+    def restore_partial_key(self):
+        if not self.tripped:
+            return
+        engine = self.table.engine
+        engine.rearm(self._pristine_hasher)
+        # Re-place every entry under the restored partial-key hasher; if
+        # the data is genuinely low-entropy the monitor re-trips during
+        # this very rebuild and the probe fails on the next check.
+        self.table.rebuild_with_hasher(engine.hasher)
+        self._degraded = False
+
     def stats(self):
         out = super().stats()
         out["size"] = len(self.table)
@@ -170,10 +220,15 @@ class FilterAdapter(StructureAdapter):
             else {"put", "contains"}
         )
         self._members: List[bytes] = []
+        self._pristine_hasher = filter_obj.engine.hasher
 
     @property
     def tripped(self) -> bool:
         return self._degraded or self.filter.engine.fell_back
+
+    @property
+    def engine(self):
+        return self.filter.engine
 
     def get_batch(self, keys):  # pragma: no cover - guarded by `supported`
         raise NotImplementedError("filters store membership, not values")
@@ -228,6 +283,14 @@ class FilterAdapter(StructureAdapter):
 
     def force_trip(self):
         self.fall_back()
+
+    def restore_partial_key(self):
+        if not self.tripped:
+            return
+        engine = self.filter.engine
+        engine.rearm(self._pristine_hasher)
+        self._rebuild(engine.hasher)
+        self._degraded = False
 
     def stats(self):
         out = super().stats()
@@ -284,6 +347,19 @@ class LsmAdapter(StructureAdapter):
     def force_trip(self):
         self.fall_back()
 
+    def restore_partial_key(self):
+        if not self._degraded:
+            return
+        from repro.kvstore.sstable import SSTable
+
+        self.store.flush()
+        # model=None retrains a per-run partial-key model, the same path
+        # a freshly flushed run takes.
+        self.store.runs = [
+            SSTable(run.entries(), model=None) for run in self.store.runs
+        ]
+        self._degraded = False
+
     def stats(self):
         out = super().stats()
         out["size"] = self.store.total_entries()
@@ -315,14 +391,14 @@ def make_adapter(
         table = (EntropyAwareTable(model, capacity=capacity, seed=seed)
                  if model is not None
                  else SeparateChainingTable(hasher, capacity=capacity))
-        return TableAdapter(table, backend)
+        return TableAdapter(table, backend, monitorable=model is not None)
     if backend == "probing":
         from repro.tables.probing import EntropyAwareProbingTable, LinearProbingTable
 
         table = (EntropyAwareProbingTable(model, capacity=capacity, seed=seed)
                  if model is not None
                  else LinearProbingTable(hasher, capacity=capacity))
-        return TableAdapter(table, backend)
+        return TableAdapter(table, backend, monitorable=model is not None)
     if backend == "lsm":
         from repro.kvstore.store import LSMStore
 
@@ -353,6 +429,8 @@ class Worker:
         adapter: StructureAdapter,
         max_queue: int = 256,
         batch_size: int = 64,
+        factory: Optional[Callable[[], StructureAdapter]] = None,
+        journal_checkpoint: int = 4096,
     ):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -360,14 +438,30 @@ class Worker:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.shard_id = shard_id
         self.adapter = adapter
+        self.factory = factory
         self.max_queue = max_queue
         self.batch_size = batch_size
         self.queue: Deque[Ticket] = deque()
+        self._queued_ids: Set[int] = set()
+        # Tickets popped from the queue but not yet answered; the
+        # supervisor requeues whatever a crash or a drop leaves behind.
+        self.inflight: Dict[int, Ticket] = {}
+        self.journal = ShardJournal(
+            checkpoint_every=journal_checkpoint,
+            multiset=(adapter.backend == "cuckoo_filter"),
+        )
+        self.fault_plane = None
+        self.crashed = False
         self.enqueued = 0
         self.processed = 0
         self.batches = 0
         self.rejected = 0
         self.peak_queue_depth = 0
+        self.restarts = 0
+        self.stalls = 0
+        self.drops = 0
+        self.requeued = 0
+        self.cancelled = 0
         self.op_counts: Dict[str, int] = {}
 
     @property
@@ -378,41 +472,159 @@ class Worker:
     def tripped(self) -> bool:
         return self.adapter.tripped
 
+    @property
+    def inflight_unanswered(self) -> int:
+        return sum(1 for t in self.inflight.values() if t.response is None)
+
     def try_enqueue(self, ticket: Ticket) -> bool:
         """Admit a ticket, or refuse when the queue is at capacity."""
         if len(self.queue) >= self.max_queue:
             self.rejected += 1
             return False
         self.queue.append(ticket)
+        self._queued_ids.add(ticket.request_id)
         self.enqueued += 1
         self.peak_queue_depth = max(self.peak_queue_depth, len(self.queue))
         return True
 
+    def requeue_front(self, tickets: Sequence[Ticket]) -> None:
+        """Merge recovered tickets back into the queue in admission order.
+
+        Crash/drop victims were popped from the queue front, so they
+        predate everything still queued — but a queue_loss ticket never
+        entered the queue at all, and requests admitted *after* it may
+        already be waiting.  A blind prepend would serve the lost ticket
+        ahead of an earlier write to the same key and invert write
+        order; merging on request_id (queues are FIFO in a globally
+        monotonic id, hence sorted) restores true admission order.
+        ``max_queue`` is deliberately bypassed: these tickets were
+        already admitted once.
+        """
+        tickets = list(tickets)
+        if not tickets:
+            return
+        merged = sorted(
+            tickets + list(self.queue), key=lambda t: t.request_id
+        )
+        self.queue.clear()
+        self.queue.extend(merged)
+        for ticket in tickets:
+            self._queued_ids.add(ticket.request_id)
+        self.requeued += len(tickets)
+        self.peak_queue_depth = max(self.peak_queue_depth, len(self.queue))
+
+    def cancel(self, ticket: Ticket) -> None:
+        """Forget a ticket the client gave up on (deadline exceeded)."""
+        self.inflight.pop(ticket.request_id, None)
+        if ticket.request_id in self._queued_ids:
+            try:
+                self.queue.remove(ticket)
+            except ValueError:  # pragma: no cover - ids track the deque
+                pass
+            self._queued_ids.discard(ticket.request_id)
+        self.cancelled += 1
+
+    def reconcile(self) -> List[Ticket]:
+        """Collect tickets that left the queue but never got an answer.
+
+        Only meaningful *between* pumps: anything still unanswered in
+        the inflight registry was abandoned by a crash, an injected
+        drop, or a lost queue slot.  Returned in ``request_id`` (i.e.
+        admission) order, ready for :meth:`requeue_front`.
+        """
+        if not self.inflight:
+            return []
+        lost = sorted(
+            (t for t in self.inflight.values() if t.response is None),
+            key=lambda t: t.request_id,
+        )
+        self.inflight.clear()
+        return lost
+
+    def restart(self) -> List[Ticket]:
+        """Rebuild the structure from the journal after a crash/stall.
+
+        Returns the unanswered inflight tickets (admission order) for
+        the supervisor to requeue.  The queue itself is untouched — its
+        tickets were never popped, so they are neither lost nor stale.
+        """
+        if self.factory is None:
+            raise RuntimeError(
+                f"worker {self.shard_id} crashed but has no adapter factory"
+            )
+        self.adapter = self.factory()
+        self.journal.replay(self.adapter)
+        self.crashed = False
+        self.restarts += 1
+        return self.reconcile()
+
     def pump(self) -> int:
         """Drain one micro-batch; returns the number of ops served."""
-        if not self.queue:
+        if self.crashed or not self.queue:
+            return 0
+        plane = self.fault_plane
+        if plane is not None and plane.should_fire("stall", self.shard_id):
+            # Stall: return without touching the queue.  The supervisor
+            # notices the frozen processed counter and restarts us.
+            self.stalls += 1
             return 0
         batch: List[Ticket] = []
         while self.queue and len(batch) < self.batch_size:
-            batch.append(self.queue.popleft())
+            ticket = self.queue.popleft()
+            self._queued_ids.discard(ticket.request_id)
+            if ticket.response is not None:
+                continue  # answered elsewhere (e.g. deadline-failed)
+            self.inflight[ticket.request_id] = ticket
+            batch.append(ticket)
+        if not batch:
+            return 0
         self.batches += 1
+        if plane is not None and plane.should_fire("drop", self.shard_id):
+            # Drop: the batch is popped but never served or answered.
+            # Its tickets sit unanswered in the inflight registry until
+            # the supervisor's reconciliation pass requeues them.
+            self.drops += 1
+            return 0
         # Consecutive same-op segments keep per-key FIFO order while
         # sharing one engine.hash_batch pass each.
+        segments: List[List[Ticket]] = []
         start = 0
         while start < len(batch):
             end = start + 1
             op = batch[start].request.op
             while end < len(batch) and batch[end].request.op == op:
                 end += 1
-            self._serve_segment(op, batch[start:end])
+            segments.append(batch[start:end])
             start = end
-        self.processed += len(batch)
-        return len(batch)
+        crash_at = None
+        if plane is not None and plane.should_fire("crash", self.shard_id):
+            crash_at = len(segments) // 2
+        served = 0
+        try:
+            for index, segment in enumerate(segments):
+                if crash_at is not None and index == crash_at:
+                    self.crashed = True
+                    raise InjectedCrash(
+                        f"worker {self.shard_id} crashed mid-batch "
+                        f"(segment {index}/{len(segments)})"
+                    )
+                self._serve_segment(segment[0].request.op, segment)
+                for ticket in segment:
+                    self.inflight.pop(ticket.request_id, None)
+                served += len(segment)
+        finally:
+            # Segments served before a crash were applied, acked, and
+            # journaled atomically; they count as processed.
+            self.processed += served
+        return served
 
     def drain(self) -> int:
         served = 0
         while self.queue:
-            served += self.pump()
+            step = self.pump()
+            served += step
+            if step == 0:
+                break  # crashed/stalled/dropped: the supervisor steps in
         return served
 
     def _serve_segment(self, op: str, tickets: List[Ticket]) -> None:
@@ -441,11 +653,18 @@ class Worker:
                         FAILED, shard=self.shard_id, error="structure full"
                     )
                 else:
+                    # Journal at ack time: the entry is in the journal
+                    # exactly when the client can observe an OK.
+                    self.journal.record_put(keys[i], values[i] or b"")
                     ticket.response = Response(OK, shard=self.shard_id)
         elif op == "delete":
             for ticket, removed in zip(
                 tickets, self.adapter.delete_batch(keys)
             ):
+                if removed is not False:
+                    # True (removed) or None (tombstone): the journal
+                    # must mirror it.  False removed nothing.
+                    self.journal.record_delete(ticket.request.key)
                 ticket.response = Response(
                     OK, found=removed, shard=self.shard_id
                 )
@@ -459,6 +678,9 @@ class Worker:
 
     def fall_back(self) -> None:
         self.adapter.fall_back()
+
+    def restore_partial_key(self) -> None:
+        self.adapter.restore_partial_key()
 
     def force_trip(self) -> None:
         self.adapter.force_trip()
@@ -477,6 +699,13 @@ class Worker:
             "queue_depth": self.queue_depth,
             "peak_queue_depth": self.peak_queue_depth,
             "op_counts": dict(self.op_counts),
+            "crashed": self.crashed,
+            "restarts": self.restarts,
+            "stalls": self.stalls,
+            "drops": self.drops,
+            "requeued": self.requeued,
+            "cancelled": self.cancelled,
+            "journal": self.journal.stats(),
             "structure": self.adapter.stats(),
         }
 

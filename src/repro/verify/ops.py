@@ -233,6 +233,60 @@ def generate_service_ops(rng: random.Random, n: int) -> List[Op]:
     return ops
 
 
+def generate_chaos_ops(rng: random.Random, n: int) -> List[Op]:
+    """Service streams interleaved with declarative fault injection.
+
+    ``inject`` arms one fault spec (crash / stall / drop / corrupt /
+    queue_loss) on the case's live FaultPlane — as an *op*, so ddmin
+    can delete faults one at a time while shrinking a repro and tell a
+    fault-dependent bug from a fault-independent one.  ``settle`` pumps
+    through a healing window (supervisor restarts, breaker cooldown +
+    probe) so a case exercises recovery, not just the crash itself.
+    Counts are kept small: every armed fault must be able to exhaust
+    within the case, otherwise termination assertions would be testing
+    the fault schedule rather than the healing machinery.
+    """
+    pool = make_key_pool(rng, size=48)
+    ops: List[Op] = []
+    counter = 0
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.26:
+            counter += 1
+            ops.append(_keyed("put", pick_key(rng, pool), v=counter))
+        elif roll < 0.40:
+            ops.append(_keyed("get", pick_key(rng, pool)))
+        elif roll < 0.48:
+            ops.append(_keyed("delete", pick_key(rng, pool)))
+        elif roll < 0.56:
+            ops.append(_keyed("contains", pick_key(rng, pool)))
+        elif roll < 0.66:
+            keys = pick_keys(rng, pool, 2, 10)
+            counter += len(keys)
+            ops.append(_batch("burst", keys, v=counter))
+        elif roll < 0.78:
+            ops.append({"op": "pump"})
+        elif roll < 0.82:
+            ops.append({"op": "drain"})
+        elif roll < 0.86:
+            ops.append({"op": "stats"})
+        elif roll < 0.94:
+            ops.append({
+                "op": "inject",
+                "kind": rng.choice(
+                    ("crash", "stall", "drop", "corrupt", "queue_loss")
+                ),
+                "shard": rng.randrange(8),
+                "after": rng.randrange(4),
+                "count": rng.randrange(1, 4),
+            })
+        else:
+            ops.append({"op": "settle"})
+    ops.append({"op": "settle"})
+    ops.append({"op": "drain"})
+    return ops
+
+
 def generate_engine_ops(rng: random.Random, n: int) -> List[Op]:
     """hash_batch/hash_one parity under plan churn and forced fallback."""
     pool = make_key_pool(rng)
@@ -322,6 +376,7 @@ __all__ = [
     "generate_sketch_ops",
     "generate_store_ops",
     "generate_service_ops",
+    "generate_chaos_ops",
     "generate_engine_ops",
     "generate_reducer_ops",
     "generate_minhash_ops",

@@ -1071,9 +1071,9 @@ class ServiceTarget(Target):
     computed against the oracle *at admission time*; rejected ops are
     never applied to the oracle (if the service secretly applied one
     anyway, later reads diverge).  ``force_trip`` mid-stream checks
-    that the service-wide full-key fallback loses no acknowledged
-    write, and ``drain`` at the end checks that every admitted op got
-    exactly one response.
+    that a per-shard full-key fallback (and the breaker-driven heal
+    that follows) loses no acknowledged write, and ``drain`` at the
+    end checks that every admitted op got exactly one response.
     """
 
     name = "service"
@@ -1106,11 +1106,17 @@ class ServiceTarget(Target):
 
     def __init__(self, config: Dict[str, object]):
         super().__init__(config)
-        from repro.service import Service
-
         self.backend = str(config.get("backend", "chaining"))
         self.max_queue = int(config.get("max_queue", 8))
-        self.service = Service(
+        self.service = self._build_service(config)
+        self.oracle = DictOracle()
+        # (ticket, kind, expected-at-admission) for in-flight requests.
+        self.pending: List[tuple] = []
+
+    def _build_service(self, config: Dict[str, object]):
+        from repro.service import Service
+
+        return Service(
             num_shards=int(config.get("shards", 3)),
             backend=self.backend,
             hasher=build_hasher(config["hasher"]),
@@ -1118,9 +1124,9 @@ class ServiceTarget(Target):
             max_queue=self.max_queue,
             batch_size=int(config.get("batch_size", 4)),
         )
-        self.oracle = DictOracle()
-        # (ticket, kind, expected-at-admission) for in-flight requests.
-        self.pending: List[tuple] = []
+
+    def _queue_bound(self) -> int:
+        return self.max_queue
 
     # ------------------------------------------------------------ helpers
 
@@ -1228,11 +1234,12 @@ class ServiceTarget(Target):
         else:
             raise ValueError(f"unknown service op {name!r}")
         self._collect()
+        bound = self._queue_bound()
         for worker in self.service.workers:
             _require(
-                worker.queue_depth <= self.max_queue,
+                worker.queue_depth <= bound,
                 f"shard {worker.shard_id} queue grew to "
-                f"{worker.queue_depth} past the bound {self.max_queue}",
+                f"{worker.queue_depth} past the bound {bound}",
             )
 
     def final_check(self) -> None:
@@ -1247,13 +1254,18 @@ class ServiceTarget(Target):
         if any(worker.tripped for worker in self.service.workers):
             _require(
                 self.service.degraded,
-                "a shard monitor tripped but the service never degraded",
+                "a shard monitor tripped but no breaker opened",
             )
-        if self.service.degraded:
-            _require(
-                all(worker.tripped for worker in self.service.workers),
-                "degraded mode left some shard on partial-key hashing",
-            )
+        for worker, breaker in zip(self.service.workers,
+                                   self.service.breakers):
+            if breaker.state == "open":
+                # An open breaker quarantines exactly its own shard: the
+                # shard must be on full-key hashing while open.
+                _require(
+                    worker.tripped,
+                    f"shard {worker.shard_id} breaker is open but the "
+                    "shard still serves partial-key hashing",
+                )
         # Every acknowledged write must still be readable (including
         # across a mid-stream degrade/rebuild).
         for key, want in self.oracle.items():
@@ -1266,6 +1278,148 @@ class ServiceTarget(Target):
             _require(ticket is not None, "final read-back starved by backpressure")
             self.service.drain()
             self._verify(ticket, "get", want)
+
+
+# -------------------------------------------------------------- chaos
+
+
+class ChaosTarget(ServiceTarget):
+    """The service under fault injection vs the same flat dict oracle.
+
+    Op streams carry ``inject`` entries that arm crash / stall / drop /
+    corrupt / queue_loss specs on a live FaultPlane; because each fault
+    is an op, ddmin can strip faults individually while shrinking, so a
+    repro pins the *specific* fault schedule a bug needs.  The oracle
+    discipline is identical to ServiceTarget — faults must be invisible
+    to clients: every admitted op answers exactly once with the
+    admission-order result, no acknowledged write is lost across worker
+    restarts, and only breaker-quarantined shards run on full-key
+    hashing.  What this target deliberately does *not* assert is that
+    all breakers finish closed: adversarially low-entropy key pools
+    legitimately re-trip a probing shard, and that is correct behaviour,
+    not a bug.
+    """
+
+    name = "chaos"
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        config = dict(ServiceTarget.default_config())
+        config.update({
+            "fault_seed": 0,
+            "cooldown": 6,
+            "probe": 3,
+            "stall_threshold": 3,
+            "journal_checkpoint": 32,
+        })
+        return config
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        config = dict(ServiceTarget.random_config(rng))
+        config.update({
+            "fault_seed": rng.randrange(1 << 16),
+            "cooldown": rng.choice((4, 6, 10)),
+            "probe": rng.choice((2, 3, 5)),
+            "stall_threshold": rng.choice((2, 3)),
+            # 0 disables checkpointing; small values force compactions.
+            "journal_checkpoint": rng.choice((16, 64, 0)),
+        })
+        return config
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        return opslib.generate_chaos_ops(rng, n)
+
+    def __init__(self, config: Dict[str, object]):
+        from repro.faults import FaultPlan, FaultPlane
+
+        # The plane must exist before ServiceTarget.__init__ calls
+        # _build_service below.
+        self.plane = FaultPlane(
+            FaultPlan([]), seed=int(config.get("fault_seed", 0))
+        )
+        super().__init__(config)
+
+    def _build_service(self, config: Dict[str, object]):
+        from repro.service import Service
+
+        self.cooldown = int(config.get("cooldown", 6))
+        self.probe = int(config.get("probe", 3))
+        return Service(
+            num_shards=int(config.get("shards", 3)),
+            backend=self.backend,
+            hasher=build_hasher(config["hasher"]),
+            capacity=int(config.get("capacity", 16)),
+            max_queue=self.max_queue,
+            batch_size=int(config.get("batch_size", 4)),
+            fault_plane=self.plane,
+            cooldown_pumps=self.cooldown,
+            probe_pumps=self.probe,
+            stall_threshold=int(config.get("stall_threshold", 3)),
+            journal_checkpoint=int(config.get("journal_checkpoint", 32)),
+        )
+
+    def _queue_bound(self) -> int:
+        # Recovery requeues bypass admission control on purpose (the
+        # tickets were already admitted): between two reconciles a shard
+        # can hold a full queue plus one reconciled batch plus a few
+        # queue_loss singles.
+        return self.max_queue + int(self.config.get("batch_size", 4)) + 16
+
+    def _settle(self) -> None:
+        """Pump through a full heal window: enough for the supervisor to
+        restart crashed/stalled workers and for a first-trip breaker to
+        walk cooldown -> probe -> close."""
+        for _ in range(2 * (self.cooldown + self.probe) + 8):
+            self.service.pump()
+        self._collect()
+
+    def apply(self, op: Op) -> None:
+        name = op["op"]
+        if name == "inject":
+            from repro.faults import FaultSpec
+
+            self.plane.arm(FaultSpec(
+                kind=str(op["kind"]),
+                shard=int(op["shard"]) % self.service.num_shards,
+                after=int(op.get("after", 0)),
+                count=int(op.get("count", 1)),
+            ))
+            return
+        if name == "settle":
+            self._settle()
+            return
+        super().apply(op)
+
+    def final_check(self) -> None:
+        # Give every armed fault a chance to land and heal before the
+        # base invariants (all tickets answered, read-back) run.
+        self._settle()
+        super().final_check()
+        supervisor = self.service.supervisor.stats()
+        crash_fired = self.plane.total_fired("crash")
+        _require(
+            supervisor["crashes_seen"] == crash_fired,
+            f"{crash_fired} crash(es) fired but the supervisor saw "
+            f"{supervisor['crashes_seen']}",
+        )
+        _require(
+            supervisor["restarts"] >= supervisor["crashes_seen"],
+            "a detected crash never led to a restart",
+        )
+        for worker in self.service.workers:
+            _require(
+                not worker.crashed,
+                f"shard {worker.shard_id} was left dead after the final "
+                "drain answered every ticket",
+            )
+        _require(
+            self.service.lost_slots
+            <= self.service.supervisor.reconciled_tickets
+            + sum(w.inflight_unanswered for w in self.service.workers),
+            "queue_loss tickets vanished without reconciliation",
+        )
 
 
 TARGETS: Dict[str, Type[Target]] = {
@@ -1284,6 +1438,7 @@ TARGETS: Dict[str, Type[Target]] = {
         EngineTarget,
         ReducerTarget,
         ServiceTarget,
+        ChaosTarget,
     )
 }
 

@@ -136,6 +136,22 @@ class TestServe:
         out = capsys.readouterr().out
         assert "degraded" in out
 
+    def test_inject_crash_recovers_with_zero_lost_acks(self, capsys):
+        assert main([
+            "serve", "--shards", "3", "--ops", "600", "--num-keys", "300",
+            "--check", "--inject", "crash:worker:2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults: 1 fired" in out
+        assert "0 lost" in out
+
+    def test_inject_rejects_malformed_spec(self, capsys):
+        assert main([
+            "serve", "--ops", "100", "--num-keys", "100",
+            "--inject", "meteor:worker:0",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_json_output(self, capsys):
         assert main([
             "serve", "--shards", "2", "--ops", "300", "--num-keys", "200",

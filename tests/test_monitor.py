@@ -86,3 +86,63 @@ class TestVerdicts:
         monitor.inserts = 100
         monitor.observed_collisions = 5
         assert monitor.verdict() is MonitorVerdict.HEALTHY
+
+
+class TestResetLifecycle:
+    """reset() powers the circuit breaker's half-open probe: the monitor
+    must come back with a clean slate, and must be able to trip again."""
+
+    def _tripped_monitor(self):
+        monitor = CollisionMonitor(entropy=30.0, num_slots=10**6,
+                                   min_inserts=16)
+        for i in range(200):
+            monitor.record_insert(i)
+        assert monitor.should_fall_back()
+        return monitor
+
+    def test_reset_clears_verdict(self):
+        monitor = self._tripped_monitor()
+        monitor.reset()
+        assert monitor.inserts == 0
+        assert monitor.observed_collisions == 0
+        assert monitor.baseline_total == 0
+        assert monitor.verdict() is MonitorVerdict.HEALTHY
+        assert not monitor.should_fall_back()
+
+    def test_retrip_after_reset(self):
+        monitor = self._tripped_monitor()
+        monitor.reset()
+        # Healthy traffic after the reset stays healthy...
+        for _ in range(100):
+            monitor.record_insert(0)
+        assert monitor.verdict() is MonitorVerdict.HEALTHY
+        # ...and a second pathological burst trips it again: the monitor
+        # keeps no memory that makes it blind (or trigger-happy) after
+        # a probe.
+        for i in range(300):
+            monitor.record_insert(i)
+        assert monitor.verdict() is MonitorVerdict.FALL_BACK
+        assert monitor.should_fall_back()
+
+    def test_engine_rearm_resets_monitor_and_latch(self):
+        """HashEngine.rearm undoes a fallback: partial-key plans return,
+        the fell_back latch clears, and the monitor starts fresh."""
+        from repro.core.hasher import EntropyLearnedHasher
+        from repro.engine import HashEngine
+
+        pristine = EntropyLearnedHasher.from_positions((0, 8))
+        engine = HashEngine(
+            pristine,
+            monitor=CollisionMonitor(entropy=30.0, num_slots=10**6,
+                                     min_inserts=1),
+        )
+        assert engine.record_insert(1e9, expected=0.0, n=4096)
+        assert engine.fell_back
+        assert engine.hasher.partial_key.is_full_key
+        engine.rearm(pristine)
+        assert not engine.fell_back
+        assert not engine.hasher.partial_key.is_full_key
+        assert engine.monitor.inserts == 0
+        # ...and it can trip again after the rearm.
+        assert engine.record_insert(1e9, expected=0.0, n=4096)
+        assert engine.fell_back

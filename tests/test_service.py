@@ -193,8 +193,10 @@ class TestService:
         assert acked  # at least some writes must land
         service.force_trip(0)
         assert service.degraded
-        for worker in service.workers:
-            assert worker.adapter.tripped
+        # PR 5: the quarantine is per-shard — only the tripped shard
+        # falls back to full-key, its siblings keep partial-key serving.
+        assert service.workers[0].adapter.tripped
+        assert not service.breakers[1].opens and not service.breakers[2].opens
         missing = [k for k in acked if not client.contains(k)]
         assert missing == []
 
@@ -212,7 +214,7 @@ class TestService:
         assert before == after
         assert client.get(b"pin042") == b"v042"
 
-    def test_natural_monitor_trip_degrades_service(self, model):
+    def test_natural_monitor_trip_degrades_shard(self, model):
         service = _service(model, num_shards=2)
         # Simulate a pathological insert stream by force-tripping the
         # worker adapter directly, then letting pump() notice it.
@@ -220,6 +222,24 @@ class TestService:
         service.pump()
         assert service.degraded
         assert service.stats()["degrade_events"] == 1
+        assert not service.breakers[0].closed
+        assert service.breakers[1].closed  # the sibling keeps serving fast
+
+    def test_breaker_heals_after_cooldown(self, model):
+        service = _service(model, num_shards=2, cooldown_pumps=4,
+                           probe_pumps=2)
+        client = ServiceClient(service)
+        client.put_many((b"heal%03d" % i, b"v%03d" % i) for i in range(100))
+        service.force_trip(0)
+        assert service.degraded
+        for _ in range(10):  # past cooldown + probe
+            service.pump()
+        assert not service.degraded
+        assert service.breakers[0].closes == 1
+        assert service.stats()["degrade_events"] == 1  # trips are remembered
+        # healed shard serves partial-key again and kept every write
+        assert not service.workers[0].adapter.tripped
+        assert client.get(b"heal042") == b"v042"
 
     def test_invalid_construction(self, model):
         with pytest.raises(ValueError):
@@ -259,3 +279,53 @@ class TestClient:
         gen = WorkloadGenerator(corpus, "E", seed=5)
         with pytest.raises(ValueError):
             run_service_workload(client, gen.operations(200))
+
+
+class TestOverload:
+    """The rejection path: typed overload errors and honest ledgers."""
+
+    def test_overload_raises_typed_error(self, model):
+        from repro.service import ServiceOverloadedError
+
+        service = _service(model, num_shards=1, max_queue=2, batch_size=1)
+        # A stalled worker never drains, so every retry re-rejects and
+        # the client must give up with the typed error, not spin.
+        service.workers[0].crashed = True
+        service.supervisor._restart = lambda *a, **k: None  # keep it down
+        for i in range(2):
+            service.submit(Request(op="put", key=b"fill%d" % i, value=b"v"))
+        client = ServiceClient(service, max_retries=3, submit_pump_budget=16)
+        with pytest.raises(ServiceOverloadedError):
+            client._submit(Request(op="put", key=b"late", value=b"v"))
+        assert client.retries == 4  # max_retries + 1 attempts, all rejected
+        # A rejected-then-abandoned put was never accepted: the ack
+        # ledger must not count it as lost.
+        assert client.puts_accepted == 0
+        assert client.lost_acks == 0
+
+    def test_submit_pump_spend_is_capped(self, model):
+        from repro.service import ServiceOverloadedError
+
+        service = _service(model, num_shards=1, max_queue=1, batch_size=1)
+        service.workers[0].crashed = True
+        service.supervisor._restart = lambda *a, **k: None
+        service.submit(Request(op="put", key=b"fill", value=b"v"))
+        client = ServiceClient(service, max_retries=1000,
+                               submit_pump_budget=32)
+        pumps_before = service.pump_index
+        with pytest.raises(ServiceOverloadedError):
+            client._submit(Request(op="put", key=b"late", value=b"v"))
+        # The budget bounds the total pump spend regardless of retries.
+        assert service.pump_index - pumps_before <= 32
+        assert client.backoff_pumps <= 32
+
+    def test_retries_and_lost_acks_under_sustained_backpressure(self, model):
+        service = _service(model, num_shards=1, max_queue=2, batch_size=1)
+        client = ServiceClient(service)
+        client.put_many((b"bp%04d" % i, b"v") for i in range(64))
+        stats = service.stats()
+        assert stats["rejected"] > 0  # backpressure actually engaged
+        assert client.retries >= stats["rejected"] > 0
+        assert client.lost_acks == 0
+        assert client.puts_acked == 64
+        assert client.get(b"bp0000") == b"v"
