@@ -9,7 +9,12 @@ the speedup.  ``bench_records()`` returns the same numbers as JSON-able
 records; ``run_all.py`` collects them into ``BENCH_engine.json``.
 """
 
-from repro.bench.harness import build_probe_mix, time_callable
+from repro.bench.harness import (
+    build_probe_mix,
+    latency_summary_ns,
+    time_callable,
+    time_samples,
+)
 from repro.bench.reporting import format_speedup_table, print_header
 from repro.core.trainer import train_model
 from repro.datasets import hn_urls
@@ -21,6 +26,7 @@ from repro.tables.probing import LinearProbingTable
 NUM_KEYS = 10_000          # mixed-length HN URLs; half stored
 NUM_PROBES = 5_000         # acceptance floor is 4k
 REPEATS = 3
+LATENCY_REPEATS = 7        # batch-call samples behind the p50/p99 fields
 
 
 def _workload():
@@ -33,8 +39,11 @@ def _workload():
     return model, stored, probes
 
 
-def _record(name, n, scalar_s, batch_s):
-    return {
+def _record(name, n, scalar_s, batch_samples):
+    # best-of-k for throughput (interpreter noise only inflates), the
+    # full sample distribution for the per-key latency percentiles.
+    batch_s = min(batch_samples)
+    record = {
         "benchmark": name,
         "n_keys": n,
         "batch_size": n,
@@ -43,6 +52,8 @@ def _record(name, n, scalar_s, batch_s):
         "keys_per_second_batched": n / batch_s if batch_s else float("inf"),
         "speedup": scalar_s / batch_s if batch_s else float("inf"),
     }
+    record.update(latency_summary_ns(batch_samples, items_per_sample=n))
+    return record
 
 
 def bench_records():
@@ -62,34 +73,38 @@ def bench_records():
         LinearProbingTable(hasher, capacity=capacity).insert_batch(stored)
 
     scalar_s = time_callable(insert_scalar, repeats=REPEATS)
-    batch_s = time_callable(insert_batched, repeats=REPEATS)
-    records.append(_record("probing_insert", len(stored), scalar_s, batch_s))
+    batch_samples = time_samples(insert_batched, repeats=LATENCY_REPEATS)
+    records.append(
+        _record("probing_insert", len(stored), scalar_s, batch_samples))
 
     table = LinearProbingTable(hasher, capacity=capacity)
     table.insert_batch(stored)
     scalar_s = time_callable(lambda: [table.get(k) for k in probes],
                              repeats=REPEATS)
-    batch_s = time_callable(lambda: table.probe_batch(probes),
-                            repeats=REPEATS)
-    records.append(_record("probing_probe", len(probes), scalar_s, batch_s))
+    batch_samples = time_samples(lambda: table.probe_batch(probes),
+                                 repeats=LATENCY_REPEATS)
+    records.append(
+        _record("probing_probe", len(probes), scalar_s, batch_samples))
 
     chaining = SeparateChainingTable(
         model.hasher_for_chaining_table(len(stored)), capacity=len(stored))
     chaining.insert_batch(stored)
     scalar_s = time_callable(lambda: [chaining.get(k) for k in probes],
                              repeats=REPEATS)
-    batch_s = time_callable(lambda: chaining.probe_batch(probes),
-                            repeats=REPEATS)
-    records.append(_record("chaining_probe", len(probes), scalar_s, batch_s))
+    batch_samples = time_samples(lambda: chaining.probe_batch(probes),
+                                 repeats=LATENCY_REPEATS)
+    records.append(
+        _record("chaining_probe", len(probes), scalar_s, batch_samples))
 
     bloom = BlockedBloomFilter.for_items(
         model.hasher_for_bloom_filter(len(stored)), expected_items=len(stored))
     bloom.add_batch(stored)
     scalar_s = time_callable(lambda: [bloom.contains(k) for k in probes],
                              repeats=REPEATS)
-    batch_s = time_callable(lambda: bloom.contains_batch(probes),
-                            repeats=REPEATS)
-    records.append(_record("bloom_contains", len(probes), scalar_s, batch_s))
+    batch_samples = time_samples(lambda: bloom.contains_batch(probes),
+                                 repeats=LATENCY_REPEATS)
+    records.append(
+        _record("bloom_contains", len(probes), scalar_s, batch_samples))
 
     partitioner = Partitioner(
         model.hasher_for_partitioning(len(probes), 64), num_partitions=64)
@@ -98,9 +113,10 @@ def bench_records():
     scalar_s = time_callable(
         lambda: [engine.hash_one(k, reducer) for k in probes],
         repeats=REPEATS)
-    batch_s = time_callable(lambda: partitioner.assign(probes),
-                            repeats=REPEATS)
-    records.append(_record("partition_assign", len(probes), scalar_s, batch_s))
+    batch_samples = time_samples(lambda: partitioner.assign(probes),
+                                 repeats=LATENCY_REPEATS)
+    records.append(
+        _record("partition_assign", len(probes), scalar_s, batch_samples))
     return records
 
 

@@ -21,6 +21,7 @@ import os
 import subprocess
 import time
 
+from repro.bench.harness import latency_summary_ns
 from repro.bench.reporting import print_header
 from repro.core.trainer import train_model
 from repro.datasets import google_urls
@@ -37,21 +38,24 @@ PROBE = 8
 
 RECOVERY_SPECS = (
     ("crash", "crash:worker:1:count=1"),
+    ("sigkill", "sigkill:worker:1:count=1"),
     ("stall", "stall:worker:1:count=4"),
     ("drop", "drop:worker:1:count=1"),
     ("queue_loss", "queue_loss:router:1:count=4"),
     ("corrupt", "corrupt:service:1:count=1"),
 )
 
+LATENCY_SAMPLE = 150       # scalar round trips behind each p50/p99 field
+
 CHAOS_RATES = (0.0, 0.01, 0.05)
 
 
-def _build(model, keys, plane=None):
+def _build(model, keys, plane=None, execution="inline"):
     service = Service(
         num_shards=SHARDS, backend=BACKEND, model=model,
         capacity=len(keys), max_queue=256, batch_size=64,
         fault_plane=plane, cooldown_pumps=COOLDOWN, probe_pumps=PROBE,
-        stall_threshold=2,
+        stall_threshold=2, execution=execution,
     )
     client = ServiceClient(service)
     return service, client
@@ -63,7 +67,19 @@ def _whole(service):
             and all(b.closed for b in service.breakers))
 
 
-def _measure_recovery(model, keys, kind, spec):
+def _get_latency(client, keys, n=LATENCY_SAMPLE):
+    """p50/p99 of scalar get round trips on the (possibly still-armed)
+    service — for the chaos records this is latency *under* the fault
+    schedule, recovery pauses included."""
+    samples = []
+    for key in keys[:n]:
+        start = time.perf_counter()
+        client.get(key)
+        samples.append(time.perf_counter() - start)
+    return latency_summary_ns(samples)
+
+
+def _measure_recovery(model, keys, kind, spec, execution="inline"):
     """Pumps from the first fire of ``kind`` until the service is whole.
 
     The workload stops at the first fire (polled in small chunks) so the
@@ -71,7 +87,7 @@ def _measure_recovery(model, keys, kind, spec):
     recovery work — restart + journal replay + reconciliation for the
     process faults, a full cooldown + probe walk for ``corrupt``.
     """
-    service, client = _build(model, keys)
+    service, client = _build(model, keys, execution=execution)
     client.put_many((key, b"v0") for key in keys)
     # Arm only after the preload: otherwise the fault fires (and heals)
     # inside put_many and the measurement window misses it entirely.
@@ -127,10 +143,12 @@ def _measure_recovery(model, keys, kind, spec):
         recovery_pumps = marks["whole"] - marks["impact"]
         detection_pumps = marks["impact"] - marks["fire"]
     supervisor = service.supervisor.stats()
-    return {
-        "benchmark": f"fault_recovery_{kind}",
+    suffix = "" if execution == "inline" else f"_{execution}"
+    record = {
+        "benchmark": f"fault_recovery_{kind}{suffix}",
         "kind": kind,
         "spec": spec,
+        "execution": execution,
         "fired": plane.total_fired(kind),
         "recovery_pumps": recovery_pumps,
         "detection_pumps": detection_pumps,
@@ -140,6 +158,9 @@ def _measure_recovery(model, keys, kind, spec):
         "lost_acks": client.lost_acks,
         "whole": _whole(service),
     }
+    record.update(_get_latency(client, keys))
+    service.close()
+    return record
 
 
 def _measure_chaos_throughput(model, keys, rate):
@@ -157,7 +178,7 @@ def _measure_chaos_throughput(model, keys, rate):
     service.drain()
     elapsed = time.perf_counter() - start
     supervisor = service.supervisor.stats()
-    return {
+    record = {
         "benchmark": f"chaos_throughput_{rate:g}",
         "crash_rate": rate,
         "ops": NUM_OPS,
@@ -168,6 +189,8 @@ def _measure_chaos_throughput(model, keys, rate):
         "reconciled_tickets": supervisor["reconciled_tickets"],
         "lost_acks": client.lost_acks,
     }
+    record.update(_get_latency(client, keys))
+    return record
 
 
 def _measure_breaker_timeline(model, keys):
@@ -184,7 +207,7 @@ def _measure_breaker_timeline(model, keys):
                              "state": breaker.state})
         if breaker.closed and len(timeline) > 1:
             break
-    return {
+    record = {
         "benchmark": "breaker_timeline",
         "cooldown_pumps": COOLDOWN,
         "probe_pumps": PROBE,
@@ -193,6 +216,8 @@ def _measure_breaker_timeline(model, keys):
         "closes": breaker.closes,
         "lost_acks": client.lost_acks,
     }
+    record.update(_get_latency(client, keys))
+    return record
 
 
 def fault_records():
@@ -202,6 +227,13 @@ def fault_records():
         _measure_recovery(model, keys, kind, spec)
         for kind, spec in RECOVERY_SPECS
     ]
+    # The same SIGKILL against a process shard is a *real* kill -9 of a
+    # live OS process: the supervisor must restart the child and replay
+    # its journal, and the ack ledger must still balance.
+    records.append(
+        _measure_recovery(model, keys, "sigkill",
+                          "sigkill:worker:1:count=1", execution="process")
+    )
     records.extend(
         _measure_chaos_throughput(model, keys, rate) for rate in CHAOS_RATES
     )
@@ -268,6 +300,17 @@ def test_every_fault_kind_recovers_with_zero_lost_acks():
         record = _measure_recovery(model, keys, kind, spec)
         assert record["lost_acks"] == 0, record
         assert record["whole"], record
+
+
+def test_process_sigkill_recovers_with_zero_lost_acks():
+    keys = google_urls(400, seed=17)
+    model = train_model(keys, fixed_dataset=True)
+    record = _measure_recovery(model, keys, "sigkill",
+                               "sigkill:worker:1:count=1",
+                               execution="process")
+    assert record["fired"] >= 1, record
+    assert record["lost_acks"] == 0, record
+    assert record["whole"], record
 
 
 def test_chaos_throughput_survives_five_percent_crashes():

@@ -10,6 +10,13 @@ The output of a full run is what EXPERIMENTS.md records.  Any selected
 module that exposes ``bench_records()`` (currently ``bench_engine``)
 also contributes machine-readable records, which are written to
 ``BENCH_engine.json`` at the repo root together with the git revision.
+
+After the sweep, a per-benchmark wall-clock summary table is printed
+and every ``BENCH_*.json`` artifact the selected modules produce is
+validated against its required-field schema — a record missing e.g.
+its ``latency_p50_ns``/``latency_p99_ns`` fields fails the run with
+exit 1, so a refactor cannot silently stop reporting a number the
+acceptance criteria read.
 """
 
 import importlib
@@ -52,6 +59,69 @@ MODULES = [
 ]
 
 
+# Required-field schema per machine-readable artifact.  "toplevel"
+# keys must exist in the file; "record" fields must exist in every
+# entry of its "records" list.  Fields only some records carry
+# (per-kind extras) are deliberately not listed — this is a floor,
+# not an exhaustive schema.
+_LATENCY_FIELDS = ("latency_p50_ns", "latency_p99_ns", "latency_samples")
+ARTIFACT_SCHEMAS = {
+    "BENCH_engine.json": {
+        "module": "bench_engine",
+        "toplevel": ("git_rev", "generated_at_unix", "records"),
+        "record": ("benchmark", "n_keys", "scalar_ns_per_key",
+                   "batch_ns_per_key", "speedup") + _LATENCY_FIELDS,
+    },
+    "BENCH_service.json": {
+        "module": "bench_service",
+        "toplevel": ("git_rev", "generated_at_unix", "records"),
+        "record": ("benchmark",) + _LATENCY_FIELDS,
+    },
+    "BENCH_faults.json": {
+        "module": "bench_faults",
+        "toplevel": ("git_rev", "generated_at_unix", "records"),
+        "record": ("benchmark", "lost_acks") + _LATENCY_FIELDS,
+    },
+}
+
+
+def validate_artifacts(selected):
+    """Check required fields in each artifact a selected module wrote.
+
+    Returns a list of human-readable problems (empty == all good).
+    """
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    problems = []
+    for filename, schema in ARTIFACT_SCHEMAS.items():
+        if schema["module"] not in selected:
+            continue
+        path = os.path.join(repo_root, filename)
+        if not os.path.exists(path):
+            problems.append(f"{filename}: artifact was never written")
+            continue
+        try:
+            with open(path) as f:
+                report = json.load(f)
+        except (OSError, ValueError) as exc:
+            problems.append(f"{filename}: unreadable ({exc})")
+            continue
+        for key in schema["toplevel"]:
+            if key not in report:
+                problems.append(f"{filename}: missing top-level {key!r}")
+        records = report.get("records")
+        if not isinstance(records, list) or not records:
+            problems.append(f"{filename}: no records")
+            continue
+        for i, record in enumerate(records):
+            for field in schema["record"]:
+                if field not in record:
+                    name = record.get("benchmark", f"#{i}")
+                    problems.append(
+                        f"{filename}: record {name!r} missing {field!r}"
+                    )
+    return problems
+
+
 def _git_rev():
     try:
         return subprocess.run(
@@ -87,6 +157,7 @@ def main(filters):
     overall_start = time.perf_counter()
     engine_records = []
     failures = []
+    timings = []
     for name in selected:
         start = time.perf_counter()
         try:
@@ -99,21 +170,38 @@ def main(filters):
                 engine_records.extend(module.bench_records())
         except Exception as exc:  # noqa: BLE001 - keep the sweep going
             failures.append((name, exc))
+            timings.append((name, time.perf_counter() - start, False))
             print(f"\n[{name} FAILED after "
                   f"{time.perf_counter() - start:.1f}s: {exc!r}]")
             continue
+        timings.append((name, time.perf_counter() - start, True))
         print(f"\n[{name} finished in {time.perf_counter() - start:.1f}s]")
     if engine_records:
         write_engine_report(engine_records)
-    print(f"\nTotal: {time.perf_counter() - overall_start:.1f}s "
-          f"for {len(selected)} experiment(s)")
+
+    total = time.perf_counter() - overall_start
+    print("\nwall-clock summary:")
+    width = max(len(name) for name, _, _ in timings) if timings else 0
+    for name, seconds, ok in sorted(timings, key=lambda t: -t[1]):
+        share = 100.0 * seconds / total if total else 0.0
+        print(f"  {name:<{width}s} {seconds:7.1f}s {share:5.1f}%"
+              f"{'' if ok else '  FAILED'}")
+    print(f"\nTotal: {total:.1f}s for {len(selected)} experiment(s)")
+
+    problems = validate_artifacts(selected)
+    if problems:
+        print(f"\nARTIFACT CHECK FAILED: {len(problems)} problem(s):")
+        for problem in problems:
+            print(f"  {problem}")
+    elif any(s["module"] in selected for s in ARTIFACT_SCHEMAS.values()):
+        print("\nartifact check: all required fields present")
+
     if failures:
         print(f"\nFAILED: {len(failures)} of {len(selected)} experiment(s) "
               "errored:")
         for name, exc in failures:
             print(f"  {name}: {exc!r}")
-        return 1
-    return 0
+    return 1 if failures or problems else 0
 
 
 if __name__ == "__main__":

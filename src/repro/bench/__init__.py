@@ -9,15 +9,21 @@ paper's tables and figures so EXPERIMENTS.md entries read side-by-side.
 from repro.bench.harness import (
     Measurement,
     build_probe_mix,
+    latency_summary_ns,
+    percentile,
     time_callable,
     time_per_item_us,
+    time_samples,
 )
 from repro.bench.reporting import format_speedup_table, format_series, print_header
 
 __all__ = [
     "Measurement",
+    "latency_summary_ns",
+    "percentile",
     "time_callable",
     "time_per_item_us",
+    "time_samples",
     "build_probe_mix",
     "format_speedup_table",
     "format_series",

@@ -7,10 +7,11 @@ measurement taking the best-of-k to suppress interpreter noise.
 
 from __future__ import annotations
 
+import math
 import random
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 
 @dataclass
@@ -56,6 +57,60 @@ def time_per_item_us(
 ) -> float:
     """Best-of-k microseconds per item."""
     return time_callable(func, repeats=repeats) * 1e6 / max(1, items)
+
+
+def time_samples(
+    func: Callable[[], object],
+    repeats: int = 3,
+    warmup: int = 1,
+) -> List[float]:
+    """Per-invocation wall-clock seconds for ``repeats`` runs of ``func``.
+
+    The raw samples behind :func:`time_callable`'s best-of-k — callers
+    that want a latency *distribution* (p50/p99) instead of a single
+    throughput number take these and feed them to
+    :func:`latency_summary_ns`.
+    """
+    for _ in range(warmup):
+        func()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of raw samples.
+
+    Nearest-rank keeps every reported value an *observed* latency —
+    no interpolation between samples — which is the convention service
+    benchmarks use for tail latencies.
+    """
+    if not samples:
+        raise ValueError("percentile of no samples")
+    ordered = sorted(samples)
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def latency_summary_ns(samples_seconds: Sequence[float],
+                       items_per_sample: int = 1) -> Dict[str, float]:
+    """The standard latency fields every BENCH record carries.
+
+    ``items_per_sample`` scales batch timings down to per-item latency
+    (a batched call over 5k keys contributes one sample worth
+    ``elapsed / 5000`` per key).
+    """
+    per_item = [s * 1e9 / max(1, items_per_sample) for s in samples_seconds]
+    return {
+        "latency_p50_ns": percentile(per_item, 50.0),
+        "latency_p99_ns": percentile(per_item, 99.0),
+        "latency_samples": len(per_item),
+    }
 
 
 def build_probe_mix(

@@ -9,7 +9,9 @@ Usage::
     python -m repro engine keys.txt [--base wyhash] [--batch-size 4096]
     python -m repro fuzz --structure probing --seed 7 --ops 200
     python -m repro fuzz --structure all --ci
+    python -m repro fuzz --structure chaos --execution process
     python -m repro serve --shards 4 --mix B --ops 20000 [--check]
+    python -m repro serve --shards 4 --execution process --check
 
 ``analyze`` profiles a newline-delimited key file (per-position entropy,
 the learned frontier).  ``train`` persists a model; ``recommend`` loads
@@ -202,131 +204,138 @@ def cmd_serve(args: argparse.Namespace) -> int:
         num_shards=args.shards, backend=args.backend, model=model,
         capacity=len(keys), max_queue=args.max_queue,
         batch_size=args.batch_size, seed=args.seed,
+        execution=args.execution,
     )
-    if args.inject:
-        from repro.faults import make_plane
-
-        service.arm_fault_plane(make_plane(args.inject, seed=args.chaos_seed))
-    client = ServiceClient(service)
-
-    start = time.perf_counter()
-    client.put_many((key, b"v0") for key in keys)
-    preload_s = time.perf_counter() - start
-
-    generator = WorkloadGenerator(keys, mix=args.mix, seed=args.seed,
-                                  zipf_theta=args.theta)
-    operations = list(generator.operations(args.ops))
-    start = time.perf_counter()
-    if args.force_trip:
-        half = len(operations) // 2
-        counts = run_service_workload(client, operations[:half])
-        service.force_trip(0)
-        for kind, n in run_service_workload(client, operations[half:]).items():
-            counts[kind] = counts.get(kind, 0) + n
-    else:
-        counts = run_service_workload(client, operations)
-    elapsed = time.perf_counter() - start
-    service.drain()
-    if args.inject:
-        # Pump through a full heal window (cooldown + probe at the
-        # default breaker pacing) so restarts finish and first-trip
-        # breakers get the chance to close before we report/check.
-        for _ in range(120):
-            service.pump()
-        service.drain()
-
-    stats = service.stats()
-    data_balance = service.router.balance_of(sorted(set(keys)))
-    payload = {
-        "stats": stats,
-        "data_balance": data_balance,
-        "operation_counts": counts,
-        "preload_seconds": preload_s,
-        "elapsed_seconds": elapsed,
-        "ops_per_second": args.ops / elapsed if elapsed > 0 else 0.0,
-        "client": {
-            "retries": client.retries,
-            "puts_accepted": client.puts_accepted,
-            "puts_acked": client.puts_acked,
-            "lost_acks": client.lost_acks,
-        },
-    }
-    if args.json:
-        print(json.dumps(payload, indent=2, sort_keys=True))
-    else:
-        print(f"served {args.ops} ops (mix {args.mix}, theta {args.theta}) "
-              f"over {args.shards} {args.backend} shard(s) "
-              f"in {elapsed:.2f}s ({payload['ops_per_second']:.0f} ops/s)")
-        print(f"  preload: {len(keys)} keys in {preload_s:.2f}s")
-        router = stats["router"]
-        print(f"  traffic balance: relative_std {router['relative_std']:.4f} "
-              f"(bound {router['bound']:.4f}, "
-              f"{'within' if router['within_bound'] else 'EXCEEDED'})")
-        print(f"  data balance:    relative_std "
-              f"{data_balance['relative_std']:.4f} "
-              f"(bound {data_balance['bound']:.4f}, "
-              f"{'within' if data_balance['within_bound'] else 'EXCEEDED'})")
-        print(f"  backpressure: {stats['rejected']} rejection(s), "
-              f"{client.retries} client retries")
-        print(f"  degraded: {stats['degraded']} "
-              f"({stats['degrade_events']} event(s))")
+    try:
         if args.inject:
-            faults = stats["faults"]
-            supervisor = stats["supervisor"]
-            print(f"  faults: {faults['total_fired']} fired of "
-                  f"{len(faults['specs'])} spec(s); "
-                  f"{supervisor['restarts']} restart(s), "
-                  f"{supervisor['reconciled_tickets']} ticket(s) reconciled")
-        for shard in stats["shards"]:
-            print(f"  shard {shard['shard']}: {shard['processed']} ops in "
-                  f"{shard['batches']} batches "
-                  f"(mean {shard['mean_batch_size']:.1f}, "
-                  f"peak queue {shard['peak_queue_depth']}, "
-                  f"rejected {shard['rejected']}, "
-                  f"size {shard['structure']['size']})")
-        print(f"  acks: {client.puts_acked}/{client.puts_accepted} OK, "
-              f"{client.lost_acks} lost")
+            from repro.faults import make_plane
 
-    if not args.check:
-        return 0
-    failures = []
-    if client.lost_acks != 0:
-        failures.append(f"{client.lost_acks} accepted put(s) never answered")
-    if not data_balance["within_bound"]:
-        failures.append(
-            f"data balance {data_balance['relative_std']:.4f} exceeds "
-            f"bound {data_balance['bound']:.4f}"
-        )
-    if service.pending:
-        failures.append(f"{service.pending} op(s) still queued after drain")
-    if args.backend in ("chaining", "probing", "lsm"):
-        # No mix without scans deletes preloaded keys, so a sample must
-        # read back non-None — acknowledged writes survived the run
-        # (and the forced degrade, when --force-trip).
-        sample = keys[: min(200, len(keys))]
-        got = client.multi_get(sample)
-        missing = sum(1 for value in got if value is None)
-        if missing:
-            failures.append(f"{missing}/{len(sample)} preloaded keys lost")
-    if args.force_trip and stats["degrade_events"] < 1:
-        # Breakers self-heal, so `degraded` can legitimately be False
-        # again by the end of the run; the trip itself must be on record.
-        failures.append("--force-trip never opened a circuit breaker")
-    if args.inject:
-        if stats["faults"]["total_fired"] < 1:
+            service.arm_fault_plane(make_plane(args.inject, seed=args.chaos_seed))
+        client = ServiceClient(service)
+
+        start = time.perf_counter()
+        client.put_many((key, b"v0") for key in keys)
+        preload_s = time.perf_counter() - start
+
+        generator = WorkloadGenerator(keys, mix=args.mix, seed=args.seed,
+                                      zipf_theta=args.theta)
+        operations = list(generator.operations(args.ops))
+        start = time.perf_counter()
+        if args.force_trip:
+            half = len(operations) // 2
+            counts = run_service_workload(client, operations[:half])
+            service.force_trip(0)
+            for kind, n in run_service_workload(client, operations[half:]).items():
+                counts[kind] = counts.get(kind, 0) + n
+        else:
+            counts = run_service_workload(client, operations)
+        elapsed = time.perf_counter() - start
+        service.drain()
+        if args.inject:
+            # Pump through a full heal window (cooldown + probe at the
+            # default breaker pacing) so restarts finish and first-trip
+            # breakers get the chance to close before we report/check.
+            for _ in range(120):
+                service.pump()
+            service.drain()
+
+        stats = service.stats()
+        data_balance = service.router.balance_of(sorted(set(keys)))
+        payload = {
+            "stats": stats,
+            "data_balance": data_balance,
+            "operation_counts": counts,
+            "preload_seconds": preload_s,
+            "elapsed_seconds": elapsed,
+            "ops_per_second": args.ops / elapsed if elapsed > 0 else 0.0,
+            "client": {
+                "retries": client.retries,
+                "puts_accepted": client.puts_accepted,
+                "puts_acked": client.puts_acked,
+                "lost_acks": client.lost_acks,
+            },
+        }
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"served {args.ops} ops (mix {args.mix}, theta {args.theta}) "
+                  f"over {args.shards} {args.backend} shard(s) "
+                  f"[{args.execution}] "
+                  f"in {elapsed:.2f}s ({payload['ops_per_second']:.0f} ops/s)")
+            print(f"  preload: {len(keys)} keys in {preload_s:.2f}s")
+            router = stats["router"]
+            print(f"  traffic balance: relative_std {router['relative_std']:.4f} "
+                  f"(bound {router['bound']:.4f}, "
+                  f"{'within' if router['within_bound'] else 'EXCEEDED'})")
+            print(f"  data balance:    relative_std "
+                  f"{data_balance['relative_std']:.4f} "
+                  f"(bound {data_balance['bound']:.4f}, "
+                  f"{'within' if data_balance['within_bound'] else 'EXCEEDED'})")
+            print(f"  backpressure: {stats['rejected']} rejection(s), "
+                  f"{client.retries} client retries")
+            print(f"  degraded: {stats['degraded']} "
+                  f"({stats['degrade_events']} event(s))")
+            if args.inject:
+                faults = stats["faults"]
+                supervisor = stats["supervisor"]
+                print(f"  faults: {faults['total_fired']} fired of "
+                      f"{len(faults['specs'])} spec(s); "
+                      f"{supervisor['restarts']} restart(s), "
+                      f"{supervisor['reconciled_tickets']} ticket(s) reconciled")
+            for shard in stats["shards"]:
+                print(f"  shard {shard['shard']}: {shard['processed']} ops in "
+                      f"{shard['batches']} batches "
+                      f"(mean {shard['mean_batch_size']:.1f}, "
+                      f"peak queue {shard['peak_queue_depth']}, "
+                      f"rejected {shard['rejected']}, "
+                      f"size {shard['structure']['size']})")
+            print(f"  acks: {client.puts_acked}/{client.puts_accepted} OK, "
+                  f"{client.lost_acks} lost")
+
+        if not args.check:
+            return 0
+        failures = []
+        if client.lost_acks != 0:
+            failures.append(f"{client.lost_acks} accepted put(s) never answered")
+        if not data_balance["within_bound"]:
             failures.append(
-                "no injected fault ever fired (check the spec's shard/after)"
+                f"data balance {data_balance['relative_std']:.4f} exceeds "
+                f"bound {data_balance['bound']:.4f}"
             )
-        dead = [w.shard_id for w in service.workers if w.crashed]
-        if dead:
-            failures.append(
-                f"shard(s) {dead} left dead after the heal window"
-            )
-    for failure in failures:
-        print(f"CHECK FAILED: {failure}", file=sys.stderr)
-    if not failures:
-        print("all checks passed: zero lost acks, shards balanced")
-    return 1 if failures else 0
+        if service.pending:
+            failures.append(f"{service.pending} op(s) still queued after drain")
+        if args.backend in ("chaining", "probing", "lsm"):
+            # No mix without scans deletes preloaded keys, so a sample must
+            # read back non-None — acknowledged writes survived the run
+            # (and the forced degrade, when --force-trip).
+            sample = keys[: min(200, len(keys))]
+            got = client.multi_get(sample)
+            missing = sum(1 for value in got if value is None)
+            if missing:
+                failures.append(f"{missing}/{len(sample)} preloaded keys lost")
+        if args.force_trip and stats["degrade_events"] < 1:
+            # Breakers self-heal, so `degraded` can legitimately be False
+            # again by the end of the run; the trip itself must be on record.
+            failures.append("--force-trip never opened a circuit breaker")
+        if args.inject:
+            if stats["faults"]["total_fired"] < 1:
+                failures.append(
+                    "no injected fault ever fired (check the spec's shard/after)"
+                )
+            dead = [w.shard_id for w in service.workers if w.crashed]
+            if dead:
+                failures.append(
+                    f"shard(s) {dead} left dead after the heal window"
+                )
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        if not failures:
+            print("all checks passed: zero lost acks, shards balanced")
+        return 1 if failures else 0
+    finally:
+        # Process-execution shards hold OS processes and a shared-
+        # memory block; release them on every exit path.
+        service.close()
 
 
 # Seeds the CI job sweeps; a bounded, deterministic subset of the space.
@@ -361,9 +370,21 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     else:
         runs = [(name, args.seed, args.cases, args.ops) for name in names]
 
+    # --execution pins the service-layer targets to one execution
+    # backend; structure-only targets have no service to configure.
+    _SERVICE_TARGETS = frozenset({"service", "chaos"})
+
     failed = False
     for name, seed, cases, ops_per_case in runs:
-        report = fuzz(name, seed=seed, cases=cases, ops_per_case=ops_per_case)
+        # Passed only when set, so the default call shape (and anything
+        # substituting for fuzz in tests) stays unchanged.
+        kwargs = (
+            {"config_overrides": {"execution": args.execution}}
+            if args.execution != "inline" and name in _SERVICE_TARGETS
+            else {}
+        )
+        report = fuzz(name, seed=seed, cases=cases, ops_per_case=ops_per_case,
+                      **kwargs)
         status = "ok" if report.ok else "DIVERGED"
         print(f"{name:16s} seed={seed:<4d} cases={report.cases:<3d} "
               f"ops={report.ops_run:<6d} {status}")
@@ -453,6 +474,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--ci", action="store_true",
                       help="run the fixed CI seed sweep (ignores "
                            "--seed/--cases/--ops)")
+    fuzz.add_argument("--execution", default="inline",
+                      choices=("inline", "process"),
+                      help="execution backend for the service/chaos "
+                           "targets (other targets ignore it)")
     fuzz.add_argument("--list", action="store_true",
                       help="list available targets and exit")
     fuzz.set_defaults(func=cmd_fuzz)
@@ -467,6 +492,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backend", default="chaining",
                        choices=("chaining", "probing", "lsm", "bloom",
                                 "cuckoo_filter"))
+    serve.add_argument("--execution", default="inline",
+                       choices=("inline", "process"),
+                       help="where shards execute: the cooperative "
+                            "in-interpreter pump, or one OS process per "
+                            "shard over shared memory")
     serve.add_argument("--mix", default="B",
                        help="YCSB mix (no-scan mixes: A, B, C, D, F)")
     serve.add_argument("--ops", type=int, default=20000)

@@ -296,6 +296,24 @@ class HashEngine:
         if self.monitor is not None:
             self.monitor.reset()
 
+    # ------------------------------------------------------------- pickling
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Engines cross process boundaries (shard-child specs, spawn
+        start methods) without their unpicklable or rebuildable parts:
+        compiled plans and the seeded-hasher cache are recompiled
+        lazily on first use, and a mounted fault hook is a closure over
+        the parent's FaultPlane that must *not* follow the engine —
+        injection decisions stay parent-side."""
+        state = self.__dict__.copy()
+        state["_plans"] = {}
+        state["_seeded"] = {}
+        state["fault_hook"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
     def stats(self) -> Dict[str, object]:
         """JSON-serializable snapshot of the engine's counters."""
         snapshot = self._stats.snapshot()

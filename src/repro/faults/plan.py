@@ -7,18 +7,24 @@ fires (``count``), and an optional probability per opportunity
 (``rate`` — evaluated with the :class:`~repro.faults.plane.FaultPlane`'s
 seeded RNG, so a plan plus a seed is fully deterministic).
 
-The five kinds map onto the injection points threaded through the
+The six kinds map onto the injection points threaded through the
 service and the engine:
 
 =============  ======================  =======================================
 kind           injection point         effect
 =============  ======================  =======================================
-``crash``      ``Worker.pump``         raises :class:`InjectedCrash` mid-batch
-``stall``      ``Worker.pump``         returns without draining the queue
-``drop``       ``Worker.pump``         pops a batch, never answers its tickets
+``crash``      ``Worker.dispatch``     a mid-batch crash: inline workers raise
+                                       :class:`InjectedCrash`; process-backend
+                                       shard children ``os._exit`` for real
+``sigkill``    ``Worker.dispatch``     a real ``SIGKILL`` to the shard child
+                                       mid-batch (process execution); inline
+                                       workers degrade it to ``crash``
+``stall``      ``Worker.dispatch``     returns without draining the queue
+``drop``       ``Worker.dispatch``     pops a batch, never answers its tickets
 ``corrupt``    ``HashEngine``          amplifies insert signals (entropy
                                        collapse as the CollisionMonitor sees
-                                       it); filter/LSM shards trip directly
+                                       it); filter/LSM/process shards trip
+                                       directly
 ``queue_loss`` ``Service.submit`` /    an admitted ticket never reaches the
                ``ShardRouter``         shard queue (the slot is lost)
 =============  ======================  =======================================
@@ -35,7 +41,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Sequence
 
-FAULT_KINDS = ("crash", "stall", "drop", "corrupt", "queue_loss")
+FAULT_KINDS = ("crash", "sigkill", "stall", "drop", "corrupt", "queue_loss")
 
 # Documentation-grade scope names accepted in spec strings; the kind
 # alone determines the injection point, the scope just reads well.

@@ -16,8 +16,25 @@ probes its way back to partial-key hashing, and its siblings never stop
 using the entropy-learned fast path.  :class:`ServiceClient` wraps it
 all in plain blocking calls with bounded waiting (backoff budgets and
 deadlines) for in-process use, load generation, and tests.
+
+Since PR 6 *where* a shard executes is pluggable: the worker shell
+(queue, tickets, journal, fault hooks) delegates structure work to an
+:class:`ExecutionBackend` — :class:`InlineBackend` keeps the original
+cooperative single-interpreter pump as the differential-fuzzer
+reference, :class:`ProcessBackend` runs one OS process per shard over
+bounded ``multiprocessing`` queues with heartbeat counters in shared
+memory, so N shards finally use N cores and a real ``kill -9`` is just
+another recoverable crash.
 """
 
+from repro.service.adapters import AdapterSpec, make_adapter
+from repro.service.backends import (
+    EXECUTIONS,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    fork_available,
+)
 from repro.service.breaker import CircuitBreaker
 from repro.service.client import (
     DeadlineExceededError,
@@ -25,16 +42,26 @@ from repro.service.client import (
     ServiceOverloadedError,
     run_service_workload,
 )
+from repro.service.core import ShardCore
 from repro.service.journal import ShardJournal
 from repro.service.protocol import FAILED, OK, OPS, REJECTED, Request, Response, Ticket
 from repro.service.router import ShardRouter
 from repro.service.service import Service
+from repro.service.state import ShardStateBlock
 from repro.service.supervisor import Supervisor
-from repro.service.worker import BACKENDS, Worker, make_adapter
+from repro.service.worker import BACKENDS, Worker
 
 __all__ = [
+    "AdapterSpec",
     "BACKENDS",
     "CircuitBreaker",
+    "EXECUTIONS",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessBackend",
+    "ShardCore",
+    "ShardStateBlock",
+    "fork_available",
     "DeadlineExceededError",
     "FAILED",
     "OK",

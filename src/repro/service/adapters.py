@@ -1,0 +1,453 @@
+"""Structure adapters: the uniform batched facade each shard serves.
+
+A :class:`StructureAdapter` wraps exactly one ELH structure (table,
+filter, or LSM store) behind the get/put/delete/contains batch paths
+the worker drains segments into, plus the degraded-mode machinery:
+``tripped`` reports whether the structure's CollisionMonitor forced a
+full-key fallback, ``fall_back()`` rebuilds the structure under
+full-key hashing without losing a single stored entry,
+``restore_partial_key()`` undoes the fallback for a circuit-breaker
+probe, and ``force_trip()`` injects a pathological displacement burst
+through the real monitor (the same trigger the fuzz harness uses) for
+drills and tests.
+
+Adapters historically lived inside ``service/worker.py``; they moved
+here when the execution-backend refactor split the worker into a
+transport shell and a pure per-shard core, because a
+:class:`~repro.service.backends.ProcessBackend` child must be able to
+build its structure *inside* the child process.  That is what
+:class:`AdapterSpec` is for: a small picklable recipe (backend name,
+capacity, model/hasher, seed) that crosses the process boundary and is
+rebuilt into a live adapter on the far side — the structures themselves
+never travel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.greedy import GreedyResult
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import EntropyModel
+from repro.engine import CollisionMonitor
+
+BACKENDS = ("chaining", "probing", "lsm", "bloom", "cuckoo_filter")
+
+
+def _full_key_model(base: str) -> EntropyModel:
+    """A model whose every recommendation is full-key hashing."""
+    return EntropyModel(result=GreedyResult(
+        positions=[], word_size=8, entropies=[], train_collisions=[],
+        train_size=0, eval_size=0,
+    ), base=base)
+
+
+class StructureAdapter:
+    """Uniform batched facade over one ELH structure."""
+
+    backend: str = ""
+    supported: frozenset = frozenset()
+    # True when the structure feeds per-insert collision signals through
+    # a HashEngine + CollisionMonitor (tables do; filters and the LSM
+    # trip through coarser, adapter-level paths).
+    monitorable: bool = False
+
+    def __init__(self) -> None:
+        self._degraded = False
+
+    # Batch entry points; ``keys`` is never empty.
+    def get_batch(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        raise NotImplementedError
+
+    def put_batch(
+        self, keys: Sequence[bytes], values: Sequence[bytes]
+    ) -> Optional[List[bool]]:
+        """Store key/value pairs; a list of per-key acks, or None for all-ok."""
+        raise NotImplementedError
+
+    def delete_batch(self, keys: Sequence[bytes]) -> List[Optional[bool]]:
+        raise NotImplementedError
+
+    def contains_batch(self, keys: Sequence[bytes]) -> List[bool]:
+        raise NotImplementedError
+
+    # Degraded-mode hooks.
+    @property
+    def tripped(self) -> bool:
+        """Did this structure's monitor force a full-key fallback?"""
+        return self._degraded
+
+    @property
+    def engine(self):
+        """The structure's HashEngine, or None (LSM shards own several)."""
+        return None
+
+    def fall_back(self) -> None:
+        """Rebuild under full-key hashing; every stored entry survives."""
+        raise NotImplementedError
+
+    def restore_partial_key(self) -> None:
+        """Undo a fallback: rebuild under the pristine partial-key
+        hasher with a reset monitor (the breaker's half-open probe)."""
+        raise NotImplementedError
+
+    def force_trip(self) -> None:
+        """Drive the real CollisionMonitor over its budget (drills)."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, object]:
+        return {"backend": self.backend, "fell_back": self.tripped}
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class TableAdapter(StructureAdapter):
+    """Chaining/probing hash tables: the full get/put/delete/contains set."""
+
+    supported = frozenset({"get", "put", "delete", "contains"})
+
+    def __init__(self, table, backend: str, monitorable: bool = False):
+        super().__init__()
+        self.table = table
+        self.backend = backend
+        # Only the EntropyAware tables feed per-insert displacement
+        # signals to the engine's monitor; plain hasher-built tables
+        # have no record_insert call sites, so corruption must trip
+        # them through the service-level path instead.
+        self.monitorable = monitorable
+        # Pre-fallback hasher, kept so a breaker probe can restore the
+        # learned partial-key configuration after a full-key quarantine.
+        self._pristine_hasher = table.engine.hasher
+
+    @property
+    def tripped(self) -> bool:
+        return self._degraded or self.table.engine.fell_back
+
+    @property
+    def engine(self):
+        return self.table.engine
+
+    def get_batch(self, keys):
+        return self.table.probe_batch(list(keys))
+
+    def put_batch(self, keys, values):
+        self.table.insert_batch(list(keys), list(values))
+        return None
+
+    def delete_batch(self, keys):
+        return [self.table.delete(k) for k in keys]
+
+    def contains_batch(self, keys):
+        # Stored values are request payload bytes, never None.
+        return [v is not None for v in self.table.probe_batch(list(keys))]
+
+    def fall_back(self):
+        if self._degraded:
+            return
+        engine = self.table.engine
+        if not engine.fell_back:
+            engine.fall_back_to_full_key()
+        # Re-place every entry under the (now full-key) engine hasher.
+        self.table.rebuild_with_hasher(engine.hasher)
+        self._degraded = True
+
+    def force_trip(self):
+        engine = self.table.engine
+        if engine.hasher.partial_key.is_full_key:
+            self.fall_back()
+            return
+        if engine.monitor is None:
+            engine.monitor = CollisionMonitor(
+                entropy=0.0, num_slots=4, min_inserts=1
+            )
+        engine.monitor.min_inserts = 1
+        # A displacement burst no entropy budget survives: the monitor
+        # votes FALL_BACK and the engine swaps itself to full-key.
+        engine.record_insert(1e9, expected=0.0, n=4096)
+        self.table.rebuild_with_hasher(engine.hasher)
+        self._degraded = True
+
+    def restore_partial_key(self):
+        if not self.tripped:
+            return
+        engine = self.table.engine
+        engine.rearm(self._pristine_hasher)
+        # Re-place every entry under the restored partial-key hasher; if
+        # the data is genuinely low-entropy the monitor re-trips during
+        # this very rebuild and the probe fails on the next check.
+        self.table.rebuild_with_hasher(engine.hasher)
+        self._degraded = False
+
+    def stats(self):
+        out = super().stats()
+        out["size"] = len(self.table)
+        out["engine"] = {
+            "keys_hashed": self.table.engine.counters.keys_hashed,
+            "batches": self.table.engine.counters.batches,
+        }
+        return out
+
+    def __len__(self):
+        return len(self.table)
+
+
+class FilterAdapter(StructureAdapter):
+    """Approximate-membership shards: put=add, contains; no get.
+
+    Keeps the acked key list so a full-key fallback can rebuild the
+    filter without losing a member (filters cannot rehash in place).
+    """
+
+    def __init__(self, filter_obj, backend: str, capacity: int):
+        super().__init__()
+        self.filter = filter_obj
+        self.backend = backend
+        self.capacity = capacity
+        self.supported = frozenset(
+            {"put", "contains", "delete"} if backend == "cuckoo_filter"
+            else {"put", "contains"}
+        )
+        self._members: List[bytes] = []
+        self._pristine_hasher = filter_obj.engine.hasher
+
+    @property
+    def tripped(self) -> bool:
+        return self._degraded or self.filter.engine.fell_back
+
+    @property
+    def engine(self):
+        return self.filter.engine
+
+    def get_batch(self, keys):  # pragma: no cover - guarded by `supported`
+        raise NotImplementedError("filters store membership, not values")
+
+    def put_batch(self, keys, values):
+        keys = list(keys)
+        if self.backend == "cuckoo_filter":
+            acks = list(self.filter.add_batch(keys))
+            self._members.extend(k for k, ok in zip(keys, acks) if ok)
+            return acks
+        self.filter.add_batch(keys)
+        self._members.extend(keys)
+        return None
+
+    def delete_batch(self, keys):
+        results = []
+        for key in keys:
+            removed = bool(self.filter.remove(key))
+            if removed:
+                self._members.remove(key)
+            results.append(removed)
+        return results
+
+    def contains_batch(self, keys):
+        return [bool(x) for x in self.filter.contains_batch(list(keys))]
+
+    def _rebuild(self, hasher: EntropyLearnedHasher) -> None:
+        from repro.filters.bloom import BloomFilter
+        from repro.filters.cuckoo import CuckooFilter
+
+        old = self.filter
+        if self.backend == "cuckoo_filter":
+            self.filter = CuckooFilter(
+                hasher, self.capacity,
+                fingerprint_bits=old.fingerprint_bits,
+            )
+        else:
+            self.filter = BloomFilter(
+                hasher, num_bits=old.num_bits, num_hashes=old.num_hashes
+            )
+        if self._members:
+            self.filter.add_batch(list(self._members))
+
+    def fall_back(self):
+        if self._degraded:
+            return
+        engine = self.filter.engine
+        if not engine.fell_back:
+            engine.fall_back_to_full_key()
+        self._rebuild(engine.hasher)
+        self._degraded = True
+
+    def force_trip(self):
+        self.fall_back()
+
+    def restore_partial_key(self):
+        if not self.tripped:
+            return
+        engine = self.filter.engine
+        engine.rearm(self._pristine_hasher)
+        self._rebuild(engine.hasher)
+        self._degraded = False
+
+    def stats(self):
+        out = super().stats()
+        out["size"] = len(self._members)
+        return out
+
+    def __len__(self):
+        return len(self._members)
+
+
+class LsmAdapter(StructureAdapter):
+    """LSM store shard: get/put/delete/contains over runs with filters."""
+
+    backend = "lsm"
+    supported = frozenset({"get", "put", "delete", "contains"})
+
+    def __init__(self, store):
+        super().__init__()
+        self.store = store
+
+    def get_batch(self, keys):
+        return self.store.multi_get(list(keys))
+
+    def put_batch(self, keys, values):
+        for key, value in zip(keys, values):
+            self.store.put(key, value)
+        return None
+
+    def delete_batch(self, keys):
+        # LSM deletes write tombstones; they don't report prior presence.
+        for key in keys:
+            self.store.delete(key)
+        return [None] * len(keys)
+
+    def contains_batch(self, keys):
+        missing = object()
+        got = self.store.multi_get(list(keys), default=missing)
+        return [value is not missing for value in got]
+
+    def fall_back(self):
+        if self._degraded:
+            return
+        from repro.kvstore.sstable import SSTable
+
+        self.store.flush()
+        empty = _full_key_model("xxh3")
+        # Rebuild every run's filter under full-key hashing; entries are
+        # carried over verbatim, so no acknowledged write is lost.
+        self.store.runs = [
+            SSTable(run.entries(), model=empty) for run in self.store.runs
+        ]
+        self._degraded = True
+
+    def force_trip(self):
+        self.fall_back()
+
+    def restore_partial_key(self):
+        if not self._degraded:
+            return
+        from repro.kvstore.sstable import SSTable
+
+        self.store.flush()
+        # model=None retrains a per-run partial-key model, the same path
+        # a freshly flushed run takes.
+        self.store.runs = [
+            SSTable(run.entries(), model=None) for run in self.store.runs
+        ]
+        self._degraded = False
+
+    def stats(self):
+        out = super().stats()
+        out["size"] = self.store.total_entries()
+        out["runs"] = self.store.num_runs
+        return out
+
+    def __len__(self):
+        return self.store.total_entries()
+
+
+def make_adapter(
+    backend: str,
+    capacity: int,
+    model=None,
+    hasher: Optional[EntropyLearnedHasher] = None,
+    seed: int = 0,
+) -> StructureAdapter:
+    """Build one shard's structure from a model (production) or a raw
+    hasher (tests/fuzzing).  Exactly one of ``model``/``hasher``."""
+    if (model is None) == (hasher is None):
+        raise ValueError("pass exactly one of model= or hasher=")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+
+    capacity = max(capacity, 4)
+    if backend == "chaining":
+        from repro.tables.chaining import EntropyAwareTable, SeparateChainingTable
+
+        table = (EntropyAwareTable(model, capacity=capacity, seed=seed)
+                 if model is not None
+                 else SeparateChainingTable(hasher, capacity=capacity))
+        return TableAdapter(table, backend, monitorable=model is not None)
+    if backend == "probing":
+        from repro.tables.probing import EntropyAwareProbingTable, LinearProbingTable
+
+        table = (EntropyAwareProbingTable(model, capacity=capacity, seed=seed)
+                 if model is not None
+                 else LinearProbingTable(hasher, capacity=capacity))
+        return TableAdapter(table, backend, monitorable=model is not None)
+    if backend == "lsm":
+        from repro.kvstore.store import LSMStore
+
+        return LsmAdapter(LSMStore(memtable_bytes=max(1024, capacity * 8)))
+    if backend == "bloom":
+        from repro.filters.bloom import BloomFilter
+
+        h = hasher if hasher is not None else model.hasher_for_bloom_filter(
+            capacity, seed=seed
+        )
+        return FilterAdapter(
+            BloomFilter.for_items(h, capacity), backend, capacity
+        )
+    from repro.filters.cuckoo import CuckooFilter
+
+    h = hasher if hasher is not None else model.hasher_for_bloom_filter(
+        capacity, seed=seed
+    )
+    return FilterAdapter(CuckooFilter(h, capacity), backend, capacity)
+
+
+@dataclass(frozen=True)
+class AdapterSpec:
+    """A picklable recipe for one shard's structure.
+
+    Carries only the small, serializable inputs of :func:`make_adapter`
+    — never a live structure — so the same spec can build the adapter
+    in the parent (inline execution) or inside a freshly spawned shard
+    child (process execution), and both builds are bit-identical for a
+    given seed.
+    """
+
+    backend: str
+    capacity: int
+    model: Optional[EntropyModel] = None
+    hasher: Optional[EntropyLearnedHasher] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if (self.model is None) == (self.hasher is None):
+            raise ValueError("pass exactly one of model= or hasher=")
+
+    def build(self) -> StructureAdapter:
+        return make_adapter(
+            self.backend, self.capacity,
+            model=self.model, hasher=self.hasher, seed=self.seed,
+        )
+
+
+__all__ = [
+    "BACKENDS",
+    "StructureAdapter",
+    "TableAdapter",
+    "FilterAdapter",
+    "LsmAdapter",
+    "make_adapter",
+    "AdapterSpec",
+]

@@ -1,0 +1,650 @@
+"""Execution backends: how a shard's core actually runs.
+
+The worker shell (queueing, tickets, journal, fault hooks) is backend-
+agnostic; an :class:`ExecutionBackend` decides *where* the
+:class:`~repro.service.core.ShardCore` lives and how wire segments
+reach it:
+
+* :class:`InlineBackend` — the core is embedded in the parent and
+  serves synchronously inside ``Worker.dispatch``.  This is the
+  original cooperative pump, kept byte-for-byte as the differential
+  fuzzer's reference semantics: same fault injection points, same
+  segment atomicity, same journal-at-ack ordering.
+* :class:`ProcessBackend` — one forked OS process per shard.  Wire
+  segments travel over a bounded ``multiprocessing`` queue, results
+  come back the same way, and the child bumps a heartbeat counter in
+  :class:`~repro.service.state.ShardStateBlock` shared memory after
+  every segment so the parent can tell slow from dead.  Dispatch and
+  collect are split phases: ``Service.pump`` dispatches one batch to
+  *every* shard before collecting any, which is where the multi-core
+  parallelism comes from.
+
+The crash model is identical on both sides because acknowledgement and
+journaling are parent-side shell work: a child that dies mid-batch
+(injected ``crash`` directive, injected ``sigkill``, or a genuine
+out-of-band ``kill -9``) has answered some prefix of its segments;
+exactly that prefix was acked and journaled, the rest of the tickets
+reconcile back to the front of the queue, and the replacement child is
+rebuilt from the acked-only journal — so nothing acked is lost and
+nothing unacked is double-applied, no matter how rudely the process
+died.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as pyqueue
+import signal
+import time
+import weakref
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.faults import InjectedCrash
+
+from repro.service.adapters import AdapterSpec, StructureAdapter
+from repro.service.core import ShardCore
+from repro.service.state import (
+    ALIVE,
+    BATCHES,
+    HEARTBEAT,
+    INCARNATION,
+    PROCESSED,
+    REPLAYED,
+    SEGMENTS,
+    SLOTS_PER_SHARD,
+    TRIPPED,
+    ShardStateBlock,
+)
+
+EXECUTIONS = ("inline", "process")
+
+# Exit code a child uses for an injected crash directive, to make a
+# deliberate death distinguishable from a Python fault in post-mortems.
+_CRASH_EXIT = 23
+# How long a child waits on its command queue before re-checking that
+# its parent is still alive (orphan children must not linger forever).
+_ORPHAN_POLL_S = 5.0
+
+
+def fork_available() -> bool:
+    """Process execution requires the ``fork`` start method: adapter
+    specs, journals, and shared-memory views are passed to the child by
+    inheritance, never pickled through a spawn server."""
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ExecutionBackend:
+    """Where and how one shard's core executes."""
+
+    kind: str = ""
+
+    @property
+    def adapter(self) -> Optional[StructureAdapter]:
+        """The live in-parent adapter, or None when the structure lives
+        in a child process (engine fault hooks then do not apply)."""
+        return None
+
+    @property
+    def structure_backend(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def tripped(self) -> bool:
+        raise NotImplementedError
+
+    def start(self, worker) -> None:
+        """Bring the core up (no-op inline; first child spawn for
+        process execution).  Called once from ``Worker.__init__``."""
+
+    def serve(self, worker, segments, crash_at, kill) -> int:
+        """Apply one batch, already split into same-op ticket segments.
+
+        Inline execution serves synchronously and returns the number of
+        ops absorbed; process execution ships the batch to the child
+        and returns 0 — the results land in :meth:`collect`.
+        ``crash_at`` injects a mid-batch crash before that segment
+        index; ``kill`` delivers a real SIGKILL instead.
+        """
+        raise NotImplementedError
+
+    def collect(self, worker) -> int:
+        """Absorb the results of the last dispatched batch, if any."""
+        return 0
+
+    def restart(self, worker) -> None:
+        """Rebuild the core from the worker's acked-only journal."""
+        raise NotImplementedError
+
+    def fall_back(self, worker) -> None:
+        raise NotImplementedError
+
+    def restore_partial_key(self, worker) -> None:
+        raise NotImplementedError
+
+    def force_trip(self, worker) -> None:
+        raise NotImplementedError
+
+    def structure_stats(self, worker) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release child processes/queues (idempotent; no-op inline)."""
+
+    def stats(self) -> Dict[str, object]:
+        return {"execution": self.kind}
+
+
+class InlineBackend(ExecutionBackend):
+    """The original cooperative pump: the core runs in the parent."""
+
+    kind = "inline"
+
+    def __init__(self, adapter: StructureAdapter):
+        self.core = ShardCore(adapter)
+
+    @property
+    def adapter(self) -> StructureAdapter:
+        return self.core.adapter
+
+    @property
+    def structure_backend(self) -> str:
+        return self.core.adapter.backend
+
+    @property
+    def tripped(self) -> bool:
+        return self.core.adapter.tripped
+
+    def serve(self, worker, segments, crash_at, kill) -> int:
+        # An inline worker has no process to kill: an injected sigkill
+        # degenerates to the ordinary mid-batch crash directive, which
+        # keeps fault plans portable across executions.
+        if kill and crash_at is None:
+            crash_at = len(segments) // 2
+        served = 0
+        try:
+            for index, segment in enumerate(segments):
+                if crash_at is not None and index == crash_at:
+                    worker.crashed = True
+                    raise InjectedCrash(
+                        f"worker {worker.shard_id} crashed mid-batch "
+                        f"(segment {index}/{len(segments)})"
+                    )
+                op = segment[0].request.op
+                keys = [t.request.key for t in segment]
+                values = ([t.request.value for t in segment]
+                          if op == "put" else None)
+                result = self.core.serve_segment(op, keys, values)
+                worker._absorb_segment(op, segment, result)
+                for ticket in segment:
+                    worker.inflight.pop(ticket.request_id, None)
+                served += len(segment)
+        finally:
+            # Segments served before a crash were applied, acked, and
+            # journaled atomically; they count as processed.
+            worker.processed += served
+        return served
+
+    def restart(self, worker) -> None:
+        if worker.factory is None:
+            raise RuntimeError(
+                f"worker {worker.shard_id} crashed but has no adapter factory"
+            )
+        self.core = ShardCore(worker.factory())
+        worker.journal.replay(self.core.adapter)
+
+    def fall_back(self, worker) -> None:
+        self.core.fall_back()
+
+    def restore_partial_key(self, worker) -> None:
+        self.core.restore_partial_key()
+
+    def force_trip(self, worker) -> None:
+        self.core.force_trip()
+
+    def structure_stats(self, worker) -> Dict[str, object]:
+        return self.core.stats()
+
+
+def _shard_child_main(
+    shard_id: int,
+    spec: AdapterSpec,
+    entries: List,
+    state_row: Optional[np.ndarray],
+    incarnation: int,
+    cmd_q,
+    res_q,
+) -> None:
+    """One shard child: build the core, replay the journal, serve.
+
+    Runs in a forked process.  Everything it receives arrived by fork
+    inheritance (no pickling), everything it sends back is plain wire
+    data.  It exits through ``os._exit`` in every path so a shard child
+    never runs the parent's atexit machinery it inherited.
+    """
+    if state_row is None:
+        state_row = np.zeros(SLOTS_PER_SHARD, dtype=np.uint64)
+    state_row[ALIVE] = 1
+    state_row[INCARNATION] = incarnation
+    parent_pid = os.getppid()
+    exit_code = 0
+
+    def _replay_progress(n: int) -> None:
+        state_row[HEARTBEAT] += 1
+        state_row[REPLAYED] += n
+
+    try:
+        core = ShardCore.from_spec(spec, entries, progress=_replay_progress)
+        state_row[TRIPPED] = 1 if core.tripped else 0
+        res_q.put(("ready", incarnation, bool(core.tripped), core.stats()))
+        while True:
+            try:
+                msg = cmd_q.get(timeout=_ORPHAN_POLL_S)
+            except pyqueue.Empty:
+                # Orphan check: a parent that was itself SIGKILLed can
+                # never send "stop"; don't linger behind it.
+                if os.getppid() != parent_pid:
+                    break
+                continue
+            tag = msg[0]
+            if tag == "stop":
+                break
+            if tag == "ctl":
+                _, inc, name = msg
+                payload = core.control(name)
+                state_row[HEARTBEAT] += 1
+                state_row[TRIPPED] = 1 if core.tripped else 0
+                res_q.put(
+                    ("ctl_done", inc, name, payload, bool(core.tripped))
+                )
+            elif tag == "batch":
+                _, inc, batch_id, segments, crash_at = msg
+                results = []
+                for index, (op, keys, values) in enumerate(segments):
+                    if crash_at is not None and index == crash_at:
+                        # Injected crash directive: report the prefix
+                        # that *was* applied (the parent acks and
+                        # journals exactly that much), flush, and die
+                        # for real — this is a genuine process death,
+                        # not a simulation of one.
+                        state_row[ALIVE] = 0
+                        res_q.put((
+                            "served", inc, batch_id, results,
+                            True, bool(core.tripped),
+                        ))
+                        res_q.close()
+                        res_q.join_thread()
+                        os._exit(_CRASH_EXIT)
+                    results.append(core.serve_segment(op, keys, values))
+                    state_row[HEARTBEAT] += 1
+                    state_row[SEGMENTS] += 1
+                    state_row[PROCESSED] += len(keys)
+                state_row[BATCHES] += 1
+                state_row[TRIPPED] = 1 if core.tripped else 0
+                res_q.put((
+                    "served", inc, batch_id, results,
+                    False, bool(core.tripped),
+                ))
+    except (KeyboardInterrupt, SystemExit):
+        exit_code = 1
+    except BaseException:
+        # A structure bug is just another crash to the parent: it sees
+        # the dead child, reconciles the batch, and rebuilds from the
+        # journal.  Die loudly enough for a post-mortem exit code.
+        exit_code = 1
+    finally:
+        state_row[ALIVE] = 0
+        try:
+            res_q.close()
+            res_q.join_thread()
+        except Exception:
+            pass
+    os._exit(exit_code)
+
+
+def _terminate(process) -> None:
+    """Module-level so a weakref finalizer can hold it without keeping
+    the backend itself alive."""
+    if process is None or process.pid is None:
+        return
+    try:
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=1.0)
+    except Exception:
+        pass
+
+
+class ProcessBackend(ExecutionBackend):
+    """One OS process per shard over bounded queues + shared memory."""
+
+    kind = "process"
+
+    def __init__(
+        self,
+        spec: AdapterSpec,
+        state: ShardStateBlock,
+        shard_id: int,
+        ctx=None,
+        collect_timeout: float = 30.0,
+        queue_size: int = 4,
+    ):
+        if ctx is None:
+            import multiprocessing
+
+            if not fork_available():
+                raise RuntimeError(
+                    "process execution requires the 'fork' start method "
+                    "(adapter specs and shared-memory views cross the "
+                    "boundary by inheritance)"
+                )
+            ctx = multiprocessing.get_context("fork")
+        self.spec = spec
+        self.state = state
+        self.shard_id = shard_id
+        self.ctx = ctx
+        self.collect_timeout = collect_timeout
+        self.queue_size = queue_size
+        self.incarnation = 0
+        self.process = None
+        self.cmd_q = None
+        self.res_q = None
+        self._batch_id = 0
+        self._outstanding = None
+        self._killed = False
+        self._tripped = False
+        self._structure_stats: Dict[str, object] = {
+            "backend": spec.backend, "fell_back": False,
+        }
+        self._finalizer = None
+
+    # --------------------------------------------------------- lifecycle
+
+    @property
+    def structure_backend(self) -> str:
+        return self.spec.backend
+
+    @property
+    def tripped(self) -> bool:
+        return self._tripped
+
+    @property
+    def child_alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def start(self, worker) -> None:
+        self._spawn(worker)
+
+    def restart(self, worker) -> None:
+        self._stop_child()
+        self._outstanding = None
+        self._killed = False
+        self._spawn(worker)
+        # The replay happened on the child's side of the fork; the
+        # parent journal still owns the count.
+        worker.journal.mark_replay()
+
+    def close(self) -> None:
+        self._stop_child(graceful=True)
+        self._close_queues()
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+
+    def _spawn(self, worker) -> None:
+        self.incarnation += 1
+        self.state.reset(self.shard_id, self.incarnation)
+        self._close_queues()
+        self.cmd_q = self.ctx.Queue(self.queue_size)
+        self.res_q = self.ctx.Queue(self.queue_size)
+        entries = worker.journal.snapshot()
+        self.process = self.ctx.Process(
+            target=_shard_child_main,
+            args=(
+                self.shard_id, self.spec, entries,
+                self.state.view(self.shard_id) if self.state.shared else None,
+                self.incarnation, self.cmd_q, self.res_q,
+            ),
+            daemon=True,
+            name=f"repro-shard-{self.shard_id}-gen{self.incarnation}",
+        )
+        self.process.start()
+        if self._finalizer is not None:
+            self._finalizer.detach()
+        self._finalizer = weakref.finalize(self, _terminate, self.process)
+        ready = self._await(
+            lambda msg: msg[0] == "ready" and msg[1] == self.incarnation
+        )
+        if ready is None:
+            self._stop_child()
+            raise RuntimeError(
+                f"shard {self.shard_id} child (incarnation "
+                f"{self.incarnation}) failed to come up"
+            )
+        self._tripped = bool(ready[2])
+        self._structure_stats = ready[3]
+
+    def _stop_child(self, graceful: bool = False) -> None:
+        process = self.process
+        if process is None:
+            return
+        if process.is_alive() and graceful and self.cmd_q is not None:
+            try:
+                self.cmd_q.put(("stop",), timeout=0.5)
+                process.join(timeout=2.0)
+            except Exception:
+                pass
+        _terminate(process)
+        try:
+            process.join(timeout=1.0)
+        except Exception:
+            pass
+        self.process = None
+
+    def _close_queues(self) -> None:
+        for q in (self.cmd_q, self.res_q):
+            if q is None:
+                continue
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+        self.cmd_q = None
+        self.res_q = None
+
+    # ----------------------------------------------------------- serving
+
+    def serve(self, worker, segments, crash_at, kill) -> int:
+        process = self.process
+        if process is None or not process.is_alive():
+            # Out-of-band death (e.g. an external `kill -9`): surface
+            # it as a crash so the supervisor's journal-replay restart
+            # machinery takes over — a real SIGKILL is just another
+            # FaultPlane crash from here on.
+            worker.crashed = True
+            raise InjectedCrash(
+                f"worker {worker.shard_id}'s shard process died out of band"
+            )
+        wire = []
+        for segment in segments:
+            op = segment[0].request.op
+            keys = [t.request.key for t in segment]
+            values = ([t.request.value for t in segment]
+                      if op == "put" else None)
+            wire.append((op, keys, values))
+        self._batch_id += 1
+        try:
+            self.cmd_q.put(
+                ("batch", self.incarnation, self._batch_id, wire, crash_at),
+                timeout=self.collect_timeout,
+            )
+        except Exception:
+            worker.crashed = True
+            self._stop_child()
+            raise InjectedCrash(
+                f"worker {worker.shard_id}'s command queue jammed"
+            )
+        self._outstanding = (self._batch_id, list(segments))
+        if kill:
+            # A real SIGKILL, delivered while the batch is (racily) in
+            # flight.  Whatever prefix the child managed to report is
+            # absorbed in collect(); the rest reconciles.
+            self._killed = True
+            try:
+                os.kill(process.pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):
+                pass
+        return 0
+
+    def collect(self, worker) -> int:
+        if self._outstanding is None:
+            return 0
+        batch_id, segments = self._outstanding
+        self._outstanding = None
+        reply = self._await(
+            lambda msg: (msg[0] == "served"
+                         and msg[1] == self.incarnation
+                         and msg[2] == batch_id)
+        )
+        served = 0
+        crashed_flag = False
+        try:
+            if reply is not None:
+                results, crashed_flag = reply[3], bool(reply[4])
+                self._tripped = bool(reply[5])
+                for segment, result in zip(segments, results):
+                    op = segment[0].request.op
+                    worker._absorb_segment(op, segment, result)
+                    for ticket in segment:
+                        worker.inflight.pop(ticket.request_id, None)
+                    served += len(segment)
+        finally:
+            # Mirrors the inline contract: whatever the child applied
+            # *and reported* was acked and journaled, so it counts as
+            # processed even when the batch ended in a crash.
+            worker.processed += served
+        if reply is None or crashed_flag or self._killed:
+            self._killed = False
+            self._stop_child()
+            worker.crashed = True
+            raise InjectedCrash(
+                f"worker {worker.shard_id}'s shard process crashed "
+                f"mid-batch (batch {batch_id}, {served} ops absorbed)"
+            )
+        return served
+
+    def _await(self, matches):
+        """Wait for a matching reply, heartbeat-aware.
+
+        Progress (a message, or the child's shared-memory heartbeat
+        advancing) resets the patience window; a child that is neither
+        talking nor beating for ``collect_timeout`` seconds is killed
+        and reported as dead (None).  A child seen dead gets one short
+        drain pass first — its last reply may still sit in the pipe.
+        """
+        last_beat = self.state.heartbeat(self.shard_id)
+        last_progress = time.monotonic()
+        while True:
+            try:
+                msg = self.res_q.get(timeout=0.02)
+            except pyqueue.Empty:
+                msg = None
+            except Exception:
+                return self._drain_for(matches)
+            if msg is not None:
+                last_progress = time.monotonic()
+                if matches(msg):
+                    return msg
+                continue  # stale or foreign message: ignore
+            if self.process is None or not self.process.is_alive():
+                return self._drain_for(matches)
+            beat = self.state.heartbeat(self.shard_id)
+            if beat != last_beat:
+                last_beat = beat
+                last_progress = time.monotonic()
+            elif time.monotonic() - last_progress > self.collect_timeout:
+                self._stop_child()
+                return None
+
+    def _drain_for(self, matches, budget_s: float = 0.5):
+        """Final sweep of the result pipe around a child death."""
+        deadline = time.monotonic() + budget_s
+        while time.monotonic() < deadline:
+            try:
+                msg = self.res_q.get(timeout=0.05)
+            except pyqueue.Empty:
+                continue
+            except Exception:
+                return None
+            if matches(msg):
+                return msg
+        return None
+
+    # ------------------------------------------------------ degraded mode
+
+    def _control(self, worker, name: str):
+        if self.process is None or not self.process.is_alive():
+            # Dead child: the pending restart rebuilds from the journal
+            # and the supervisor re-applies the breaker's fallback, so
+            # there is nothing meaningful to do here.
+            return None
+        try:
+            self.cmd_q.put(("ctl", self.incarnation, name), timeout=1.0)
+        except Exception:
+            return None
+        reply = self._await(
+            lambda msg: (msg[0] == "ctl_done"
+                         and msg[1] == self.incarnation
+                         and msg[2] == name)
+        )
+        if reply is None:
+            # The child wedged inside a control op: treat as a crash.
+            self._stop_child()
+            worker.crashed = True
+            return None
+        self._tripped = bool(reply[4])
+        return reply[3]
+
+    def fall_back(self, worker) -> None:
+        self._control(worker, "fall_back")
+
+    def restore_partial_key(self, worker) -> None:
+        self._control(worker, "restore_partial_key")
+
+    def force_trip(self, worker) -> None:
+        self._control(worker, "force_trip")
+
+    def structure_stats(self, worker) -> Dict[str, object]:
+        payload = self._control(worker, "stats")
+        if payload is not None:
+            self._structure_stats = payload
+        return dict(self._structure_stats)
+
+    # -------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, object]:
+        try:
+            state = self.state.snapshot(self.shard_id)
+        except ValueError:  # block already closed
+            state = None
+        return {
+            "execution": self.kind,
+            "incarnation": self.incarnation,
+            "child_alive": self.child_alive,
+            "child_pid": self.process.pid if self.process else None,
+            "state": state,
+            "shared_state": self.state.shared,
+        }
+
+
+__all__ = [
+    "EXECUTIONS",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessBackend",
+    "fork_available",
+]

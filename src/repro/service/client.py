@@ -116,6 +116,27 @@ class ServiceClient:
                 self.puts_acked += 1
         return ticket.response
 
+    def _submit_many(self, requests: Sequence[Request]) -> List[Ticket]:
+        """Admit a whole batch through one vectorized routing pass.
+
+        Rejected tickets walk the scalar retry/backoff path one by one;
+        accepted ones keep the same ledger bookkeeping as
+        :meth:`_submit`.  Callers must only use this when admission
+        order between the batch's requests does not matter per key
+        (distinct keys, or read-only ops) — a rejected request is
+        re-admitted *after* its batch siblings.
+        """
+        tickets = list(self.service.submit_batch(requests))
+        out: List[Ticket] = []
+        for request, ticket in zip(requests, tickets):
+            if ticket.rejected:
+                self.retries += 1
+                ticket = self._submit(request)
+            elif request.op == "put":
+                self.puts_accepted += 1
+            out.append(ticket)
+        return out
+
     def _complete_all(self, tickets: Sequence[Ticket]) -> List[Response]:
         self.service.drain()
         return [self._complete(ticket) for ticket in tickets]
@@ -147,23 +168,34 @@ class ServiceClient:
 
     def put_many(self, pairs: Iterable[Tuple[object, object]]) -> List[Response]:
         """Submit many puts before pumping: fills the shard queues so the
-        workers see real micro-batches instead of singletons."""
-        tickets = [
-            self._submit(Request("put", as_bytes(k), as_bytes(v)))
-            for k, v in pairs
-        ]
+        workers see real micro-batches instead of singletons.
+
+        Distinct-key batches admit through one vectorized routing pass;
+        a batch that writes the same key twice takes the scalar path,
+        because a rejected-then-retried first write must not land after
+        an accepted second write to the same key.
+        """
+        items = [(as_bytes(k), as_bytes(v)) for k, v in pairs]
+        keys = [k for k, _ in items]
+        requests = [Request("put", k, v) for k, v in items]
+        if len(set(keys)) == len(keys):
+            tickets = self._submit_many(requests)
+        else:
+            tickets = [self._submit(request) for request in requests]
         return self._complete_all(tickets)
 
     def multi_get(self, keys: Sequence[object]) -> List[Optional[bytes]]:
-        tickets = [
-            self._submit(Request("get", as_bytes(k))) for k in keys
-        ]
+        # Reads never conflict with each other, so the vectorized
+        # admission path is safe even with duplicate keys.
+        tickets = self._submit_many(
+            [Request("get", as_bytes(k)) for k in keys]
+        )
         return [r.value for r in self._complete_all(tickets)]
 
     def contains_many(self, keys: Sequence[object]) -> List[bool]:
-        tickets = [
-            self._submit(Request("contains", as_bytes(k))) for k in keys
-        ]
+        tickets = self._submit_many(
+            [Request("contains", as_bytes(k)) for k in keys]
+        )
         return [bool(r.found) for r in self._complete_all(tickets)]
 
     @property

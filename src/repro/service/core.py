@@ -1,0 +1,115 @@
+"""The pure per-shard core: apply segments, answer in wire form.
+
+:class:`ShardCore` is the half of the old monolithic worker that owns
+the structure and nothing else — no queue, no tickets, no journal, no
+fault plane.  It consumes *wire segments* (``(op, keys, values)``
+tuples of plain bytes) and returns *wire results* (``(kind, payload)``
+tuples of plain lists), so the exact same core runs embedded in the
+parent under :class:`~repro.service.backends.InlineBackend` and inside
+a forked child under
+:class:`~repro.service.backends.ProcessBackend` — the transport shell
+around it changes, the apply semantics cannot.
+
+Everything a core touches or returns is picklable by construction;
+tickets and :class:`~repro.service.protocol.Response` objects never
+cross a process boundary.  Acknowledgement, journaling, and client
+visibility all live parent-side in the worker shell, which is what
+makes a child's state disposable: a restart rebuilds the core from the
+parent's acked-only journal, so work a dead child applied but never
+reported simply evaporates instead of double-applying.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.adapters import AdapterSpec, StructureAdapter
+from repro.service.journal import Entry, replay_entries
+
+# One wire segment: consecutive same-op requests, reduced to plain data.
+WireSegment = Tuple[str, List[bytes], Optional[List[Optional[bytes]]]]
+# One wire result: ("unsupported", backend) or (op, per-key payload).
+WireResult = Tuple[str, object]
+
+
+class ShardCore:
+    """One structure plus the segment-apply logic, nothing else."""
+
+    def __init__(self, adapter: StructureAdapter):
+        self.adapter = adapter
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: AdapterSpec,
+        entries: Optional[Sequence[Entry]] = None,
+        progress: Optional[Callable[[int], None]] = None,
+    ) -> "ShardCore":
+        """Build a fresh core from a spec and (re)play a journal into
+        it — the child-side half of a worker restart."""
+        core = cls(spec.build())
+        if entries:
+            replay_entries(core.adapter, entries, progress=progress)
+        return core
+
+    # ------------------------------------------------------------- serving
+
+    def serve_segment(
+        self,
+        op: str,
+        keys: Sequence[bytes],
+        values: Optional[Sequence[Optional[bytes]]] = None,
+    ) -> WireResult:
+        """Apply one same-op segment; the payload shape mirrors the
+        adapter batch entry points exactly."""
+        adapter = self.adapter
+        if op not in adapter.supported:
+            return ("unsupported", adapter.backend)
+        if op == "get":
+            return ("get", adapter.get_batch(keys))
+        if op == "put":
+            return ("put", adapter.put_batch(keys, list(values or ())))
+        if op == "delete":
+            return ("delete", adapter.delete_batch(keys))
+        return ("contains", adapter.contains_batch(keys))
+
+    # ------------------------------------------------------ degraded mode
+
+    @property
+    def tripped(self) -> bool:
+        return self.adapter.tripped
+
+    def fall_back(self) -> None:
+        self.adapter.fall_back()
+
+    def restore_partial_key(self) -> None:
+        self.adapter.restore_partial_key()
+
+    def force_trip(self) -> None:
+        self.adapter.force_trip()
+
+    def control(self, name: str) -> object:
+        """Dispatch one named control op (the process backend's ctl
+        channel); returns the op's payload (stats dict or None)."""
+        if name == "fall_back":
+            self.fall_back()
+        elif name == "restore_partial_key":
+            self.restore_partial_key()
+        elif name == "force_trip":
+            self.force_trip()
+        elif name == "stats":
+            return self.stats()
+        else:
+            raise ValueError(f"unknown control op {name!r}")
+        return None
+
+    # -------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, object]:
+        return self.adapter.stats()
+
+    def __len__(self) -> int:
+        return len(self.adapter)
+
+
+__all__ = ["ShardCore", "WireSegment", "WireResult"]

@@ -24,6 +24,39 @@ from typing import Dict, List, Optional, Tuple
 Entry = Tuple[str, bytes, Optional[bytes]]
 
 
+def replay_entries(adapter, entries, progress=None) -> int:
+    """Re-apply a journal entry sequence to a fresh adapter.
+
+    Consecutive same-op runs go down the adapter's batch paths, the
+    same amortization the live serving path uses.  This is a module
+    function (not a method) because a process-backend child replays a
+    *snapshot* of the parent's journal into its own structure at spawn
+    time — the journal object itself never leaves the parent.
+
+    ``progress``, when given, is called with each run's length after it
+    applies; the shard child uses it to bump its shared-memory
+    heartbeat so the parent can tell a long replay from a hung spawn.
+    Returns the number of ops replayed.
+    """
+    entries = list(entries) if not isinstance(entries, list) else entries
+    i, n = 0, len(entries)
+    while i < n:
+        op = entries[i][0]
+        j = i + 1
+        while j < n and entries[j][0] == op:
+            j += 1
+        keys = [entry[1] for entry in entries[i:j]]
+        if op == "put":
+            values = [entry[2] or b"" for entry in entries[i:j]]
+            adapter.put_batch(keys, values)
+        else:
+            adapter.delete_batch(keys)
+        if progress is not None:
+            progress(j - i)
+        i = j
+    return n
+
+
 class ShardJournal:
     """Append-only acked-mutation log with compacting checkpoints."""
 
@@ -90,6 +123,19 @@ class ShardJournal:
 
     # ------------------------------------------------------------- replay
 
+    def snapshot(self) -> List[Entry]:
+        """A copy of the entry list, safe to ship to a shard child.
+
+        Entries are immutable tuples of bytes, so a shallow list copy
+        fully isolates the child's replay input from later appends.
+        """
+        return list(self.entries)
+
+    def mark_replay(self) -> None:
+        """Count a replay performed elsewhere (a process-backend child
+        replaying a :meth:`snapshot` on its side of the fork)."""
+        self.replays += 1
+
     def replay(self, adapter) -> int:
         """Re-apply every journaled mutation to a fresh adapter.
 
@@ -98,20 +144,7 @@ class ShardJournal:
         number of ops replayed.
         """
         self.replays += 1
-        i, n = 0, len(self.entries)
-        while i < n:
-            op = self.entries[i][0]
-            j = i + 1
-            while j < n and self.entries[j][0] == op:
-                j += 1
-            keys = [entry[1] for entry in self.entries[i:j]]
-            if op == "put":
-                values = [entry[2] or b"" for entry in self.entries[i:j]]
-                adapter.put_batch(keys, values)
-            else:
-                adapter.delete_batch(keys)
-            i = j
-        return n
+        return replay_entries(adapter, self.entries)
 
     # -------------------------------------------------------------- stats
 
@@ -129,4 +162,4 @@ class ShardJournal:
         return len(self.entries)
 
 
-__all__ = ["ShardJournal", "Entry"]
+__all__ = ["ShardJournal", "Entry", "replay_entries"]

@@ -36,11 +36,14 @@ from repro.core.hasher import EntropyLearnedHasher
 from repro.engine import CollisionMonitor
 from repro.faults import InjectedCrash
 
+from repro.service.adapters import AdapterSpec
+from repro.service.backends import EXECUTIONS, ProcessBackend
 from repro.service.breaker import OPEN, CircuitBreaker
 from repro.service.protocol import OK, REJECTED, Request, Response, Ticket
 from repro.service.router import ShardRouter
+from repro.service.state import ShardStateBlock
 from repro.service.supervisor import Supervisor
-from repro.service.worker import BACKENDS, Worker, make_adapter
+from repro.service.worker import BACKENDS, Worker
 
 
 class Service:
@@ -63,15 +66,22 @@ class Service:
         stall_threshold: int = 3,
         journal_checkpoint: int = 4096,
         max_drain_pumps: int = 10_000,
+        execution: str = "inline",
+        collect_timeout: float = 30.0,
     ):
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}"
             )
+        if execution not in EXECUTIONS:
+            raise ValueError(
+                f"unknown execution {execution!r}; choose from {EXECUTIONS}"
+            )
         if (model is None) == (hasher is None):
             raise ValueError("pass exactly one of model= or hasher=")
         self.num_shards = num_shards
         self.backend = backend
+        self.execution = execution
         if model is not None:
             self.router = ShardRouter.from_model(
                 model, num_shards, expected_items=capacity,
@@ -85,23 +95,37 @@ class Service:
                 num_shards, tolerance=balance_tolerance,
             )
         shard_capacity = max(4, capacity // num_shards)
-
-        def factory() -> object:
-            return make_adapter(
-                backend, shard_capacity, model=model, hasher=hasher, seed=seed
-            )
-
-        self.workers = [
-            Worker(
-                shard,
-                factory(),
-                max_queue=max_queue,
-                batch_size=batch_size,
-                factory=factory,
-                journal_checkpoint=journal_checkpoint,
-            )
-            for shard in range(num_shards)
-        ]
+        spec = AdapterSpec(
+            backend, shard_capacity, model=model, hasher=hasher, seed=seed
+        )
+        self.state_block: Optional[ShardStateBlock] = None
+        if execution == "process":
+            self.state_block = ShardStateBlock(num_shards)
+            self.workers = [
+                Worker(
+                    shard,
+                    max_queue=max_queue,
+                    batch_size=batch_size,
+                    journal_checkpoint=journal_checkpoint,
+                    execution=ProcessBackend(
+                        spec, self.state_block, shard,
+                        collect_timeout=collect_timeout,
+                    ),
+                )
+                for shard in range(num_shards)
+            ]
+        else:
+            self.workers = [
+                Worker(
+                    shard,
+                    spec.build(),
+                    max_queue=max_queue,
+                    batch_size=batch_size,
+                    factory=spec.build,
+                    journal_checkpoint=journal_checkpoint,
+                )
+                for shard in range(num_shards)
+            ]
         self.breakers = [
             CircuitBreaker(
                 shard, cooldown_pumps=cooldown_pumps, probe_pumps=probe_pumps
@@ -137,6 +161,12 @@ class Service:
         if plane is None:
             return
         worker.fault_plane = plane
+        if worker.adapter is None:
+            # Process execution: the structure (and its engine) lives in
+            # the shard child, out of reach of in-parent insert hooks.
+            # Corruption reaches these shards through the service-level
+            # injection point instead, same as filter/LSM shards.
+            return
         engine = worker.adapter.engine
         if engine is None or not worker.adapter.monitorable:
             return
@@ -194,23 +224,83 @@ class Service:
         return ticket
 
     def submit_batch(self, requests: Sequence[Request]) -> List[Ticket]:
-        return [self.submit(request) for request in requests]
+        """Admit many requests with one vectorized routing pass.
+
+        Byte-equivalent to ``[self.submit(r) for r in requests]`` —
+        same admission order, same request-id assignment, same
+        queue-loss and backpressure decisions — but the key→shard map
+        is computed by ``route_batch`` (one compiled engine pass) so
+        per-request admission overhead stops being the bottleneck in
+        front of parallel shards.  ``stats`` requests need service-wide
+        state mid-stream, so any batch containing one falls back to the
+        scalar path.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        if any(request.op == "stats" for request in requests):
+            return [self.submit(request) for request in requests]
+        shards = self.router.route_batch([r.key for r in requests])
+        plane = self.fault_plane
+        tickets: List[Ticket] = []
+        for request, shard in zip(requests, shards):
+            shard = int(shard)
+            ticket = Ticket(request, self._next_request_id)
+            self._next_request_id += 1
+            ticket.shard = shard
+            worker = self.workers[shard]
+            if plane is not None and plane.should_fire("queue_loss", shard):
+                self.lost_slots += 1
+                self.accepted += 1
+                worker.inflight[ticket.request_id] = ticket
+            elif not worker.try_enqueue(ticket):
+                self.rejected += 1
+                retry_after = math.ceil(
+                    worker.queue_depth / worker.batch_size
+                )
+                ticket.response = Response(
+                    REJECTED, shard=shard, retry_after=max(1, retry_after),
+                    error="shard queue full",
+                )
+            else:
+                self.accepted += 1
+            tickets.append(ticket)
+        self.submitted += len(requests)
+        return tickets
 
     # ------------------------------------------------------------ serving
 
     def pump(self) -> int:
-        """One heartbeat: supervise, inject, serve, react."""
+        """One heartbeat: supervise, inject, serve, react.
+
+        Serving is two sub-phases: every shard *dispatches* one
+        micro-batch before any shard *collects*.  Inline workers serve
+        synchronously in dispatch (collect is a no-op), so the order of
+        observable effects is unchanged; process workers overlap — all
+        shard children chew on their batches at once and the parent
+        absorbs the results in shard order.  That barrier is also what
+        keeps the client contract: when ``pump()`` returns, every
+        dispatched ticket is either answered or a reconciled crash
+        victim, never silently in flight across client code.
+        """
         self.pump_index += 1
         self.supervisor.observe(self.pump_index)
         self._inject_service_faults()
         served = 0
         for worker in self.workers:
             try:
-                served += worker.pump()
+                served += worker.dispatch()
             except InjectedCrash:
                 # The worker marked itself crashed before raising; the
                 # supervisor rebuilds it from its journal at the start
                 # of the next pump, before anything else is served.
+                self.supervisor.note_crash(worker)
+        for worker in self.workers:
+            if worker.crashed:
+                continue
+            try:
+                served += worker.collect()
+            except InjectedCrash:
                 self.supervisor.note_crash(worker)
         self._check_monitors()
         self._tick_breakers()
@@ -252,7 +342,12 @@ class Service:
         if plane is None:
             return
         for worker in self.workers:
-            if worker.adapter.monitorable or worker.tripped:
+            hooked = worker.adapter is not None and worker.adapter.monitorable
+            if hooked or worker.tripped:
+                continue
+            if worker.adapter is None and worker.crashed:
+                # A dead shard child can't corrupt anything; don't burn
+                # the fault opportunity on it.
                 continue
             if plane.should_fire("corrupt", worker.shard_id):
                 worker.force_trip()
@@ -296,12 +391,31 @@ class Service:
         self.workers[shard].force_trip()
         self._check_monitors()
 
+    # ---------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release execution resources: shard children, queues, and the
+        shared-memory state block.  Idempotent; a no-op for inline
+        execution.  Pending tickets are *not* drained — close is a
+        teardown, not a flush."""
+        for worker in self.workers:
+            worker.close()
+        if self.state_block is not None:
+            self.state_block.close()
+
+    def __enter__(self) -> "Service":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -------------------------------------------------------------- stats
 
     def stats(self) -> Dict[str, object]:
         out = {
             "num_shards": self.num_shards,
             "backend": self.backend,
+            "execution": self.execution,
             "degraded": self.degraded,
             "degrade_events": self.degrade_events,
             "pump_index": self.pump_index,

@@ -1,0 +1,173 @@
+"""Per-shard progress counters in (optionally) shared memory.
+
+A :class:`ShardStateBlock` is one flat ``uint64`` numpy array with a
+fixed number of slots per shard — heartbeat, processed/batch/segment
+counters, journal-replay cursor, incarnation, trip flag, liveness.
+When backed by :mod:`multiprocessing.shared_memory` the same physical
+pages are visible to every shard child process, so the parent can watch
+a child's heartbeat advance *while a batch is being served* without any
+queue round-trip.  That is what lets the
+:class:`~repro.service.backends.ProcessBackend` distinguish "child is
+slow but alive" (heartbeat moving — keep waiting) from "child is wedged
+or gone" (heartbeat frozen — kill and treat as a crash).
+
+The block is an observability plane, never a source of truth: the
+parent-side worker counters and the ack-time journal stay authoritative
+for stats and recovery, so a sandbox without ``/dev/shm`` degrades to a
+process-local buffer (``shared == False``) and only heartbeat-aware
+timeout extension is lost.
+
+Slot layout per shard (one row of :data:`SLOTS_PER_SHARD` uint64s):
+
+=============  ===============================================
+slot           meaning
+=============  ===============================================
+HEARTBEAT      bumped by the child after every served segment
+               and every replayed journal chunk
+PROCESSED      ops applied by the child since spawn
+BATCHES        batches served since spawn
+SEGMENTS       segments served since spawn
+REPLAYED       journal entries replayed during the last spawn
+INCARNATION    monotonically increasing spawn counter
+TRIPPED        1 while the child's structure serves full-key
+ALIVE          1 from child startup until a clean stop
+=============  ===============================================
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Optional
+
+import numpy as np
+
+HEARTBEAT = 0
+PROCESSED = 1
+BATCHES = 2
+SEGMENTS = 3
+REPLAYED = 4
+INCARNATION = 5
+TRIPPED = 6
+ALIVE = 7
+
+SLOT_NAMES = (
+    "heartbeat", "processed", "batches", "segments",
+    "replayed", "incarnation", "tripped", "alive",
+)
+SLOTS_PER_SHARD = len(SLOT_NAMES)
+
+
+def _release(shm, holder: dict) -> None:
+    """Best-effort teardown of the backing segment.  The numpy view in
+    ``holder`` must drop first — it exports the shm buffer, and
+    ``close`` refuses (``BufferError``) while exported pointers exist.
+    ``unlink`` runs regardless: it only removes the name, and the pages
+    are reclaimed at process exit even if a stray view kept the mapping
+    alive."""
+    holder["array"] = None
+    if shm is None:
+        return
+    try:
+        shm.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+    try:
+        shm.close()
+    except (BufferError, OSError):
+        pass
+
+
+class ShardStateBlock:
+    """``num_shards`` rows of per-shard uint64 progress counters."""
+
+    def __init__(self, num_shards: int, shared: bool = True):
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        self.num_shards = num_shards
+        nbytes = num_shards * SLOTS_PER_SHARD * 8
+        self._shm = None
+        self._local: Optional[bytearray] = None
+        if shared:
+            try:
+                from multiprocessing import shared_memory
+
+                self._shm = shared_memory.SharedMemory(
+                    create=True, size=nbytes
+                )
+                buf = self._shm.buf
+            except (ImportError, OSError):
+                self._shm = None
+        if self._shm is None:
+            # No shared-memory filesystem available: fall back to a
+            # process-local buffer.  Child writes become invisible to
+            # the parent, which costs heartbeat visibility only.
+            self._local = bytearray(nbytes)
+            buf = memoryview(self._local)
+        self._holder = {
+            "array": np.frombuffer(buf, dtype=np.uint64).reshape(
+                num_shards, SLOTS_PER_SHARD
+            )
+        }
+        self._array[:] = 0
+        self._finalizer = weakref.finalize(
+            self, _release, self._shm, self._holder
+        )
+
+    @property
+    def _array(self) -> np.ndarray:
+        array = self._holder["array"]
+        if array is None:
+            raise ValueError("ShardStateBlock is closed")
+        return array
+
+    @property
+    def shared(self) -> bool:
+        """True when backed by real cross-process shared memory."""
+        return self._shm is not None
+
+    @property
+    def name(self) -> Optional[str]:
+        """The shared-memory segment name (None for local fallback)."""
+        return self._shm.name if self._shm is not None else None
+
+    def view(self, shard: int) -> np.ndarray:
+        """The live uint64 row for one shard (a view, not a copy)."""
+        return self._array[shard]
+
+    def reset(self, shard: int, incarnation: int) -> None:
+        """Zero a shard's row for a fresh spawn (parent side, before
+        the fork, so the child starts from a clean slate)."""
+        row = self._array[shard]
+        row[:] = 0
+        row[INCARNATION] = incarnation
+
+    def heartbeat(self, shard: int) -> int:
+        return int(self._array[shard, HEARTBEAT])
+
+    def snapshot(self, shard: int) -> Dict[str, int]:
+        row = self._array[shard]
+        return {name: int(row[i]) for i, name in enumerate(SLOT_NAMES)}
+
+    def close(self) -> None:
+        """Unlink and release the backing segment (idempotent)."""
+        self._finalizer()
+
+    def __repr__(self) -> str:
+        backing = "shm" if self.shared else "local"
+        return (f"ShardStateBlock(num_shards={self.num_shards}, "
+                f"backing={backing!r})")
+
+
+__all__ = [
+    "ShardStateBlock",
+    "SLOT_NAMES",
+    "SLOTS_PER_SHARD",
+    "HEARTBEAT",
+    "PROCESSED",
+    "BATCHES",
+    "SEGMENTS",
+    "REPLAYED",
+    "INCARNATION",
+    "TRIPPED",
+    "ALIVE",
+]

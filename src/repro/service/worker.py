@@ -1,31 +1,37 @@
 """Per-shard workers: one owned structure, one bounded op queue.
 
-A :class:`Worker` owns exactly one structure behind a small adapter
-interface and drains its queue in micro-batches.  Within a batch,
-consecutive requests of the same kind form a *segment* that goes down
-the structure's batch path (``insert_batch``, ``probe_batch``,
-``multi_get``, ``contains_batch`` — i.e. one compiled
-``engine.hash_batch`` pass per segment), so per-key ordering is
-preserved while the hashing cost is amortized exactly like PR 1's
-batch paths.
+A :class:`Worker` is the *shell* around one shard: the bounded ticket
+queue, the inflight registry, the ack-time journal, the fault-plane
+injection points, and the response/journal absorption logic.  The
+structure itself lives behind an
+:class:`~repro.service.backends.ExecutionBackend` — embedded in the
+parent (:class:`~repro.service.backends.InlineBackend`, the original
+cooperative pump and the differential fuzzer's reference semantics) or
+in a forked child process
+(:class:`~repro.service.backends.ProcessBackend`).
 
-Adapters also carry the degraded-mode machinery: ``tripped`` reports
-whether the structure's CollisionMonitor forced a full-key fallback,
-``fall_back()`` rebuilds the structure under full-key hashing without
-losing a single stored entry, ``restore_partial_key()`` undoes the
-fallback for a circuit-breaker probe, and ``force_trip()`` injects a
-pathological displacement burst through the real monitor (the same
-trigger the fuzz harness uses) for drills and tests.
+A pump is two phases.  ``dispatch()`` pops one micro-batch, splits it
+into consecutive same-op *segments* (one compiled ``engine.hash_batch``
+pass each, so per-key ordering is preserved while hashing cost is
+amortized exactly like PR 1's batch paths), applies the fault plane's
+worker-level directives (stall, drop, crash, sigkill), and hands the
+segments to the backend.  ``collect()`` absorbs whatever the backend
+produced: responses are written onto tickets, acknowledged mutations
+are journaled, and inflight entries are retired — all parent-side, for
+both backends, which is what makes a child's state disposable.  Inline
+execution serves synchronously, so ``dispatch`` already absorbs and
+``collect`` is a no-op; ``pump()`` runs both phases back-to-back for
+callers that don't need the cross-shard parallel window.
 
-Since PR 5 a worker is also *crash-safe*: every acknowledged mutation
-is recorded in a per-shard :class:`~repro.service.journal.ShardJournal`
-at ack time, tickets popped from the queue live in an inflight registry
+Since PR 5 a worker is crash-safe: every acknowledged mutation is
+recorded in a per-shard :class:`~repro.service.journal.ShardJournal` at
+ack time, tickets popped from the queue live in an inflight registry
 until answered, and ``restart()`` rebuilds the structure from the
 journal and hands the unanswered tickets back to the supervisor for
-front-of-queue requeue.  The fault plane's injection points (crash,
-stall, drop) live in ``pump()``; a batch is served segment-by-segment,
-and a segment is atomic — apply, acknowledge, journal together — so a
-crash can only land *between* segments, never tear one.
+front-of-queue requeue.  A segment is atomic — apply, acknowledge,
+journal together — so a crash can only land *between* segments, never
+tear one; with process execution the same holds because only fully
+reported segments are absorbed.
 """
 
 from __future__ import annotations
@@ -33,391 +39,19 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Set
 
-from repro.core.greedy import GreedyResult
-from repro.core.hasher import EntropyLearnedHasher
-from repro.core.trainer import EntropyModel
-from repro.engine import CollisionMonitor
-from repro.faults import InjectedCrash
-
+from repro.service.adapters import (  # noqa: F401  (re-exported API)
+    BACKENDS,
+    AdapterSpec,
+    FilterAdapter,
+    LsmAdapter,
+    StructureAdapter,
+    TableAdapter,
+    _full_key_model,
+    make_adapter,
+)
+from repro.service.backends import ExecutionBackend, InlineBackend
 from repro.service.journal import ShardJournal
-from repro.service.protocol import FAILED, OK, Request, Response, Ticket
-
-BACKENDS = ("chaining", "probing", "lsm", "bloom", "cuckoo_filter")
-
-
-def _full_key_model(base: str) -> EntropyModel:
-    """A model whose every recommendation is full-key hashing."""
-    return EntropyModel(result=GreedyResult(
-        positions=[], word_size=8, entropies=[], train_collisions=[],
-        train_size=0, eval_size=0,
-    ), base=base)
-
-
-class StructureAdapter:
-    """Uniform batched facade over one ELH structure."""
-
-    backend: str = ""
-    supported: frozenset = frozenset()
-    # True when the structure feeds per-insert collision signals through
-    # a HashEngine + CollisionMonitor (tables do; filters and the LSM
-    # trip through coarser, adapter-level paths).
-    monitorable: bool = False
-
-    def __init__(self) -> None:
-        self._degraded = False
-
-    # Batch entry points; ``keys`` is never empty.
-    def get_batch(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
-        raise NotImplementedError
-
-    def put_batch(
-        self, keys: Sequence[bytes], values: Sequence[bytes]
-    ) -> Optional[List[bool]]:
-        """Store key/value pairs; a list of per-key acks, or None for all-ok."""
-        raise NotImplementedError
-
-    def delete_batch(self, keys: Sequence[bytes]) -> List[Optional[bool]]:
-        raise NotImplementedError
-
-    def contains_batch(self, keys: Sequence[bytes]) -> List[bool]:
-        raise NotImplementedError
-
-    # Degraded-mode hooks.
-    @property
-    def tripped(self) -> bool:
-        """Did this structure's monitor force a full-key fallback?"""
-        return self._degraded
-
-    @property
-    def engine(self):
-        """The structure's HashEngine, or None (LSM shards own several)."""
-        return None
-
-    def fall_back(self) -> None:
-        """Rebuild under full-key hashing; every stored entry survives."""
-        raise NotImplementedError
-
-    def restore_partial_key(self) -> None:
-        """Undo a fallback: rebuild under the pristine partial-key
-        hasher with a reset monitor (the breaker's half-open probe)."""
-        raise NotImplementedError
-
-    def force_trip(self) -> None:
-        """Drive the real CollisionMonitor over its budget (drills)."""
-        raise NotImplementedError
-
-    def stats(self) -> Dict[str, object]:
-        return {"backend": self.backend, "fell_back": self.tripped}
-
-    def __len__(self) -> int:
-        raise NotImplementedError
-
-
-class TableAdapter(StructureAdapter):
-    """Chaining/probing hash tables: the full get/put/delete/contains set."""
-
-    supported = frozenset({"get", "put", "delete", "contains"})
-
-    def __init__(self, table, backend: str, monitorable: bool = False):
-        super().__init__()
-        self.table = table
-        self.backend = backend
-        # Only the EntropyAware tables feed per-insert displacement
-        # signals to the engine's monitor; plain hasher-built tables
-        # have no record_insert call sites, so corruption must trip
-        # them through the service-level path instead.
-        self.monitorable = monitorable
-        # Pre-fallback hasher, kept so a breaker probe can restore the
-        # learned partial-key configuration after a full-key quarantine.
-        self._pristine_hasher = table.engine.hasher
-
-    @property
-    def tripped(self) -> bool:
-        return self._degraded or self.table.engine.fell_back
-
-    @property
-    def engine(self):
-        return self.table.engine
-
-    def get_batch(self, keys):
-        return self.table.probe_batch(list(keys))
-
-    def put_batch(self, keys, values):
-        self.table.insert_batch(list(keys), list(values))
-        return None
-
-    def delete_batch(self, keys):
-        return [self.table.delete(k) for k in keys]
-
-    def contains_batch(self, keys):
-        # Stored values are request payload bytes, never None.
-        return [v is not None for v in self.table.probe_batch(list(keys))]
-
-    def fall_back(self):
-        if self._degraded:
-            return
-        engine = self.table.engine
-        if not engine.fell_back:
-            engine.fall_back_to_full_key()
-        # Re-place every entry under the (now full-key) engine hasher.
-        self.table.rebuild_with_hasher(engine.hasher)
-        self._degraded = True
-
-    def force_trip(self):
-        engine = self.table.engine
-        if engine.hasher.partial_key.is_full_key:
-            self.fall_back()
-            return
-        if engine.monitor is None:
-            engine.monitor = CollisionMonitor(
-                entropy=0.0, num_slots=4, min_inserts=1
-            )
-        engine.monitor.min_inserts = 1
-        # A displacement burst no entropy budget survives: the monitor
-        # votes FALL_BACK and the engine swaps itself to full-key.
-        engine.record_insert(1e9, expected=0.0, n=4096)
-        self.table.rebuild_with_hasher(engine.hasher)
-        self._degraded = True
-
-    def restore_partial_key(self):
-        if not self.tripped:
-            return
-        engine = self.table.engine
-        engine.rearm(self._pristine_hasher)
-        # Re-place every entry under the restored partial-key hasher; if
-        # the data is genuinely low-entropy the monitor re-trips during
-        # this very rebuild and the probe fails on the next check.
-        self.table.rebuild_with_hasher(engine.hasher)
-        self._degraded = False
-
-    def stats(self):
-        out = super().stats()
-        out["size"] = len(self.table)
-        out["engine"] = {
-            "keys_hashed": self.table.engine.counters.keys_hashed,
-            "batches": self.table.engine.counters.batches,
-        }
-        return out
-
-    def __len__(self):
-        return len(self.table)
-
-
-class FilterAdapter(StructureAdapter):
-    """Approximate-membership shards: put=add, contains; no get.
-
-    Keeps the acked key list so a full-key fallback can rebuild the
-    filter without losing a member (filters cannot rehash in place).
-    """
-
-    def __init__(self, filter_obj, backend: str, capacity: int):
-        super().__init__()
-        self.filter = filter_obj
-        self.backend = backend
-        self.capacity = capacity
-        self.supported = frozenset(
-            {"put", "contains", "delete"} if backend == "cuckoo_filter"
-            else {"put", "contains"}
-        )
-        self._members: List[bytes] = []
-        self._pristine_hasher = filter_obj.engine.hasher
-
-    @property
-    def tripped(self) -> bool:
-        return self._degraded or self.filter.engine.fell_back
-
-    @property
-    def engine(self):
-        return self.filter.engine
-
-    def get_batch(self, keys):  # pragma: no cover - guarded by `supported`
-        raise NotImplementedError("filters store membership, not values")
-
-    def put_batch(self, keys, values):
-        keys = list(keys)
-        if self.backend == "cuckoo_filter":
-            acks = list(self.filter.add_batch(keys))
-            self._members.extend(k for k, ok in zip(keys, acks) if ok)
-            return acks
-        self.filter.add_batch(keys)
-        self._members.extend(keys)
-        return None
-
-    def delete_batch(self, keys):
-        results = []
-        for key in keys:
-            removed = bool(self.filter.remove(key))
-            if removed:
-                self._members.remove(key)
-            results.append(removed)
-        return results
-
-    def contains_batch(self, keys):
-        return [bool(x) for x in self.filter.contains_batch(list(keys))]
-
-    def _rebuild(self, hasher: EntropyLearnedHasher) -> None:
-        from repro.filters.bloom import BloomFilter
-        from repro.filters.cuckoo import CuckooFilter
-
-        old = self.filter
-        if self.backend == "cuckoo_filter":
-            self.filter = CuckooFilter(
-                hasher, self.capacity,
-                fingerprint_bits=old.fingerprint_bits,
-            )
-        else:
-            self.filter = BloomFilter(
-                hasher, num_bits=old.num_bits, num_hashes=old.num_hashes
-            )
-        if self._members:
-            self.filter.add_batch(list(self._members))
-
-    def fall_back(self):
-        if self._degraded:
-            return
-        engine = self.filter.engine
-        if not engine.fell_back:
-            engine.fall_back_to_full_key()
-        self._rebuild(engine.hasher)
-        self._degraded = True
-
-    def force_trip(self):
-        self.fall_back()
-
-    def restore_partial_key(self):
-        if not self.tripped:
-            return
-        engine = self.filter.engine
-        engine.rearm(self._pristine_hasher)
-        self._rebuild(engine.hasher)
-        self._degraded = False
-
-    def stats(self):
-        out = super().stats()
-        out["size"] = len(self._members)
-        return out
-
-    def __len__(self):
-        return len(self._members)
-
-
-class LsmAdapter(StructureAdapter):
-    """LSM store shard: get/put/delete/contains over runs with filters."""
-
-    backend = "lsm"
-    supported = frozenset({"get", "put", "delete", "contains"})
-
-    def __init__(self, store):
-        super().__init__()
-        self.store = store
-
-    def get_batch(self, keys):
-        return self.store.multi_get(list(keys))
-
-    def put_batch(self, keys, values):
-        for key, value in zip(keys, values):
-            self.store.put(key, value)
-        return None
-
-    def delete_batch(self, keys):
-        # LSM deletes write tombstones; they don't report prior presence.
-        for key in keys:
-            self.store.delete(key)
-        return [None] * len(keys)
-
-    def contains_batch(self, keys):
-        missing = object()
-        got = self.store.multi_get(list(keys), default=missing)
-        return [value is not missing for value in got]
-
-    def fall_back(self):
-        if self._degraded:
-            return
-        from repro.kvstore.sstable import SSTable
-
-        self.store.flush()
-        empty = _full_key_model("xxh3")
-        # Rebuild every run's filter under full-key hashing; entries are
-        # carried over verbatim, so no acknowledged write is lost.
-        self.store.runs = [
-            SSTable(run.entries(), model=empty) for run in self.store.runs
-        ]
-        self._degraded = True
-
-    def force_trip(self):
-        self.fall_back()
-
-    def restore_partial_key(self):
-        if not self._degraded:
-            return
-        from repro.kvstore.sstable import SSTable
-
-        self.store.flush()
-        # model=None retrains a per-run partial-key model, the same path
-        # a freshly flushed run takes.
-        self.store.runs = [
-            SSTable(run.entries(), model=None) for run in self.store.runs
-        ]
-        self._degraded = False
-
-    def stats(self):
-        out = super().stats()
-        out["size"] = self.store.total_entries()
-        out["runs"] = self.store.num_runs
-        return out
-
-    def __len__(self):
-        return self.store.total_entries()
-
-
-def make_adapter(
-    backend: str,
-    capacity: int,
-    model=None,
-    hasher: Optional[EntropyLearnedHasher] = None,
-    seed: int = 0,
-) -> StructureAdapter:
-    """Build one shard's structure from a model (production) or a raw
-    hasher (tests/fuzzing).  Exactly one of ``model``/``hasher``."""
-    if (model is None) == (hasher is None):
-        raise ValueError("pass exactly one of model= or hasher=")
-    if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
-
-    capacity = max(capacity, 4)
-    if backend == "chaining":
-        from repro.tables.chaining import EntropyAwareTable, SeparateChainingTable
-
-        table = (EntropyAwareTable(model, capacity=capacity, seed=seed)
-                 if model is not None
-                 else SeparateChainingTable(hasher, capacity=capacity))
-        return TableAdapter(table, backend, monitorable=model is not None)
-    if backend == "probing":
-        from repro.tables.probing import EntropyAwareProbingTable, LinearProbingTable
-
-        table = (EntropyAwareProbingTable(model, capacity=capacity, seed=seed)
-                 if model is not None
-                 else LinearProbingTable(hasher, capacity=capacity))
-        return TableAdapter(table, backend, monitorable=model is not None)
-    if backend == "lsm":
-        from repro.kvstore.store import LSMStore
-
-        return LsmAdapter(LSMStore(memtable_bytes=max(1024, capacity * 8)))
-    if backend == "bloom":
-        from repro.filters.bloom import BloomFilter
-
-        h = hasher if hasher is not None else model.hasher_for_bloom_filter(
-            capacity, seed=seed
-        )
-        return FilterAdapter(
-            BloomFilter.for_items(h, capacity), backend, capacity
-        )
-    from repro.filters.cuckoo import CuckooFilter
-
-    h = hasher if hasher is not None else model.hasher_for_bloom_filter(
-        capacity, seed=seed
-    )
-    return FilterAdapter(CuckooFilter(h, capacity), backend, capacity)
+from repro.service.protocol import FAILED, OK, Response, Ticket
 
 
 class Worker:
@@ -426,18 +60,23 @@ class Worker:
     def __init__(
         self,
         shard_id: int,
-        adapter: StructureAdapter,
+        adapter: Optional[StructureAdapter] = None,
         max_queue: int = 256,
         batch_size: int = 64,
         factory: Optional[Callable[[], StructureAdapter]] = None,
         journal_checkpoint: int = 4096,
+        execution: Optional[ExecutionBackend] = None,
     ):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if (adapter is None) == (execution is None):
+            raise ValueError("pass exactly one of adapter= or execution=")
+        if execution is None:
+            execution = InlineBackend(adapter)
         self.shard_id = shard_id
-        self.adapter = adapter
+        self.execution = execution
         self.factory = factory
         self.max_queue = max_queue
         self.batch_size = batch_size
@@ -448,7 +87,7 @@ class Worker:
         self.inflight: Dict[int, Ticket] = {}
         self.journal = ShardJournal(
             checkpoint_every=journal_checkpoint,
-            multiset=(adapter.backend == "cuckoo_filter"),
+            multiset=(execution.structure_backend == "cuckoo_filter"),
         )
         self.fault_plane = None
         self.crashed = False
@@ -463,6 +102,13 @@ class Worker:
         self.requeued = 0
         self.cancelled = 0
         self.op_counts: Dict[str, int] = {}
+        self.execution.start(self)
+
+    @property
+    def adapter(self) -> Optional[StructureAdapter]:
+        """The in-parent structure adapter; None under process
+        execution (the structure lives in the shard child)."""
+        return self.execution.adapter
 
     @property
     def queue_depth(self) -> int:
@@ -470,7 +116,7 @@ class Worker:
 
     @property
     def tripped(self) -> bool:
-        return self.adapter.tripped
+        return self.execution.tripped
 
     @property
     def inflight_unanswered(self) -> int:
@@ -547,19 +193,23 @@ class Worker:
         Returns the unanswered inflight tickets (admission order) for
         the supervisor to requeue.  The queue itself is untouched — its
         tickets were never popped, so they are neither lost nor stale.
+        With process execution this kills any straggler child and forks
+        a fresh one, which replays the journal on its side of the fork.
         """
-        if self.factory is None:
-            raise RuntimeError(
-                f"worker {self.shard_id} crashed but has no adapter factory"
-            )
-        self.adapter = self.factory()
-        self.journal.replay(self.adapter)
+        self.execution.restart(self)
         self.crashed = False
         self.restarts += 1
         return self.reconcile()
 
-    def pump(self) -> int:
-        """Drain one micro-batch; returns the number of ops served."""
+    # ------------------------------------------------------------ serving
+
+    def dispatch(self) -> int:
+        """Phase one: pop a micro-batch and hand it to the backend.
+
+        Returns the ops served synchronously (inline execution); a
+        process backend returns 0 here and yields its count from
+        :meth:`collect` once every shard has been dispatched.
+        """
         if self.crashed or not self.queue:
             return 0
         plane = self.fault_plane
@@ -597,26 +247,22 @@ class Worker:
             segments.append(batch[start:end])
             start = end
         crash_at = None
+        kill = False
         if plane is not None and plane.should_fire("crash", self.shard_id):
             crash_at = len(segments) // 2
-        served = 0
-        try:
-            for index, segment in enumerate(segments):
-                if crash_at is not None and index == crash_at:
-                    self.crashed = True
-                    raise InjectedCrash(
-                        f"worker {self.shard_id} crashed mid-batch "
-                        f"(segment {index}/{len(segments)})"
-                    )
-                self._serve_segment(segment[0].request.op, segment)
-                for ticket in segment:
-                    self.inflight.pop(ticket.request_id, None)
-                served += len(segment)
-        finally:
-            # Segments served before a crash were applied, acked, and
-            # journaled atomically; they count as processed.
-            self.processed += served
-        return served
+        elif plane is not None and plane.should_fire(
+            "sigkill", self.shard_id
+        ):
+            kill = True
+        return self.execution.serve(self, segments, crash_at, kill)
+
+    def collect(self) -> int:
+        """Phase two: absorb the backend's results for this pump."""
+        return self.execution.collect(self)
+
+    def pump(self) -> int:
+        """Drain one micro-batch; returns the number of ops served."""
+        return self.dispatch() + self.collect()
 
     def drain(self) -> int:
         served = 0
@@ -627,26 +273,28 @@ class Worker:
                 break  # crashed/stalled/dropped: the supervisor steps in
         return served
 
-    def _serve_segment(self, op: str, tickets: List[Ticket]) -> None:
+    def _absorb_segment(self, op: str, tickets: List[Ticket], result) -> None:
+        """Turn one segment's wire result into responses + journal
+        entries.  This is the single ack path for both backends: an
+        entry is in the journal exactly when the client can observe an
+        OK, regardless of where the structure lives."""
         self.op_counts[op] = self.op_counts.get(op, 0) + len(tickets)
-        keys = [t.request.key for t in tickets]
-        if op not in self.adapter.supported:
+        kind, payload = result
+        if kind == "unsupported":
             for ticket in tickets:
                 ticket.response = Response(
                     FAILED, shard=self.shard_id,
-                    error=f"op {op!r} unsupported by backend "
-                          f"{self.adapter.backend!r}",
+                    error=f"op {op!r} unsupported by backend {payload!r}",
                 )
             return
         if op == "get":
-            for ticket, value in zip(tickets, self.adapter.get_batch(keys)):
+            for ticket, value in zip(tickets, payload):
                 ticket.response = Response(
                     OK, value=value, found=value is not None,
                     shard=self.shard_id,
                 )
         elif op == "put":
-            values = [t.request.value for t in tickets]
-            acks = self.adapter.put_batch(keys, values)
+            acks = payload
             for i, ticket in enumerate(tickets):
                 if acks is not None and not acks[i]:
                     ticket.response = Response(
@@ -655,12 +303,12 @@ class Worker:
                 else:
                     # Journal at ack time: the entry is in the journal
                     # exactly when the client can observe an OK.
-                    self.journal.record_put(keys[i], values[i] or b"")
+                    self.journal.record_put(
+                        ticket.request.key, ticket.request.value or b""
+                    )
                     ticket.response = Response(OK, shard=self.shard_id)
         elif op == "delete":
-            for ticket, removed in zip(
-                tickets, self.adapter.delete_batch(keys)
-            ):
+            for ticket, removed in zip(tickets, payload):
                 if removed is not False:
                     # True (removed) or None (tombstone): the journal
                     # must mirror it.  False removed nothing.
@@ -669,26 +317,28 @@ class Worker:
                     OK, found=removed, shard=self.shard_id
                 )
         else:  # contains
-            for ticket, present in zip(
-                tickets, self.adapter.contains_batch(keys)
-            ):
+            for ticket, present in zip(tickets, payload):
                 ticket.response = Response(
                     OK, found=present, shard=self.shard_id
                 )
 
     def fall_back(self) -> None:
-        self.adapter.fall_back()
+        self.execution.fall_back(self)
 
     def restore_partial_key(self) -> None:
-        self.adapter.restore_partial_key()
+        self.execution.restore_partial_key(self)
 
     def force_trip(self) -> None:
-        self.adapter.force_trip()
+        self.execution.force_trip(self)
+
+    def close(self) -> None:
+        """Release backend resources (child process/queues)."""
+        self.execution.close()
 
     def stats(self) -> Dict[str, object]:
-        return {
+        out = {
             "shard": self.shard_id,
-            "backend": self.adapter.backend,
+            "backend": self.execution.structure_backend,
             "enqueued": self.enqueued,
             "processed": self.processed,
             "batches": self.batches,
@@ -706,8 +356,12 @@ class Worker:
             "requeued": self.requeued,
             "cancelled": self.cancelled,
             "journal": self.journal.stats(),
-            "structure": self.adapter.stats(),
+            "structure": self.execution.structure_stats(self),
         }
+        execution = self.execution.stats()
+        if execution.get("execution") != "inline":
+            out["execution"] = execution
+        return out
 
 
 __all__ = [
@@ -717,5 +371,6 @@ __all__ = [
     "FilterAdapter",
     "LsmAdapter",
     "make_adapter",
+    "AdapterSpec",
     "Worker",
 ]

@@ -236,8 +236,8 @@ def generate_service_ops(rng: random.Random, n: int) -> List[Op]:
 def generate_chaos_ops(rng: random.Random, n: int) -> List[Op]:
     """Service streams interleaved with declarative fault injection.
 
-    ``inject`` arms one fault spec (crash / stall / drop / corrupt /
-    queue_loss) on the case's live FaultPlane — as an *op*, so ddmin
+    ``inject`` arms one fault spec (crash / sigkill / stall / drop /
+    corrupt / queue_loss) on the case's live FaultPlane — as an *op*, so ddmin
     can delete faults one at a time while shrinking a repro and tell a
     fault-dependent bug from a fault-independent one.  ``settle`` pumps
     through a healing window (supervisor restarts, breaker cooldown +
@@ -274,7 +274,8 @@ def generate_chaos_ops(rng: random.Random, n: int) -> List[Op]:
             ops.append({
                 "op": "inject",
                 "kind": rng.choice(
-                    ("crash", "stall", "drop", "corrupt", "queue_loss")
+                    ("crash", "sigkill", "stall", "drop", "corrupt",
+                     "queue_loss")
                 ),
                 "shard": rng.randrange(8),
                 "after": rng.randrange(4),

@@ -75,28 +75,39 @@ def run_ops(
 ) -> Optional[Failure]:
     """Run one op sequence; return the Failure at first divergence/crash."""
     target = _build(target_name, config)
-    for i, op in enumerate(ops):
-        try:
-            target.apply(op)
-        except ExhaustedCase:
-            return None  # documented structural limit, not a failure
-        except Divergence as exc:
-            return Failure(target_name, config, ops, i, str(exc))
-        except Exception as exc:  # crash == failure, same shrink path
-            return Failure(
-                target_name, config, ops, i, f"{type(exc).__name__}: {exc}"
-            )
     try:
-        target.final_check()
-    except ExhaustedCase:
+        for i, op in enumerate(ops):
+            try:
+                target.apply(op)
+            except ExhaustedCase:
+                return None  # documented structural limit, not a failure
+            except Divergence as exc:
+                return Failure(target_name, config, ops, i, str(exc))
+            except Exception as exc:  # crash == failure, same shrink path
+                return Failure(
+                    target_name, config, ops, i, f"{type(exc).__name__}: {exc}"
+                )
+        try:
+            target.final_check()
+        except ExhaustedCase:
+            return None
+        except Divergence as exc:
+            return Failure(target_name, config, ops, len(ops), str(exc))
+        except Exception as exc:
+            return Failure(
+                target_name, config, ops, len(ops),
+                f"{type(exc).__name__}: {exc}",
+            )
         return None
-    except Divergence as exc:
-        return Failure(target_name, config, ops, len(ops), str(exc))
-    except Exception as exc:
-        return Failure(
-            target_name, config, ops, len(ops), f"{type(exc).__name__}: {exc}"
-        )
-    return None
+    finally:
+        # Targets with external resources (shard processes, shared
+        # memory) release them here; shrinking re-runs hundreds of
+        # cases, so a leak per case would exhaust the host.  getattr,
+        # not a direct call: the registry accepts duck-typed targets
+        # that predate the teardown hook.
+        teardown = getattr(target, "teardown", None)
+        if teardown is not None:
+            teardown()
 
 
 def fuzz(
@@ -105,12 +116,15 @@ def fuzz(
     cases: int = 10,
     ops_per_case: int = 120,
     shrink_failures: bool = True,
+    config_overrides: Optional[Dict[str, object]] = None,
 ) -> FuzzReport:
     """Run ``cases`` independent seeded cases against one target.
 
     Case ``i`` derives its RNG from ``(seed, i)`` only, so any failing
     case is reproducible from the report's recorded seed without
-    rerunning the whole campaign.
+    rerunning the whole campaign.  ``config_overrides`` is merged over
+    every random config (and recorded in any failure's repro) — the CLI
+    uses it to pin the service targets to a specific execution backend.
     """
     report = FuzzReport(target=target_name)
     cls = TARGETS[target_name]
@@ -118,6 +132,8 @@ def fuzz(
         case_seed = seed * 100_003 + case
         rng = random.Random(case_seed)
         config = cls.random_config(rng)
+        if config_overrides:
+            config.update(config_overrides)
         ops = cls.generate_ops(rng, ops_per_case)
         report.cases += 1
         report.ops_run += len(ops)
@@ -136,9 +152,11 @@ def fuzz_all(
     cases: int = 10,
     ops_per_case: int = 120,
     targets: Optional[List[str]] = None,
+    config_overrides: Optional[Dict[str, object]] = None,
 ) -> List[FuzzReport]:
     names = targets if targets is not None else sorted(TARGETS)
-    return [fuzz(name, seed=seed, cases=cases, ops_per_case=ops_per_case)
+    return [fuzz(name, seed=seed, cases=cases, ops_per_case=ops_per_case,
+                 config_overrides=config_overrides)
             for name in names]
 
 

@@ -112,6 +112,14 @@ class Target:
     def __init__(self, config: Dict[str, object]):
         self.config = config
 
+    def teardown(self) -> None:
+        """Release external resources (processes, shared memory).
+
+        The runner calls this exactly once per case, pass or fail.  The
+        base class holds nothing; targets that spawn shard processes
+        override it.
+        """
+
     @classmethod
     def default_config(cls) -> Dict[str, object]:
         return {}
@@ -1087,10 +1095,15 @@ class ServiceTarget(Target):
             "capacity": 16,
             "max_queue": 8,
             "batch_size": 4,
+            "execution": "inline",
         }
 
     @classmethod
     def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        # Execution stays "inline" unless a campaign overrides it (the
+        # CLI's --execution flag): random per-case process spawning
+        # would dominate fuzz wall-clock without adding coverage beyond
+        # what a dedicated process-execution campaign already gives.
         return {
             "hasher": random_hasher_spec(rng),
             "shards": rng.choice((2, 3, 4, 5)),
@@ -1098,6 +1111,7 @@ class ServiceTarget(Target):
             "capacity": rng.choice((8, 16, 64)),
             "max_queue": rng.choice((4, 8, 16)),
             "batch_size": rng.choice((1, 2, 4, 8)),
+            "execution": "inline",
         }
 
     @classmethod
@@ -1108,6 +1122,7 @@ class ServiceTarget(Target):
         super().__init__(config)
         self.backend = str(config.get("backend", "chaining"))
         self.max_queue = int(config.get("max_queue", 8))
+        self.execution = str(config.get("execution", "inline"))
         self.service = self._build_service(config)
         self.oracle = DictOracle()
         # (ticket, kind, expected-at-admission) for in-flight requests.
@@ -1123,7 +1138,13 @@ class ServiceTarget(Target):
             capacity=int(config.get("capacity", 16)),
             max_queue=self.max_queue,
             batch_size=int(config.get("batch_size", 4)),
+            execution=self.execution,
         )
+
+    def teardown(self) -> None:
+        service = getattr(self, "service", None)
+        if service is not None:
+            service.close()
 
     def _queue_bound(self) -> int:
         return self.max_queue
@@ -1286,8 +1307,8 @@ class ServiceTarget(Target):
 class ChaosTarget(ServiceTarget):
     """The service under fault injection vs the same flat dict oracle.
 
-    Op streams carry ``inject`` entries that arm crash / stall / drop /
-    corrupt / queue_loss specs on a live FaultPlane; because each fault
+    Op streams carry ``inject`` entries that arm crash / sigkill /
+    stall / drop / corrupt / queue_loss specs on a live FaultPlane; because each fault
     is an op, ddmin can strip faults individually while shrinking, so a
     repro pins the *specific* fault schedule a bug needs.  The oracle
     discipline is identical to ServiceTarget — faults must be invisible
@@ -1353,6 +1374,7 @@ class ChaosTarget(ServiceTarget):
             capacity=int(config.get("capacity", 16)),
             max_queue=self.max_queue,
             batch_size=int(config.get("batch_size", 4)),
+            execution=self.execution,
             fault_plane=self.plane,
             cooldown_pumps=self.cooldown,
             probe_pumps=self.probe,
@@ -1398,11 +1420,17 @@ class ChaosTarget(ServiceTarget):
         self._settle()
         super().final_check()
         supervisor = self.service.supervisor.stats()
-        crash_fired = self.plane.total_fired("crash")
+        # A sigkill is a crash with a harder delivery mechanism (real
+        # SIGKILL for process shards, degraded to a mid-batch crash for
+        # inline ones) — both must surface as supervisor-visible crashes.
+        crash_fired = (
+            self.plane.total_fired("crash")
+            + self.plane.total_fired("sigkill")
+        )
         _require(
             supervisor["crashes_seen"] == crash_fired,
-            f"{crash_fired} crash(es) fired but the supervisor saw "
-            f"{supervisor['crashes_seen']}",
+            f"{crash_fired} crash/sigkill(s) fired but the supervisor "
+            f"saw {supervisor['crashes_seen']}",
         )
         _require(
             supervisor["restarts"] >= supervisor["crashes_seen"],
