@@ -50,11 +50,22 @@ RUNS = (
     ("C_hot", "C", 1.3),
 )
 
+# Hot-key routing runs (PR 7): same skewed mixes with the Count-Min
+# tracker on, plus matching uniform baselines, so the summary record
+# can show both claims at once — balance back within the paper bound
+# at theta=0.99, and skewed throughput within ~15% of uniform.
+HOT_K = 16
+HOT_ADAPT_EVERY = 4
+HOT_SAMPLE = 4             # tracker observes every 4th routed key
+HOT_MIXES = ("A", "B")
 
-def _build(model, keys):
+
+def _build(model, keys, hot_k=0):
     service = Service(
         num_shards=SHARDS, backend=BACKEND, model=model,
         capacity=len(keys), max_queue=MAX_QUEUE, batch_size=BATCH_SIZE,
+        hot_k=hot_k, hot_sample=HOT_SAMPLE,
+        adapt_every=HOT_ADAPT_EVERY if hot_k else 8,
     )
     client = ServiceClient(service)
     client.put_many((key, b"v0") for key in keys)
@@ -131,6 +142,8 @@ def service_records():
                     keys)
         )
 
+    records.extend(skew_hot_records(model, keys))
+
     # Degraded-mode drill: trip shard 0 halfway through a write-heavy
     # mix, finish the load full-key, then read back every key.
     service, client = _build(model, keys)
@@ -148,6 +161,77 @@ def service_records():
                      NUM_OPS, keys)
     record["keys_lost_after_degrade"] = missing
     records.append(record)
+    return records
+
+
+# -------------------------------------------------- hot-key routing
+
+
+HOT_REPEATS = 3  # best-of-N: the ops/s ratio must not ride scheduler noise
+
+
+def _mix_run(model, keys, label, mix, theta, hot_k=0):
+    # The routing outcome (promotions, balance) is deterministic per
+    # seed; only wall clock varies, so keep the fastest of N runs.
+    best = None
+    for _ in range(HOT_REPEATS):
+        service, client = _build(model, keys, hot_k=hot_k)
+        generator = WorkloadGenerator(keys, mix=mix, seed=3,
+                                      zipf_theta=theta)
+        operations = list(generator.operations(NUM_OPS))
+        start = time.perf_counter()
+        run_service_workload(client, operations)
+        service.drain()
+        elapsed = time.perf_counter() - start
+        record = _record(label, mix, theta, service, client, elapsed,
+                         NUM_OPS, keys)
+        routing = service.stats()["routing"]
+        record["hot_k"] = hot_k
+        record["promoted"] = routing["promoted"]
+        record["overlay_keys"] = routing["overlay_keys"]
+        record["routing_generation"] = routing["generation"]
+        if best is None or record["ops_per_second"] > best["ops_per_second"]:
+            best = record
+    return best
+
+
+def skew_hot_records(model, keys):
+    """Skew-with-hot-routing records: the PR 7 acceptance numbers.
+
+    For each skewed mix, run a uniform baseline and the theta=0.99
+    stream with the hot-key tracker enabled, then emit one summary
+    record per mix pairing the two: ``within_bound`` must come back
+    true under hot routing and ``skew_vs_uniform_ops_ratio`` must stay
+    near 1 (the ~15% criterion).
+    """
+    records = []
+    for mix in HOT_MIXES:
+        uniform = _mix_run(model, keys, f"{mix}_uniform", mix, 0.0)
+        hot = _mix_run(model, keys, f"{mix}_zipf_hot", mix, 0.99,
+                       hot_k=HOT_K)
+        ratio = (
+            hot["ops_per_second"] / uniform["ops_per_second"]
+            if uniform["ops_per_second"] else 0.0
+        )
+        summary = {
+            "benchmark": f"service_skew_hot_summary_{mix}",
+            "mix": mix,
+            "zipf_theta": 0.99,
+            "hot_k": HOT_K,
+            "adapt_every": HOT_ADAPT_EVERY,
+            "promoted": hot["promoted"],
+            "uniform_ops_per_second": uniform["ops_per_second"],
+            "skew_hot_ops_per_second": hot["ops_per_second"],
+            "skew_vs_uniform_ops_ratio": ratio,
+            "relative_balance": hot["relative_balance"],
+            "balance_bound": hot["balance_bound"],
+            "within_bound": hot["within_bound"],
+            "lost_acks": hot["lost_acks"],
+            "latency_p50_ns": hot["latency_p50_ns"],
+            "latency_p99_ns": hot["latency_p99_ns"],
+            "latency_samples": hot["latency_samples"],
+        }
+        records.extend([uniform, hot, summary])
     return records
 
 
@@ -254,6 +338,13 @@ def main():
                  f"({SHARDS} {BACKEND} shards, {NUM_KEYS} keys)")
     records = service_records()
     for r in records:
+        if "per_shard" not in r:
+            print(f"{r['benchmark']:24s} skew/uniform ops ratio "
+                  f"{r['skew_vs_uniform_ops_ratio']:.2f}  "
+                  f"balance {r['relative_balance']:.4f} "
+                  f"({'ok' if r['within_bound'] else 'HOT'})  "
+                  f"promoted {r['promoted']}")
+            continue
         hot = max(s["processed"] for s in r["per_shard"])
         cold = min(s["processed"] for s in r["per_shard"])
         print(f"{r['benchmark']:24s} {r['ops_per_second']:8.0f} ops/s  "
@@ -303,6 +394,23 @@ def test_process_scaling_run_loses_nothing():
     assert record["lost_acks"] == 0
     assert record["ops"] == len(keys) * SCALING_ROUNDS
     assert record["latency_p50_ns"] > 0
+
+
+def test_hot_routing_restores_balance():
+    # The PR 7 acceptance pair: under zipf theta=0.99 with the tracker
+    # on, promotions must bring the routed balance back inside the
+    # paper's bound, without losing acks, at throughput comparable to
+    # uniform traffic (loose 0.75 floor here; the committed JSON holds
+    # the exact ratio).
+    keys = google_urls(NUM_KEYS, seed=17)
+    model = train_model(keys, fixed_dataset=True)
+    for record in skew_hot_records(model, keys):
+        if not record["benchmark"].startswith("service_skew_hot_summary"):
+            continue
+        assert record["promoted"] >= 1, record
+        assert record["within_bound"], record
+        assert record["lost_acks"] == 0, record
+        assert record["skew_vs_uniform_ops_ratio"] >= 0.75, record
 
 
 def test_degraded_drill_loses_nothing():

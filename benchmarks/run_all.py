@@ -17,8 +17,23 @@ validated against its required-field schema — a record missing e.g.
 its ``latency_p50_ns``/``latency_p99_ns`` fields fails the run with
 exit 1, so a refactor cannot silently stop reporting a number the
 acceptance criteria read.
+
+Performance gate::
+
+    python benchmarks/run_all.py bench_engine --write-baseline
+    python benchmarks/run_all.py bench_engine --check-regression
+
+``--write-baseline`` snapshots ops/sec and p99 latency for the named
+hot paths in ``BASELINE_TRACKED`` into ``BENCH_baseline.json``;
+``--check-regression`` re-runs the selected modules and exits 1 when
+any tracked path lost more than ``--regression-tolerance`` (default
+10%) of its baseline throughput or grew its p99 by more than the same
+fraction.  The default is meant for same-machine comparisons; CI
+passes a much looser tolerance because hosted runners differ from the
+machine that wrote the committed baseline.
 """
 
+import argparse
 import importlib
 import json
 import os
@@ -122,6 +137,126 @@ def validate_artifacts(selected):
     return problems
 
 
+# ------------------------------------------------------ regression gate
+
+BASELINE_FILE = "BENCH_baseline.json"
+
+# The named hot paths the perf gate watches: artifact -> record names.
+# Every entry must expose a throughput (ops_per_second, or derivable
+# from batch_ns_per_key) and a latency_p99_ns.
+BASELINE_TRACKED = {
+    "BENCH_engine.json": (
+        "probing_probe", "bloom_contains", "partition_assign",
+    ),
+    "BENCH_service.json": (
+        "service_ycsb_C_uniform", "service_ycsb_A_zipf_hot",
+        "service_scaling_inline",
+    ),
+    "BENCH_faults.json": (
+        "chaos_throughput_0",
+    ),
+}
+
+
+def _repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _record_ops_per_second(record):
+    if "ops_per_second" in record:
+        return float(record["ops_per_second"])
+    if record.get("batch_ns_per_key"):
+        return 1e9 / float(record["batch_ns_per_key"])
+    return None
+
+
+def collect_baseline_entries(selected):
+    """Read the tracked hot-path numbers out of the selected artifacts."""
+    entries = {}
+    for filename, names in BASELINE_TRACKED.items():
+        schema = ARTIFACT_SCHEMAS.get(filename)
+        if schema is None or schema["module"] not in selected:
+            continue
+        path = os.path.join(_repo_root(), filename)
+        if not os.path.exists(path):
+            continue
+        with open(path) as f:
+            records = {
+                r.get("benchmark"): r
+                for r in json.load(f).get("records", [])
+            }
+        for name in names:
+            record = records.get(name)
+            if record is None:
+                continue
+            entries[f"{filename}::{name}"] = {
+                "ops_per_second": _record_ops_per_second(record),
+                "latency_p99_ns": record.get("latency_p99_ns"),
+            }
+    return entries
+
+
+def write_baseline(selected):
+    entries = collect_baseline_entries(selected)
+    path = os.path.join(_repo_root(), BASELINE_FILE)
+    with open(path, "w") as f:
+        json.dump({
+            "git_rev": _git_rev(),
+            "generated_at_unix": time.time(),
+            "entries": entries,
+        }, f, indent=2)
+    print(f"\n[wrote {len(entries)} baseline entr(y/ies) to {path}]")
+    return path
+
+
+def check_regression(selected, tolerance):
+    """Compare the fresh artifacts against the committed baseline.
+
+    Returns human-readable problems; empty means no tracked hot path
+    regressed beyond ``tolerance`` (fractional, e.g. 0.10 == 10%).
+    """
+    path = os.path.join(_repo_root(), BASELINE_FILE)
+    if not os.path.exists(path):
+        return [f"{BASELINE_FILE} not found; run --write-baseline first"]
+    with open(path) as f:
+        baseline = json.load(f).get("entries", {})
+    current = collect_baseline_entries(selected)
+    problems = []
+    checked = 0
+    for name, now in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            continue
+        checked += 1
+        base_ops, now_ops = base.get("ops_per_second"), now.get("ops_per_second")
+        if base_ops and now_ops and now_ops < base_ops * (1.0 - tolerance):
+            problems.append(
+                f"{name}: ops/s fell {1.0 - now_ops / base_ops:.1%} "
+                f"({base_ops:.0f} -> {now_ops:.0f}, tolerance "
+                f"{tolerance:.0%})"
+            )
+        # p99 over a few hundred samples is far noisier than aggregate
+        # throughput (a single scheduler hiccup moves it), so the
+        # latency gate gets 3x the throughput tolerance — it catches a
+        # tail-latency disaster, not a jitter.
+        latency_tolerance = 3.0 * tolerance
+        base_p99, now_p99 = base.get("latency_p99_ns"), now.get("latency_p99_ns")
+        if base_p99 and now_p99 and now_p99 > base_p99 * (1.0 + latency_tolerance):
+            problems.append(
+                f"{name}: p99 grew {now_p99 / base_p99 - 1.0:.1%} "
+                f"({base_p99:.0f}ns -> {now_p99:.0f}ns, tolerance "
+                f"{latency_tolerance:.0%})"
+            )
+    if not checked:
+        problems.append(
+            "no tracked hot path overlaps the baseline; nothing checked"
+        )
+    else:
+        print(f"\nregression check: {checked} hot path(s) vs "
+              f"{BASELINE_FILE} at {tolerance:.0%} tolerance")
+    return problems
+
+
 def _git_rev():
     try:
         return subprocess.run(
@@ -149,7 +284,7 @@ def write_engine_report(records, path=None):
     return path
 
 
-def main(filters):
+def main(filters, check=False, write=False, tolerance=0.10):
     selected = [
         name for name in MODULES
         if not filters or any(f in name for f in filters)
@@ -196,14 +331,46 @@ def main(filters):
     elif any(s["module"] in selected for s in ARTIFACT_SCHEMAS.values()):
         print("\nartifact check: all required fields present")
 
+    regressions = []
+    if write and not failures:
+        write_baseline(selected)
+    if check and not failures:
+        regressions = check_regression(selected, tolerance)
+        if regressions:
+            print(f"\nREGRESSION CHECK FAILED: {len(regressions)} "
+                  "problem(s):")
+            for regression in regressions:
+                print(f"  {regression}")
+        else:
+            print("regression check: all tracked hot paths within "
+                  "tolerance")
+
     if failures:
         print(f"\nFAILED: {len(failures)} of {len(selected)} experiment(s) "
               "errored:")
         for name, exc in failures:
             print(f"  {name}: {exc!r}")
-    return 1 if failures or problems else 0
+    return 1 if failures or problems or regressions else 0
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("filters", nargs="*",
+                        help="substring filters over module names")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help=f"snapshot tracked hot paths to {BASELINE_FILE}")
+    parser.add_argument("--check-regression", action="store_true",
+                        help="exit 1 if a tracked hot path regressed past "
+                             "the tolerance vs the committed baseline")
+    parser.add_argument("--regression-tolerance", type=float, default=0.10,
+                        help="fractional regression allowed (default 0.10; "
+                             "use a loose value across machines)")
+    return parser.parse_args(argv)
 
 
 if __name__ == "__main__":
     sys.path.insert(0, __file__.rsplit("/", 1)[0])
-    sys.exit(main(sys.argv[1:]))
+    _args = _parse_args(sys.argv[1:])
+    sys.exit(main(_args.filters, check=_args.check_regression,
+                  write=_args.write_baseline,
+                  tolerance=_args.regression_tolerance))

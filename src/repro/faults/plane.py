@@ -123,6 +123,18 @@ class FaultPlane:
         """Routing observation point (threaded through ShardRouter)."""
         self.routed[shard] = self.routed.get(shard, 0) + 1
 
+    def note_routes(self, counts) -> None:
+        """Aggregated routing observation: one call per routed batch.
+
+        ``counts[shard]`` is how many keys of the batch landed on that
+        shard (the router's ``np.bincount`` output) — equivalent to
+        ``note_route`` per key without the per-key Python loop.
+        """
+        for shard, count in enumerate(counts):
+            count = int(count)
+            if count:
+                self.routed[shard] = self.routed.get(shard, 0) + count
+
     # -------------------------------------------------------------- stats
 
     def total_fired(self, kind: Optional[str] = None) -> int:

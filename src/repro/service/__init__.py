@@ -25,6 +25,15 @@ reference, :class:`ProcessBackend` runs one OS process per shard over
 bounded ``multiprocessing`` queues with heartbeat counters in shared
 memory, so N shards finally use N cores and a real ``kill -9`` is just
 another recoverable crash.
+
+Since PR 7 the route itself is versioned: the router is a facade over a
+generation-stamped :class:`RoutingTable` (pinned base hash + hot-key
+overlay + split map).  A :class:`HotKeyTracker` (Count-Min sketch)
+detects heavy hitters online so the supervisor's adapt pass can pin
+them to least-loaded shards, and overloaded shards can be split live —
+journal-replay migration, generation flip, queue sweep — with a
+``WRONG_GENERATION`` protocol status (and transparent client retry) as
+the safety net for stragglers.
 """
 
 from repro.service.adapters import AdapterSpec, make_adapter
@@ -43,9 +52,20 @@ from repro.service.client import (
     run_service_workload,
 )
 from repro.service.core import ShardCore
+from repro.service.hotkeys import HotKeyTracker
 from repro.service.journal import ShardJournal
-from repro.service.protocol import FAILED, OK, OPS, REJECTED, Request, Response, Ticket
+from repro.service.protocol import (
+    FAILED,
+    OK,
+    OPS,
+    REJECTED,
+    WRONG_GENERATION,
+    Request,
+    Response,
+    Ticket,
+)
 from repro.service.router import ShardRouter
+from repro.service.routing import RoutingTable
 from repro.service.service import Service
 from repro.service.state import ShardStateBlock
 from repro.service.supervisor import Supervisor
@@ -64,17 +84,20 @@ __all__ = [
     "fork_available",
     "DeadlineExceededError",
     "FAILED",
+    "HotKeyTracker",
     "OK",
     "OPS",
     "REJECTED",
     "Request",
     "Response",
+    "RoutingTable",
     "Service",
     "ServiceClient",
     "ServiceOverloadedError",
     "ShardJournal",
     "ShardRouter",
     "Supervisor",
+    "WRONG_GENERATION",
     "Ticket",
     "Worker",
     "make_adapter",

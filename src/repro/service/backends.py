@@ -119,6 +119,13 @@ class ExecutionBackend:
         """Rebuild the core from the worker's acked-only journal."""
         raise NotImplementedError
 
+    def apply_entries(self, worker, entries) -> int:
+        """Apply migrated journal entries to the live structure — the
+        no-restart half of a routing migration.  The caller already
+        appended the entries to the worker's journal; this only pushes
+        them into the running core.  Returns ops applied."""
+        raise NotImplementedError
+
     def fall_back(self, worker) -> None:
         raise NotImplementedError
 
@@ -196,6 +203,9 @@ class InlineBackend(ExecutionBackend):
         self.core = ShardCore(worker.factory())
         worker.journal.replay(self.core.adapter)
 
+    def apply_entries(self, worker, entries) -> int:
+        return self.core.apply_entries(entries)
+
     def fall_back(self, worker) -> None:
         self.core.fall_back()
 
@@ -260,6 +270,17 @@ def _shard_child_main(
                 res_q.put(
                     ("ctl_done", inc, name, payload, bool(core.tripped))
                 )
+            elif tag == "apply":
+                # Migrated journal entries from a hot-key promotion or
+                # split: replay into the live structure, heartbeating
+                # like a spawn replay so the parent can tell a long
+                # migration from a hang.
+                _, inc, migrated = msg
+                applied = core.apply_entries(
+                    migrated, progress=_replay_progress
+                )
+                state_row[TRIPPED] = 1 if core.tripped else 0
+                res_q.put(("apply_done", inc, applied, bool(core.tripped)))
             elif tag == "batch":
                 _, inc, batch_id, segments, crash_at = msg
                 results = []
@@ -331,6 +352,7 @@ class ProcessBackend(ExecutionBackend):
         ctx=None,
         collect_timeout: float = 30.0,
         queue_size: int = 4,
+        row: Optional[int] = None,
     ):
         if ctx is None:
             import multiprocessing
@@ -345,6 +367,11 @@ class ProcessBackend(ExecutionBackend):
         self.spec = spec
         self.state = state
         self.shard_id = shard_id
+        # Which row of the state block this shard beats in.  Defaults
+        # to the shard id; a shard added by a live split gets its own
+        # (usually single-row) block, because blocks are fixed-size at
+        # construction and the original block has no spare rows.
+        self.row = shard_id if row is None else row
         self.ctx = ctx
         self.collect_timeout = collect_timeout
         self.queue_size = queue_size
@@ -396,7 +423,7 @@ class ProcessBackend(ExecutionBackend):
 
     def _spawn(self, worker) -> None:
         self.incarnation += 1
-        self.state.reset(self.shard_id, self.incarnation)
+        self.state.reset(self.row, self.incarnation)
         self._close_queues()
         self.cmd_q = self.ctx.Queue(self.queue_size)
         self.res_q = self.ctx.Queue(self.queue_size)
@@ -405,7 +432,7 @@ class ProcessBackend(ExecutionBackend):
             target=_shard_child_main,
             args=(
                 self.shard_id, self.spec, entries,
-                self.state.view(self.shard_id) if self.state.shared else None,
+                self.state.view(self.row) if self.state.shared else None,
                 self.incarnation, self.cmd_q, self.res_q,
             ),
             daemon=True,
@@ -546,7 +573,7 @@ class ProcessBackend(ExecutionBackend):
         and reported as dead (None).  A child seen dead gets one short
         drain pass first — its last reply may still sit in the pipe.
         """
-        last_beat = self.state.heartbeat(self.shard_id)
+        last_beat = self.state.heartbeat(self.row)
         last_progress = time.monotonic()
         while True:
             try:
@@ -562,7 +589,7 @@ class ProcessBackend(ExecutionBackend):
                 continue  # stale or foreign message: ignore
             if self.process is None or not self.process.is_alive():
                 return self._drain_for(matches)
-            beat = self.state.heartbeat(self.shard_id)
+            beat = self.state.heartbeat(self.row)
             if beat != last_beat:
                 last_beat = beat
                 last_progress = time.monotonic()
@@ -583,6 +610,40 @@ class ProcessBackend(ExecutionBackend):
             if matches(msg):
                 return msg
         return None
+
+    def apply_entries(self, worker, entries) -> int:
+        """Ship migrated entries to the shard child for live replay.
+
+        A dead or wedged child is not an error here: the caller already
+        appended the entries to the worker's parent-side journal, so
+        the supervisor's restart rebuilds the child *with* the migrated
+        state — we just could not apply them without a restart.
+        """
+        entries = list(entries)
+        if not entries:
+            return 0
+        process = self.process
+        if process is None or not process.is_alive():
+            return 0
+        try:
+            self.cmd_q.put(
+                ("apply", self.incarnation, entries),
+                timeout=self.collect_timeout,
+            )
+        except Exception:
+            worker.crashed = True
+            self._stop_child()
+            return 0
+        reply = self._await(
+            lambda msg: (msg[0] == "apply_done"
+                         and msg[1] == self.incarnation)
+        )
+        if reply is None:
+            worker.crashed = True
+            self._stop_child()
+            return 0
+        self._tripped = bool(reply[3])
+        return int(reply[2])
 
     # ------------------------------------------------------ degraded mode
 
@@ -628,7 +689,7 @@ class ProcessBackend(ExecutionBackend):
 
     def stats(self) -> Dict[str, object]:
         try:
-            state = self.state.snapshot(self.shard_id)
+            state = self.state.snapshot(self.row)
         except ValueError:  # block already closed
             state = None
         return {

@@ -20,7 +20,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro._util import as_bytes
 
-from repro.service.protocol import FAILED, Request, Response, Ticket
+from repro.service.protocol import (
+    FAILED,
+    WRONG_GENERATION,
+    Request,
+    Response,
+    Ticket,
+)
 from repro.service.service import Service
 
 
@@ -56,6 +62,7 @@ class ServiceClient:
         self.retries = 0
         self.backoff_pumps = 0
         self.deadline_failures = 0
+        self.generation_retries = 0
         self.puts_accepted = 0
         self.puts_responded = 0
         self.puts_acked = 0
@@ -93,23 +100,41 @@ class ServiceClient:
 
     def _complete(self, ticket: Ticket) -> Response:
         pumps = 0
-        while ticket.response is None:
-            if pumps >= self.deadline_pumps:
-                # Mark the ticket failed *before* cancelling so the
-                # supervisor's reconciliation can never resurrect it.
-                ticket.response = Response(
-                    FAILED, shard=ticket.shard, error="deadline exceeded"
-                )
-                self.service.cancel(ticket)
-                self.deadline_failures += 1
+        resubmits = 0
+        while True:
+            while ticket.response is None:
+                if pumps >= self.deadline_pumps:
+                    # Mark the ticket failed *before* cancelling so the
+                    # supervisor's reconciliation can never resurrect it.
+                    ticket.response = Response(
+                        FAILED, shard=ticket.shard, error="deadline exceeded"
+                    )
+                    self.service.cancel(ticket)
+                    self.deadline_failures += 1
+                    if ticket.request.op == "put":
+                        self.puts_responded += 1  # negative ack, not lost
+                    raise DeadlineExceededError(
+                        f"request {ticket.request_id} ({ticket.request.op}) "
+                        f"unanswered after {pumps} pumps "
+                        f"(shard {ticket.shard})"
+                    )
+                self.service.pump()
+                pumps += 1
+            if (ticket.response.status == WRONG_GENERATION
+                    and resubmits < self.max_retries):
+                # A routing flip moved the key between admission and
+                # dispatch; the answer is "ask again", not a failure.
+                # The resubmit routes through the *current* table, so
+                # this converges unless flips outpace the retry cap.
+                # Ledger-wise the old ticket was answered (negatively)
+                # and the resubmit is a fresh accepted put.
                 if ticket.request.op == "put":
-                    self.puts_responded += 1  # a negative ack, not a lost one
-                raise DeadlineExceededError(
-                    f"request {ticket.request_id} ({ticket.request.op}) "
-                    f"unanswered after {pumps} pumps (shard {ticket.shard})"
-                )
-            self.service.pump()
-            pumps += 1
+                    self.puts_responded += 1
+                self.generation_retries += 1
+                resubmits += 1
+                ticket = self._submit(ticket.request)
+                continue
+            break
         if ticket.request.op == "put":
             self.puts_responded += 1
             if ticket.response.ok:

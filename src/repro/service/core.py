@@ -73,6 +73,20 @@ class ShardCore:
             return ("delete", adapter.delete_batch(keys))
         return ("contains", adapter.contains_batch(keys))
 
+    def apply_entries(
+        self,
+        entries: Sequence[Entry],
+        progress: Optional[Callable[[int], None]] = None,
+    ) -> int:
+        """Replay migrated journal entries into the *live* structure.
+
+        The migration half of a routing-generation flip: unlike
+        :meth:`from_spec` this mutates an already-serving core, so a
+        promotion or split can move acked state between shards without
+        a restart.  Returns the number of ops applied.
+        """
+        return replay_entries(self.adapter, entries, progress=progress)
+
     # ------------------------------------------------------ degraded mode
 
     @property

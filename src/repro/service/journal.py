@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 Entry = Tuple[str, bytes, Optional[bytes]]
 
 
-def replay_entries(adapter, entries, progress=None) -> int:
+def replay_entries(adapter, entries, progress=None, key_filter=None) -> int:
     """Re-apply a journal entry sequence to a fresh adapter.
 
     Consecutive same-op runs go down the adapter's batch paths, the
@@ -36,9 +36,15 @@ def replay_entries(adapter, entries, progress=None) -> int:
     ``progress``, when given, is called with each run's length after it
     applies; the shard child uses it to bump its shared-memory
     heartbeat so the parent can tell a long replay from a hung spawn.
-    Returns the number of ops replayed.
+
+    ``key_filter``, when given, restricts the replay to entries whose
+    key satisfies the predicate — the range-filtered replay a live
+    shard split uses to materialize only the migrating half of a donor
+    journal.  Returns the number of ops replayed.
     """
     entries = list(entries) if not isinstance(entries, list) else entries
+    if key_filter is not None:
+        entries = [entry for entry in entries if key_filter(entry[1])]
     i, n = 0, len(entries)
     while i < n:
         op = entries[i][0]
@@ -120,6 +126,39 @@ class ShardJournal:
             ]
         self.entries = compacted
         self.truncations += 1
+
+    # ---------------------------------------------------------- migration
+
+    def split_by(self, predicate) -> List[Entry]:
+        """Remove and return every entry whose key satisfies the
+        predicate, preserving ack order on both sides.
+
+        This is the donor half of a live shard split: the migrating
+        range's entries leave the donor journal (so a later donor
+        restart does not resurrect moved keys) and seed the new shard's
+        journal verbatim — replaying them there reconstructs exactly
+        the acknowledged state of the moved range.
+        """
+        moved: List[Entry] = []
+        kept: List[Entry] = []
+        for entry in self.entries:
+            (moved if predicate(entry[1]) else kept).append(entry)
+        self.entries = kept
+        return moved
+
+    def extend(self, entries: List[Entry]) -> None:
+        """Append migrated entries (already in their own ack order)."""
+        self.entries.extend(entries)
+        self.appended += len(entries)
+        self._maybe_checkpoint()
+
+    def replace(self, entries: List[Entry]) -> None:
+        """Swap in a rewritten entry list (post-migration donor state).
+
+        Unlike :meth:`extend` this does not count as new appends: the
+        entries were already acked and counted when first recorded.
+        """
+        self.entries = list(entries)
 
     # ------------------------------------------------------------- replay
 

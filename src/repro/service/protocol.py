@@ -21,6 +21,9 @@ OPS = ("get", "put", "delete", "contains", "stats")
 OK = "ok"
 REJECTED = "rejected"      # backpressure: queue full, retry later
 FAILED = "failed"          # the shard could not serve it (unsupported op)
+# The routing generation flipped between admission and dispatch and the
+# key now routes elsewhere: resubmit (the client does so transparently).
+WRONG_GENERATION = "wrong_generation"
 
 
 @dataclass(frozen=True)
@@ -52,6 +55,9 @@ class Response:
     retry_after: Optional[int] = None
     error: Optional[str] = None
     stats: Optional[Dict[str, object]] = None
+    # Set on WRONG_GENERATION: the routing generation now live, so a
+    # client can tell a fresh miss from a stale retry loop.
+    generation: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -66,6 +72,11 @@ class Ticket:
     request_id: int
     shard: Optional[int] = None
     response: Optional[Response] = field(default=None)
+    # Routing generation at admission time.  The dispatch path uses it
+    # as a safety net: a ticket stamped under generation N whose key no
+    # longer routes to its queued shard is answered WRONG_GENERATION
+    # instead of being served against the wrong shard's state.
+    generation: int = 0
 
     @property
     def done(self) -> bool:
@@ -76,4 +87,7 @@ class Ticket:
         return self.response is not None and self.response.status == REJECTED
 
 
-__all__ = ["OPS", "OK", "REJECTED", "FAILED", "Request", "Response", "Ticket"]
+__all__ = [
+    "OPS", "OK", "REJECTED", "FAILED", "WRONG_GENERATION",
+    "Request", "Response", "Ticket",
+]

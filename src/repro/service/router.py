@@ -1,28 +1,40 @@
-"""Shard routing via the learned partitioning hasher.
+"""Shard routing: a thin facade over the versioned routing plane.
 
-A :class:`ShardRouter` is the service's partitioner: one
-:class:`~repro.engine.HashEngine` pass with a fused
-:class:`~repro.engine.FastRangeReducer` maps a batch of keys to shard
-ids, exactly like :class:`~repro.partitioning.Partitioner` maps keys to
-bins.  The router additionally keeps cumulative per-shard counts and
-checks them against the paper's relative-balance bound (eq. 11 plus
-sampling noise) — partition balance is monitored, not assumed.
+A :class:`ShardRouter` used to *be* the route — one learned-hash engine
+pass, pinned forever.  Since PR 7 it is the observation shell around a
+:class:`~repro.service.routing.RoutingTable` (generation-stamped base
+route + hot-key overlay + split map) and an optional
+:class:`~repro.service.hotkeys.HotKeyTracker`: the facade counts routed
+traffic per shard, checks the paper's relative-balance bound (eq. 11
+plus sampling noise), feeds the tracker, and notifies an armed fault
+plane — while every actual key→shard decision is delegated to the
+table.
 
-The routing hasher is pinned for the lifetime of the service, even in
-degraded mode: swapping it would re-route keys to different shards and
-orphan acknowledged writes.  Only the per-shard *structures* rehash to
-full keys when a monitor trips; the key→shard map never moves.
+The *base* hasher is still pinned for the lifetime of the service, even
+in degraded mode: its hash stream anchors both the fastrange base
+placement and the split sub-routing, so swapping it would scatter every
+key.  What changed is that the table can now *refine* the base route —
+pin a heavy hitter to a chosen shard, or split a hot shard's range —
+behind a generation flip that migrates acked state first.
+
+Fault-plane observation is aggregated (satellite of PR 7): one
+``np.bincount`` already computed for the balance counters is handed to
+the plane in a single ``note_routes`` call instead of a per-key Python
+loop — the route hot path does O(1) Python work per batch.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.hasher import EntropyLearnedHasher
-from repro.engine import FastRangeReducer, HashEngine
+from repro.engine import HashEngine
 from repro.partitioning.stats import relative_balance_bound, relative_std
+
+from repro.service.hotkeys import HotKeyTracker
+from repro.service.routing import RoutingTable
 
 # Routing must not reuse the structures' hash stream: the same bits that
 # pick the shard would then pick the bucket, correlating placement.
@@ -30,21 +42,28 @@ ROUTER_SEED_OFFSET = 101
 
 
 class ShardRouter:
-    """Assign keys to ``num_shards`` shards and track the balance."""
+    """Assign keys to shards via the routing table; track the balance."""
 
     def __init__(
         self,
         hasher: EntropyLearnedHasher,
         num_shards: int,
         tolerance: float = 0.05,
+        hot_k: int = 0,
+        hot_phi: float = 0.005,
+        hot_sample: int = 1,
     ):
         if num_shards < 1:
             raise ValueError(f"need at least one shard, got {num_shards}")
         self.engine = HashEngine(hasher)
-        self.num_shards = num_shards
+        self.table = RoutingTable(self.engine, num_shards)
         self.tolerance = tolerance
-        self._reducer = FastRangeReducer(num_shards)
         self.routed = np.zeros(num_shards, dtype=np.int64)
+        self.tracker: Optional[HotKeyTracker] = (
+            HotKeyTracker(hasher, k=hot_k, phi=hot_phi, sample=hot_sample)
+            if hot_k > 0 else None
+        )
+        self.promoted = 0
         # Observation point for the fault plane: the plane never alters
         # a routing decision (that would orphan acknowledged writes), it
         # only watches which shards the faults it fires can reach.
@@ -58,33 +77,98 @@ class ShardRouter:
         expected_items: int,
         tolerance: float = 0.05,
         seed: int = 0,
+        hot_k: int = 0,
+        hot_phi: float = 0.005,
+        hot_sample: int = 1,
     ) -> "ShardRouter":
         """Router over the model's partitioning hasher (relative mode)."""
         hasher = model.hasher_for_partitioning(
             max(expected_items, 1), num_shards,
             mode="relative", seed=seed + ROUTER_SEED_OFFSET,
         )
-        return cls(hasher, num_shards, tolerance=tolerance)
+        return cls(hasher, num_shards, tolerance=tolerance,
+                   hot_k=hot_k, hot_phi=hot_phi, hot_sample=hot_sample)
+
+    @property
+    def num_shards(self) -> int:
+        return self.table.num_shards
+
+    @property
+    def generation(self) -> int:
+        return self.table.generation
 
     def route_batch(self, keys: Sequence[bytes]) -> np.ndarray:
         """Shard id per key: one compiled engine pass over the batch."""
         if not keys:
             return np.zeros(0, dtype=np.int64)
-        shards = np.asarray(
-            self.engine.hash_batch(list(keys), self._reducer), dtype=np.int64
-        )
-        self.routed += np.bincount(shards, minlength=self.num_shards)
+        keys = list(keys)
+        shards = self.table.route_batch(keys)
+        counts = np.bincount(shards, minlength=self.num_shards)
+        self.routed += counts
+        if self.tracker is not None:
+            self.tracker.observe(keys)
         if self.fault_plane is not None:
-            for shard in shards:
-                self.fault_plane.note_route(int(shard))
+            self.fault_plane.note_routes(counts)
         return shards
 
     def route_one(self, key: bytes) -> int:
-        shard = int(self.engine.hash_one(key, self._reducer))
+        shard = self.table.route_one(key)
         self.routed[shard] += 1
+        if self.tracker is not None:
+            self.tracker.observe_one(key)
         if self.fault_plane is not None:
             self.fault_plane.note_route(shard)
         return shard
+
+    # ----------------------------------------------------- reconfiguration
+
+    def install(self, candidate: RoutingTable) -> None:
+        """Flip to a candidate table (the caller migrated state first).
+
+        Generations are monotonic: installing a stale candidate (built
+        from a table older than the live one) is a programming error.
+        """
+        if candidate.generation <= self.table.generation:
+            raise ValueError(
+                f"candidate generation {candidate.generation} is not "
+                f"newer than live generation {self.table.generation}"
+            )
+        if candidate.num_shards > len(self.routed):
+            grown = np.zeros(candidate.num_shards, dtype=np.int64)
+            grown[: len(self.routed)] = self.routed
+            self.routed = grown
+        self.table = candidate
+
+    def plan_promotions(self) -> Dict[bytes, int]:
+        """Hot keys worth pinning, greedily assigned to shards.
+
+        Returns ``{key: target_shard}`` for tracked heavy hitters not
+        yet in the overlay.  Assignment is longest-processing-time
+        greedy: hottest key first, each onto the shard with the lowest
+        projected load (cumulative routed traffic plus the estimates
+        already assigned this round) — the placement that pulls the
+        balance metric back toward the bound.
+        """
+        if self.tracker is None or not self.tracker.dirty:
+            return {}
+        self.tracker.dirty = False
+        fresh = [
+            (key, estimate)
+            for key, estimate in self.tracker.hot_keys()
+            if key not in self.table.overlay
+        ]
+        if not fresh:
+            return {}
+        projected = self.routed.astype(np.float64).copy()
+        assignments: Dict[bytes, int] = {}
+        # Sketch estimates count sampled occurrences; scale back to the
+        # routed-traffic unit so the projection compares like with like.
+        scale = float(self.tracker.sample)
+        for key, estimate in fresh:  # hot_keys is sorted hottest-first
+            target = int(np.argmin(projected))
+            assignments[key] = target
+            projected[target] += estimate * scale
+        return assignments
 
     # ------------------------------------------------------------ balance
 
@@ -94,11 +178,15 @@ class ShardRouter:
         the data-placement check, as opposed to the traffic check."""
         counts = np.zeros(self.num_shards, dtype=np.int64)
         if keys:
-            shards = np.asarray(
-                self.engine.hash_batch(list(keys), self._reducer),
-                dtype=np.int64,
-            )
+            shards = self.table.route_batch(list(keys))
             counts += np.bincount(shards, minlength=self.num_shards)
+        return self._report(counts)
+
+    def balance(self) -> Dict[str, object]:
+        """Observed routing skew against the relative-balance bound."""
+        return self._report(self.routed)
+
+    def _report(self, counts: np.ndarray) -> Dict[str, object]:
         total = int(counts.sum())
         observed = relative_std(counts)
         bound = relative_balance_bound(
@@ -112,23 +200,18 @@ class ShardRouter:
             "within_bound": total == 0 or observed <= bound,
         }
 
-    def balance(self) -> Dict[str, object]:
-        """Observed routing skew against the relative-balance bound."""
-        total = int(self.routed.sum())
-        observed = relative_std(self.routed)
-        bound = relative_balance_bound(
-            total, self.num_shards, tolerance=self.tolerance
-        )
-        return {
-            "total_routed": total,
-            "per_shard": [int(c) for c in self.routed],
-            "relative_std": observed,
-            "bound": bound if bound != float("inf") else None,
-            "within_bound": total == 0 or observed <= bound,
-        }
+    # -------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, object]:
+        out = dict(self.table.stats())
+        out["promoted"] = self.promoted
+        if self.tracker is not None:
+            out["tracker"] = self.tracker.stats()
+        return out
 
     def __repr__(self) -> str:
         return (f"ShardRouter(num_shards={self.num_shards}, "
+                f"generation={self.generation}, "
                 f"routed={int(self.routed.sum())})")
 
 

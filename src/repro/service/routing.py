@@ -1,0 +1,190 @@
+"""The versioned routing table: base hash + hot-key overlay + split map.
+
+Until PR 7 the key→shard map *was* the learned hasher, pinned for the
+service's lifetime — adapting to skew was impossible by construction.
+A :class:`RoutingTable` keeps the base hasher exactly as pinned as
+before (its 64-bit hash stream never changes, so every key's *base*
+placement is stable forever) and layers two versioned refinements on
+top, stamped by a monotonically increasing ``generation``:
+
+* **hot-key overlay** — an explicit ``key -> shard`` dict consulted
+  first.  The heavy hitters a :class:`~repro.service.hotkeys.
+  HotKeyTracker` detects are pinned to deliberately chosen shards
+  (least projected load), which is what restores the relative-balance
+  bound under zipfian traffic: the bound assumes no single key carries
+  a macroscopic share of the stream, and the overlay places exactly
+  those keys by hand instead of by hash.
+* **split map** — extendible-hashing-style per-base-shard directories
+  for live shard splits.  Splitting shard ``d`` doubles ``d``'s
+  directory and points the new low-bit half at the new shard; keys
+  whose base hash lands on ``d`` then sub-route through untouched low
+  bits of the *same* 64-bit hash, so a split only ever moves keys away
+  from the donor — every other shard's keys are provably untouched.
+
+Tables are copy-on-write: mutating operations (:meth:`with_overlay`,
+:meth:`with_split`) return a *candidate* table at ``generation + 1``
+and leave the live table alone.  The service migrates acked state under
+the candidate's routing, then atomically installs it — the flip — so a
+route lookup never observes a half-applied reconfiguration.  Routing
+itself stays pure (no counters, no fault hooks); the
+:class:`~repro.service.router.ShardRouter` facade owns observation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.engine import FastRangeReducer, HashEngine
+
+# Directories cap at 2^MAX_SPLIT_DEPTH slots per base shard; past that
+# a base range has been split 8 times and further splits are refused.
+MAX_SPLIT_DEPTH = 8
+
+
+class RoutingTable:
+    """Generation-stamped composite route: overlay, then base + splits."""
+
+    def __init__(self, engine: HashEngine, base_shards: int):
+        if base_shards < 1:
+            raise ValueError(f"need at least one shard, got {base_shards}")
+        self.engine = engine
+        self.base_shards = base_shards
+        self.num_shards = base_shards
+        self.generation = 0
+        # Heavy hitters routed by hand: consulted before the hash.
+        self.overlay: Dict[bytes, int] = {}
+        # base shard -> directory (power-of-two list of shard ids);
+        # absent means the base range was never split.
+        self.split_dirs: Dict[int, List[int]] = {}
+        self._base_reducer = FastRangeReducer(base_shards)
+
+    # ------------------------------------------------------------ routing
+
+    def route_batch(self, keys: Sequence[bytes]) -> np.ndarray:
+        """Shard id per key; pure (no counters, no side effects)."""
+        if not keys:
+            return np.zeros(0, dtype=np.int64)
+        hashes = self.engine.hash_batch(list(keys))
+        shards = np.asarray(
+            self._base_reducer.apply(hashes), dtype=np.int64
+        )
+        if self.split_dirs:
+            for base, directory in self.split_dirs.items():
+                mask = shards == base
+                if not mask.any():
+                    continue
+                # Sub-route through low bits of the same hash: fastrange
+                # consumed the high bits, so the low bits are fresh.
+                sub = hashes[mask] & np.uint64(len(directory) - 1)
+                lookup = np.asarray(directory, dtype=np.int64)
+                shards[mask] = lookup[sub.astype(np.int64)]
+        if self.overlay:
+            for i, key in enumerate(keys):
+                pinned = self.overlay.get(key)
+                if pinned is not None:
+                    shards[i] = pinned
+        return shards
+
+    def route_one(self, key: bytes) -> int:
+        pinned = self.overlay.get(key)
+        if pinned is not None:
+            return pinned
+        h = int(self.engine.hash_one(key))
+        shard = self._base_reducer.apply_one(h)
+        directory = self.split_dirs.get(shard)
+        if directory is not None:
+            shard = directory[h & (len(directory) - 1)]
+        return int(shard)
+
+    # -------------------------------------------------- candidate builders
+
+    def clone(self) -> "RoutingTable":
+        twin = RoutingTable.__new__(RoutingTable)
+        twin.engine = self.engine
+        twin.base_shards = self.base_shards
+        twin.num_shards = self.num_shards
+        twin.generation = self.generation
+        twin.overlay = dict(self.overlay)
+        twin.split_dirs = {b: list(d) for b, d in self.split_dirs.items()}
+        twin._base_reducer = self._base_reducer
+        return twin
+
+    def with_overlay(self, assignments: Dict[bytes, int]) -> "RoutingTable":
+        """Candidate table with hot keys pinned; generation + 1."""
+        for key, shard in assignments.items():
+            if not 0 <= shard < self.num_shards:
+                raise ValueError(
+                    f"overlay target {shard} out of range "
+                    f"[0, {self.num_shards})"
+                )
+        candidate = self.clone()
+        candidate.overlay.update(assignments)
+        candidate.generation = self.generation + 1
+        return candidate
+
+    def with_split(self, donor: int) -> "RoutingTable":
+        """Candidate table that splits ``donor``'s key range in half.
+
+        The new shard always gets id ``num_shards`` (ids are dense and
+        never reused).  Keys move from the donor to the new shard only —
+        the base hash is untouched, so the migration predicate is simply
+        ``candidate.route(key) == new_shard``.
+        """
+        if not 0 <= donor < self.num_shards:
+            raise ValueError(
+                f"donor {donor} out of range [0, {self.num_shards})"
+            )
+        base = self._base_of(donor)
+        directory = self.split_dirs.get(base, [base])
+        if len(directory) >= (1 << MAX_SPLIT_DEPTH):
+            raise ValueError(
+                f"base shard {base} already split {MAX_SPLIT_DEPTH} times"
+            )
+        candidate = self.clone()
+        new_shard = candidate.num_shards
+        # Extendible doubling: slot i and slot i + old_len differ only in
+        # the new low bit.  Slots that pointed at the donor keep it on
+        # bit 0 and hand bit 1 to the new shard; everything else is
+        # duplicated unchanged.
+        doubled = directory + list(directory)
+        for i in range(len(directory)):
+            if doubled[i] == donor:
+                doubled[i + len(directory)] = new_shard
+        candidate.split_dirs[base] = doubled
+        candidate.num_shards += 1
+        candidate.generation = self.generation + 1
+        return candidate
+
+    def _base_of(self, shard: int) -> int:
+        """The base shard whose directory owns ``shard``."""
+        if shard < self.base_shards:
+            return shard
+        for base, directory in self.split_dirs.items():
+            if shard in directory:
+                return base
+        raise ValueError(f"shard {shard} is not in any split directory")
+
+    # -------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "generation": self.generation,
+            "base_shards": self.base_shards,
+            "num_shards": self.num_shards,
+            "overlay_keys": len(self.overlay),
+            "split_directories": {
+                str(base): list(directory)
+                for base, directory in sorted(self.split_dirs.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (f"RoutingTable(gen={self.generation}, "
+                f"shards={self.num_shards}/{self.base_shards} base, "
+                f"overlay={len(self.overlay)}, "
+                f"splits={len(self.split_dirs)})")
+
+
+__all__ = ["RoutingTable", "MAX_SPLIT_DEPTH"]

@@ -23,8 +23,19 @@ fixed order:
 Unlike PR 4's all-or-nothing degraded mode, a monitor trip now
 quarantines *only* the shard that misbehaved: its breaker opens and it
 serves full-key while its siblings keep the entropy-learned fast path.
-The shard router's hasher is still deliberately pinned — re-routing
-keys would orphan acknowledged writes; only in-shard placement degrades.
+
+Since PR 7 the key→shard map is a versioned
+:class:`~repro.service.routing.RoutingTable` rather than the bare
+hasher: the *base* hash is still deliberately pinned (re-hashing keys
+would orphan acknowledged writes), but the supervisor's adapt pass can
+layer generation-stamped refinements on top — pin detected hot keys to
+least-loaded shards (``hot_k``), or split an overloaded shard live
+(``auto_split`` / :meth:`Service.split_shard`), migrating acked state
+through the journal before each flip.  Every ticket is stamped with
+the routing generation at admission; a flip sweeps the queues so the
+stamp almost never matters, and the dispatch-time guard answers
+``WRONG_GENERATION`` for any straggler rather than serving it against
+the wrong shard's state.
 """
 
 from __future__ import annotations
@@ -39,11 +50,40 @@ from repro.faults import InjectedCrash
 from repro.service.adapters import AdapterSpec
 from repro.service.backends import EXECUTIONS, ProcessBackend
 from repro.service.breaker import OPEN, CircuitBreaker
+from repro.service.journal import Entry, ShardJournal
 from repro.service.protocol import OK, REJECTED, Request, Response, Ticket
 from repro.service.router import ShardRouter
 from repro.service.state import ShardStateBlock
 from repro.service.supervisor import Supervisor
 from repro.service.worker import BACKENDS, Worker
+
+
+def _net_deletes(moved: List[Entry], multiset: bool) -> List[Entry]:
+    """Delete entries that erase ``moved``'s net effect from a donor
+    structure after migration.  Map-like backends need one delete per
+    net-live key; a multiset (cuckoo filter) stores one fingerprint per
+    add, so it needs exactly the net add count removed."""
+    out: List[Entry] = []
+    if multiset:
+        counts: Dict[bytes, int] = {}
+        order: List[bytes] = []
+        for op, key, _ in moved:
+            if key not in counts:
+                counts[key] = 0
+                order.append(key)
+            counts[key] += 1 if op == "put" else -1
+        for key in order:
+            out.extend(("delete", key, None) for _ in range(counts[key])
+                       if counts[key] > 0)
+    else:
+        live: Dict[bytes, bool] = {}
+        order = []
+        for op, key, _ in moved:
+            if key not in live:
+                order.append(key)
+            live[key] = op == "put"
+        out = [("delete", key, None) for key in order if live[key]]
+    return out
 
 
 class Service:
@@ -68,6 +108,13 @@ class Service:
         max_drain_pumps: int = 10_000,
         execution: str = "inline",
         collect_timeout: float = 30.0,
+        hot_k: int = 0,
+        hot_phi: float = 0.005,
+        hot_sample: int = 1,
+        adapt_every: int = 8,
+        auto_split: bool = False,
+        split_threshold: float = 2.0,
+        max_splits: int = 4,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -86,6 +133,7 @@ class Service:
             self.router = ShardRouter.from_model(
                 model, num_shards, expected_items=capacity,
                 tolerance=balance_tolerance, seed=seed,
+                hot_k=hot_k, hot_phi=hot_phi, hot_sample=hot_sample,
             )
         else:
             from repro.service.router import ROUTER_SEED_OFFSET
@@ -93,11 +141,28 @@ class Service:
             self.router = ShardRouter(
                 hasher.with_seed(hasher.seed + ROUTER_SEED_OFFSET),
                 num_shards, tolerance=balance_tolerance,
+                hot_k=hot_k, hot_phi=hot_phi, hot_sample=hot_sample,
             )
         shard_capacity = max(4, capacity // num_shards)
         spec = AdapterSpec(
             backend, shard_capacity, model=model, hasher=hasher, seed=seed
         )
+        # Kept for live splits: a new shard is built from the same spec
+        # and knobs as the originals, mid-flight.
+        self._spec = spec
+        self._max_queue = max_queue
+        self._batch_size = batch_size
+        self._journal_checkpoint = journal_checkpoint
+        self._collect_timeout = collect_timeout
+        self._cooldown_pumps = cooldown_pumps
+        self._probe_pumps = probe_pumps
+        self._extra_blocks: List[ShardStateBlock] = []
+        self.adapt_every = max(1, adapt_every)
+        self.auto_split = auto_split
+        self.split_threshold = split_threshold
+        self.max_splits = max_splits
+        self.splits = 0
+        self.swept_tickets = 0
         self.state_block: Optional[ShardStateBlock] = None
         if execution == "process":
             self.state_block = ShardStateBlock(num_shards)
@@ -132,6 +197,8 @@ class Service:
             )
             for shard in range(num_shards)
         ]
+        for worker in self.workers:
+            worker.router = self.router
         self.supervisor = Supervisor(self, stall_threshold=stall_threshold)
         self.max_drain_pumps = max_drain_pumps
         self.pump_index = 0
@@ -189,7 +256,10 @@ class Service:
     def submit(self, request: Request) -> Ticket:
         """Admit one request.  Always returns a ticket; rejections and
         ``stats`` answer synchronously on it."""
-        ticket = Ticket(request, self._next_request_id)
+        ticket = Ticket(
+            request, self._next_request_id,
+            generation=self.router.generation,
+        )
         self._next_request_id += 1
         self.submitted += 1
         if request.op == "stats":
@@ -242,10 +312,13 @@ class Service:
             return [self.submit(request) for request in requests]
         shards = self.router.route_batch([r.key for r in requests])
         plane = self.fault_plane
+        generation = self.router.generation
         tickets: List[Ticket] = []
         for request, shard in zip(requests, shards):
             shard = int(shard)
-            ticket = Ticket(request, self._next_request_id)
+            ticket = Ticket(
+                request, self._next_request_id, generation=generation
+            )
             self._next_request_id += 1
             ticket.shard = shard
             worker = self.workers[shard]
@@ -285,6 +358,11 @@ class Service:
         """
         self.pump_index += 1
         self.supervisor.observe(self.pump_index)
+        # Reconfiguration happens here, between pumps: the two-phase
+        # barrier guarantees no batch is outstanding, so a promotion or
+        # split sees a frozen pipeline — "freeze the donor and drain
+        # in-flight work" holds by construction.
+        self.supervisor.adapt(self.pump_index)
         self._inject_service_faults()
         served = 0
         for worker in self.workers:
@@ -330,6 +408,177 @@ class Service:
             worker.queue_depth + worker.inflight_unanswered
             for worker in self.workers
         )
+
+    # ----------------------------------------------------- reconfiguration
+
+    def _apply_promotions(self) -> int:
+        """Pin planned hot keys, migrating their acked state first.
+
+        For each key whose overlay target differs from its current
+        route: extract its journal entries from the donor (so a donor
+        restart cannot resurrect it), append them to the target's
+        journal, replay them into the target's live structure, and
+        erase the net effect from the donor's structure.  Then flip the
+        routing generation and sweep queued tickets to their new homes.
+        Returns the number of keys promoted.
+        """
+        assignments = self.router.plan_promotions()
+        if not assignments:
+            return 0
+        candidate = self.router.table.with_overlay(assignments)
+        multiset = self.backend == "cuckoo_filter"
+        moves: Dict[int, List[bytes]] = {}
+        for key, target in assignments.items():
+            donor = self.router.table.route_one(key)
+            if donor != target:
+                moves.setdefault(donor, []).append(key)
+        for donor, keys in moves.items():
+            donor_worker = self.workers[donor]
+            keyset = set(keys)
+            moved = donor_worker.journal.split_by(lambda k: k in keyset)
+            if not moved:
+                continue
+            cleanup = _net_deletes(moved, multiset)
+            if cleanup and self.backend != "bloom":
+                # A Bloom filter cannot delete; its stale donor entries
+                # are unreachable after the flip and therefore harmless.
+                donor_worker.apply_entries(cleanup)
+            by_target: Dict[int, List[Entry]] = {}
+            for entry in moved:
+                by_target.setdefault(
+                    assignments[entry[1]], []
+                ).append(entry)
+            for target, entries in by_target.items():
+                target_worker = self.workers[target]
+                target_worker.journal.extend(entries)
+                target_worker.apply_entries(entries)
+        self.router.install(candidate)
+        self.router.promoted += len(assignments)
+        self._sweep_misrouted()
+        return len(assignments)
+
+    def split_shard(self, donor: int) -> int:
+        """Split ``donor``'s key range live; returns the new shard id.
+
+        The migration is journal-driven: partition the donor's journal
+        by the candidate routing (one vectorized pass over its distinct
+        keys), seed a brand-new worker with the migrating half — under
+        process execution the new shard child replays it at spawn, in
+        its own process with its own single-row state block — erase the
+        moved keys from the donor's live structure, flip the
+        generation, and sweep queued tickets.  No acked write is lost:
+        every entry is in exactly one journal at every step.
+        """
+        candidate = self.router.table.with_split(donor)
+        new_shard = candidate.num_shards - 1
+        donor_worker = self.workers[donor]
+        keys = [entry[1] for entry in donor_worker.journal.entries]
+        goes: Dict[bytes, bool] = {}
+        if keys:
+            distinct = list(dict.fromkeys(keys))
+            routes = candidate.route_batch(distinct)
+            goes = {
+                key: int(route) == new_shard
+                for key, route in zip(distinct, routes)
+            }
+        moved = donor_worker.journal.split_by(lambda k: goes.get(k, False))
+        multiset = self.backend == "cuckoo_filter"
+        new_journal = ShardJournal(
+            checkpoint_every=self._journal_checkpoint, multiset=multiset
+        )
+        new_journal.extend(moved)
+        if self.execution == "process":
+            # State blocks are fixed-size at construction, so a shard
+            # born mid-flight gets its own dedicated one-row block.
+            block = ShardStateBlock(1)
+            self._extra_blocks.append(block)
+            worker = Worker(
+                new_shard,
+                max_queue=self._max_queue,
+                batch_size=self._batch_size,
+                journal_checkpoint=self._journal_checkpoint,
+                execution=ProcessBackend(
+                    self._spec, block, new_shard,
+                    collect_timeout=self._collect_timeout, row=0,
+                ),
+                journal=new_journal,
+            )
+            # The child replayed the preset journal on its side of the
+            # fork during spawn.
+            new_journal.mark_replay()
+        else:
+            worker = Worker(
+                new_shard,
+                self._spec.build(),
+                max_queue=self._max_queue,
+                batch_size=self._batch_size,
+                factory=self._spec.build,
+                journal_checkpoint=self._journal_checkpoint,
+                journal=new_journal,
+            )
+            if moved:
+                new_journal.replay(worker.adapter)
+        worker.router = self.router
+        self._arm_worker(worker)
+        self.workers.append(worker)
+        self.breakers.append(
+            CircuitBreaker(
+                new_shard,
+                cooldown_pumps=self._cooldown_pumps,
+                probe_pumps=self._probe_pumps,
+            )
+        )
+        self.supervisor.grow()
+        cleanup = _net_deletes(moved, multiset)
+        if cleanup and self.backend != "bloom":
+            donor_worker.apply_entries(cleanup)
+        self.router.install(candidate)
+        self.num_shards = self.router.num_shards
+        self.splits += 1
+        self._sweep_misrouted()
+        return new_shard
+
+    def _sweep_misrouted(self) -> int:
+        """Move queued tickets a generation flip re-routed.
+
+        Runs at flip time, between pumps (no batch outstanding): each
+        queue is re-routed in one pure vectorized pass, stay-put
+        tickets are re-stamped with the live generation, and movers
+        merge into their new shard's queue front by request id — which
+        preserves per-key admission order, since ids are globally
+        monotonic.  This is the primary mechanism; the dispatch-time
+        WRONG_GENERATION guard only catches what a sweep cannot see.
+        """
+        generation = self.router.generation
+        moved_total = 0
+        arrivals: Dict[int, List[Ticket]] = {}
+        for worker in self.workers:
+            if not worker.queue:
+                continue
+            tickets = list(worker.queue)
+            shards = self.router.table.route_batch(
+                [t.request.key for t in tickets]
+            )
+            stay: List[Ticket] = []
+            for ticket, shard in zip(tickets, shards):
+                shard = int(shard)
+                ticket.generation = generation
+                if shard == worker.shard_id or ticket.response is not None:
+                    stay.append(ticket)
+                else:
+                    ticket.shard = shard
+                    arrivals.setdefault(shard, []).append(ticket)
+                    moved_total += 1
+            if len(stay) != len(tickets):
+                worker.queue.clear()
+                worker._queued_ids.clear()
+                for ticket in stay:
+                    worker.queue.append(ticket)
+                    worker._queued_ids.add(ticket.request_id)
+        for shard, tickets in arrivals.items():
+            self.workers[shard].requeue_front(tickets)
+        self.swept_tickets += moved_total
+        return moved_total
 
     # --------------------------------------------------- fault injection
 
@@ -402,6 +651,8 @@ class Service:
             worker.close()
         if self.state_block is not None:
             self.state_block.close()
+        for block in self._extra_blocks:
+            block.close()
 
     def __enter__(self) -> "Service":
         return self
@@ -427,6 +678,9 @@ class Service:
             "supervisor": self.supervisor.stats(),
             "breakers": [breaker.stats() for breaker in self.breakers],
             "router": self.router.balance(),
+            "routing": self.router.stats(),
+            "splits": self.splits,
+            "swept_tickets": self.swept_tickets,
             "shards": [worker.stats() for worker in self.workers],
         }
         if self.fault_plane is not None:

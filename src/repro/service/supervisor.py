@@ -19,15 +19,33 @@ Recovery sources of truth, in order:
 * pump-count heartbeats — a worker whose queue is non-empty but whose
   ``processed`` counter stagnates for ``stall_threshold`` consecutive
   service pumps is declared stalled and restarted the same way.
+
+Since PR 7 the supervisor also owns the *adapt* pass — the resharding
+state machine.  Every ``adapt_every`` pumps it runs observe → plan →
+migrate → flip → drain: apply the router's planned hot-key promotions,
+and (when ``auto_split`` is on) watch each shard's share of the routed
+traffic over the last window; a shard that carries more than
+``split_threshold`` times its fair share for two consecutive windows is
+split via :meth:`Service.split_shard`.  Both reconfigurations run at
+pump start, where the two-phase barrier guarantees nothing is in
+flight — the freeze/drain steps of the split protocol hold by
+construction, and the flip's queue sweep finishes the drain.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 class Supervisor:
     """Pump-clocked babysitter for a service's worker fleet."""
+
+    # An overload must persist this many consecutive adapt windows
+    # before a split fires: one hot window is noise, two is a regime.
+    SPLIT_PATIENCE = 2
+    # Ignore adapt windows with less than this many routed ops per
+    # shard on average — too little signal to call anything overloaded.
+    MIN_WINDOW_PER_SHARD = 8
 
     def __init__(self, service, stall_threshold: int = 3):
         if stall_threshold < 1:
@@ -39,10 +57,14 @@ class Supervisor:
         n = service.num_shards
         self._last_processed: List[int] = [0] * n
         self._stagnant: List[int] = [0] * n
+        self._routed_snapshot: List[int] = [0] * n
+        self._split_patience: Dict[int, int] = {}
         self.crashes_seen = 0
         self.stalls_detected = 0
         self.restarts = 0
         self.reconciled_tickets = 0
+        self.promotions_applied = 0
+        self.splits_triggered = 0
 
     # ---------------------------------------------------------- lifecycle
 
@@ -63,8 +85,7 @@ class Supervisor:
             # (dropped batch, lost queue slot) go back to the front.
             lost = worker.reconcile()
             if lost:
-                self.reconciled_tickets += len(lost)
-                worker.requeue_front(lost)
+                self._requeue(worker, lost)
             # Heartbeat: queued work + a frozen processed counter for
             # stall_threshold straight pumps means the worker is stuck.
             if worker.queue and worker.processed == self._last_processed[shard]:
@@ -87,12 +108,94 @@ class Supervisor:
             # serve full-key until the breaker's probe says otherwise.
             worker.fall_back()
         if lost:
-            self.reconciled_tickets += len(lost)
-            worker.requeue_front(lost)
+            self._requeue(worker, lost)
         self.restarts += 1
         shard = worker.shard_id
         self._stagnant[shard] = 0
         self._last_processed[shard] = worker.processed
+
+    def _requeue(self, worker, lost) -> None:
+        """Return recovered tickets to the front of the right queue.
+
+        Before PR 7 "the right queue" was always the worker they fell
+        out of; with versioned routing a flip may have moved their keys
+        since admission, so each ticket re-routes through the *current*
+        table first.  Without that, a recovered ticket for a migrated
+        key would be served against the donor's post-migration state.
+        """
+        self.reconciled_tickets += len(lost)
+        service = self.service
+        router = service.router
+        if router.generation == 0:
+            worker.requeue_front(lost)
+            return
+        shards = router.table.route_batch([t.request.key for t in lost])
+        groups: Dict[int, List] = {}
+        for ticket, shard in zip(lost, shards):
+            shard = int(shard)
+            ticket.generation = router.generation
+            ticket.shard = shard
+            groups.setdefault(shard, []).append(ticket)
+        for shard, tickets in groups.items():
+            service.workers[shard].requeue_front(tickets)
+
+    # ----------------------------------------------------------- adapting
+
+    def grow(self) -> None:
+        """Track a shard added by a live split."""
+        self._last_processed.append(0)
+        self._stagnant.append(0)
+        self._routed_snapshot.append(0)
+
+    def adapt(self, pump_index: int) -> None:
+        """The resharding state machine: plan → migrate → flip → drain.
+
+        Runs every ``adapt_every`` pumps, between batches (nothing in
+        flight).  Promotions pin the tracker's heavy hitters; when
+        ``auto_split`` is on, a shard that carried more than
+        ``split_threshold`` times its fair traffic share for
+        ``SPLIT_PATIENCE`` consecutive windows donates half its key
+        range to a freshly spawned shard.
+        """
+        service = self.service
+        if pump_index % service.adapt_every != 0:
+            return
+        if service.router.tracker is not None:
+            self.promotions_applied += service._apply_promotions()
+        if not service.auto_split or service.splits >= service.max_splits:
+            return
+        donor = self._overloaded_shard()
+        if donor is None:
+            self._split_patience.clear()
+            return
+        patience = self._split_patience.get(donor, 0) + 1
+        self._split_patience = {donor: patience}
+        if patience >= self.SPLIT_PATIENCE:
+            self._split_patience.clear()
+            service.split_shard(donor)
+            self.splits_triggered += 1
+
+    def _overloaded_shard(self) -> Optional[int]:
+        """The shard beyond ``split_threshold``× fair share over the
+        last adapt window (routed-traffic delta), if any."""
+        service = self.service
+        routed = service.router.routed
+        n = len(routed)
+        if len(self._routed_snapshot) < n:
+            self._routed_snapshot.extend(
+                [0] * (n - len(self._routed_snapshot))
+            )
+        delta = [
+            int(routed[i]) - self._routed_snapshot[i] for i in range(n)
+        ]
+        self._routed_snapshot = [int(c) for c in routed]
+        total = sum(delta)
+        if total < self.MIN_WINDOW_PER_SHARD * n:
+            return None
+        donor = max(range(n), key=lambda i: delta[i])
+        if delta[donor] > service.split_threshold * (total / n):
+            return donor
+        return None
 
     # -------------------------------------------------------------- stats
 
@@ -102,6 +205,8 @@ class Supervisor:
             "stalls_detected": self.stalls_detected,
             "restarts": self.restarts,
             "reconciled_tickets": self.reconciled_tickets,
+            "promotions_applied": self.promotions_applied,
+            "splits_triggered": self.splits_triggered,
         }
 
 

@@ -50,8 +50,14 @@ from repro.service.adapters import (  # noqa: F401  (re-exported API)
     make_adapter,
 )
 from repro.service.backends import ExecutionBackend, InlineBackend
-from repro.service.journal import ShardJournal
-from repro.service.protocol import FAILED, OK, Response, Ticket
+from repro.service.journal import Entry, ShardJournal
+from repro.service.protocol import (
+    FAILED,
+    OK,
+    WRONG_GENERATION,
+    Response,
+    Ticket,
+)
 
 
 class Worker:
@@ -66,6 +72,7 @@ class Worker:
         factory: Optional[Callable[[], StructureAdapter]] = None,
         journal_checkpoint: int = 4096,
         execution: Optional[ExecutionBackend] = None,
+        journal: Optional[ShardJournal] = None,
     ):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -85,11 +92,19 @@ class Worker:
         # Tickets popped from the queue but not yet answered; the
         # supervisor requeues whatever a crash or a drop leaves behind.
         self.inflight: Dict[int, Ticket] = {}
-        self.journal = ShardJournal(
+        # The journal must exist before execution.start(): a process
+        # backend snapshots it at spawn so the child replays it — which
+        # is how a live split seeds a brand-new shard with the donor's
+        # migrated entries (the journal= preset).
+        self.journal = journal if journal is not None else ShardJournal(
             checkpoint_every=journal_checkpoint,
             multiset=(execution.structure_backend == "cuckoo_filter"),
         )
         self.fault_plane = None
+        # The owning service's router, when generation checking is on:
+        # dispatch answers WRONG_GENERATION for tickets admitted under
+        # an older routing generation whose key moved off this shard.
+        self.router = None
         self.crashed = False
         self.enqueued = 0
         self.processed = 0
@@ -101,6 +116,7 @@ class Worker:
         self.drops = 0
         self.requeued = 0
         self.cancelled = 0
+        self.wrong_generation = 0
         self.op_counts: Dict[str, int] = {}
         self.execution.start(self)
 
@@ -224,6 +240,18 @@ class Worker:
             self._queued_ids.discard(ticket.request_id)
             if ticket.response is not None:
                 continue  # answered elsewhere (e.g. deadline-failed)
+            if self._misrouted(ticket):
+                # Safety net for a routing flip the sweep missed: the
+                # ticket was admitted under an older generation and its
+                # key no longer routes here.  Serving it against this
+                # shard's state would read/write the wrong structure;
+                # answer WRONG_GENERATION so the client resubmits.
+                self.wrong_generation += 1
+                ticket.response = Response(
+                    WRONG_GENERATION, shard=self.shard_id,
+                    generation=self.router.generation,
+                )
+                continue
             self.inflight[ticket.request_id] = ticket
             batch.append(ticket)
         if not batch:
@@ -255,6 +283,30 @@ class Worker:
         ):
             kill = True
         return self.execution.serve(self, segments, crash_at, kill)
+
+    def _misrouted(self, ticket: Ticket) -> bool:
+        """True when a generation flip moved the ticket's key elsewhere.
+
+        Same-generation tickets are trusted outright (the router stamped
+        and placed them together), so the pure re-route only runs for
+        the rare stale stragglers a flip sweep failed to move.
+        """
+        if self.router is None or ticket.generation == self.router.generation:
+            return False
+        if ticket.request.op == "stats" or not ticket.request.key:
+            return False
+        return self.router.table.route_one(ticket.request.key) != self.shard_id
+
+    def apply_entries(self, entries: List[Entry]) -> int:
+        """Apply migrated journal entries to the live structure.
+
+        The migration path for a hot-key promotion: the entries were
+        already appended to :attr:`journal` by the caller; this pushes
+        them into the running structure (inline: direct replay; process:
+        an ``apply`` command executed in the shard child) without a
+        restart.  Returns the number of ops applied.
+        """
+        return self.execution.apply_entries(self, entries)
 
     def collect(self) -> int:
         """Phase two: absorb the backend's results for this pump."""
@@ -355,6 +407,7 @@ class Worker:
             "drops": self.drops,
             "requeued": self.requeued,
             "cancelled": self.cancelled,
+            "wrong_generation": self.wrong_generation,
             "journal": self.journal.stats(),
             "structure": self.execution.structure_stats(self),
         }

@@ -53,13 +53,28 @@ class CountMinSketch:
             self._counts[row, column] += count
         self._total += count
 
-    def add_batch(self, keys: Sequence[Key]) -> None:
-        """Add one occurrence of each key, one engine pass per row."""
+    def add_batch(self, keys: Sequence[Key], return_estimates: bool = False):
+        """Add one occurrence of each key, one engine pass per row.
+
+        With ``return_estimates`` the post-add estimate of every input
+        position comes back as an int64 array for free — the column
+        indices are already in hand, so callers that add *and* score a
+        stream (the hot-key tracker) skip a second full hashing pass.
+        Duplicates in ``keys`` all read the same final counter, exactly
+        like calling :meth:`estimate` after the batch.
+        """
         keys = as_bytes_list(keys)
+        if not keys:
+            return np.zeros(0, dtype=np.int64) if return_estimates else None
+        best = None
         for row, seed in enumerate(self._seeds):
             columns = self.engine.hash_batch(keys, self._reducer, seed=seed)
             np.add.at(self._counts[row], columns, 1)
+            if return_estimates:
+                values = self._counts[row][columns]
+                best = values if best is None else np.minimum(best, values)
         self._total += len(keys)
+        return best if return_estimates else None
 
     def estimate(self, key: Key) -> int:
         """Frequency estimate (never underestimates)."""
@@ -72,6 +87,20 @@ class CountMinSketch:
                 for row, seed in enumerate(self._seeds)
             )
         )
+
+    def estimate_batch(self, keys: Sequence[Key]) -> np.ndarray:
+        """Vectorized :meth:`estimate`: one engine pass per row, min over
+        rows — bit-identical to the scalar loop, which is what lets a
+        hot-key tracker score every key of a routed batch at once."""
+        keys = as_bytes_list(keys)
+        if not keys:
+            return np.zeros(0, dtype=np.int64)
+        best = None
+        for row, seed in enumerate(self._seeds):
+            columns = self.engine.hash_batch(keys, self._reducer, seed=seed)
+            values = self._counts[row][columns]
+            best = values if best is None else np.minimum(best, values)
+        return best
 
     @property
     def total(self) -> int:

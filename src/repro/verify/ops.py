@@ -288,6 +288,64 @@ def generate_chaos_ops(rng: random.Random, n: int) -> List[Op]:
     return ops
 
 
+def generate_reshard_ops(rng: random.Random, n: int) -> List[Op]:
+    """Chaos streams interleaved with forced live shard splits.
+
+    Identical discipline to :func:`generate_chaos_ops` — faults are ops
+    so ddmin can strip them individually — plus ``split`` ops that force
+    a live split of a (modulo-reduced) donor shard mid-stream.  A split
+    under an armed crash/drop/queue_loss schedule is exactly the window
+    the routing-flip machinery has to survive: journal migration off a
+    possibly-degraded donor, queue sweep across the flip, reconciled
+    tickets re-routed through the new table — all without the oracle
+    (admission-time, per-key FIFO) noticing anything at all.
+    """
+    pool = make_key_pool(rng, size=48)
+    ops: List[Op] = []
+    counter = 0
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.24:
+            counter += 1
+            ops.append(_keyed("put", pick_key(rng, pool), v=counter))
+        elif roll < 0.38:
+            ops.append(_keyed("get", pick_key(rng, pool)))
+        elif roll < 0.46:
+            ops.append(_keyed("delete", pick_key(rng, pool)))
+        elif roll < 0.54:
+            ops.append(_keyed("contains", pick_key(rng, pool)))
+        elif roll < 0.62:
+            keys = pick_keys(rng, pool, 2, 10)
+            counter += len(keys)
+            ops.append(_batch("burst", keys, v=counter))
+        elif roll < 0.72:
+            ops.append({"op": "pump"})
+        elif roll < 0.76:
+            ops.append({"op": "drain"})
+        elif roll < 0.80:
+            ops.append({"op": "stats"})
+        elif roll < 0.87:
+            ops.append({
+                "op": "inject",
+                "kind": rng.choice(
+                    ("crash", "sigkill", "stall", "drop", "corrupt",
+                     "queue_loss")
+                ),
+                "shard": rng.randrange(8),
+                "after": rng.randrange(4),
+                "count": rng.randrange(1, 4),
+            })
+        elif roll < 0.93:
+            ops.append({"op": "split", "shard": rng.randrange(8)})
+        else:
+            ops.append({"op": "settle"})
+    # At least one split per case: the target exists to cross a flip.
+    ops.append({"op": "split", "shard": rng.randrange(8)})
+    ops.append({"op": "settle"})
+    ops.append({"op": "drain"})
+    return ops
+
+
 def generate_engine_ops(rng: random.Random, n: int) -> List[Op]:
     """hash_batch/hash_one parity under plan churn and forced fallback."""
     pool = make_key_pool(rng)
@@ -378,6 +436,7 @@ __all__ = [
     "generate_store_ops",
     "generate_service_ops",
     "generate_chaos_ops",
+    "generate_reshard_ops",
     "generate_engine_ops",
     "generate_reducer_ops",
     "generate_minhash_ops",

@@ -1450,6 +1450,110 @@ class ChaosTarget(ServiceTarget):
         )
 
 
+class ReshardTarget(ChaosTarget):
+    """Chaos plus live resharding vs the same admission-time oracle.
+
+    Everything ChaosTarget asserts, while ``split`` ops force live
+    shard splits mid-stream — journal-driven migration off a possibly
+    crashed, stalled, or breaker-quarantined donor, a routing
+    generation flip, and the queue sweep that drains stale tickets to
+    their new shards.  The hot-key tracker runs too (``hot_k``), so
+    promotion flips interleave with split flips.  The oracle stays the
+    admission-time dict: a flip that loses, reorders, or double-applies
+    a single acked op diverges on read-back.  WRONG_GENERATION is held
+    to *zero* here: the sweep plus reconcile re-routing must catch
+    every straggler internally — the dispatch guard is a protocol
+    safety net for external clients, and this harness treats it firing
+    as a routing-plane bug.
+    """
+
+    name = "reshard"
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        config = dict(ChaosTarget.default_config())
+        config.update({
+            "hot_k": 4,
+            "adapt_every": 4,
+            "max_splits": 3,
+        })
+        return config
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        config = dict(ChaosTarget.random_config(rng))
+        config.update({
+            "hot_k": rng.choice((0, 2, 4)),
+            "adapt_every": rng.choice((2, 4, 8)),
+            "max_splits": rng.choice((1, 2, 3)),
+        })
+        return config
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        return opslib.generate_reshard_ops(rng, n)
+
+    def _build_service(self, config: Dict[str, object]):
+        from repro.service import Service
+
+        self.cooldown = int(config.get("cooldown", 6))
+        self.probe = int(config.get("probe", 3))
+        self.max_splits = int(config.get("max_splits", 3))
+        return Service(
+            num_shards=int(config.get("shards", 3)),
+            backend=self.backend,
+            hasher=build_hasher(config["hasher"]),
+            capacity=int(config.get("capacity", 16)),
+            max_queue=self.max_queue,
+            batch_size=int(config.get("batch_size", 4)),
+            execution=self.execution,
+            fault_plane=self.plane,
+            cooldown_pumps=self.cooldown,
+            probe_pumps=self.probe,
+            stall_threshold=int(config.get("stall_threshold", 3)),
+            journal_checkpoint=int(config.get("journal_checkpoint", 32)),
+            hot_k=int(config.get("hot_k", 4)),
+            adapt_every=int(config.get("adapt_every", 4)),
+        )
+
+    def _queue_bound(self) -> int:
+        # A flip sweep may concentrate several shards' requeued tickets
+        # onto one new owner (requeue bypasses admission on purpose),
+        # so the per-shard bound scales with the fleet: still finite,
+        # still catches unbounded queue growth.
+        per_shard = super()._queue_bound()
+        return per_shard * max(1, len(self.service.workers))
+
+    def apply(self, op: Op) -> None:
+        if op["op"] == "split":
+            if self.service.splits >= self.max_splits:
+                return  # cap child-process/key-range fan-out per case
+            donor = int(op["shard"]) % self.service.num_shards
+            self.service.split_shard(donor)
+            return
+        super().apply(op)
+
+    def final_check(self) -> None:
+        super().final_check()
+        router = self.service.router
+        _require(
+            router.generation >= self.service.splits,
+            f"{self.service.splits} split(s) flipped but the generation "
+            f"is only {router.generation}",
+        )
+        _require(
+            len(self.service.workers) == router.num_shards
+            == len(self.service.breakers),
+            "worker/breaker fleets out of step with the routing table",
+        )
+        stragglers = sum(w.wrong_generation for w in self.service.workers)
+        _require(
+            stragglers == 0,
+            f"{stragglers} ticket(s) hit the WRONG_GENERATION dispatch "
+            "guard — the flip sweep or reconcile re-route missed them",
+        )
+
+
 TARGETS: Dict[str, Type[Target]] = {
     cls.name: cls
     for cls in (
@@ -1467,6 +1571,7 @@ TARGETS: Dict[str, Type[Target]] = {
         ReducerTarget,
         ServiceTarget,
         ChaosTarget,
+        ReshardTarget,
     )
 }
 
