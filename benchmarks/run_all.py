@@ -45,6 +45,7 @@ MODULES = [
     "bench_engine",
     "bench_service",
     "bench_faults",
+    "bench_frontdoor",
     "bench_fig5_entropy_vs_words",
     "bench_fig6_probe_time",
     "bench_fig7_breakdown",
@@ -96,6 +97,12 @@ ARTIFACT_SCHEMAS = {
         "module": "bench_faults",
         "toplevel": ("git_rev", "generated_at_unix", "records"),
         "record": ("benchmark", "lost_acks") + _LATENCY_FIELDS,
+    },
+    "BENCH_frontdoor.json": {
+        "module": "bench_frontdoor",
+        "toplevel": ("git_rev", "generated_at_unix", "records"),
+        "record": ("benchmark", "path", "execution", "connections",
+                   "ops_per_second", "lost_acks") + _LATENCY_FIELDS,
     },
 }
 

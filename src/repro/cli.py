@@ -180,6 +180,114 @@ def cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_listen(value: str):
+    """``HOST:PORT`` → ``(host, port)``; ValueError (exit 2) otherwise."""
+    host, sep, port_text = value.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"--listen {value!r} is not HOST:PORT (try 127.0.0.1:0)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"--listen port {port_text!r} is not an integer"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"--listen port {port} is outside 0..65535")
+    return host, port
+
+
+def _run_listen_workload(args, service, listen, operations):
+    """Drive the workload through real sockets: one front door on its
+    own thread, ``--connections`` concurrent network clients on worker
+    threads, each feeding its slice of the op stream.  Returns the
+    aggregated op counts and a network-side ledger for the payload and
+    ``--check``."""
+    import threading
+
+    from repro.service import (
+        FrontDoorThread,
+        NetworkClient,
+        run_service_workload,
+    )
+
+    host, port = listen
+    connect_host = "127.0.0.1" if host in ("", "0.0.0.0", "::") else host
+    connections = args.connections if args.connections is not None else 4
+    counts: dict = {}
+    errors: list = []
+    lock = threading.Lock()
+
+    def drive(client, ops_slice):
+        try:
+            for kind, n in run_service_workload(client, ops_slice).items():
+                with lock:
+                    counts[kind] = counts.get(kind, 0) + n
+        except Exception as exc:  # surface after join, don't deadlock
+            with lock:
+                errors.append(exc)
+
+    def run_phase(clients, ops_slice):
+        if not ops_slice:
+            return
+        step = -(-len(ops_slice) // len(clients))  # ceil division
+        threads = [
+            threading.Thread(
+                target=drive, args=(client, ops_slice[i * step:(i + 1) * step])
+            )
+            for i, client in enumerate(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+    with FrontDoorThread(service, host, port) as door:
+        clients = [
+            NetworkClient(connect_host, door.port, jitter_seed=0xBEEF + i)
+            for i in range(connections)
+        ]
+        try:
+            if args.force_trip or args.force_split:
+                half = len(operations) // 2
+                run_phase(clients, operations[:half])
+
+                def drill():
+                    # On the loop thread: the admission loop only
+                    # interleaves between pumps, so a live split here
+                    # is the same barrier the supervisor relies on.
+                    if args.force_trip:
+                        service.force_trip(0)
+                    if args.force_split:
+                        import numpy as _np
+
+                        donor = int(_np.argmax(service.router.routed))
+                        service.split_shard(donor)
+
+                door.run_in_loop(drill)
+                run_phase(clients, operations[half:])
+            else:
+                run_phase(clients, operations)
+            frontdoor_stats = door.run_in_loop(door.door.stats)
+        finally:
+            for client in clients:
+                client.close()
+    net = {
+        "connections": connections,
+        "retries": sum(c.retries for c in clients),
+        "generation_retries": sum(c.generation_retries for c in clients),
+        "puts_sent": sum(c.puts_sent for c in clients),
+        "puts_responded": sum(c.puts_responded for c in clients),
+        "puts_acked": sum(c.puts_acked for c in clients),
+        "lost_acks": sum(c.lost_acks for c in clients),
+        "frontdoor": frontdoor_stats,
+    }
+    return counts, net
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import json
     import time
@@ -187,6 +295,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.datasets import google_urls
     from repro.service import Service, ServiceClient, run_service_workload
     from repro.workloads.ycsb import MIXES, WorkloadGenerator
+
+    listen = None
+    if args.listen is not None:
+        if args.inject:
+            # Chaos drills are calibrated to in-process client pump
+            # pacing; the front door pumps free-running, which makes
+            # `after=`-gated specs nondeterministic under --check.
+            raise ValueError(
+                "--listen cannot be combined with --inject; "
+                "run chaos drills in-process"
+            )
+        listen = _parse_listen(args.listen)
+    if args.connections is not None:
+        if args.listen is None:
+            raise ValueError("--connections requires --listen")
+        if args.connections < 1:
+            raise ValueError("--connections must be at least 1")
 
     if "scan" in MIXES[args.mix]:
         raise ValueError(
@@ -223,7 +348,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                       zipf_theta=args.theta)
         operations = list(generator.operations(args.ops))
         start = time.perf_counter()
-        if args.force_trip or args.force_split:
+        net = None
+        if listen is not None:
+            # The front door thread owns the service for the duration;
+            # this thread only rejoins it after the door has drained.
+            counts, net = _run_listen_workload(args, service, listen,
+                                               operations)
+        elif args.force_trip or args.force_split:
             half = len(operations) // 2
             counts = run_service_workload(client, operations[:half])
             if args.force_trip:
@@ -265,6 +396,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 "lost_acks": client.lost_acks,
             },
         }
+        if net is not None:
+            payload["network"] = net
         if args.json:
             print(json.dumps(payload, indent=2, sort_keys=True))
         else:
@@ -307,12 +440,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
                       f"size {shard['structure']['size']})")
             print(f"  acks: {client.puts_acked}/{client.puts_accepted} OK, "
                   f"{client.lost_acks} lost")
+            if net is not None:
+                fd = net["frontdoor"]
+                print(f"  network: {net['connections']} connection(s) over "
+                      f"{args.listen}; {fd['frames_in']} frames in "
+                      f"{fd['admission_batches']} admission batch(es) "
+                      f"(mean coalesced {fd['mean_coalesced']:.1f}, "
+                      f"max {fd['max_coalesced']}), "
+                      f"{fd['resubmits']} server-side resubmit(s), "
+                      f"{net['retries']} wire retries")
+                print(f"  network acks: {net['puts_acked']}/"
+                      f"{net['puts_sent']} OK, {net['lost_acks']} lost, "
+                      f"{net['generation_retries']} client-visible "
+                      f"generation error(s)")
 
         if not args.check:
             return 0
         failures = []
         if client.lost_acks != 0:
             failures.append(f"{client.lost_acks} accepted put(s) never answered")
+        if net is not None:
+            if net["lost_acks"] != 0:
+                failures.append(
+                    f"{net['lost_acks']} network put(s) never answered"
+                )
+            if net["generation_retries"] != 0:
+                failures.append(
+                    f"{net['generation_retries']} wrong_generation "
+                    "answer(s) leaked to network clients (the front door "
+                    "must resubmit those server-side)"
+                )
+            if net["frontdoor"]["admission_error"]:
+                failures.append(
+                    f"admission loop died: {net['frontdoor']['admission_error']}"
+                )
         if not data_balance["within_bound"] and not stats["splits"]:
             # A live split deliberately halves one base range, so after
             # any split the per-shard placement is *supposed* to be
@@ -346,11 +507,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     f"{stats['splits']} split(s) but routing generation "
                     f"only reached {generation}"
                 )
-        if (args.hot_k or args.force_split or args.auto_split) and sum(
+        if listen is None and (
+            args.hot_k or args.force_split or args.auto_split
+        ) and sum(
             shard["wrong_generation"] for shard in stats["shards"]
         ):
             # The sweep + reconcile re-route must catch every straggler
             # internally; the dispatch guard is for external clients.
+            # (Under --listen the guard firing is expected — those are
+            # exactly the stragglers the front door resubmits — so the
+            # network check above asserts clients never *see* one.)
             failures.append("internal tickets hit the WRONG_GENERATION guard")
         if args.inject:
             if stats["faults"]["total_fired"] < 1:
@@ -407,7 +573,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
     # --execution pins the service-layer targets to one execution
     # backend; structure-only targets have no service to configure.
-    _SERVICE_TARGETS = frozenset({"service", "chaos", "reshard"})
+    _SERVICE_TARGETS = frozenset({"service", "chaos", "reshard", "frontdoor"})
 
     failed = False
     for name, seed, cases, ops_per_case in runs:
@@ -566,6 +732,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "drop:worker:1:after=3:count=2 (repeatable)")
     serve.add_argument("--chaos-seed", type=int, default=0,
                        help="seed for the fault plane's RNG")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve over TCP: run the asyncio front door "
+                            "and drive the workload through real sockets "
+                            "(port 0 picks an ephemeral port)")
+    serve.add_argument("--connections", type=int, default=None,
+                       help="concurrent network connections driving the "
+                            "workload (requires --listen; default 4)")
     serve.add_argument("--json", action="store_true",
                        help="emit the full stats payload as JSON")
     serve.add_argument("--check", action="store_true",

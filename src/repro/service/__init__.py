@@ -47,11 +47,15 @@ from repro.service.backends import (
 from repro.service.breaker import CircuitBreaker
 from repro.service.client import (
     DeadlineExceededError,
+    NetworkClient,
+    NetworkRequestError,
     ServiceClient,
+    ServiceDrainingError,
     ServiceOverloadedError,
     run_service_workload,
 )
 from repro.service.core import ShardCore
+from repro.service.frontdoor import FrontDoor, FrontDoorThread
 from repro.service.hotkeys import HotKeyTracker
 from repro.service.journal import ShardJournal
 from repro.service.protocol import (
@@ -84,7 +88,11 @@ __all__ = [
     "fork_available",
     "DeadlineExceededError",
     "FAILED",
+    "FrontDoor",
+    "FrontDoorThread",
     "HotKeyTracker",
+    "NetworkClient",
+    "NetworkRequestError",
     "OK",
     "OPS",
     "REJECTED",
@@ -93,6 +101,7 @@ __all__ = [
     "RoutingTable",
     "Service",
     "ServiceClient",
+    "ServiceDrainingError",
     "ServiceOverloadedError",
     "ShardJournal",
     "ShardRouter",

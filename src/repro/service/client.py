@@ -16,12 +16,16 @@ writes after a run.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import socket
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro._util import as_bytes
 
+from repro.service import netproto
 from repro.service.protocol import (
     FAILED,
+    REJECTED,
     WRONG_GENERATION,
     Request,
     Response,
@@ -29,9 +33,28 @@ from repro.service.protocol import (
 )
 from repro.service.service import Service
 
+# Per-attempt backoff ceiling: however deep the rejecting queue's
+# retry_after hint, a single backoff attempt never spends more than
+# this many pumps (in-process) or the equivalent sleep (network)
+# before re-checking admission.  The total spend across attempts is
+# bounded separately by the submit pump budget / retry cap.
+BACKOFF_CAP_PUMPS = 64
+
 
 class ServiceOverloadedError(RuntimeError):
     """A submit was still rejected after every retry and backoff pump."""
+
+
+class ServiceDrainingError(RuntimeError):
+    """The front door is shutting down; the request was turned away.
+
+    Only the network path raises this: in-flight requests still
+    complete during a drain, so a ``draining`` answer means the
+    request was never admitted — a negative acknowledgement."""
+
+
+class NetworkRequestError(RuntimeError):
+    """The server answered ``bad_request`` — a client-side frame bug."""
 
 
 class DeadlineExceededError(RuntimeError):
@@ -69,33 +92,54 @@ class ServiceClient:
 
     # ----------------------------------------------------------- plumbing
 
-    def _submit(self, request: Request) -> Ticket:
+    def _submit(self, request: Request,
+                rejected: Optional[Ticket] = None) -> Ticket:
+        """Admit one request, backing off under explicit backpressure.
+
+        ``rejected`` carries a rejection the caller already received
+        for this request (the batch-admission fast path): the retry
+        walk then starts from that rejection's backoff hint instead of
+        immediately re-submitting into the same full queue — which
+        would burn a retry that is all but guaranteed to re-reject and
+        double-count the backpressure event in both the client's
+        ``retries`` and the service's rejection ledger.
+        """
         spent = 0
-        ticket = None
+        ticket = rejected
         for attempt in range(self.max_retries + 1):
-            ticket = self.service.submit(request)
-            if not ticket.rejected:
-                if request.op == "put":
-                    self.puts_accepted += 1
-                return ticket
-            self.retries += 1
+            if ticket is None:
+                ticket = self.service.submit(request)
+                if not ticket.rejected:
+                    if request.op == "put":
+                        self.puts_accepted += 1
+                    return ticket
+                self.retries += 1
             if spent >= self.submit_pump_budget:
                 break
             # Exponential backoff over the explicit backpressure hint,
-            # with full seeded jitter, capped by the remaining budget —
-            # the total pump spend per submit is bounded no matter how
-            # long the service stays saturated.
-            hint = ticket.response.retry_after or 1
-            ceiling = min(hint * (1 << min(attempt, 6)), 256)
-            pumps = self._rng.randint(1, ceiling)
-            pumps = min(pumps, self.submit_pump_budget - spent)
+            # with full seeded jitter.  A falsy hint is handled
+            # explicitly rather than promoted: None (no hint at all)
+            # defaults to one pump, but an explicit ``retry_after=0``
+            # means "retry immediately" and spends nothing.  Every
+            # attempt's spend is capped at BACKOFF_CAP_PUMPS and the
+            # total is bounded by the budget, no matter how long the
+            # service stays saturated.
+            hint = ticket.response.retry_after
+            hint = 1 if hint is None else max(0, int(hint))
+            ceiling = min(
+                hint << min(attempt, 6),
+                BACKOFF_CAP_PUMPS,
+                self.submit_pump_budget - spent,
+            )
+            pumps = self._rng.randint(1, ceiling) if ceiling >= 1 else 0
             for _ in range(pumps):
                 self.service.pump()
             spent += pumps
             self.backoff_pumps += pumps
+            ticket = None  # resubmit on the next pass
         raise ServiceOverloadedError(
             f"submit rejected {self.retries} times, {spent} backoff pumps "
-            f"spent (shard {ticket.shard})"
+            f"spent (shard {ticket.shard if ticket is not None else '?'})"
         )
 
     def _complete(self, ticket: Ticket) -> Response:
@@ -155,8 +199,12 @@ class ServiceClient:
         out: List[Ticket] = []
         for request, ticket in zip(requests, tickets):
             if ticket.rejected:
+                # One backpressure event, counted once: hand the
+                # rejection to the scalar walk so it backs off on this
+                # hint first instead of re-submitting immediately (and
+                # double-counting the event in retries/rejections).
                 self.retries += 1
-                ticket = self._submit(request)
+                ticket = self._submit(request, rejected=ticket)
             elif request.op == "put":
                 self.puts_accepted += 1
             out.append(ticket)
@@ -233,6 +281,227 @@ class ServiceClient:
         return self.puts_accepted - self.puts_responded
 
 
+class NetworkClient:
+    """Blocking socket client for the front door — same surface as
+    :class:`ServiceClient`, but over TCP.
+
+    The wire protocol resolves responses out of submission order (a
+    ticket answers when its *shard* serves it), so the client keys
+    every frame by a client-assigned id and :meth:`_collect` stashes
+    whatever else arrives while waiting.  Backpressure statuses are
+    handled the way the in-process client handles rejected tickets —
+    jittered exponential backoff with an explicit-zero hint meaning
+    "retry immediately" — except the wait is wall-clock sleep instead
+    of cooperative pumps, because the server pumps for itself.
+
+    The ack ledger mirrors :class:`ServiceClient`: ``puts_sent`` counts
+    logical puts once at first wire send, ``puts_responded`` counts
+    terminal answers *including negative ones* (FAILED, draining,
+    overload give-up), and ``puts_acked`` counts OKs — so
+    :attr:`lost_acks` is still "puts the server owes an answer for".
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        max_retries: int = 64,
+        timeout_s: float = 30.0,
+        pump_interval_s: float = 0.0002,
+        backoff_cap_s: float = 0.05,
+        pipeline_window: int = 512,
+        jitter_seed: int = 0xBEEF,
+        max_frame: int = netproto.MAX_FRAME_BYTES,
+    ):
+        self.max_retries = max_retries
+        self.pump_interval_s = pump_interval_s
+        self.backoff_cap_s = backoff_cap_s
+        self.pipeline_window = pipeline_window
+        self._rng = random.Random(jitter_seed)
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._decoder = netproto.FrameDecoder(max_frame)
+        self._responses: Dict[int, Response] = {}
+        self._next_id = 0
+        self.retries = 0
+        self.backoff_s = 0.0
+        self.generation_retries = 0
+        self.puts_sent = 0
+        self.puts_responded = 0
+        self.puts_acked = 0
+
+    # ----------------------------------------------------------- plumbing
+
+    def _send(self, request: Request) -> int:
+        frame_id = self._next_id
+        self._next_id += 1
+        self._sock.sendall(netproto.encode_request(frame_id, request))
+        return frame_id
+
+    def _collect(self, frame_id: int) -> Response:
+        while frame_id not in self._responses:
+            data = self._sock.recv(1 << 16)
+            if not data:
+                raise ConnectionError(
+                    "server closed the connection mid-request"
+                )
+            for payload in self._decoder.feed(data):
+                self._responses[netproto.frame_id_of(payload)] = (
+                    netproto.decode_response(payload)
+                )
+        return self._responses.pop(frame_id)
+
+    def _backoff(self, attempt: int, hint: Optional[int]) -> None:
+        # Same falsy-hint policy as ServiceClient._submit: a missing
+        # hint defaults to one pump-interval, an explicit 0 sleeps not
+        # at all, and the per-attempt ceiling is capped regardless of
+        # how deep the rejecting queue claims to be.
+        hint = 1 if hint is None else max(0, int(hint))
+        ceiling = min(
+            hint * self.pump_interval_s * (1 << min(attempt, 6)),
+            self.backoff_cap_s,
+        )
+        if ceiling <= 0:
+            return
+        delay = self._rng.uniform(0, ceiling)
+        self.backoff_s += delay
+        time.sleep(delay)
+
+    def _negative_ack(self, request: Request) -> None:
+        if request.op == "put":
+            self.puts_responded += 1
+
+    def _settle(self, request: Request, response: Response) -> Response:
+        """Walk one request to a terminal answer, retrying the two
+        try-again statuses (``rejected`` with backoff, and
+        ``wrong_generation`` as defense in depth — a well-behaved front
+        door resubmits those server-side)."""
+        attempt = 0
+        flips = 0
+        while True:
+            status = response.status
+            if status == REJECTED:
+                if attempt >= self.max_retries:
+                    self._negative_ack(request)
+                    raise ServiceOverloadedError(
+                        f"submit rejected {attempt + 1} times over the "
+                        f"wire ({self.backoff_s:.3f}s backed off)"
+                    )
+                self.retries += 1
+                self._backoff(attempt, response.retry_after)
+                attempt += 1
+            elif status == WRONG_GENERATION and flips < self.max_retries:
+                self.generation_retries += 1
+                flips += 1
+            elif status == netproto.DRAINING:
+                self._negative_ack(request)
+                raise ServiceDrainingError(
+                    response.error or "front door is draining"
+                )
+            elif status == netproto.BAD_REQUEST:
+                self._negative_ack(request)
+                raise NetworkRequestError(
+                    response.error or "server rejected the frame"
+                )
+            else:
+                # OK, FAILED, or a wrong-generation walk that ran out
+                # of retries: terminal either way.
+                if request.op == "put":
+                    self.puts_responded += 1
+                    if response.ok:
+                        self.puts_acked += 1
+                return response
+            response = self._collect(self._send(request))
+
+    def _terminal(self, request: Request) -> Response:
+        if request.op == "put":
+            self.puts_sent += 1
+        return self._settle(request, self._collect(self._send(request)))
+
+    def _terminal_many(self, requests: Sequence[Request]) -> List[Response]:
+        """Pipelined round-trips: a whole window of frames goes out
+        before the first response is read, so one connection still
+        hands the front door real micro-batches to coalesce."""
+        out: List[Response] = []
+        for start in range(0, len(requests), self.pipeline_window):
+            chunk = requests[start:start + self.pipeline_window]
+            for request in chunk:
+                if request.op == "put":
+                    self.puts_sent += 1
+            frame_ids = [self._send(request) for request in chunk]
+            out.extend(
+                self._settle(request, self._collect(frame_id))
+                for request, frame_id in zip(chunk, frame_ids)
+            )
+        return out
+
+    # ------------------------------------------------------------ scalar
+
+    def get(self, key) -> Optional[bytes]:
+        return self._terminal(Request("get", as_bytes(key))).value
+
+    def put(self, key, value) -> Response:
+        return self._terminal(
+            Request("put", as_bytes(key), as_bytes(value))
+        )
+
+    def delete(self, key) -> Response:
+        return self._terminal(Request("delete", as_bytes(key)))
+
+    def contains(self, key) -> bool:
+        return bool(self._terminal(Request("contains", as_bytes(key))).found)
+
+    def stats(self) -> Dict[str, object]:
+        """Scrape the /metrics verb: service stats + ``frontdoor``."""
+        return self._terminal(Request("stats")).stats
+
+    # ------------------------------------------------------------- batch
+
+    def put_many(self, pairs: Iterable[Tuple[object, object]]) -> List[Response]:
+        items = [(as_bytes(k), as_bytes(v)) for k, v in pairs]
+        keys = [k for k, _ in items]
+        requests = [Request("put", k, v) for k, v in items]
+        if len(set(keys)) == len(keys):
+            return self._terminal_many(requests)
+        # Same rule as the in-process client: duplicate keys must land
+        # in submission order, and a rejected-then-retried first write
+        # pipelined next to an accepted second write would not.
+        return [self._terminal(request) for request in requests]
+
+    def multi_get(self, keys: Sequence[object]) -> List[Optional[bytes]]:
+        responses = self._terminal_many(
+            [Request("get", as_bytes(k)) for k in keys]
+        )
+        return [r.value for r in responses]
+
+    def contains_many(self, keys: Sequence[object]) -> List[bool]:
+        responses = self._terminal_many(
+            [Request("contains", as_bytes(k)) for k in keys]
+        )
+        return [bool(r.found) for r in responses]
+
+    @property
+    def lost_acks(self) -> int:
+        """Puts sent whose terminal answer never arrived (must stay 0).
+
+        Negative answers — FAILED, a drain turn-away, an overload
+        give-up — count as responded: the server said *no*, it did not
+        lose the write."""
+        return self.puts_sent - self.puts_responded
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "NetworkClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 def run_service_workload(client: ServiceClient, operations) -> Dict[str, int]:
     """Drive a service with a YCSB stream (see ``repro.workloads.ycsb``).
 
@@ -276,8 +545,12 @@ def run_service_workload(client: ServiceClient, operations) -> Dict[str, int]:
 
 
 __all__ = [
+    "BACKOFF_CAP_PUMPS",
     "DeadlineExceededError",
+    "NetworkClient",
+    "NetworkRequestError",
     "ServiceClient",
+    "ServiceDrainingError",
     "ServiceOverloadedError",
     "run_service_workload",
 ]

@@ -346,6 +346,54 @@ def generate_reshard_ops(rng: random.Random, n: int) -> List[Op]:
     return ops
 
 
+def generate_frontdoor_ops(rng: random.Random, n: int) -> List[Op]:
+    """Socket-client streams: blocking RPCs, pipelined batches, splits.
+
+    The front-door target drives a real TCP connection, so every op is
+    a settled round-trip and the oracle comparison happens at response
+    time (which *is* admission time — the client blocks).  ``burst``
+    and ``multi_get`` go through the client's pipelined window, handing
+    the admission loop genuinely coalescible frame runs; ``split``
+    carries its own key batch so the target can race a pipelined write
+    burst against the routing flip — the exact window the server-side
+    WRONG_GENERATION resubmit has to make invisible.
+    """
+    pool = make_key_pool(rng, size=48)
+    ops: List[Op] = []
+    counter = 0
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.24:
+            counter += 1
+            ops.append(_keyed("put", pick_key(rng, pool), v=counter))
+        elif roll < 0.42:
+            ops.append(_keyed("get", pick_key(rng, pool)))
+        elif roll < 0.52:
+            ops.append(_keyed("delete", pick_key(rng, pool)))
+        elif roll < 0.62:
+            ops.append(_keyed("contains", pick_key(rng, pool)))
+        elif roll < 0.74:
+            keys = pick_keys(rng, pool, 2, 12)
+            counter += len(keys)
+            ops.append(_batch("burst", keys, v=counter))
+        elif roll < 0.86:
+            ops.append(_batch("multi_get", pick_keys(rng, pool, 2, 12)))
+        elif roll < 0.93:
+            ops.append({"op": "stats"})
+        else:
+            keys = pick_keys(rng, pool, 3, 10)
+            counter += len(keys)
+            ops.append(_batch("split", keys, v=counter,
+                              shard=rng.randrange(8)))
+    # At least one racing split per case: crossing a generation flip
+    # through the socket is the coverage this target exists for.
+    keys = pick_keys(rng, pool, 3, 10)
+    counter += len(keys)
+    ops.append(_batch("split", keys, v=counter, shard=rng.randrange(8)))
+    ops.append(_batch("multi_get", pool[:16]))
+    return ops
+
+
 def generate_engine_ops(rng: random.Random, n: int) -> List[Op]:
     """hash_batch/hash_one parity under plan churn and forced fallback."""
     pool = make_key_pool(rng)
@@ -437,6 +485,7 @@ __all__ = [
     "generate_service_ops",
     "generate_chaos_ops",
     "generate_reshard_ops",
+    "generate_frontdoor_ops",
     "generate_engine_ops",
     "generate_reducer_ops",
     "generate_minhash_ops",

@@ -22,6 +22,7 @@ mid-sequence.
 from __future__ import annotations
 
 import random
+import threading
 from typing import Dict, List, Optional, Type
 
 import numpy as np
@@ -1554,6 +1555,225 @@ class ReshardTarget(ChaosTarget):
         )
 
 
+class FrontDoorTarget(Target):
+    """The service through a real TCP socket vs the flat dict oracle.
+
+    The subject here is the *whole serving boundary*: frames encoded by
+    :mod:`repro.service.netproto`, reassembled by the front door,
+    coalesced across the admission loop into ``submit_batch``, pumped,
+    and answered back over the wire.  The client blocks per RPC, so
+    response time *is* admission time and the oracle discipline of
+    :class:`ServiceTarget` carries over unchanged; pipelined ``burst``
+    and ``multi_get`` ops drive the coalescing window with real frame
+    runs.  ``split`` ops race a pipelined write burst against a live
+    routing flip scheduled onto the loop thread — the window in which
+    the front door's server-side WRONG_GENERATION resubmit must keep
+    the flip invisible: the final check holds client-visible
+    generation errors to zero while every acked write reads back.
+    """
+
+    name = "frontdoor"
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        return {
+            "hasher": {"positions": [0, 4], "word_size": 2},
+            "shards": 3,
+            "backend": "chaining",
+            "capacity": 16,
+            "max_queue": 8,
+            "batch_size": 4,
+            "execution": "inline",
+            "max_splits": 2,
+        }
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        # Execution stays "inline" unless a campaign overrides it, for
+        # the same wall-clock reason as ServiceTarget.
+        return {
+            "hasher": random_hasher_spec(rng),
+            "shards": rng.choice((2, 3, 4)),
+            "backend": rng.choice(("chaining", "probing", "lsm")),
+            "capacity": rng.choice((8, 16, 64)),
+            "max_queue": rng.choice((8, 16)),
+            "batch_size": rng.choice((2, 4, 8)),
+            "execution": "inline",
+            "max_splits": rng.choice((1, 2)),
+        }
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        return opslib.generate_frontdoor_ops(rng, n)
+
+    def __init__(self, config: Dict[str, object]):
+        super().__init__(config)
+        from repro.service import FrontDoorThread, NetworkClient, Service
+
+        self.backend = str(config.get("backend", "chaining"))
+        self.max_splits = int(config.get("max_splits", 2))
+        self.service = Service(
+            num_shards=int(config.get("shards", 3)),
+            backend=self.backend,
+            hasher=build_hasher(config["hasher"]),
+            capacity=int(config.get("capacity", 16)),
+            max_queue=int(config.get("max_queue", 8)),
+            batch_size=int(config.get("batch_size", 4)),
+            execution=str(config.get("execution", "inline")),
+        )
+        self.door = FrontDoorThread(self.service).start()
+        self.client = NetworkClient("127.0.0.1", self.door.port)
+        self.oracle = DictOracle()
+
+    def teardown(self) -> None:
+        client = getattr(self, "client", None)
+        if client is not None:
+            client.close()
+        door = getattr(self, "door", None)
+        if door is not None:
+            door.stop()
+        service = getattr(self, "service", None)
+        if service is not None:
+            service.close()
+
+    # ------------------------------------------------------------ helpers
+
+    def _apply_puts(self, items) -> None:
+        """One pipelined write burst; acked writes land on the oracle
+        in response order (per-key order is wire order: duplicates take
+        the client's scalar path, distinct keys never reorder)."""
+        responses = self.client.put_many(items)
+        for (key, value), response in zip(items, responses):
+            if response.ok:
+                self.oracle.insert(key, value)
+
+    def _verify_get(self, key: bytes) -> None:
+        got = self.client.get(key)
+        want = self.oracle.get(key)
+        _require(
+            got == want,
+            f"get over the wire -> {got!r}, oracle says {want!r}",
+        )
+
+    # -------------------------------------------------------------- apply
+
+    def apply(self, op: Op) -> None:
+        name = op["op"]
+        if name == "put":
+            key, value = decode_key(op["key"]), b"v%d" % int(op["v"])
+            response = self.client.put(key, value)
+            if response.ok:
+                self.oracle.insert(key, value)
+        elif name == "burst":
+            base = int(op["v"])
+            self._apply_puts([
+                (decode_key(encoded), b"v%d" % (base + i))
+                for i, encoded in enumerate(op["keys"])
+            ])
+        elif name == "get":
+            self._verify_get(decode_key(op["key"]))
+        elif name == "multi_get":
+            keys = [decode_key(encoded) for encoded in op["keys"]]
+            got = self.client.multi_get(keys)
+            for key, value in zip(keys, got):
+                want = self.oracle.get(key)
+                _require(
+                    value == want,
+                    f"multi_get over the wire -> {value!r}, "
+                    f"oracle says {want!r}",
+                )
+        elif name == "contains":
+            key = decode_key(op["key"])
+            found = self.client.contains(key)
+            _require(
+                found == self.oracle.contains(key),
+                f"contains over the wire -> {found}, "
+                f"oracle says {self.oracle.contains(key)}",
+            )
+        elif name == "delete":
+            key = decode_key(op["key"])
+            response = self.client.delete(key)
+            expected = self.oracle.delete(key)
+            _require(
+                response.ok,
+                f"delete answered {response.status!r}: {response.error!r}",
+            )
+            if self.backend != "lsm":
+                # LSM deletes are blind tombstones; tables report
+                # presence (same carve-out as ServiceTarget).
+                _require(
+                    response.found == expected,
+                    f"delete -> {response.found}, oracle says {expected}",
+                )
+        elif name == "split":
+            # Race a pipelined write burst against a live routing flip:
+            # the flip callback lands on the loop thread between
+            # admission pumps while this thread's frames are in flight.
+            base = int(op["v"])
+            items = [
+                (decode_key(encoded), b"v%d" % (base + i))
+                for i, encoded in enumerate(op["keys"])
+            ]
+            flip = None
+            if self.service.splits < self.max_splits:
+                donor = int(op["shard"]) % self.service.num_shards
+                flip = threading.Thread(
+                    target=self.door.run_in_loop,
+                    args=(self.service.split_shard, donor),
+                )
+                flip.start()
+            try:
+                self._apply_puts(items)
+            finally:
+                if flip is not None:
+                    flip.join()
+        elif name == "stats":
+            import json
+
+            payload = self.client.stats()
+            json.dumps(payload)  # the wire promises JSON-safe stats
+            _require(
+                "frontdoor" in payload,
+                "stats over the wire must carry the frontdoor counters",
+            )
+            _require(
+                payload["submitted"]
+                == payload["accepted"] + payload["rejected"],
+                f"admission ledger broke: {payload['submitted']} != "
+                f"{payload['accepted']} + {payload['rejected']}",
+            )
+        else:
+            raise ValueError(f"unknown frontdoor op {name!r}")
+
+    def final_check(self) -> None:
+        _require(
+            self.client.lost_acks == 0,
+            f"{self.client.lost_acks} acked put(s) lost over the wire",
+        )
+        _require(
+            self.client.generation_retries == 0,
+            f"{self.client.generation_retries} wrong_generation "
+            "answer(s) leaked through the socket — the front door must "
+            "resubmit those server-side",
+        )
+        for key, want in self.oracle.items():
+            got = self.client.get(key)
+            _require(
+                got == want,
+                f"final read-back over the wire -> {got!r}, "
+                f"oracle says {want!r}",
+            )
+        frontdoor = self.client.stats()["frontdoor"]
+        _require(
+            not frontdoor["admission_error"],
+            f"admission loop died: {frontdoor['admission_error']}",
+        )
+        _require(
+            frontdoor["bad_frames"] == 0,
+            f"{frontdoor['bad_frames']} well-formed frame(s) judged bad",
+        )
+
+
 TARGETS: Dict[str, Type[Target]] = {
     cls.name: cls
     for cls in (
@@ -1572,6 +1792,7 @@ TARGETS: Dict[str, Type[Target]] = {
         ServiceTarget,
         ChaosTarget,
         ReshardTarget,
+        FrontDoorTarget,
     )
 }
 

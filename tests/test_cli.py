@@ -161,6 +161,64 @@ class TestServe:
         assert payload["client"]["lost_acks"] == 0
         assert len(payload["stats"]["shards"]) == 2
 
+
+class TestServeListen:
+    """The --listen network path and its exit-code policy."""
+
+    def test_listen_smoke_passes_checks(self, capsys):
+        assert main([
+            "serve", "--shards", "3", "--ops", "400", "--num-keys", "200",
+            "--listen", "127.0.0.1:0", "--connections", "2", "--check",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+        assert "network acks" in out
+
+    def test_listen_json_carries_network_ledger(self, capsys):
+        assert main([
+            "serve", "--shards", "2", "--ops", "300", "--num-keys", "150",
+            "--listen", "127.0.0.1:0", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["network"]["lost_acks"] == 0
+        assert payload["network"]["generation_retries"] == 0
+        assert payload["network"]["frontdoor"]["frames_in"] > 0
+
+    def test_malformed_listen_exits_2(self, capsys):
+        assert main([
+            "serve", "--ops", "100", "--num-keys", "100",
+            "--listen", "nonsense",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_listen_port_out_of_range_exits_2(self, capsys):
+        assert main([
+            "serve", "--ops", "100", "--num-keys", "100",
+            "--listen", "127.0.0.1:99999",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_listen_port_not_integer_exits_2(self, capsys):
+        assert main([
+            "serve", "--ops", "100", "--num-keys", "100",
+            "--listen", "127.0.0.1:http",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_connections_without_listen_exits_2(self, capsys):
+        assert main([
+            "serve", "--ops", "100", "--num-keys", "100",
+            "--connections", "4",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_listen_with_inject_exits_2(self, capsys):
+        assert main([
+            "serve", "--ops", "100", "--num-keys", "100",
+            "--listen", "127.0.0.1:0", "--inject", "crash:worker:0",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_scan_mix_rejected(self, capsys):
         assert main(["serve", "--mix", "E", "--ops", "100"]) == 2
         assert "error:" in capsys.readouterr().err

@@ -329,3 +329,74 @@ class TestOverload:
         assert client.lost_acks == 0
         assert client.puts_acked == 64
         assert client.get(b"bp0000") == b"v"
+
+
+class TestBackoffRegressions:
+    """PR 8 bugfix sweep: falsy retry_after hints, per-attempt caps,
+    and single-count accounting for batch-admission rejections."""
+
+    def test_explicit_zero_hint_spends_no_pumps(self, model):
+        # `retry_after=0` is an explicit "retry immediately" hint (the
+        # front door's per-connection rejection can send it); it used
+        # to be promoted to a 1-pump backoff by `retry_after or 1`.
+        from repro.service import Response, Ticket
+
+        service = _service(model, num_shards=1)
+        client = ServiceClient(service, max_retries=4)
+        real_submit = service.submit
+        rejections = []
+
+        def submit(request):
+            if len(rejections) < 3:
+                ticket = Ticket(request=request, request_id=-1, shard=0)
+                ticket.response = Response(REJECTED, shard=0, retry_after=0)
+                rejections.append(ticket)
+                return ticket
+            return real_submit(request)
+
+        service.submit = submit
+        ticket = client._submit(Request(op="put", key=b"zh", value=b"v"))
+        assert not ticket.rejected
+        assert client.retries == 3
+        assert client.backoff_pumps == 0  # zero hint -> zero pumps
+        assert client.puts_accepted == 1
+
+    def test_per_attempt_backoff_is_capped(self, model):
+        # However deep the rejecting queue claims to be, one attempt
+        # never spends more than BACKOFF_CAP_PUMPS — the uncapped
+        # exponential used to scale with the hint unboundedly.
+        from repro.service import Response, ServiceOverloadedError, Ticket
+        from repro.service.client import BACKOFF_CAP_PUMPS
+
+        service = _service(model, num_shards=1)
+        client = ServiceClient(service, max_retries=2,
+                               submit_pump_budget=100_000)
+
+        def submit(request):
+            ticket = Ticket(request=request, request_id=-1, shard=0)
+            ticket.response = Response(REJECTED, shard=0, retry_after=10_000)
+            return ticket
+
+        service.submit = submit
+        with pytest.raises(ServiceOverloadedError):
+            client._submit(Request(op="put", key=b"cap", value=b"v"))
+        assert 0 < client.backoff_pumps <= 3 * BACKOFF_CAP_PUMPS
+
+    def test_mixed_batch_reject_counted_once(self, model):
+        # Four distinct-key puts into a 2-deep queue: two admit, two
+        # reject at batch admission.  Each rejection is ONE
+        # backpressure event — the retry walk must back off on the
+        # rejection it already holds instead of re-submitting
+        # immediately into the same full queue, which re-rejected
+        # deterministically and double-counted the event in both the
+        # client's `retries` and the service's rejection ledger.
+        service = _service(model, num_shards=1, max_queue=2, batch_size=1)
+        client = ServiceClient(service)
+        responses = client.put_many([(b"mix%d" % i, b"v") for i in range(4)])
+        assert all(r.ok for r in responses)
+        assert service.stats()["rejected"] == 2
+        assert client.retries == 2
+        assert client.backoff_pumps >= 2  # backed off before each retry
+        assert client.puts_accepted == 4
+        assert client.puts_acked == 4
+        assert client.lost_acks == 0
