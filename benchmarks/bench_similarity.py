@@ -1,0 +1,292 @@
+"""Similarity serving benchmark — b-bit MinHash + LSH banding.
+
+Three questions, one artifact (``BENCH_similarity.json``):
+
+* **Full-key vs partial-key element hashing** — MinHash is the most
+  hash-intensive consumer in the repo (k hashes per shingle), so the
+  entropy-learned lever applies directly: a trained partial key over
+  the shingle bytes must build signatures *faster* than full-key
+  hashing at matching retrieval quality (recall@10 >= 0.9 on planted
+  near-duplicates).
+* **b-bit vs unpacked 64-bit signatures** — truncating rows to b bits
+  shrinks storage 8-16x; the corrected estimator must keep recall
+  while pairwise estimation stays cheap (Li & Koenig's claim).
+* **Serving cost** — ``similar(key, k)`` through the sharded service,
+  measured as client round trips.
+
+Every record carries ``recall_at_10`` and ``ops_per_second`` next to
+the standard latency fields, so the artifact schema can assert the
+speed/quality pairing instead of either number alone.
+"""
+
+import json
+import os
+import random
+import subprocess
+import time
+
+from repro.bench.harness import latency_summary_ns
+from repro.bench.reporting import print_header
+from repro.core.hasher import EntropyLearnedHasher
+from repro.core.trainer import train_model
+from repro.service import Service, ServiceClient
+from repro.similarity import BBitMinHash, LSHIndex, shingle_bytes
+from repro.sketches.minhash import MinHashSignature
+
+NUM_DOCS = 120
+NUM_DUPS = 30
+WORDS_PER_DOC = 40
+VOCAB = 2000
+SHINGLE_WIDTH = 32         # partial key reads 8 of these 32 bytes
+ENTROPY_TARGET = 12.0      # trains down to one 8-byte word
+K_ROWS = 64
+BANDS, ROWS = 16, 4        # banding threshold ~0.5; planted pairs ~0.85
+QUERY_K = 10
+ESTIMATE_PAIRS = 4000      # pairwise-estimation throughput sample
+
+
+def make_corpus(seed=0):
+    """Word-salad docs plus planted one-word-edit near-duplicates."""
+    rng = random.Random(seed)
+    vocab = [f"word{i:04d}".encode() for i in range(VOCAB)]
+    docs = {}
+    for i in range(NUM_DOCS):
+        docs[b"%08x-doc%d" % (rng.getrandbits(32), i)] = b" ".join(
+            vocab[rng.randrange(VOCAB)] for _ in range(WORDS_PER_DOC)
+        )
+    pairs = []
+    keys = list(docs)
+    for j in range(NUM_DUPS):
+        src = keys[rng.randrange(NUM_DOCS)]
+        words = docs[src].split()
+        words[rng.randrange(len(words))] = b"edited"
+        dup = b"%08x-dup%d" % (rng.getrandbits(32), j)
+        docs[dup] = b" ".join(words)
+        pairs.append((src, dup))
+    return docs, pairs
+
+
+def train_partial_hasher(shingled):
+    sample = [s for items in list(shingled.values())[:40] for s in items[:60]]
+    model = train_model(sample, base="xxh3", seed=2, word_size=8)
+    return model.hasher_for_entropy(ENTROPY_TARGET)
+
+
+def _index_recall(index, sigs, pairs):
+    hits = sum(
+        1 for src, dup in pairs
+        if dup in {key for key, _ in index.query(sigs[src], QUERY_K,
+                                                 exclude=src)}
+    )
+    return hits / len(pairs)
+
+
+def hasher_record(label, hasher, shingled, pairs):
+    """Build + index + query under one element hasher, timed per doc."""
+    build_samples = []
+    sigs = {}
+    start = time.perf_counter()
+    for key, items in shingled.items():
+        t0 = time.perf_counter()
+        sigs[key] = BBitMinHash.from_items(
+            hasher, items, k=K_ROWS, b=8, bands=BANDS
+        )
+        build_samples.append(time.perf_counter() - t0)
+    index = LSHIndex(bands=BANDS, rows=ROWS, b=8)
+    index.insert_batch(list(sigs), list(sigs.values()))
+    build_s = time.perf_counter() - start
+
+    query_start = time.perf_counter()
+    recall = _index_recall(index, sigs, pairs)
+    query_s = time.perf_counter() - query_start
+
+    record = {
+        "benchmark": f"similarity_{label}",
+        "element_hasher": label,
+        "bytes_hashed_per_shingle": hasher.partial_key.bytes_read
+        or SHINGLE_WIDTH,
+        "shingle_width": SHINGLE_WIDTH,
+        "k": K_ROWS, "b": 8, "bands": BANDS, "rows": ROWS,
+        "docs": len(shingled),
+        "build_seconds": build_s,
+        # The headline throughput: signature construction + indexing is
+        # the hash-dominated term the entropy-learned lever targets.
+        "ops_per_second": len(shingled) / build_s if build_s else 0.0,
+        "query_ops_per_second": len(pairs) / query_s if query_s else 0.0,
+        "recall_at_10": recall,
+    }
+    record.update(latency_summary_ns(build_samples))
+    return record
+
+
+def estimator_records(full_sigs, pairs, rng):
+    """b in {4, 8} (packed, banded) vs the unpacked 64-bit signature."""
+    keys = list(full_sigs)
+    sampled = [
+        (keys[rng.randrange(len(keys))], keys[rng.randrange(len(keys))])
+        for _ in range(ESTIMATE_PAIRS)
+    ]
+    records = []
+    for b in (4, 8):
+        sigs = {
+            key: BBitMinHash.from_signature(sig, b, bands=BANDS)
+            for key, sig in full_sigs.items()
+        }
+        index = LSHIndex(bands=BANDS, rows=ROWS, b=b)
+        index.insert_batch(list(sigs), list(sigs.values()))
+        samples = []
+        for a, c in sampled:
+            t0 = time.perf_counter()
+            sigs[a].jaccard(sigs[c])
+            samples.append(time.perf_counter() - t0)
+        elapsed = sum(samples)
+        some = next(iter(sigs.values()))
+        record = {
+            "benchmark": f"similarity_bbit_b{b}",
+            "b": b, "k": K_ROWS, "bands": BANDS, "rows": ROWS,
+            "signature_bytes": some.bands * some.block_bytes,
+            "ops_per_second": len(samples) / elapsed if elapsed else 0.0,
+            "recall_at_10": _index_recall(index, sigs, pairs),
+        }
+        record.update(latency_summary_ns(samples))
+        records.append(record)
+
+    # Unpacked reference: full 64-bit minima, brute-force top-10.
+    samples = []
+    for a, c in sampled:
+        t0 = time.perf_counter()
+        full_sigs[a].jaccard(full_sigs[c])
+        samples.append(time.perf_counter() - t0)
+    elapsed = sum(samples)
+    hits = 0
+    for src, dup in pairs:
+        scored = [
+            (key, full_sigs[src].jaccard(sig))
+            for key, sig in full_sigs.items() if key != src
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        if dup in {key for key, _ in scored[:QUERY_K]}:
+            hits += 1
+    record = {
+        "benchmark": "similarity_unpacked64",
+        "b": 64, "k": K_ROWS,
+        "signature_bytes": K_ROWS * 8,
+        "ops_per_second": len(samples) / elapsed if elapsed else 0.0,
+        "recall_at_10": hits / len(pairs),
+    }
+    record.update(latency_summary_ns(samples))
+    records.append(record)
+    return records
+
+
+def service_record(hasher, docs, pairs):
+    """similar(key, k) through the service, one shard co-resident."""
+    service = Service(
+        num_shards=1, backend="similarity", hasher=hasher,
+        capacity=len(docs),
+        backend_options={"bands": BANDS, "rows": ROWS, "b": 8,
+                         "shingle_width": SHINGLE_WIDTH},
+    )
+    try:
+        client = ServiceClient(service)
+        start = time.perf_counter()
+        client.put_many(list(docs.items()))
+        ingest_s = time.perf_counter() - start
+        samples = []
+        hits = 0
+        for src, dup in pairs:
+            t0 = time.perf_counter()
+            neighbors = client.similar(src, k=QUERY_K)
+            samples.append(time.perf_counter() - t0)
+            if dup in {key for key, _ in neighbors}:
+                hits += 1
+        elapsed = sum(samples)
+        record = {
+            "benchmark": "similarity_service_query",
+            "shards": 1,
+            "execution": "inline",
+            "docs": len(docs),
+            "ingest_docs_per_second": len(docs) / ingest_s if ingest_s
+            else 0.0,
+            "ops_per_second": len(samples) / elapsed if elapsed else 0.0,
+            "recall_at_10": hits / len(pairs),
+            "lost_acks": client.lost_acks,
+        }
+        record.update(latency_summary_ns(samples))
+        return record
+    finally:
+        service.close()
+
+
+def similarity_records():
+    docs, pairs = make_corpus()
+    shingled = {key: shingle_bytes(doc, SHINGLE_WIDTH)
+                for key, doc in docs.items()}
+    full = EntropyLearnedHasher.full_key("xxh3")
+    partial = train_partial_hasher(shingled)
+
+    records = [
+        hasher_record("full_key", full, shingled, pairs),
+        hasher_record("partial_key", partial, shingled, pairs),
+    ]
+    full_sigs = {
+        key: MinHashSignature.from_items(full, items, k=K_ROWS)
+        for key, items in shingled.items()
+    }
+    records.extend(estimator_records(full_sigs, pairs, random.Random(1)))
+    records.append(service_record(partial, docs, pairs))
+    return records
+
+
+def write_report(records, path=None):
+    if path is None:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        path = os.path.join(repo_root, "BENCH_similarity.json")
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or "unknown"
+    except OSError:
+        rev = "unknown"
+    with open(path, "w") as f:
+        json.dump({
+            "git_rev": rev,
+            "generated_at_unix": time.time(),
+            "records": records,
+        }, f, indent=2)
+    print(f"\n[wrote {len(records)} similarity record(s) to {path}]")
+    return path
+
+
+def main():
+    print_header("Similarity serving: b-bit MinHash + LSH banding "
+                 f"({NUM_DOCS}+{NUM_DUPS} docs, k={K_ROWS}, "
+                 f"{BANDS}x{ROWS} bands)")
+    records = similarity_records()
+    for r in records:
+        extra = ""
+        if "bytes_hashed_per_shingle" in r:
+            extra = (f"  {r['bytes_hashed_per_shingle']}/"
+                     f"{r['shingle_width']} bytes/shingle")
+        elif "signature_bytes" in r:
+            extra = f"  {r['signature_bytes']} sig bytes"
+        print(f"{r['benchmark']:26s} {r['ops_per_second']:10.0f} ops/s  "
+              f"recall@10 {r['recall_at_10']:.2f}{extra}")
+    full = next(r for r in records if r["benchmark"] == "similarity_full_key")
+    partial = next(
+        r for r in records if r["benchmark"] == "similarity_partial_key"
+    )
+    speedup = (
+        partial["ops_per_second"] / full["ops_per_second"]
+        if full["ops_per_second"] else 0.0
+    )
+    print(f"\npartial-key vs full-key signature build: {speedup:.2f}x "
+          f"({partial['bytes_hashed_per_shingle']} of "
+          f"{SHINGLE_WIDTH} bytes hashed) at recall@10 "
+          f"{partial['recall_at_10']:.2f}")
+    write_report(records)
+
+
+if __name__ == "__main__":
+    main()

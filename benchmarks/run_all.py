@@ -46,6 +46,7 @@ MODULES = [
     "bench_service",
     "bench_faults",
     "bench_frontdoor",
+    "bench_similarity",
     "bench_fig5_entropy_vs_words",
     "bench_fig6_probe_time",
     "bench_fig7_breakdown",
@@ -104,6 +105,14 @@ ARTIFACT_SCHEMAS = {
         "record": ("benchmark", "path", "execution", "connections",
                    "ops_per_second", "lost_acks") + _LATENCY_FIELDS,
     },
+    "BENCH_similarity.json": {
+        "module": "bench_similarity",
+        "toplevel": ("git_rev", "generated_at_unix", "records"),
+        # Speed and quality must travel together: every record pairs a
+        # throughput number with the recall it was measured at.
+        "record": ("benchmark", "ops_per_second",
+                   "recall_at_10") + _LATENCY_FIELDS,
+    },
 }
 
 
@@ -157,7 +166,7 @@ BASELINE_TRACKED = {
     ),
     "BENCH_service.json": (
         "service_ycsb_C_uniform", "service_ycsb_A_zipf_hot",
-        "service_scaling_inline",
+        "service_scaling_inline", "service_scaling_speedup",
     ),
     "BENCH_faults.json": (
         "chaos_throughput_0",
@@ -196,10 +205,19 @@ def collect_baseline_entries(selected):
             record = records.get(name)
             if record is None:
                 continue
-            entries[f"{filename}::{name}"] = {
+            entry = {
                 "ops_per_second": _record_ops_per_second(record),
                 "latency_p99_ns": record.get("latency_p99_ns"),
             }
+            # Speedup records gate on the ratio, and the ratio is only
+            # meaningful relative to the host's core count — carry both.
+            if "speedup_process_vs_inline" in record:
+                entry["speedup_process_vs_inline"] = (
+                    record["speedup_process_vs_inline"]
+                )
+            if "cpu_cores" in record:
+                entry["cpu_cores"] = record["cpu_cores"]
+            entries[f"{filename}::{name}"] = entry
     return entries
 
 
@@ -230,8 +248,37 @@ def check_regression(selected, tolerance):
     current = collect_baseline_entries(selected)
     problems = []
     checked = 0
+    skipped = []
     for name, now in sorted(current.items()):
         base = baseline.get(name)
+        if "speedup_process_vs_inline" in now:
+            # A process-vs-inline speedup is only verifiable with real
+            # parallelism: on a single-core host the process backend
+            # pays IPC overhead with nothing to buy it back, so gating
+            # on the ratio would enforce an unverifiable number.
+            now_cores = int(now.get("cpu_cores") or 1)
+            base_cores = (
+                int(base.get("cpu_cores") or 1) if base is not None else None
+            )
+            if now_cores <= 1 or (base_cores is not None and base_cores <= 1):
+                skipped.append((name, min(
+                    c for c in (now_cores, base_cores) if c is not None
+                )))
+                continue
+            if base is None:
+                continue
+            checked += 1
+            base_speedup = base.get("speedup_process_vs_inline")
+            now_speedup = now.get("speedup_process_vs_inline")
+            if (base_speedup and now_speedup
+                    and now_speedup < base_speedup * (1.0 - tolerance)):
+                problems.append(
+                    f"{name}: speedup fell "
+                    f"{1.0 - now_speedup / base_speedup:.1%} "
+                    f"({base_speedup:.2f}x -> {now_speedup:.2f}x, "
+                    f"tolerance {tolerance:.0%})"
+                )
+            continue
         if base is None:
             continue
         checked += 1
@@ -254,13 +301,18 @@ def check_regression(selected, tolerance):
                 f"({base_p99:.0f}ns -> {now_p99:.0f}ns, tolerance "
                 f"{latency_tolerance:.0%})"
             )
-    if not checked:
+    for name, cores in skipped:
+        print(f"  {name}: skipped_single_core (cpu_cores={cores}; "
+              "process-vs-inline speedup is unverifiable without "
+              "parallelism)")
+    if not checked and not skipped:
         problems.append(
             "no tracked hot path overlaps the baseline; nothing checked"
         )
     else:
         print(f"\nregression check: {checked} hot path(s) vs "
-              f"{BASELINE_FILE} at {tolerance:.0%} tolerance")
+              f"{BASELINE_FILE} at {tolerance:.0%} tolerance"
+              + (f", {len(skipped)} skipped_single_core" if skipped else ""))
     return problems
 
 

@@ -1,11 +1,18 @@
-"""Near-duplicate page detection with MinHash — Broder's use case [15].
+"""Near-duplicate page detection served by the similarity backend.
 
-Web crawlers estimate page resemblance by MinHashing shingle sets; every
-shingle is hashed k times per page, making this one of the most
-hash-intensive jobs in the pipeline.  This example builds MinHash
-signatures over token-shingle sets for a corpus of synthetic pages
-(some of them near-duplicates), finds the duplicate pairs, and compares
-full-key vs Entropy-Learned hashing cost at identical detection quality.
+Web crawlers estimate page resemblance by MinHashing shingle sets;
+every shingle is hashed k times per page, making this one of the most
+hash-intensive jobs in the pipeline.  This example ingests a corpus of
+synthetic pages (some of them near-duplicates) into the sharded
+service's ``similarity`` backend — b-bit MinHash signatures in an LSH
+banding index — then asks ``similar(key, k)`` for each page's nearest
+neighbours, and compares full-key vs Entropy-Learned hashing cost at
+identical detection quality.
+
+The service runs one shard here: ``similar`` answers from the queried
+key's shard only (query locality is the design trade — see
+docs/DESIGN.md), so a corpus whose duplicates may land anywhere wants
+either one shard or a routing key shared by near-duplicate groups.
 
 Run:  python examples/url_near_duplicates.py
 """
@@ -16,61 +23,76 @@ import time
 from repro.core.hasher import EntropyLearnedHasher
 from repro.core.trainer import train_model
 from repro.datasets import wikipedia_text
-from repro.sketches.minhash import MinHashSignature
+from repro.service import Service, ServiceClient
+from repro.similarity import shingle_bytes
 
 NUM_PAGES = 60
 NUM_DUPLICATE_PAIRS = 10
-SIGNATURE_K = 96
-THRESHOLD = 0.6  # planted pairs sit near Jaccard ~0.8
-
-
-def shingles(text: bytes, width: int = 4):
-    """Word 4-grams of a page, as a set of byte strings."""
-    words = text.split()
-    return {b" ".join(words[i:i + width]) for i in range(len(words) - width + 1)}
+SIGNATURE_K = 96         # rows per signature = bands * ROWS
+ROWS = 4                 # rows per band; bands = SIGNATURE_K // ROWS
+SHINGLE_WIDTH = 32       # byte n-grams; the trained hasher reads 8 of these
+THRESHOLD = 0.5          # planted pairs sit near Jaccard ~0.7 at this width
+NEIGHBORS_K = 5
 
 
 def make_corpus():
+    """Pages keyed by random-prefixed ids, plus planted near-duplicates."""
     rng = random.Random(13)
-    pages = [b" ".join(wikipedia_text(12, seed=100 + i, target_len=90))
-             for i in range(NUM_PAGES)]
+    pages = {}
+    keys = []
+    for i in range(NUM_PAGES):
+        key = b"%08x-page-%03d" % (rng.getrandbits(32), i)
+        pages[key] = b" ".join(wikipedia_text(12, seed=100 + i, target_len=90))
+        keys.append(key)
     truth = set()
-    for pair in range(NUM_DUPLICATE_PAIRS):
-        victim = rng.randrange(len(pages))
+    for j in range(NUM_DUPLICATE_PAIRS):
+        victim = keys[rng.randrange(NUM_PAGES)]
         words = pages[victim].split()
         # Perturb ~3% of words: a near-duplicate, not a copy.
         for _ in range(max(1, len(words) // 33)):
             words[rng.randrange(len(words))] = b"edited"
-        pages.append(b" ".join(words))
-        truth.add((victim, len(pages) - 1))
+        dup = b"%08x-dup-%03d" % (rng.getrandbits(32), j)
+        pages[dup] = b" ".join(words)
+        truth.add(tuple(sorted((victim, dup))))
     return pages, truth
 
 
 def detect(pages, hasher):
-    start = time.perf_counter()
-    signatures = [
-        MinHashSignature.from_items(hasher, sorted(shingles(p)), k=SIGNATURE_K)
-        for p in pages
-    ]
-    found = set()
-    for i in range(len(pages)):
-        for j in range(i + 1, len(pages)):
-            if signatures[i].jaccard(signatures[j]) >= THRESHOLD:
-                found.add((i, j))
-    return found, time.perf_counter() - start
+    """Ingest every page, then query each key's neighbours. Pairs whose
+    estimated Jaccard clears THRESHOLD are flagged as near-duplicates."""
+    service = Service(
+        num_shards=1, backend="similarity", hasher=hasher,
+        capacity=2 * len(pages),
+        backend_options={"bands": SIGNATURE_K // ROWS, "rows": ROWS,
+                         "b": 8, "shingle_width": SHINGLE_WIDTH},
+    )
+    try:
+        client = ServiceClient(service)
+        start = time.perf_counter()
+        client.put_many(list(pages.items()))
+        found = set()
+        for key in pages:
+            for neighbor, score in client.similar(key, k=NEIGHBORS_K):
+                if score >= THRESHOLD:
+                    found.add(tuple(sorted((key, neighbor))))
+        return found, time.perf_counter() - start
+    finally:
+        service.close()
 
 
 def main():
     pages, truth = make_corpus()
-    total_shingles = sum(len(shingles(p)) for p in pages)
+    total_shingles = sum(len(shingle_bytes(p, SHINGLE_WIDTH))
+                         for p in pages.values())
     print(f"{len(pages)} pages, {total_shingles} shingles, "
           f"{len(truth)} planted near-duplicate pairs "
           f"(k={SIGNATURE_K} permutations -> "
-          f"{total_shingles * SIGNATURE_K} hashes per pass)\n")
+          f"{total_shingles * SIGNATURE_K} hashes per ingest)\n")
 
-    sample = [s for p in pages[:20] for s in list(shingles(p))[:80]]
+    sample = [s for p in list(pages.values())[:20]
+              for s in shingle_bytes(p, SHINGLE_WIDTH)[:80]]
     model = train_model(sample, base="xxh3", seed=2, word_size=8)
-    elh = model.hasher_for_entropy(14.0)
+    elh = model.hasher_for_entropy(12.0)
 
     results = {}
     for label, hasher in (
@@ -86,7 +108,8 @@ def main():
 
     speedup = results["full-key xxh3"][1] / results["entropy-learned"][1]
     print(f"\nSpeedup {speedup:.2f}x at matching detection quality "
-          f"(ELH reads {elh.partial_key.bytes_read or 'all'} bytes/shingle)")
+          f"(ELH reads {elh.partial_key.bytes_read or 'all'} of "
+          f"{SHINGLE_WIDTH} bytes/shingle)")
 
 
 if __name__ == "__main__":

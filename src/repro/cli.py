@@ -485,7 +485,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
         if service.pending:
             failures.append(f"{service.pending} op(s) still queued after drain")
-        if args.backend in ("chaining", "probing", "lsm"):
+        if args.backend in ("chaining", "probing", "lsm", "similarity"):
             # No mix without scans deletes preloaded keys, so a sample must
             # read back non-None — acknowledged writes survived the run
             # (and the forced degrade, when --force-trip).
@@ -573,7 +573,9 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
     # --execution pins the service-layer targets to one execution
     # backend; structure-only targets have no service to configure.
-    _SERVICE_TARGETS = frozenset({"service", "chaos", "reshard", "frontdoor"})
+    _SERVICE_TARGETS = frozenset(
+        {"service", "chaos", "reshard", "frontdoor", "similarity"}
+    )
 
     failed = False
     for name, seed, cases, ops_per_case in runs:
@@ -692,7 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=4)
     serve.add_argument("--backend", default="chaining",
                        choices=("chaining", "probing", "lsm", "bloom",
-                                "cuckoo_filter"))
+                                "cuckoo_filter", "similarity"))
     serve.add_argument("--execution", default="inline",
                        choices=("inline", "process"),
                        help="where shards execute: the cooperative "

@@ -32,7 +32,9 @@ from repro.core.hasher import EntropyLearnedHasher
 from repro.core.trainer import EntropyModel
 from repro.engine import CollisionMonitor
 
-BACKENDS = ("chaining", "probing", "lsm", "bloom", "cuckoo_filter")
+BACKENDS = (
+    "chaining", "probing", "lsm", "bloom", "cuckoo_filter", "similarity"
+)
 
 
 def _full_key_model(base: str) -> EntropyModel:
@@ -366,15 +368,33 @@ def make_adapter(
     model=None,
     hasher: Optional[EntropyLearnedHasher] = None,
     seed: int = 0,
+    options: Optional[Dict[str, object]] = None,
 ) -> StructureAdapter:
     """Build one shard's structure from a model (production) or a raw
-    hasher (tests/fuzzing).  Exactly one of ``model``/``hasher``."""
+    hasher (tests/fuzzing).  Exactly one of ``model``/``hasher``.
+
+    ``options`` carries backend-specific tuning (the similarity
+    backend's ``bands``/``rows``/``b``/``shingle_width``); the point-op
+    backends take none, and passing options to them is an error rather
+    than a silent ignore.
+    """
     if (model is None) == (hasher is None):
         raise ValueError("pass exactly one of model= or hasher=")
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if options and backend != "similarity":
+        raise ValueError(
+            f"backend {backend!r} takes no options, got {sorted(options)}"
+        )
 
     capacity = max(capacity, 4)
+    if backend == "similarity":
+        from repro.similarity.adapter import SimilarityAdapter
+
+        h = hasher if hasher is not None else model.hasher_for_bloom_filter(
+            capacity, seed=seed
+        )
+        return SimilarityAdapter(h, capacity, **(options or {}))
     if backend == "chaining":
         from repro.tables.chaining import EntropyAwareTable, SeparateChainingTable
 
@@ -426,6 +446,9 @@ class AdapterSpec:
     model: Optional[EntropyModel] = None
     hasher: Optional[EntropyLearnedHasher] = None
     seed: int = 0
+    # Backend-specific tuning, passed through to make_adapter; plain
+    # JSON-safe values only, so the spec stays picklable.
+    options: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -434,11 +457,17 @@ class AdapterSpec:
             )
         if (self.model is None) == (self.hasher is None):
             raise ValueError("pass exactly one of model= or hasher=")
+        if self.options and self.backend != "similarity":
+            raise ValueError(
+                f"backend {self.backend!r} takes no options, "
+                f"got {sorted(self.options)}"
+            )
 
     def build(self) -> StructureAdapter:
         return make_adapter(
             self.backend, self.capacity,
             model=self.model, hasher=self.hasher, seed=self.seed,
+            options=self.options,
         )
 
 

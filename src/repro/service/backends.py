@@ -183,7 +183,7 @@ class InlineBackend(ExecutionBackend):
                 op = segment[0].request.op
                 keys = [t.request.key for t in segment]
                 values = ([t.request.value for t in segment]
-                          if op == "put" else None)
+                          if op in ("put", "similar") else None)
                 result = self.core.serve_segment(op, keys, values)
                 worker._absorb_segment(op, segment, result)
                 for ticket in segment:
@@ -501,7 +501,7 @@ class ProcessBackend(ExecutionBackend):
             op = segment[0].request.op
             keys = [t.request.key for t in segment]
             values = ([t.request.value for t in segment]
-                      if op == "put" else None)
+                      if op in ("put", "similar") else None)
             wire.append((op, keys, values))
         self._batch_id += 1
         try:

@@ -237,6 +237,17 @@ class ServiceClient:
     def stats(self) -> Dict[str, object]:
         return self._complete(self._submit(Request("stats"))).stats
 
+    def similar(self, key, k: int = 10) -> List[Tuple[bytes, float]]:
+        """Top-k neighbors of a stored item on the similarity backend.
+
+        Returns ``(neighbor key, estimated Jaccard)`` pairs, best
+        first; empty when the key is unknown to its shard.
+        """
+        response = self._complete(self._submit(
+            Request("similar", as_bytes(key), str(int(k)).encode("ascii"))
+        ))
+        return list(response.neighbors or ())
+
     # ------------------------------------------------------------- batch
 
     def put_many(self, pairs: Iterable[Tuple[object, object]]) -> List[Response]:
@@ -270,6 +281,17 @@ class ServiceClient:
             [Request("contains", as_bytes(k)) for k in keys]
         )
         return [bool(r.found) for r in self._complete_all(tickets)]
+
+    def similar_many(
+        self, keys: Sequence[object], k: int = 10
+    ) -> List[List[Tuple[bytes, float]]]:
+        # Read-only, so the vectorized admission path is safe even
+        # with duplicate query keys.
+        payload = str(int(k)).encode("ascii")
+        tickets = self._submit_many(
+            [Request("similar", as_bytes(key), payload) for key in keys]
+        )
+        return [list(r.neighbors or ()) for r in self._complete_all(tickets)]
 
     @property
     def lost_acks(self) -> int:
@@ -455,6 +477,13 @@ class NetworkClient:
         """Scrape the /metrics verb: service stats + ``frontdoor``."""
         return self._terminal(Request("stats")).stats
 
+    def similar(self, key, k: int = 10) -> List[Tuple[bytes, float]]:
+        """Top-k neighbors over the wire (similarity backend only)."""
+        response = self._terminal(
+            Request("similar", as_bytes(key), str(int(k)).encode("ascii"))
+        )
+        return list(response.neighbors or ())
+
     # ------------------------------------------------------------- batch
 
     def put_many(self, pairs: Iterable[Tuple[object, object]]) -> List[Response]:
@@ -479,6 +508,17 @@ class NetworkClient:
             [Request("contains", as_bytes(k)) for k in keys]
         )
         return [bool(r.found) for r in responses]
+
+    def similar_many(
+        self, keys: Sequence[object], k: int = 10
+    ) -> List[List[Tuple[bytes, float]]]:
+        """Pipelined top-k queries: a whole window of ``similar``
+        frames goes out before the first response is read."""
+        payload = str(int(k)).encode("ascii")
+        responses = self._terminal_many(
+            [Request("similar", as_bytes(key), payload) for key in keys]
+        )
+        return [list(r.neighbors or ()) for r in responses]
 
     @property
     def lost_acks(self) -> int:

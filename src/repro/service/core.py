@@ -71,6 +71,9 @@ class ShardCore:
             return ("put", adapter.put_batch(keys, list(values or ())))
         if op == "delete":
             return ("delete", adapter.delete_batch(keys))
+        if op == "similar":
+            # The per-key value payload carries the neighbor count k.
+            return ("similar", adapter.similar_batch(keys, list(values or ())))
         return ("contains", adapter.contains_batch(keys))
 
     def apply_entries(

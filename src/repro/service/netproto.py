@@ -171,6 +171,13 @@ def encode_response(frame_id: int, response: Response) -> bytes:
     }
     if response.value is not None:
         payload["value"] = _b64(response.value)
+    if response.neighbors is not None:
+        # Neighbor keys are arbitrary bytes, so each pair crosses the
+        # wire as [base64 key, score] — the one nested-bytes field the
+        # generic loop below cannot handle.
+        payload["neighbors"] = [
+            [_b64(key), float(score)] for key, score in response.neighbors
+        ]
     for field in ("found", "shard", "retry_after", "error", "stats",
                   "generation"):
         attr = getattr(response, field)
@@ -196,6 +203,19 @@ def decode_response(payload: Dict[str, object]) -> Response:
     status = payload.get("status")
     if not isinstance(status, str) or not status:
         raise ProtocolError("response frame carries no status")
+    neighbors = payload.get("neighbors")
+    if neighbors is not None:
+        if not isinstance(neighbors, list):
+            raise ProtocolError("field 'neighbors' must be a list")
+        try:
+            neighbors = [
+                (_unb64(str(key), "neighbors"), float(score))
+                for key, score in neighbors
+            ]
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "field 'neighbors' must be [base64, number] pairs"
+            ) from exc
     return Response(
         status,
         value=_unb64(payload.get("value"), "value"),
@@ -205,6 +225,7 @@ def decode_response(payload: Dict[str, object]) -> Response:
         error=payload.get("error"),
         stats=payload.get("stats"),
         generation=payload.get("generation"),
+        neighbors=neighbors,
     )
 
 

@@ -11,11 +11,13 @@ its queue (or synchronously, for rejections and ``stats``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 # The complete operation vocabulary.  ``stats`` is answered by the
-# service front door; the rest are routed to a shard.
-OPS = ("get", "put", "delete", "contains", "stats")
+# service front door; the rest are routed to a shard.  ``similar`` is
+# served by the similarity backend only: the request key names the
+# item, the value carries the neighbor count k as ASCII decimal.
+OPS = ("get", "put", "delete", "contains", "similar", "stats")
 
 # Response statuses.
 OK = "ok"
@@ -58,6 +60,11 @@ class Response:
     # Set on WRONG_GENERATION: the routing generation now live, so a
     # client can tell a fresh miss from a stale retry loop.
     generation: Optional[int] = None
+    # Set on OK answers to ``similar``: the top-k neighbors as
+    # (item key, estimated Jaccard) pairs, best first.  ``found``
+    # distinguishes an unknown query key (False, empty list) from a
+    # known key with no neighbors (True, empty list).
+    neighbors: Optional[List[Tuple[bytes, float]]] = None
 
     @property
     def ok(self) -> bool:

@@ -115,6 +115,7 @@ class Service:
         auto_split: bool = False,
         split_threshold: float = 2.0,
         max_splits: int = 4,
+        backend_options: Optional[Dict[str, object]] = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -145,7 +146,8 @@ class Service:
             )
         shard_capacity = max(4, capacity // num_shards)
         spec = AdapterSpec(
-            backend, shard_capacity, model=model, hasher=hasher, seed=seed
+            backend, shard_capacity, model=model, hasher=hasher, seed=seed,
+            options=dict(backend_options) if backend_options else None,
         )
         # Kept for live splits: a new shard is built from the same spec
         # and knobs as the originals, mid-flight.

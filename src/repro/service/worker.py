@@ -368,6 +368,15 @@ class Worker:
                 ticket.response = Response(
                     OK, found=removed, shard=self.shard_id
                 )
+        elif op == "similar":
+            # Read-only: nothing to journal.  None marks an unknown
+            # query key; a known key with no neighbors answers OK with
+            # an empty list.
+            for ticket, neighbors in zip(tickets, payload):
+                ticket.response = Response(
+                    OK, found=neighbors is not None, shard=self.shard_id,
+                    neighbors=list(neighbors or ()),
+                )
         else:  # contains
             for ticket, present in zip(tickets, payload):
                 ticket.response = Response(

@@ -1,0 +1,38 @@
+"""Similarity-search serving: b-bit MinHash + LSH banding.
+
+Three layers, bottom-up:
+
+* :mod:`repro.similarity.signatures` — :class:`BBitMinHash`, a k-row
+  MinHash truncated to b bits per row with a Pb-Hash partitioned packed
+  layout and the unbiased collision-floor-corrected Jaccard estimator;
+* :mod:`repro.similarity.index` — :class:`LSHIndex`, banding the b-bit
+  signature into r-row bands hashed through ``engine.hash_batch`` and
+  answering top-k queries by candidate union + exact re-rank;
+* :mod:`repro.similarity.adapter` — :class:`SimilarityAdapter`, the
+  sixth service backend (``backend="similarity"``), serving the
+  ``similar`` verb end-to-end through the sharded service, the network
+  front door, and journal-replayed crash recovery.
+"""
+
+from repro.similarity.adapter import (
+    DEFAULT_NEIGHBORS,
+    SimilarityAdapter,
+    shingle_bytes,
+)
+from repro.similarity.index import LSHIndex, Neighbor
+from repro.similarity.signatures import (
+    BBitMinHash,
+    collision_floor,
+    standard_error,
+)
+
+__all__ = [
+    "BBitMinHash",
+    "DEFAULT_NEIGHBORS",
+    "LSHIndex",
+    "Neighbor",
+    "SimilarityAdapter",
+    "collision_floor",
+    "shingle_bytes",
+    "standard_error",
+]

@@ -10,13 +10,30 @@ bytes of each element.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro._util import Key, as_bytes_list
 from repro.core.hasher import EntropyLearnedHasher
 from repro.engine import HashEngine
+
+# What makes two signatures comparable: the base hash, its seed, and
+# the learned plan (positions + word size).  Signatures built under
+# different fingerprints keep per-row minima of *different* hash
+# functions, so comparing them element-wise is meaningless.
+Fingerprint = Tuple[str, int, Tuple[int, ...], int]
+
+
+def hasher_fingerprint(hasher: EntropyLearnedHasher) -> Fingerprint:
+    """The comparability fingerprint of a hasher: base, seed, plan."""
+    L = hasher.partial_key
+    return (
+        hasher.base.name,
+        int(hasher.seed),
+        tuple(L.positions),
+        int(L.word_size),
+    )
 
 
 class MinHashSignature:
@@ -29,8 +46,13 @@ class MinHashSignature:
     True
     """
 
-    def __init__(self, mins: np.ndarray):
+    def __init__(
+        self, mins: np.ndarray, fingerprint: Optional[Fingerprint] = None
+    ):
         self.mins = mins.astype(np.uint64)
+        # None means "unknown provenance" (a hand-built signature);
+        # such signatures compare with anything, as before.
+        self.fingerprint = fingerprint
 
     @classmethod
     def from_items(
@@ -54,19 +76,33 @@ class MinHashSignature:
         mins = np.empty(k, dtype=np.uint64)
         for row in range(k):
             mins[row] = engine.hash_batch(items, seed=hasher.seed + row + 1).min()
-        return cls(mins)
+        return cls(mins, fingerprint=hasher_fingerprint(hasher))
+
+    def _check_comparable(self, other: "MinHashSignature") -> None:
+        if self.mins.shape != other.mins.shape:
+            raise ValueError("signatures must have equal k")
+        if (self.fingerprint is not None
+                and other.fingerprint is not None
+                and self.fingerprint != other.fingerprint):
+            raise ValueError(
+                "signatures were built with different hashers: "
+                f"{self.fingerprint} vs {other.fingerprint}; comparing "
+                "their minima element-wise would be meaningless"
+            )
 
     def jaccard(self, other: "MinHashSignature") -> float:
         """Estimated Jaccard similarity (fraction of agreeing minima)."""
-        if self.mins.shape != other.mins.shape:
-            raise ValueError("signatures must have equal k")
+        self._check_comparable(other)
         return float((self.mins == other.mins).mean())
 
     def merge(self, other: "MinHashSignature") -> "MinHashSignature":
         """Signature of the union of the two underlying sets."""
-        if self.mins.shape != other.mins.shape:
-            raise ValueError("signatures must have equal k")
-        return MinHashSignature(np.minimum(self.mins, other.mins))
+        self._check_comparable(other)
+        return MinHashSignature(
+            np.minimum(self.mins, other.mins),
+            fingerprint=(self.fingerprint if self.fingerprint is not None
+                         else other.fingerprint),
+        )
 
     @property
     def k(self) -> int:

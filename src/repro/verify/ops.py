@@ -394,6 +394,52 @@ def generate_frontdoor_ops(rng: random.Random, n: int) -> List[Op]:
     return ops
 
 
+def generate_similarity_ops(rng: random.Random, n: int) -> List[Op]:
+    """Similarity-service streams: docs with planted overlap, queries.
+
+    Documents are sentences drawn from a small shared vocabulary, so
+    the stream naturally creates near-duplicate pairs (high shingle
+    overlap) alongside unrelated docs — ``similar`` queries then have
+    non-trivial answers for the brute-force oracle to check.  Every doc
+    rides hex-encoded in its op, same as keys, so a saved repro replays
+    bit-identically.  ``similar`` carries a small ``k``; ``put`` on a
+    live key exercises the re-signature (overwrite) path and ``delete``
+    the bucket-removal path.
+    """
+    pool = make_key_pool(rng, size=48)
+    vocab = [b"alpha", b"bravo", b"charlie", b"delta", b"echo", b"fox",
+             b"golf", b"hotel", b"india", b"juliet", b"kilo", b"lima"]
+
+    def make_doc() -> bytes:
+        words = [vocab[rng.randrange(len(vocab))]
+                 for _ in range(rng.randrange(3, 9))]
+        return b" ".join(words)
+
+    ops: List[Op] = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.30:
+            ops.append(_keyed("put", pick_key(rng, pool),
+                              doc=make_doc().hex()))
+        elif roll < 0.48:
+            ops.append(_keyed("similar", pick_key(rng, pool),
+                              k=rng.randrange(0, 6)))
+        elif roll < 0.60:
+            ops.append(_keyed("get", pick_key(rng, pool)))
+        elif roll < 0.70:
+            ops.append(_keyed("delete", pick_key(rng, pool)))
+        elif roll < 0.80:
+            ops.append(_keyed("contains", pick_key(rng, pool)))
+        elif roll < 0.90:
+            ops.append({"op": "pump"})
+        elif roll < 0.96:
+            ops.append({"op": "drain"})
+        else:
+            ops.append({"op": "stats"})
+    ops.append({"op": "drain"})
+    return ops
+
+
 def generate_engine_ops(rng: random.Random, n: int) -> List[Op]:
     """hash_batch/hash_one parity under plan churn and forced fallback."""
     pool = make_key_pool(rng)
@@ -486,6 +532,7 @@ __all__ = [
     "generate_chaos_ops",
     "generate_reshard_ops",
     "generate_frontdoor_ops",
+    "generate_similarity_ops",
     "generate_engine_ops",
     "generate_reducer_ops",
     "generate_minhash_ops",

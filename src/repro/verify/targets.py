@@ -1774,6 +1774,253 @@ class FrontDoorTarget(Target):
         )
 
 
+class SimilarityTarget(ServiceTarget):
+    """The LSH similarity backend vs a brute-force per-shard oracle.
+
+    The oracle keeps every admitted document and an independently built
+    b-bit signature per key (same hasher, same k/b/bands — the
+    signature *construction* differential lives in the minhash target;
+    this one checks the index and the service plumbing around it).  The
+    expected answer for ``similar`` is computed at admission time by
+    brute force: scan every other key on the queried key's shard, keep
+    those sharing at least one bit-identical band block, score with the
+    exact b-bit estimator, sort by (-score, key), cut to k.  The subject
+    buckets by *band hash* (full-key 64-bit xxh3 over the block bytes),
+    so its candidate set is a superset of the oracle's — equal blocks
+    always hash equal — and any extra hash-collision candidates lose in
+    the exact re-rank, making strict equality the right check (a false
+    band-hash collision changing top-k would need two distinct blocks
+    hashing identically *and* tying the scores: ~2^-64 per pair).
+
+    Admission-time expectations are sound for a cross-key read because
+    each shard's queue is FIFO and segments preserve intra-batch order,
+    so *all* ops on one shard execute in admission order — and routing
+    is static here (no splits, no hot-key overlay, no force_trip: a
+    fallback rebuild changes the element hasher and with it every
+    signature, which is covered by the adapter unit tests instead).
+    """
+
+    name = "similarity"
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        return {
+            "hasher": {"positions": [0, 4], "word_size": 2},
+            "shards": 2,
+            "backend": "similarity",
+            "capacity": 64,
+            "max_queue": 8,
+            "batch_size": 4,
+            "execution": "inline",
+            "bands": 4,
+            "rows": 2,
+            "b": 8,
+            "shingle_width": 4,
+        }
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        # Execution stays "inline" unless a campaign overrides it, for
+        # the same wall-clock reason as ServiceTarget.
+        return {
+            "hasher": random_hasher_spec(rng),
+            "shards": rng.choice((1, 2, 3)),
+            "backend": "similarity",
+            "capacity": 64,
+            "max_queue": rng.choice((4, 8, 16)),
+            "batch_size": rng.choice((1, 2, 4)),
+            "execution": "inline",
+            "bands": rng.choice((2, 4)),
+            "rows": rng.choice((2, 4)),
+            "b": rng.choice((4, 8)),
+            "shingle_width": rng.choice((3, 4, 8)),
+        }
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        return opslib.generate_similarity_ops(rng, n)
+
+    def __init__(self, config: Dict[str, object]):
+        self.bands = int(config.get("bands", 4))
+        self.rows = int(config.get("rows", 2))
+        self.b = int(config.get("b", 8))
+        self.shingle_width = int(config.get("shingle_width", 4))
+        self.hasher = build_hasher(config["hasher"])
+        # key -> oracle BBitMinHash; key -> home shard (static routing).
+        self.sigs: Dict[bytes, object] = {}
+        self.shard_of: Dict[bytes, int] = {}
+        super().__init__(config)
+
+    def _build_service(self, config: Dict[str, object]):
+        from repro.service import Service
+
+        return Service(
+            num_shards=int(config.get("shards", 2)),
+            backend="similarity",
+            hasher=self.hasher,
+            capacity=int(config.get("capacity", 64)),
+            max_queue=self.max_queue,
+            batch_size=int(config.get("batch_size", 4)),
+            execution=self.execution,
+            backend_options={
+                "bands": self.bands,
+                "rows": self.rows,
+                "b": self.b,
+                "shingle_width": self.shingle_width,
+            },
+        )
+
+    # ------------------------------------------------------------ oracle
+
+    def _signature(self, doc: bytes):
+        from repro.similarity import BBitMinHash, shingle_bytes
+
+        return BBitMinHash.from_items(
+            self.hasher, shingle_bytes(doc, self.shingle_width),
+            k=self.bands * self.rows, b=self.b, bands=self.bands,
+        )
+
+    @staticmethod
+    def _shares_band(a, b) -> bool:
+        for band in range(a.bands):
+            lo, hi = band * a.rows, (band + 1) * a.rows
+            if bool((a.bits[lo:hi] == b.bits[lo:hi]).all()):
+                return True
+        return False
+
+    def _expected_similar(self, key: bytes, k: int):
+        """Brute-force top-k at admission; None when key is unknown."""
+        if not self.oracle.contains(key):
+            return None
+        sig = self.sigs[key]
+        shard = self.shard_of[key]
+        scored = []
+        for other, other_sig in self.sigs.items():
+            if other == key or self.shard_of[other] != shard:
+                continue
+            if not self._shares_band(sig, other_sig):
+                continue
+            scored.append((other, sig.jaccard(other_sig)))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[: max(0, k)]
+
+    def _verify(self, ticket, kind: str, expected) -> None:
+        if kind != "similar":
+            super()._verify(ticket, kind, expected)
+            return
+        response = ticket.response
+        _require(
+            response.ok,
+            f"similar on shard {response.shard} answered "
+            f"{response.status!r}: {response.error!r}",
+        )
+        if expected is None:
+            _require(
+                response.found is False,
+                f"similar on an unknown key answered found={response.found}",
+            )
+            _require(
+                not response.neighbors,
+                f"similar on an unknown key returned {response.neighbors!r}",
+            )
+            return
+        _require(
+            response.found is True,
+            f"similar on a live key answered found={response.found}",
+        )
+        got = [(key, score) for key, score in (response.neighbors or ())]
+        _require(
+            got == expected,
+            f"similar -> {got!r}, brute force says {expected!r}",
+        )
+
+    # -------------------------------------------------------------- apply
+
+    def apply(self, op: Op) -> None:
+        from repro.service import Request
+
+        name = op["op"]
+        if name == "put":
+            key, doc = decode_key(op["key"]), bytes.fromhex(str(op["doc"]))
+            ticket = self._submit(Request("put", key, doc))
+            if ticket is not None:
+                self.oracle.insert(key, doc)
+                self.sigs[key] = self._signature(doc)
+                self.shard_of[key] = self.service.router.table.route_one(key)
+                self.pending.append((ticket, "put", None))
+        elif name == "similar":
+            key, k = decode_key(op["key"]), int(op["k"])
+            ticket = self._submit(
+                Request("similar", key, str(k).encode("ascii"))
+            )
+            if ticket is not None:
+                self.pending.append(
+                    (ticket, "similar", self._expected_similar(key, k))
+                )
+        elif name == "get":
+            key = decode_key(op["key"])
+            ticket = self._submit(Request("get", key))
+            if ticket is not None:
+                self.pending.append((ticket, "get", self.oracle.get(key)))
+        elif name == "contains":
+            key = decode_key(op["key"])
+            ticket = self._submit(Request("contains", key))
+            if ticket is not None:
+                self.pending.append(
+                    (ticket, "contains", self.oracle.contains(key))
+                )
+        elif name == "delete":
+            key = decode_key(op["key"])
+            ticket = self._submit(Request("delete", key))
+            if ticket is not None:
+                expected = self.oracle.delete(key)
+                self.sigs.pop(key, None)
+                self.pending.append((ticket, "delete", expected))
+        elif name == "pump":
+            self.service.pump()
+        elif name == "drain":
+            self.service.drain()
+        elif name == "stats":
+            import json
+
+            ticket = self.service.submit(Request("stats"))
+            _require(ticket.done, "stats must answer synchronously")
+            json.dumps(ticket.response.stats)
+        else:
+            raise ValueError(f"unknown similarity op {name!r}")
+        self._collect()
+        bound = self._queue_bound()
+        for worker in self.service.workers:
+            _require(
+                worker.queue_depth <= bound,
+                f"shard {worker.shard_id} queue grew to "
+                f"{worker.queue_depth} past the bound {bound}",
+            )
+
+    def final_check(self) -> None:
+        from repro.service import Request
+
+        super().final_check()
+        # Beyond the doc read-back super() does: every live key's
+        # neighbor list must still match brute force after the churn.
+        for key in sorted(self.sigs):
+            expected = self._expected_similar(key, 3)
+            ticket = None
+            for _ in range(self.max_queue + 2):
+                ticket = self._submit(
+                    Request("similar", key, b"3")
+                )
+                if ticket is not None:
+                    break
+                self.service.pump()
+            _require(
+                ticket is not None,
+                "final similar starved by backpressure",
+            )
+            self.service.drain()
+            self._verify(ticket, "similar", expected)
+
+
 TARGETS: Dict[str, Type[Target]] = {
     cls.name: cls
     for cls in (
@@ -1793,6 +2040,7 @@ TARGETS: Dict[str, Type[Target]] = {
         ChaosTarget,
         ReshardTarget,
         FrontDoorTarget,
+        SimilarityTarget,
     )
 }
 

@@ -75,6 +75,41 @@ class TestValidation:
         with pytest.raises(ValueError):
             a.merge(b)
 
+    def test_mismatched_hasher_rejected(self, full_hasher):
+        """Regression: same-shape signatures from different hashers used
+        to compare silently, producing garbage estimates; now the plan
+        fingerprint (base, seed, positions, word size) must match."""
+        other_seed = EntropyLearnedHasher.full_key("xxh3", seed=7)
+        other_base = EntropyLearnedHasher.full_key("wyhash")
+        partial = EntropyLearnedHasher.from_positions((0, 4), word_size=2,
+                                                      base="xxh3")
+        a = MinHashSignature.from_items(full_hasher, [b"x", b"y"], k=16)
+        for mismatched in (other_seed, other_base, partial):
+            b = MinHashSignature.from_items(mismatched, [b"x", b"y"], k=16)
+            with pytest.raises(ValueError, match="different hashers"):
+                a.jaccard(b)
+            with pytest.raises(ValueError, match="different hashers"):
+                a.merge(b)
+
+    def test_same_hasher_still_comparable(self, full_hasher):
+        a = MinHashSignature.from_items(full_hasher, [b"x", b"y"], k=16)
+        b = MinHashSignature.from_items(
+            EntropyLearnedHasher.full_key("xxh3"), [b"x", b"z"], k=16
+        )
+        assert 0.0 <= a.jaccard(b) <= 1.0
+        merged = a.merge(b)
+        assert merged.fingerprint == a.fingerprint
+
+    def test_unknown_provenance_compares(self, full_hasher):
+        """Hand-built signatures (fingerprint None) keep working."""
+        import numpy as np
+
+        a = MinHashSignature.from_items(full_hasher, [b"x"], k=16)
+        raw = MinHashSignature(np.zeros(16, dtype=np.uint64))
+        assert raw.fingerprint is None
+        assert 0.0 <= a.jaccard(raw) <= 1.0
+        assert a.merge(raw).fingerprint == a.fingerprint
+
 
 class TestWithEntropyLearnedHashing:
     def test_elh_minhash_matches_full_key_estimates(self, google_corpus):
