@@ -1,0 +1,266 @@
+"""Drift benchmark — throughput recovery through an online plan swap.
+
+Drives a ``relearn=True`` :class:`repro.service.Service` through the
+three phases of the drift drill: measure partial-key ops/s on the
+trained distribution, shift the key stream so the deployed byte
+positions lose their entropy (``drift_key`` appends the watched bytes
+after a separator, exactly the rewrite the ``drift`` fault kind
+performs), then let the detector -> relearner -> swap pipeline run and
+measure ops/s again on the drifted stream.  The headline number is
+``recovery_ratio`` — post-swap throughput over pre-drift throughput —
+which the acceptance bar requires to be >= 0.9 on both execution
+backends.  A ``relearn=False`` contrast record shows what the same
+drift costs without the re-learner.
+
+``drift_records()`` returns JSON-able records; ``main()`` (and
+``run_all.py``) writes them to ``BENCH_drift.json`` at the repo root.
+Every record carries ``cpu_cores`` and the full detector window
+configuration so a committed artifact is interpretable on its own
+(single-core hosts run the process backend without parallelism, like
+``BENCH_service.json``'s scaling records).
+"""
+
+import json
+import os
+import subprocess
+import time
+
+from repro.bench.harness import latency_summary_ns
+from repro.bench.reporting import print_header
+from repro.core.trainer import train_model
+from repro.datasets import google_urls
+from repro.drift import deployed_plan, drift_key, required_entropy_for_spec
+from repro.service import Service, ServiceClient, run_service_workload
+from repro.workloads import DriftingWorkloadGenerator, Operation
+
+NUM_KEYS = 1_200
+SHARDS = 3
+BACKEND = "chaining"
+MEASURE_OPS = 1_500        # read ops per timed phase (all hits)
+DRIFT_MIX_OPS = 900        # mixed ops emitted through the drifting generator
+MEASURE_REPEATS = 5        # best-of repeats per timed phase
+LATENCY_SAMPLE = 200       # scalar round trips behind each p50/p99 field
+# The swap needs the drifted stream to keep flowing: the reservoirs age
+# out pre-drift keys epoch by epoch (pre-drift keys and their drifted
+# twins agree on every in-range byte, so a mixed sample caps the
+# retrained entropy below certification).  Each settle round is one
+# read sweep over the drifted key set.
+MAX_SETTLE_ROUNDS = 30
+
+DRIFT_WINDOW = 128
+DRIFT_MARGIN = 1.0
+DRIFT_PATIENCE = 2
+# Certification needs the re-train sample to cover the required
+# entropy: the confidence bound is 2*log2(samples / C) with C = 20,
+# counted over *distinct* sampled keys, and this drill's per-shard
+# tables (capacity 800 -> 1024 buckets at load 1.0) require 11.0 bits,
+# i.e. >= ~906 distinct keys.  Drift concentrates traffic (every
+# drifted key hashes alike on the dying positions, so one shard takes
+# the whole stream and the idle shards' stale reservoirs are excluded)
+# — a single shard's reservoir must clear the bar alone, and 2048
+# slots drawn from the 1200-key drifted population yield ~980 distinct.
+DRIFT_RESERVOIR = 2_048
+MIN_DWELL = 8
+MIN_SAMPLE = 48
+ADAPT_EVERY = 4
+
+
+def _build(model, keys, execution, relearn):
+    service = Service(
+        num_shards=SHARDS, backend=BACKEND, model=model,
+        # Capacity holds the original set plus its drifted rewrite.
+        capacity=2 * len(keys), seed=5, execution=execution,
+        relearn=relearn, drift_window=DRIFT_WINDOW,
+        drift_margin=DRIFT_MARGIN, drift_patience=DRIFT_PATIENCE,
+        drift_reservoir=DRIFT_RESERVOIR, min_dwell=MIN_DWELL,
+        min_sample=MIN_SAMPLE, adapt_every=ADAPT_EVERY,
+    )
+    client = ServiceClient(service)
+    client.put_many((key, b"v0") for key in keys)
+    service.drain()
+    return service, client
+
+
+def _timed_reads(client, service, keys, ops=MEASURE_OPS,
+                 repeats=MEASURE_REPEATS):
+    """Best-of-``repeats`` ops/s for a read sweep over stored keys."""
+    operations = [
+        Operation("read", keys[i % len(keys)]) for i in range(ops)
+    ]
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_service_workload(client, operations)
+        service.drain()
+        elapsed = time.perf_counter() - start
+        best = max(best, ops / elapsed if elapsed else 0.0)
+    return best
+
+
+def _get_latency(client, keys, n=LATENCY_SAMPLE):
+    samples = []
+    for key in keys[:n]:
+        start = time.perf_counter()
+        client.get(key)
+        samples.append(time.perf_counter() - start)
+    return latency_summary_ns(samples)
+
+
+def drift_drill(execution="inline", relearn=True, num_keys=NUM_KEYS,
+                measure_ops=MEASURE_OPS, repeats=MEASURE_REPEATS):
+    """Run one preload -> measure -> drift -> swap -> measure drill."""
+    keys = google_urls(num_keys, seed=11)
+    model = train_model(keys, fixed_dataset=True)
+    service, client = _build(model, keys, execution, relearn)
+    try:
+        plan, _ = deployed_plan(model, required_entropy_for_spec(service._spec))
+        if plan is None:
+            raise RuntimeError("model deployed a full-key hasher; "
+                               "there is no partial-key plan to drift")
+        positions = list(plan.positions)
+        word_size = plan.word_size
+
+        pre_ops = _timed_reads(client, service, keys, measure_ops, repeats)
+
+        # Drift phase: a YCSB mix whose every key is rewritten from op
+        # zero, an explicit put of the full drifted set so the post-swap
+        # sweep is all hits like the pre-drift one, and deletion of the
+        # pre-drift population — drift replaces a key population, it
+        # does not grow it, and the recovery claim compares equal-sized
+        # resident sets.
+        generator = DriftingWorkloadGenerator(
+            keys, positions, word_size=word_size, drift_after=0,
+            mix="A", seed=29,
+        )
+        drift_start = time.perf_counter()
+        run_service_workload(client, generator.operations(DRIFT_MIX_OPS))
+        drifted = [drift_key(key, positions, word_size=word_size)
+                   for key in keys]
+        client.put_many((key, b"v1") for key in drifted)
+        for key in keys:
+            client.delete(key)
+        service.drain()
+        settle_ops = [Operation("read", key) for key in drifted]
+        rounds = 0
+        while (relearn and service.plan_swaps < 1
+               and rounds < MAX_SETTLE_ROUNDS):
+            run_service_workload(client, settle_ops)
+            service.drain()
+            rounds += 1
+        drift_elapsed = time.perf_counter() - drift_start
+
+        post_ops = _timed_reads(client, service, drifted, measure_ops,
+                                repeats)
+        stats = service.stats()
+        record = {
+            "benchmark": (f"drift_recovery_{execution}" if relearn
+                          else f"drift_no_relearn_{execution}"),
+            "execution": execution,
+            "relearn": relearn,
+            "shards": SHARDS,
+            "backend": BACKEND,
+            "num_keys": num_keys,
+            "cpu_cores": os.cpu_count() or 1,
+            "drift_window": DRIFT_WINDOW,
+            "drift_margin": DRIFT_MARGIN,
+            "drift_patience": DRIFT_PATIENCE,
+            "drift_reservoir": DRIFT_RESERVOIR,
+            "min_dwell": MIN_DWELL,
+            "min_sample": MIN_SAMPLE,
+            "adapt_every": ADAPT_EVERY,
+            "measure_ops": measure_ops,
+            "measure_repeats": repeats,
+            "drift_mix_ops": DRIFT_MIX_OPS,
+            "drifted_ops_emitted": generator.drifted_ops,
+            "ops_per_second_pre_drift": pre_ops,
+            "ops_per_second_post_swap": post_ops,
+            # Canonical throughput for the regression gate: the state
+            # the service settles into after the drill.
+            "ops_per_second": post_ops,
+            "recovery_ratio": post_ops / pre_ops if pre_ops else 0.0,
+            "drift_phase_s": drift_elapsed,
+            "settle_rounds": rounds,
+            "plan_swaps": stats["plan_swaps"],
+            "lost_acks": client.lost_acks,
+            "client_retries": client.retries,
+        }
+        drift_stats = stats.get("drift")
+        if drift_stats:
+            record["trips"] = sum(
+                shard["trips"] for shard in drift_stats["shards"].values()
+            )
+            record["stay_decisions"] = drift_stats["stay_decisions"]
+            record["noop_suppressed"] = drift_stats["noop_suppressed"]
+        record.update(_get_latency(client, drifted))
+        return record
+    finally:
+        service.close()
+
+
+def drift_records():
+    records = [drift_drill(execution="inline", relearn=True)]
+    records.append(drift_drill(execution="process", relearn=True))
+    records.append(drift_drill(execution="inline", relearn=False))
+    return records
+
+
+def write_report(records, path=None):
+    if path is None:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        path = os.path.join(repo_root, "BENCH_drift.json")
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or "unknown"
+    except OSError:
+        rev = "unknown"
+    with open(path, "w") as f:
+        json.dump({
+            "git_rev": rev,
+            "generated_at_unix": time.time(),
+            "records": records,
+        }, f, indent=2)
+    print(f"\n[wrote {len(records)} drift record(s) to {path}]")
+    return path
+
+
+def main():
+    print_header(f"Drift: re-learn + plan swap recovery "
+                 f"({SHARDS} {BACKEND} shards, {NUM_KEYS} keys)")
+    records = drift_records()
+    for r in records:
+        print(f"{r['benchmark']:28s} pre {r['ops_per_second_pre_drift']:9.0f}"
+              f" ops/s  post {r['ops_per_second_post_swap']:9.0f} ops/s  "
+              f"recovery {r['recovery_ratio']:.2f}  "
+              f"swaps {r['plan_swaps']}  lost_acks {r['lost_acks']}")
+    write_report(records)
+    return records
+
+
+# ----------------------------------------------------------------- tests
+# Collected only when pytest targets benchmarks/ explicitly.
+
+def test_drift_recovery_inline():
+    record = drift_drill(execution="inline", relearn=True)
+    assert record["plan_swaps"] >= 1
+    assert record["lost_acks"] == 0
+    assert record["recovery_ratio"] >= 0.9
+
+
+def test_drift_recovery_process():
+    record = drift_drill(execution="process", relearn=True)
+    assert record["plan_swaps"] >= 1
+    assert record["lost_acks"] == 0
+    assert record["recovery_ratio"] >= 0.9
+
+
+def test_no_relearn_never_swaps():
+    record = drift_drill(execution="inline", relearn=False,
+                         measure_ops=400, repeats=1)
+    assert record["plan_swaps"] == 0
+    assert record["lost_acks"] == 0
+
+
+if __name__ == "__main__":
+    main()

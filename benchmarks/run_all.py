@@ -47,6 +47,7 @@ MODULES = [
     "bench_faults",
     "bench_frontdoor",
     "bench_similarity",
+    "bench_drift",
     "bench_fig5_entropy_vs_words",
     "bench_fig6_probe_time",
     "bench_fig7_breakdown",
@@ -113,6 +114,18 @@ ARTIFACT_SCHEMAS = {
         "record": ("benchmark", "ops_per_second",
                    "recall_at_10") + _LATENCY_FIELDS,
     },
+    "BENCH_drift.json": {
+        "module": "bench_drift",
+        "toplevel": ("git_rev", "generated_at_unix", "records"),
+        # A recovery claim is only interpretable next to the machine
+        # and detector configuration it was measured under: every
+        # record must carry both throughput phases, the ratio, and the
+        # full window/dwell parameters alongside cpu_cores.
+        "record": ("benchmark", "execution", "cpu_cores", "drift_window",
+                   "min_dwell", "ops_per_second_pre_drift",
+                   "ops_per_second_post_swap", "recovery_ratio",
+                   "plan_swaps", "lost_acks") + _LATENCY_FIELDS,
+    },
 }
 
 
@@ -170,6 +183,9 @@ BASELINE_TRACKED = {
     ),
     "BENCH_faults.json": (
         "chaos_throughput_0",
+    ),
+    "BENCH_drift.json": (
+        "drift_recovery_inline",
     ),
 }
 

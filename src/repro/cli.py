@@ -332,12 +332,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         execution=args.execution,
         hot_k=args.hot_k, adapt_every=args.adapt_every,
         auto_split=args.auto_split, max_splits=args.max_splits,
+        relearn=args.relearn, drift_window=args.drift_window,
+        min_dwell=args.min_dwell, drift_reservoir=args.drift_reservoir,
     )
     try:
+        plane = None
         if args.inject:
             from repro.faults import make_plane
 
-            service.arm_fault_plane(make_plane(args.inject, seed=args.chaos_seed))
+            plane = make_plane(args.inject, seed=args.chaos_seed)
+            service.arm_fault_plane(plane)
         client = ServiceClient(service)
 
         start = time.perf_counter()
@@ -347,6 +351,54 @@ def cmd_serve(args: argparse.Namespace) -> int:
         generator = WorkloadGenerator(keys, mix=args.mix, seed=args.seed,
                                       zipf_theta=args.theta)
         operations = list(generator.operations(args.ops))
+        drift_shards = plane.plan.targets("drift") if plane else []
+        drift_at = None
+        if drift_shards:
+            # A `drift` fault breaks the *workload*, not the service:
+            # once a spec fires, every later key is rewritten so the
+            # bytes the deployed plan reads go constant and the entropy
+            # moves to the key tail (injective, so correctness checks
+            # stay exact).  The rewrite is driven here — the owner of
+            # the key stream — exactly as the FaultPlane grammar
+            # documents.
+            from repro.drift import (
+                deployed_plan, drift_key, required_entropy_for_spec,
+            )
+
+            if args.backend not in ("chaining", "probing"):
+                raise ValueError(
+                    "drift faults need a partial-key table backend "
+                    "(chaining or probing), got "
+                    f"{args.backend!r}"
+                )
+            plan_fn, _ = deployed_plan(
+                model, required_entropy_for_spec(service._spec)
+            )
+            if plan_fn is None:
+                raise ValueError(
+                    "drift fault armed but the model deploys full-key "
+                    "hashing; there is no partial-key plan to drift away "
+                    "from"
+                )
+            positions = list(plan_fn.positions)
+            word_size = plan_fn.word_size
+            from repro.workloads import Operation as _Operation
+
+            rewritten = []
+            for index, op in enumerate(operations):
+                if drift_at is None and any(
+                    plane.should_fire("drift", shard)
+                    for shard in drift_shards
+                ):
+                    drift_at = index
+                if drift_at is not None:
+                    op = _Operation(
+                        op.kind,
+                        drift_key(op.key, positions, word_size=word_size),
+                        op.value, op.scan_length,
+                    )
+                rewritten.append(op)
+            operations = rewritten
         start = time.perf_counter()
         net = None
         if listen is not None:
@@ -431,6 +483,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
                       f"{len(faults['specs'])} spec(s); "
                       f"{supervisor['restarts']} restart(s), "
                       f"{supervisor['reconciled_tickets']} ticket(s) reconciled")
+            if args.relearn:
+                drift = stats["drift"]
+                trips = sum(d["trips"] for d in drift["shards"].values())
+                print(f"  drift: {trips} detector trip(s), "
+                      f"{stats['plan_swaps']} plan swap(s), "
+                      f"{drift['stay_decisions']} stay(s), "
+                      f"{drift['noop_suppressed']} no-op(s) suppressed "
+                      f"(window {drift['window']}, dwell {drift['min_dwell']})")
             for shard in stats["shards"]:
                 print(f"  shard {shard['shard']}: {shard['processed']} ops in "
                       f"{shard['batches']} batches "
@@ -523,6 +583,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 failures.append(
                     "no injected fault ever fired (check the spec's shard/after)"
                 )
+            if drift_shards and drift_at is None:
+                failures.append(
+                    "a drift spec was armed but never fired on the stream"
+                )
+            if drift_shards and drift_at is not None and args.relearn:
+                trips = sum(
+                    d["trips"]
+                    for d in stats["drift"]["shards"].values()
+                )
+                if trips < 1:
+                    failures.append(
+                        "the workload drifted but no detector ever "
+                        "tripped (tap or window math broke)"
+                    )
             dead = [w.shard_id for w in service.workers if w.crashed]
             if dead:
                 failures.append(
@@ -574,7 +648,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     # --execution pins the service-layer targets to one execution
     # backend; structure-only targets have no service to configure.
     _SERVICE_TARGETS = frozenset(
-        {"service", "chaos", "reshard", "frontdoor", "similarity"}
+        {"service", "chaos", "reshard", "drift", "frontdoor", "similarity"}
     )
 
     failed = False
@@ -734,6 +808,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "drop:worker:1:after=3:count=2 (repeatable)")
     serve.add_argument("--chaos-seed", type=int, default=0,
                        help="seed for the fault plane's RNG")
+    serve.add_argument("--relearn", action="store_true",
+                       help="watch the served key stream for entropy "
+                            "drift and hot-swap a re-learned plan "
+                            "(chaining/probing backends)")
+    serve.add_argument("--drift-window", type=int, default=256,
+                       help="sliding-window size of the per-shard drift "
+                            "detector (with --relearn)")
+    serve.add_argument("--min-dwell", type=int, default=64,
+                       help="pumps that must pass between re-learn "
+                            "decisions (flap protection, with --relearn)")
+    serve.add_argument("--drift-reservoir", type=int, default=256,
+                       help="per-shard reservoir of recent keys the "
+                            "re-learner trains on (with --relearn); the "
+                            "certified-entropy bound grows with the "
+                            "distinct keys sampled, so small reservoirs "
+                            "can only ever decide to stay")
     serve.add_argument("--listen", default=None, metavar="HOST:PORT",
                        help="serve over TCP: run the asyncio front door "
                             "and drive the workload through real sockets "

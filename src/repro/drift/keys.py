@@ -1,0 +1,62 @@
+"""Synthetic key-distribution drift.
+
+``drift_key`` is the adversary the drift machinery exists to survive: an
+*injective* rewrite of a key that destroys the entropy at a given set of
+learned byte positions while moving it elsewhere.  The bytes every
+selected word would read are captured, overwritten with a constant
+fill, and re-appended after a separator — so two distinct keys always
+remain distinct (lengths and tails differ exactly when the originals
+did), but the learned partial key collapses to (length, fill, fill, …)
+and partial-key collisions explode.
+
+Used by the ``drift`` fault kind (the FaultPlane mutates the synthetic
+key source mid-run), the drifting YCSB variant, the ``drift`` fuzz
+target, and ``bench_drift``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro._util import Key, as_bytes
+
+DRIFT_SEPARATOR = b"~"
+DRIFT_FILL = 0x7A  # 'z'
+
+
+def drift_key(
+    key: Key,
+    positions: Sequence[int],
+    word_size: int = 8,
+    fill: int = DRIFT_FILL,
+) -> bytes:
+    """Collapse ``key``'s entropy at the given learned positions.
+
+    Injective: the displaced bytes are appended after a separator, so
+    the mapping key -> drifted key can lose no information.  Keys too
+    short to reach any selected position are returned unchanged (they
+    already take the full-key branch at hash time).
+
+    >>> drift_key(b"abcdefgh", positions=[2], word_size=2)
+    b'abzzefgh~cd'
+    >>> a = drift_key(b"abcdefgh", positions=[2], word_size=2)
+    >>> b = drift_key(b"abXYefgh", positions=[2], word_size=2)
+    >>> a != b                      # injective ...
+    True
+    >>> a[:8] == b[:8]              # ... but identical at the positions
+    True
+    """
+    raw = bytearray(as_bytes(key))
+    displaced = []
+    touched = False
+    for pos in positions:
+        segment = bytes(raw[pos:pos + word_size])
+        if not segment:
+            continue
+        displaced.append(segment)
+        for i in range(pos, min(pos + word_size, len(raw))):
+            raw[i] = fill
+        touched = True
+    if not touched:
+        return bytes(raw)
+    return bytes(raw) + DRIFT_SEPARATOR + b"".join(displaced)

@@ -282,18 +282,29 @@ class HashEngine:
             EntropyLearnedHasher.full_key(self._hasher.base, seed=self._hasher.seed)
         )
 
-    def rearm(self, hasher: EntropyLearnedHasher) -> None:
-        """Restore partial-key hashing after a fallback.
+    def rearm(
+        self,
+        hasher: EntropyLearnedHasher,
+        entropy: Optional[float] = None,
+    ) -> None:
+        """Restore partial-key hashing after a fallback or plan swap.
 
         The circuit-breaker's half-open probe calls this: the engine
         swaps back to ``hasher`` (normally the pristine pre-fallback
         hasher), clears the fallback latch, and resets the monitor so
         the probe window judges fresh collision statistics rather than
         the history that caused the trip.
+
+        ``entropy``, when given, re-bases the monitor's claimed entropy
+        — required when rearming with a *re-learned* plan rather than
+        the pristine one, otherwise the monitor would keep judging the
+        new plan's collisions against the old plan's entropy claim.
         """
         self.set_hasher(hasher)
         self._fell_back = False
         if self.monitor is not None:
+            if entropy is not None:
+                self.monitor.entropy = entropy
             self.monitor.reset()
 
     # ------------------------------------------------------------- pickling

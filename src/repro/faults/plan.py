@@ -7,7 +7,7 @@ fires (``count``), and an optional probability per opportunity
 (``rate`` — evaluated with the :class:`~repro.faults.plane.FaultPlane`'s
 seeded RNG, so a plan plus a seed is fully deterministic).
 
-The six kinds map onto the injection points threaded through the
+The seven kinds map onto the injection points threaded through the
 service and the engine:
 
 =============  ======================  =======================================
@@ -27,6 +27,12 @@ kind           injection point         effect
                                        directly
 ``queue_loss`` ``Service.submit`` /    an admitted ticket never reaches the
                ``ShardRouter``         shard queue (the slot is lost)
+``drift``      key stream (driver)     the *workload* drifts: the driver
+                                       rewrites keys so the bytes the deployed
+                                       partial-key plan reads go constant
+                                       (entropy moves elsewhere in the key);
+                                       fired via ``should_fire`` by whoever
+                                       owns the key stream, not by the service
 =============  ======================  =======================================
 
 Specs can also be parsed from compact CLI strings::
@@ -41,11 +47,13 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Sequence
 
-FAULT_KINDS = ("crash", "sigkill", "stall", "drop", "corrupt", "queue_loss")
+FAULT_KINDS = (
+    "crash", "sigkill", "stall", "drop", "corrupt", "queue_loss", "drift",
+)
 
 # Documentation-grade scope names accepted in spec strings; the kind
 # alone determines the injection point, the scope just reads well.
-_SCOPES = ("worker", "router", "engine", "service")
+_SCOPES = ("worker", "router", "engine", "service", "workload")
 
 
 @dataclass(frozen=True)

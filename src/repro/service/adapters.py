@@ -98,6 +98,18 @@ class StructureAdapter:
         """Drive the real CollisionMonitor over its budget (drills)."""
         raise NotImplementedError
 
+    # Drift re-learning hooks.
+    @property
+    def rearmable(self) -> bool:
+        """Can this adapter hot-swap to a re-learned EntropyModel?"""
+        return False
+
+    def rearm_with(self, model: EntropyModel) -> None:
+        """Hot-swap the structure to a freshly re-learned model."""
+        raise NotImplementedError(
+            f"backend {self.backend!r} does not support plan re-learning"
+        )
+
     def stats(self) -> Dict[str, object]:
         return {"backend": self.backend, "fell_back": self.tripped}
 
@@ -180,6 +192,28 @@ class TableAdapter(StructureAdapter):
         # the data is genuinely low-entropy the monitor re-trips during
         # this very rebuild and the probe fails on the next check.
         self.table.rebuild_with_hasher(engine.hasher)
+        self._degraded = False
+
+    @property
+    def rearmable(self) -> bool:
+        return self.monitorable and hasattr(self.table, "relearn")
+
+    def rearm_with(self, model: EntropyModel) -> None:
+        """Hot-swap to a re-learned model (drift recovery).
+
+        Unlike :meth:`restore_partial_key`, which rebuilds under the
+        *pristine* hasher, this installs a brand-new plan: the table
+        re-picks its cheapest hasher from ``model``, the engine rearms
+        (generation bump + monitor re-based on the new entropy claim),
+        and the pristine snapshot is replaced — a later breaker probe
+        must restore the re-learned plan, not the stale original.
+        """
+        if not self.rearmable:
+            raise NotImplementedError(
+                f"backend {self.backend!r} cannot rearm (no model attached)"
+            )
+        self.table.relearn(model)
+        self._pristine_hasher = self.table.engine.hasher
         self._degraded = False
 
     def stats(self):

@@ -32,6 +32,7 @@ died.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import queue as pyqueue
 import signal
@@ -135,6 +136,17 @@ class ExecutionBackend:
     def force_trip(self, worker) -> None:
         raise NotImplementedError
 
+    def rearm(self, worker, model) -> bool:
+        """Hot-swap the core to a re-learned EntropyModel.
+
+        Returns True when the live structure rehashed under the new
+        plan.  False means it could not happen *here and now* — an
+        unsupported structure, or a dead child (whose pending restart
+        rebuilds from the updated spec + journal anyway, the
+        journal-assisted half of the swap).
+        """
+        raise NotImplementedError
+
     def structure_stats(self, worker) -> Dict[str, object]:
         raise NotImplementedError
 
@@ -215,6 +227,9 @@ class InlineBackend(ExecutionBackend):
     def force_trip(self, worker) -> None:
         self.core.force_trip()
 
+    def rearm(self, worker, model) -> bool:
+        return self.core.rearm_with(model)
+
     def structure_stats(self, worker) -> Dict[str, object]:
         return self.core.stats()
 
@@ -263,8 +278,13 @@ def _shard_child_main(
             if tag == "stop":
                 break
             if tag == "ctl":
-                _, inc, name = msg
-                payload = core.control(name)
+                # 3-tuple for argless control ops; 4-tuple carries the
+                # op's payload (today: rearm's re-learned EntropyModel,
+                # which is plain picklable dataclasses — this is how a
+                # new plan ships to an already-forked child).
+                inc, name = msg[1], msg[2]
+                arg = msg[3] if len(msg) > 3 else None
+                payload = core.control(name, arg)
                 state_row[HEARTBEAT] += 1
                 state_row[TRIPPED] = 1 if core.tripped else 0
                 res_q.put(
@@ -647,14 +667,16 @@ class ProcessBackend(ExecutionBackend):
 
     # ------------------------------------------------------ degraded mode
 
-    def _control(self, worker, name: str):
+    def _control(self, worker, name: str, arg=None):
         if self.process is None or not self.process.is_alive():
             # Dead child: the pending restart rebuilds from the journal
             # and the supervisor re-applies the breaker's fallback, so
             # there is nothing meaningful to do here.
             return None
+        message = (("ctl", self.incarnation, name) if arg is None
+                   else ("ctl", self.incarnation, name, arg))
         try:
-            self.cmd_q.put(("ctl", self.incarnation, name), timeout=1.0)
+            self.cmd_q.put(message, timeout=1.0)
         except Exception:
             return None
         reply = self._await(
@@ -678,6 +700,16 @@ class ProcessBackend(ExecutionBackend):
 
     def force_trip(self, worker) -> None:
         self._control(worker, "force_trip")
+
+    def rearm(self, worker, model) -> bool:
+        """Ship a re-learned model to the live child over the ctl
+        channel and rehash there.  The backend's spec is updated first
+        either way: if the child is dead (or dies mid-rearm), its
+        restart re-forks from the new spec and replays the journal —
+        the journal-assisted path to the same end state.
+        """
+        self.spec = dataclasses.replace(self.spec, model=model, hasher=None)
+        return bool(self._control(worker, "rearm", model))
 
     def structure_stats(self, worker) -> Dict[str, object]:
         payload = self._control(worker, "stats")

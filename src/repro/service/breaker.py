@@ -95,6 +95,19 @@ class CircuitBreaker:
             return "close"
         return "hold"
 
+    def reset(self) -> None:
+        """Force-close and clear the backoff (drift plan swap).
+
+        A re-learn replaced the plan the breaker was guarding: its open
+        state and doubled cooldown describe a hasher that no longer
+        exists, so the swap path closes the circuit outright.  The
+        lifetime open/close counters are kept — only the state and the
+        backoff reset.
+        """
+        self.state = CLOSED
+        self.cooldown_pumps = self.base_cooldown
+        self._deadline = 0
+
     # -------------------------------------------------------------- stats
 
     def stats(self) -> Dict[str, object]:

@@ -105,15 +105,26 @@ class ShardCore:
     def force_trip(self) -> None:
         self.adapter.force_trip()
 
-    def control(self, name: str) -> object:
+    def rearm_with(self, model) -> bool:
+        """Hot-swap to a re-learned model; False if unsupported here."""
+        if not self.adapter.rearmable:
+            return False
+        self.adapter.rearm_with(model)
+        return True
+
+    def control(self, name: str, arg: object = None) -> object:
         """Dispatch one named control op (the process backend's ctl
-        channel); returns the op's payload (stats dict or None)."""
+        channel); returns the op's payload (stats dict, rearm ack, or
+        None).  ``arg`` carries the op's payload where one exists —
+        today only ``rearm``'s re-learned EntropyModel."""
         if name == "fall_back":
             self.fall_back()
         elif name == "restore_partial_key":
             self.restore_partial_key()
         elif name == "force_trip":
             self.force_trip()
+        elif name == "rearm":
+            return self.rearm_with(arg)
         elif name == "stats":
             return self.stats()
         else:

@@ -77,6 +77,10 @@ class ShardJournal:
         self.appended = 0
         self.truncations = 0
         self.replays = 0
+        # Shape of the most recent checkpoint(), for observability:
+        # {"before", "after", "dropped", "at_append"}; None until the
+        # first compaction runs.
+        self.last_compaction: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------- append
 
@@ -98,6 +102,7 @@ class ShardJournal:
 
     def checkpoint(self) -> None:
         """Compact to the minimal op list with the same replay result."""
+        before = len(self.entries)
         if self.multiset:
             # Net copies per key; order of first add is preserved so the
             # replayed structure fills in a deterministic order.
@@ -126,6 +131,12 @@ class ShardJournal:
             ]
         self.entries = compacted
         self.truncations += 1
+        self.last_compaction = {
+            "before": before,
+            "after": len(compacted),
+            "dropped": before - len(compacted),
+            "at_append": self.appended,
+        }
 
     # ---------------------------------------------------------- migration
 
@@ -195,6 +206,9 @@ class ShardJournal:
             "replays": self.replays,
             "checkpoint_every": self.checkpoint_every,
             "multiset": self.multiset,
+            "last_compaction": (
+                dict(self.last_compaction) if self.last_compaction else None
+            ),
         }
 
     def __len__(self) -> int:

@@ -58,6 +58,12 @@ class ShardRouter:
         self.engine = HashEngine(hasher)
         self.table = RoutingTable(self.engine, num_shards)
         self.tolerance = tolerance
+        # Partitioning parameters remembered for plan swaps: rebase()
+        # rebuilds the routing hasher from a re-learned model with the
+        # same sizing and the same decorrelating seed.  None when the
+        # router was built from a raw hasher (no model to re-learn).
+        self.partition_items: Optional[int] = None
+        self.hasher_seed = hasher.seed
         self.routed = np.zeros(num_shards, dtype=np.int64)
         self.tracker: Optional[HotKeyTracker] = (
             HotKeyTracker(hasher, k=hot_k, phi=hot_phi, sample=hot_sample)
@@ -86,8 +92,26 @@ class ShardRouter:
             max(expected_items, 1), num_shards,
             mode="relative", seed=seed + ROUTER_SEED_OFFSET,
         )
-        return cls(hasher, num_shards, tolerance=tolerance,
-                   hot_k=hot_k, hot_phi=hot_phi, hot_sample=hot_sample)
+        router = cls(hasher, num_shards, tolerance=tolerance,
+                     hot_k=hot_k, hot_phi=hot_phi, hot_sample=hot_sample)
+        router.partition_items = max(expected_items, 1)
+        return router
+
+    def rebase(self, model) -> Optional[RoutingTable]:
+        """Candidate table hashing with ``model``'s partitioning plan.
+
+        Returns ``None`` when this router was not built from a model —
+        there is no partitioning requirement to re-derive.  The caller
+        migrates resident keys under the candidate's routing and then
+        :meth:`install`\\ s it (the plan-swap flip).
+        """
+        if self.partition_items is None:
+            return None
+        hasher = model.hasher_for_partitioning(
+            self.partition_items, self.table.base_shards,
+            mode="relative", seed=self.hasher_seed,
+        )
+        return self.table.with_engine(HashEngine(hasher))
 
     @property
     def num_shards(self) -> int:
@@ -133,6 +157,7 @@ class ShardRouter:
                 f"candidate generation {candidate.generation} is not "
                 f"newer than live generation {self.table.generation}"
             )
+        self.engine = candidate.engine
         if candidate.num_shards > len(self.routed):
             grown = np.zeros(candidate.num_shards, dtype=np.int64)
             grown[: len(self.routed)] = self.routed

@@ -2,10 +2,11 @@
 
 Until PR 7 the key→shard map *was* the learned hasher, pinned for the
 service's lifetime — adapting to skew was impossible by construction.
-A :class:`RoutingTable` keeps the base hasher exactly as pinned as
-before (its 64-bit hash stream never changes, so every key's *base*
-placement is stable forever) and layers two versioned refinements on
-top, stamped by a monotonically increasing ``generation``:
+A :class:`RoutingTable` keeps the base hasher pinned (its 64-bit hash
+stream changes only through an explicit :meth:`~RoutingTable.
+with_engine` plan swap, which migrates every resident key it moves)
+and layers two versioned refinements on top, stamped by a
+monotonically increasing ``generation``:
 
 * **hot-key overlay** — an explicit ``key -> shard`` dict consulted
   first.  The heavy hitters a :class:`~repro.service.hotkeys.
@@ -121,6 +122,23 @@ class RoutingTable:
                 )
         candidate = self.clone()
         candidate.overlay.update(assignments)
+        candidate.generation = self.generation + 1
+        return candidate
+
+    def with_engine(self, engine: HashEngine) -> "RoutingTable":
+        """Candidate table hashing with a re-learned engine; generation + 1.
+
+        The plan-swap counterpart of :meth:`with_overlay` /
+        :meth:`with_split`: every refinement survives (overlay pins are
+        explicit key -> shard routes; split directories sub-route
+        whatever the new base hash lands on them), but the 64-bit base
+        stream itself is re-based on the new plan.  Unlike overlays and
+        splits — which move only the keys they name — a re-based stream
+        can move *any* key anywhere, so the caller must migrate every
+        resident key whose route changes before installing.
+        """
+        candidate = self.clone()
+        candidate.engine = engine
         candidate.generation = self.generation + 1
         return candidate
 

@@ -40,6 +40,7 @@ the wrong shard's state.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from typing import Dict, List, Optional, Sequence
 
@@ -116,6 +117,14 @@ class Service:
         split_threshold: float = 2.0,
         max_splits: int = 4,
         backend_options: Optional[Dict[str, object]] = None,
+        relearn: bool = False,
+        drift_window: int = 256,
+        drift_margin: float = 2.0,
+        drift_patience: int = 2,
+        drift_reservoir: int = 256,
+        min_dwell: int = 64,
+        min_sample: int = 64,
+        drift_confidence: float = 20.0,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -127,6 +136,19 @@ class Service:
             )
         if (model is None) == (hasher is None):
             raise ValueError("pass exactly one of model= or hasher=")
+        if relearn:
+            from repro.drift.relearner import RELEARN_BACKENDS
+
+            if model is None:
+                raise ValueError(
+                    "relearn=True needs model= (a hasher-built service "
+                    "has no entropy plan to re-learn)"
+                )
+            if backend not in RELEARN_BACKENDS:
+                raise ValueError(
+                    f"relearn=True supports backends {RELEARN_BACKENDS}, "
+                    f"got {backend!r}"
+                )
         self.num_shards = num_shards
         self.backend = backend
         self.execution = execution
@@ -201,6 +223,25 @@ class Service:
         ]
         for worker in self.workers:
             worker.router = self.router
+        self.relearner = None
+        self.plan_swaps = 0
+        self.plan_moved_keys = 0
+        if relearn:
+            from repro.drift.relearner import Relearner
+
+            self.relearner = Relearner(
+                self,
+                window=drift_window,
+                margin=drift_margin,
+                patience=drift_patience,
+                reservoir=drift_reservoir,
+                min_dwell=min_dwell,
+                min_sample=min_sample,
+                confidence_constant=drift_confidence,
+                seed=seed,
+            )
+            for worker in self.workers:
+                worker.drift_tap = self.relearner.observe
         self.supervisor = Supervisor(self, stall_threshold=stall_threshold)
         self.max_drain_pumps = max_drain_pumps
         self.pump_index = 0
@@ -522,6 +563,8 @@ class Service:
                 new_journal.replay(worker.adapter)
         worker.router = self.router
         self._arm_worker(worker)
+        if self.relearner is not None:
+            worker.drift_tap = self.relearner.observe
         self.workers.append(worker)
         self.breakers.append(
             CircuitBreaker(
@@ -642,6 +685,99 @@ class Service:
         self.workers[shard].force_trip()
         self._check_monitors()
 
+    # ------------------------------------------------------ drift relearn
+
+    def relearn_swap(self, model) -> int:
+        """Swap the whole fleet to a re-learned model; zero downtime.
+
+        Called from the supervisor's adapt pass (between pumps, nothing
+        in flight).  The routing plane swaps *first*: the router
+        re-bases on the new model's partitioning plan and every
+        resident key the re-based hash re-routes migrates journal-first
+        while the old engines still serve (drift concentrates traffic —
+        the dying positions hash every drifted key alike — so a swap
+        that only rearmed the shard engines would leave one shard
+        serving the whole stream).  Only then is each shard rearmed:
+        inline, ``table.relearn`` + ``engine.rearm`` rebuild in place
+        at the *post-migration* occupancy — rearming before migration
+        would rebuild the drift-concentrated shard at peak occupancy, a
+        geometry whose entropy demand no certified plan can meet —
+        while under process execution the model ships to the live child
+        over the ctl channel and rehashes there (a dead child instead
+        re-forks later from the updated spec and replays its journal,
+        the journal-assisted path).  After a successful rehash a
+        non-closed breaker is reset — its open state guarded a plan
+        that no longer exists.  Finally the service spec and the inline
+        factories are re-pointed so restarts and future splits build
+        the *new* plan, and each journal is compacted (the rehash
+        rewrote the structures anyway; superseded entries must not
+        accumulate across drift cycles).  Returns the number of shards
+        that rehashed live.
+        """
+        new_spec = dataclasses.replace(self._spec, model=model, hasher=None)
+        self.plan_moved_keys += self._reroute_fleet(model)
+        swapped = 0
+        for worker, breaker in zip(self.workers, self.breakers):
+            if worker.rearm_with(model):
+                swapped += 1
+                if not breaker.closed:
+                    breaker.reset()
+            if worker.factory is not None:
+                worker.factory = new_spec.build
+        self._spec = new_spec
+        for worker in self.workers:
+            worker.journal.checkpoint()
+        self.plan_swaps += 1
+        return swapped
+
+    def _reroute_fleet(self, model) -> int:
+        """Migrate resident keys under a re-based routing plane.
+
+        The fleet-wide generalization of the split migration, same
+        journal-first discipline: per donor shard, route its journal's
+        distinct keys under the candidate table in one vectorized pass,
+        extract the entries that leave (so a donor restart cannot
+        resurrect them), erase their net effect from the donor's live
+        structure, then append and replay them at their targets before
+        the generation flip.  No acked write is lost: every entry is in
+        exactly one journal at every step.  Returns the number of
+        journal entries that changed shards.
+        """
+        candidate = self.router.rebase(model)
+        if candidate is None:
+            return 0
+        multiset = self.backend == "cuckoo_filter"
+        arrivals: Dict[int, List[Entry]] = {}
+        moved_total = 0
+        for worker in self.workers:
+            keys = [entry[1] for entry in worker.journal.entries]
+            if not keys:
+                continue
+            distinct = list(dict.fromkeys(keys))
+            routes = candidate.route_batch(distinct)
+            target_of = {
+                key: int(route) for key, route in zip(distinct, routes)
+            }
+            moved = worker.journal.split_by(
+                lambda k: target_of.get(k, worker.shard_id)
+                != worker.shard_id
+            )
+            if not moved:
+                continue
+            moved_total += len(moved)
+            cleanup = _net_deletes(moved, multiset)
+            if cleanup and self.backend != "bloom":
+                worker.apply_entries(cleanup)
+            for entry in moved:
+                arrivals.setdefault(target_of[entry[1]], []).append(entry)
+        for target, entries in arrivals.items():
+            target_worker = self.workers[target]
+            target_worker.journal.extend(entries)
+            target_worker.apply_entries(entries)
+        self.router.install(candidate)
+        self._sweep_misrouted()
+        return moved_total
+
     # ---------------------------------------------------------- lifecycle
 
     def close(self) -> None:
@@ -683,11 +819,43 @@ class Service:
             "routing": self.router.stats(),
             "splits": self.splits,
             "swept_tickets": self.swept_tickets,
+            "plan_swaps": self.plan_swaps,
+            "plan_moved_keys": self.plan_moved_keys,
+            "journals": self._journal_summary(),
             "shards": [worker.stats() for worker in self.workers],
         }
+        if self.relearner is not None:
+            out["drift"] = self.relearner.stats()
         if self.fault_plane is not None:
             out["faults"] = self.fault_plane.stats()
         return out
+
+    def _journal_summary(self) -> Dict[str, object]:
+        """Fleet-wide journal health: per-shard length and the shape of
+        each journal's most recent compaction, without having to dig
+        through the full per-shard stats payloads."""
+        per_shard = []
+        total_entries = 0
+        total_truncations = 0
+        for worker in self.workers:
+            journal = worker.journal
+            total_entries += len(journal)
+            total_truncations += journal.truncations
+            per_shard.append({
+                "shard": worker.shard_id,
+                "length": len(journal),
+                "appended": journal.appended,
+                "truncations": journal.truncations,
+                "last_compaction": (
+                    dict(journal.last_compaction)
+                    if journal.last_compaction else None
+                ),
+            })
+        return {
+            "total_entries": total_entries,
+            "total_truncations": total_truncations,
+            "per_shard": per_shard,
+        }
 
 
 __all__ = ["Service"]

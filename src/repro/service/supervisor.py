@@ -65,6 +65,7 @@ class Supervisor:
         self.reconciled_tickets = 0
         self.promotions_applied = 0
         self.splits_triggered = 0
+        self.relearns_applied = 0
 
     # ---------------------------------------------------------- lifecycle
 
@@ -160,6 +161,13 @@ class Supervisor:
         service = self.service
         if pump_index % service.adapt_every != 0:
             return
+        if service.relearner is not None:
+            # Drift pass first: a swap rehashes between pumps, and any
+            # promotion/split this window then sees the new plan.  The
+            # relearner has its own flap guards (patience, min dwell,
+            # no-op suppression), so calling it every window is cheap.
+            if service.relearner.pump(pump_index) == "swap":
+                self.relearns_applied += 1
         if service.router.tracker is not None:
             self.promotions_applied += service._apply_promotions()
         if not service.auto_split or service.splits >= service.max_splits:
@@ -207,6 +215,7 @@ class Supervisor:
             "reconciled_tickets": self.reconciled_tickets,
             "promotions_applied": self.promotions_applied,
             "splits_triggered": self.splits_triggered,
+            "relearns_applied": self.relearns_applied,
         }
 
 

@@ -105,6 +105,11 @@ class Worker:
         # dispatch answers WRONG_GENERATION for tickets admitted under
         # an older routing generation whose key moved off this shard.
         self.router = None
+        # Optional drift observer: called as tap(shard_id, keys) with
+        # every acked segment's keys.  Parent-side for both backends, so
+        # the drift detector sees the same stream regardless of where
+        # the structure lives.
+        self.drift_tap: Optional[Callable[[int, List[bytes]], None]] = None
         self.crashed = False
         self.enqueued = 0
         self.processed = 0
@@ -331,6 +336,11 @@ class Worker:
         entry is in the journal exactly when the client can observe an
         OK, regardless of where the structure lives."""
         self.op_counts[op] = self.op_counts.get(op, 0) + len(tickets)
+        if self.drift_tap is not None and op in ("put", "get", "delete",
+                                                 "contains"):
+            self.drift_tap(
+                self.shard_id, [t.request.key for t in tickets]
+            )
         kind, payload = result
         if kind == "unsupported":
             for ticket in tickets:
@@ -391,6 +401,10 @@ class Worker:
 
     def force_trip(self) -> None:
         self.execution.force_trip(self)
+
+    def rearm_with(self, model) -> bool:
+        """Hot-swap this shard's structure to a re-learned model."""
+        return self.execution.rearm(self, model)
 
     def close(self) -> None:
         """Release backend resources (child process/queues)."""

@@ -19,6 +19,7 @@ fuses the bucket-mask reduction, and owns the collision-monitor fallback.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro._util import Key, as_bytes, next_power_of_two
@@ -192,8 +193,19 @@ class SeparateChainingTable:
             results.append(found)
         return results
 
-    def probe_batch_hashed(self, keys: Sequence[bytes], hashes) -> List[Any]:
-        """Probe with precomputed hashes (see LinearProbingTable)."""
+    def probe_batch_hashed(
+        self, keys: Sequence[bytes], hashes, generation: Optional[int] = None
+    ) -> List[Any]:
+        """Probe with precomputed hashes (see LinearProbingTable).
+
+        Callers that precomputed ``hashes`` earlier should pass the
+        engine ``generation`` they snapshotted at hash time; if the
+        hasher was swapped since (monitor fallback, plan re-learn), the
+        stale hashes are discarded and recomputed — the probe analogue
+        of ``_bucket_for``'s insert-time recompute.
+        """
+        if generation is not None and generation != self.engine.generation:
+            hashes = self.engine.hash_batch(keys)
         results = []
         buckets = self._buckets
         mask = self._mask
@@ -262,6 +274,11 @@ class EntropyAwareTable(SeparateChainingTable):
         self.model = model
         self._seed = seed
         num_buckets = next_power_of_two(max(capacity, 2))
+        # The geometry a fresh build of the spec'd capacity chooses;
+        # relearn() resets to it so transient over-growth (e.g. one
+        # shard absorbing a whole drifted stream before migration) does
+        # not ratchet the entropy demand up forever.
+        self._spec_buckets = num_buckets
         hasher = model.hasher_for_chaining_table(
             max(1, int(max_load * num_buckets)), seed=seed
         )
@@ -319,3 +336,32 @@ class EntropyAwareTable(SeparateChainingTable):
     def _fall_back_to_full_key(self) -> None:
         self.engine.fall_back_to_full_key()
         self._rehash(self.num_buckets)
+
+    def relearn(self, model: EntropyModel) -> None:
+        """Hot-swap to a freshly trained model (drift recovery).
+
+        A drift swap is a whole-table rebuild, so the geometry also
+        resets to what a fresh build would choose for the current
+        occupancy (never below the spec'd initial sizing).  Re-picking
+        the hasher for the *grown* geometry instead would let a shard
+        that transiently ballooned — e.g. while absorbing a
+        concentrated drifted stream before migration rebalanced it —
+        keep demanding the ballooned capacity's entropy forever,
+        locking it into full-key hashing no certified plan can lift.
+        The engine rearms (fallback latch cleared, monitor re-based on
+        the new entropy claim) and the generation bump makes any hash
+        precomputed mid-swap recompute itself on use.
+        """
+        self.model = model
+        fit = next_power_of_two(
+            max(int(math.ceil(self._size / self.max_load)), 2)
+        )
+        num_buckets = max(self._spec_buckets, fit)
+        target = max(1, int(self.max_load * num_buckets))
+        hasher = model.hasher_for_chaining_table(target, seed=self._seed)
+        entropy = None
+        if not hasher.partial_key.is_full_key:
+            words = len(hasher.partial_key.positions)
+            entropy = model.result.entropy_at(words)
+        self.engine.rearm(hasher, entropy=entropy)
+        self._rehash(num_buckets)

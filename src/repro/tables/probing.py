@@ -18,6 +18,7 @@ split in the same vectorized pass as the hash itself.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
@@ -307,14 +308,24 @@ class LinearProbingTable:
                 slot = (slot + 1) & mask
         return results
 
-    def probe_batch_hashed(self, keys: Sequence[bytes], hashes) -> List[Any]:
+    def probe_batch_hashed(
+        self, keys: Sequence[bytes], hashes, generation: Optional[int] = None
+    ) -> List[Any]:
         """Probe with precomputed hashes (paper-style pipelining).
 
         Benchmarks compute hashes in one vectorized pass and then walk
         the table, mirroring the paper's probe pipeline and letting the
         hash-computation and table-access costs be measured separately
         (Figure 7's breakdown).
+
+        ``generation``, when supplied, is the engine generation the
+        caller snapshotted when it computed ``hashes``; a mismatch means
+        the hasher was swapped in between (monitor fallback or plan
+        re-learn) and the hashes are recomputed rather than probed
+        stale.
         """
+        if generation is not None and generation != self.engine.generation:
+            hashes = self.engine.hash_batch(keys)
         results = []
         tags = self._tags
         table_keys = self._keys
@@ -399,6 +410,10 @@ class EntropyAwareProbingTable(LinearProbingTable):
         self.model = model
         self._seed = seed
         num_slots = next_power_of_two(max(capacity, 2))
+        # Fresh-build geometry for the spec'd capacity; relearn() resets
+        # to it so transient over-growth cannot ratchet the entropy
+        # demand up forever (see EntropyAwareTable).
+        self._spec_slots = num_slots
         target = max(1, int(max_load * num_slots))
         hasher = model.hasher_for_probing_table(target, seed=seed)
         if monitor is None and not hasher.partial_key.is_full_key:
@@ -448,3 +463,29 @@ class EntropyAwareProbingTable(LinearProbingTable):
     def _fall_back_to_full_key(self) -> None:
         self.engine.fall_back_to_full_key()
         self._rehash(self.num_slots)
+
+    def relearn(self, model) -> None:
+        """Hot-swap to a freshly trained model (drift recovery).
+
+        Mirrors :meth:`EntropyAwareTable.relearn`: geometry reset to
+        the fresh-build sizing for the current occupancy (tombstones
+        drop in the rehash, so live entries are what counts), cheapest
+        hasher re-picked for *that* geometry, ``engine.rearm``
+        (fallback latch cleared, monitor entropy re-based), rehash
+        under the bumped generation.
+        """
+        self.model = model
+        fit = next_power_of_two(
+            max(int(math.ceil(self._size / self.max_load)), 2)
+        )
+        num_slots = max(self._spec_slots, fit)
+        target = max(1, int(self.max_load * num_slots))
+        hasher = model.hasher_for_probing_table(target, seed=self._seed)
+        entropy = None
+        if not hasher.partial_key.is_full_key:
+            words = len(hasher.partial_key.positions)
+            entropy = model.result.entropy_at(words)
+        self.engine.rearm(hasher, entropy=entropy)
+        if self.monitor is not None:
+            self.monitor.num_slots = num_slots
+        self._rehash(num_slots)

@@ -346,6 +346,100 @@ def generate_reshard_ops(rng: random.Random, n: int) -> List[Op]:
     return ops
 
 
+def make_drift_key_pool(size: int = 64) -> List[bytes]:
+    """The drift target's key population: fixed-length, fixed-structure.
+
+    Every key is ``user-`` + 16 deterministic hex chars + ``-suffix``:
+    all the entropy lives in bytes [5, 21), so a trained model deploys
+    a partial key over that span and a :func:`repro.drift.keys.drift_key`
+    rewrite of those positions genuinely defeats the plan.  The pool is
+    a pure function of ``size`` (no RNG): the target must be able to
+    rebuild it from config alone to train its model, while the op
+    stream only records which pool keys it picked.
+    """
+    import hashlib
+
+    return [
+        b"user-"
+        + hashlib.sha256(b"drift-pool-%d" % i).hexdigest()[:16].encode()
+        + b"-sfx"
+        for i in range(size)
+    ]
+
+
+def generate_drift_ops(rng: random.Random, n: int) -> List[Op]:
+    """Chaos streams plus workload drift that must force plan swaps.
+
+    The service op menu of :func:`generate_chaos_ops` (every fault is
+    an op, ddmin strips them individually) extended with ``drift``
+    injections: when a ``drift`` spec fires, the *driver* starts
+    rewriting every subsequent key so the bytes the deployed plan reads
+    go constant — the admission-time oracle sees the same rewritten
+    keys, so correctness stays exact while the detector, re-learner,
+    and zero-downtime swap machinery race the fault schedule.  Each
+    case ends with a guaranteed drift injection followed by a heavy
+    keyed tail and ``relearn_settle`` windows, so the detector's window
+    fills and the swap path runs in every case, not just lucky ones.
+    """
+    pool = make_drift_key_pool()
+    ops: List[Op] = []
+    counter = 0
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.26:
+            counter += 1
+            ops.append(_keyed("put", pick_key(rng, pool), v=counter))
+        elif roll < 0.40:
+            ops.append(_keyed("get", pick_key(rng, pool)))
+        elif roll < 0.46:
+            ops.append(_keyed("delete", pick_key(rng, pool)))
+        elif roll < 0.52:
+            ops.append(_keyed("contains", pick_key(rng, pool)))
+        elif roll < 0.62:
+            keys = pick_keys(rng, pool, 2, 10)
+            counter += len(keys)
+            ops.append(_batch("burst", keys, v=counter))
+        elif roll < 0.74:
+            ops.append({"op": "pump"})
+        elif roll < 0.78:
+            ops.append({"op": "drain"})
+        elif roll < 0.82:
+            ops.append({"op": "stats"})
+        elif roll < 0.88:
+            ops.append({
+                "op": "inject",
+                "kind": rng.choice(
+                    ("crash", "stall", "drop", "corrupt", "queue_loss")
+                ),
+                "shard": rng.randrange(8),
+                "after": rng.randrange(4),
+                "count": rng.randrange(1, 3),
+            })
+        elif roll < 0.92:
+            ops.append({
+                "op": "inject",
+                "kind": "drift",
+                "shard": rng.randrange(8),
+                "after": rng.randrange(3),
+                "count": 1,
+            })
+        else:
+            ops.append({"op": "settle"})
+    # Every case crosses at least one drift + swap window: inject the
+    # drift, then stream enough keyed traffic (with pump interleave) to
+    # fill the detector window and trip it, then settle through the
+    # re-learn decision and drain.
+    ops.append({"op": "inject", "kind": "drift", "shard": 0, "count": 1})
+    for i in range(48):
+        counter += 1
+        ops.append(_keyed("put", pick_key(rng, pool), v=counter))
+        if i % 4 == 3:
+            ops.append({"op": "pump"})
+    ops.append({"op": "settle"})
+    ops.append({"op": "drain"})
+    return ops
+
+
 def generate_frontdoor_ops(rng: random.Random, n: int) -> List[Op]:
     """Socket-client streams: blocking RPCs, pipelined batches, splits.
 

@@ -1555,6 +1555,190 @@ class ReshardTarget(ChaosTarget):
         )
 
 
+class DriftTarget(ChaosTarget):
+    """Workload drift + chaos vs the admission-time dict oracle.
+
+    The service runs with online re-learning on (``relearn=True``, a
+    trained model over :func:`repro.verify.ops.make_drift_key_pool`'s
+    fixed-structure keys).  ``inject`` ops can arm a ``drift`` spec:
+    when it fires, the *driver* starts rewriting every subsequent key
+    through :func:`repro.drift.keys.drift_key` against the plan the
+    service is deploying at that moment — the bytes the plan reads go
+    constant, the entropy moves to the key tail.  Both the submitted
+    request and the oracle see the rewritten key (the rewrite is
+    injective and deterministic), so the oracle discipline is untouched
+    while the detector → re-learn → zero-downtime swap machinery races
+    crash / stall / drop / corrupt / queue_loss schedules.  The final
+    check holds the usual chaos invariants — every admitted op answers
+    exactly once, every acked write reads back (including across a plan
+    swap's rehash) — plus swap-ledger coherence: the service, the
+    relearner, and the supervisor must agree on how many swaps landed.
+    """
+
+    name = "drift"
+
+    # Bound on stacked drift rewrites per case: each layer appends a
+    # captured-bytes tail, so unbounded stacking would grow keys without
+    # adding new coverage.
+    MAX_DRIFT_LAYERS = 3
+
+    @classmethod
+    def default_config(cls) -> Dict[str, object]:
+        config = dict(ChaosTarget.default_config())
+        config.pop("hasher", None)
+        config.update({
+            "backend": "chaining",
+            "capacity": 48,
+            "model_seed": 0,
+            "drift_window": 24,
+            "drift_margin": 1.0,
+            "drift_patience": 2,
+            "drift_reservoir": 96,
+            "min_dwell": 4,
+            "min_sample": 16,
+            "adapt_every": 2,
+        })
+        return config
+
+    @classmethod
+    def random_config(cls, rng: random.Random) -> Dict[str, object]:
+        config = dict(ChaosTarget.random_config(rng))
+        config.pop("hasher", None)
+        config.update({
+            # Only the relearnable table backends: the drift machinery
+            # validates against RELEARN_BACKENDS at construction.
+            "backend": rng.choice(("chaining", "probing")),
+            "shards": rng.choice((2, 3)),
+            "capacity": rng.choice((32, 48, 64)),
+            "model_seed": rng.randrange(1 << 16),
+            "drift_window": rng.choice((16, 24, 32)),
+            "drift_margin": rng.choice((0.5, 1.0, 2.0)),
+            "drift_patience": rng.choice((1, 2)),
+            "drift_reservoir": rng.choice((64, 96)),
+            "min_dwell": rng.choice((2, 4, 8)),
+            "min_sample": rng.choice((8, 16)),
+            "adapt_every": rng.choice((2, 4)),
+        })
+        return config
+
+    @classmethod
+    def generate_ops(cls, rng: random.Random, n: int) -> List[Op]:
+        return opslib.generate_drift_ops(rng, n)
+
+    def _build_service(self, config: Dict[str, object]):
+        from repro.core.trainer import train_model
+        from repro.service import Service
+
+        self.cooldown = int(config.get("cooldown", 6))
+        self.probe = int(config.get("probe", 3))
+        # The model is a pure function of config: the same fixed pool
+        # plus the recorded seed retrains bit-identically on replay.
+        model = train_model(
+            opslib.make_drift_key_pool(),
+            seed=int(config.get("model_seed", 0)),
+        )
+        # Rewrite layers latched by fired drift specs; each layer is the
+        # (positions, word_size) of the plan deployed at fire time.
+        self.drift_layers: List[tuple] = []
+        return Service(
+            num_shards=int(config.get("shards", 3)),
+            backend=self.backend,
+            model=model,
+            capacity=int(config.get("capacity", 48)),
+            max_queue=self.max_queue,
+            batch_size=int(config.get("batch_size", 4)),
+            execution=self.execution,
+            fault_plane=self.plane,
+            cooldown_pumps=self.cooldown,
+            probe_pumps=self.probe,
+            stall_threshold=int(config.get("stall_threshold", 3)),
+            journal_checkpoint=int(config.get("journal_checkpoint", 32)),
+            adapt_every=int(config.get("adapt_every", 2)),
+            relearn=True,
+            drift_window=int(config.get("drift_window", 24)),
+            drift_margin=float(config.get("drift_margin", 1.0)),
+            drift_patience=int(config.get("drift_patience", 2)),
+            drift_reservoir=int(config.get("drift_reservoir", 96)),
+            min_dwell=int(config.get("min_dwell", 4)),
+            min_sample=int(config.get("min_sample", 16)),
+        )
+
+    # ------------------------------------------------------ drift rewrite
+
+    def _pump_drift_opportunities(self) -> None:
+        """One ``drift`` firing opportunity per shard, latched as a
+        rewrite layer against the plan deployed *right now* (after a
+        swap, a second drift defeats the re-learned plan, not the
+        original one)."""
+        fired = False
+        for shard in range(self.service.num_shards):
+            if self.plane.should_fire("drift", shard):
+                fired = True
+        if not fired or len(self.drift_layers) >= self.MAX_DRIFT_LAYERS:
+            return
+        plan, _ = self.service.relearner._current_plan()
+        if plan is None or plan.is_full_key:
+            return  # full-key serving: nothing to drift away from
+        self.drift_layers.append((list(plan.positions), plan.word_size))
+
+    def _rewrite(self, key: bytes) -> bytes:
+        from repro.drift.keys import drift_key
+
+        for positions, word_size in self.drift_layers:
+            key = drift_key(key, positions, word_size=word_size)
+        return key
+
+    _KEYED_OPS = frozenset({"put", "get", "delete", "contains"})
+
+    def apply(self, op: Op) -> None:
+        name = op["op"]
+        if name in self._KEYED_OPS or name == "burst":
+            self._pump_drift_opportunities()
+            if self.drift_layers:
+                op = dict(op)
+                if name == "burst":
+                    op["keys"] = [
+                        opslib.encode_key(
+                            self._rewrite(opslib.decode_key(k))
+                        )
+                        for k in op["keys"]
+                    ]
+                else:
+                    op["key"] = opslib.encode_key(
+                        self._rewrite(opslib.decode_key(op["key"]))
+                    )
+        super().apply(op)
+
+    def final_check(self) -> None:
+        super().final_check()
+        relearner = self.service.relearner
+        supervisor = self.service.supervisor
+        _require(
+            self.service.plan_swaps
+            == relearner.swaps
+            == supervisor.relearns_applied,
+            f"swap ledgers disagree: service={self.service.plan_swaps}, "
+            f"relearner={relearner.swaps}, "
+            f"supervisor={supervisor.relearns_applied}",
+        )
+        stats = relearner.stats()
+        decisions = (
+            stats["swaps"] + stats["stay_decisions"]
+            + stats["noop_suppressed"] + stats["dwell_suppressed"]
+            + stats["insufficient_sample"] + stats["relearn_failures"]
+        )
+        if self.drift_layers:
+            # A drift fired and the stream kept flowing through the
+            # guaranteed keyed tail: the detector must at least have
+            # reached a decision (swap, stay, or a suppressed flap) —
+            # a silent detector means the tap or the window math broke.
+            _require(
+                decisions > 0,
+                "workload drifted but the relearner never reached a "
+                "decision",
+            )
+
+
 class FrontDoorTarget(Target):
     """The service through a real TCP socket vs the flat dict oracle.
 
@@ -2039,6 +2223,7 @@ TARGETS: Dict[str, Type[Target]] = {
         ServiceTarget,
         ChaosTarget,
         ReshardTarget,
+        DriftTarget,
         FrontDoorTarget,
         SimilarityTarget,
     )

@@ -7,6 +7,13 @@ workloads so the kvstore benchmarks and examples exercise realistic
 access patterns.
 """
 
+from repro.workloads.drifting import DriftingWorkloadGenerator
 from repro.workloads.ycsb import MIXES, Operation, WorkloadGenerator, run_workload
 
-__all__ = ["Operation", "WorkloadGenerator", "MIXES", "run_workload"]
+__all__ = [
+    "DriftingWorkloadGenerator",
+    "Operation",
+    "WorkloadGenerator",
+    "MIXES",
+    "run_workload",
+]

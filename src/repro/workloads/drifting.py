@@ -1,0 +1,86 @@
+"""Drifting YCSB variant: the key distribution shifts mid-stream.
+
+A :class:`DriftingWorkloadGenerator` wraps a stock
+:class:`~repro.workloads.ycsb.WorkloadGenerator` and rewrites every key
+it emits past a *drift point*: the bytes the deployed partial-key plan
+reads are overwritten with a constant fill and the information that
+lived there is moved to the key's tail
+(:func:`~repro.drift.keys.drift_key`).  From the structure's point of
+view the stream is the same mix, same skew, same per-key semantics —
+but the entropy the plan was trained on has moved, which is exactly the
+regime-change the drift detector of :mod:`repro.drift` must catch.
+
+The drift point is expressed in emitted operations (``drift_after``),
+so the pre-drift prefix establishes a healthy collision baseline before
+the shift lands.  Because :func:`drift_key` is injective and
+deterministic, a reference oracle driving the same generator sees the
+same keys — correctness checks stay exact across the drift.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.drift.keys import DRIFT_FILL, drift_key
+from repro.workloads.ycsb import Operation, WorkloadGenerator
+
+
+class DriftingWorkloadGenerator:
+    """A YCSB stream whose keys drift after ``drift_after`` operations.
+
+    >>> gen = DriftingWorkloadGenerator(
+    ...     [b"alphabet-%d" % i for i in range(8)], positions=[0],
+    ...     word_size=2, mix="C", seed=1, drift_after=3)
+    >>> ops = list(gen.operations(6))
+    >>> [op.key.startswith(b"al") for op in ops]
+    [True, True, True, False, False, False]
+    >>> gen.drifted_ops
+    3
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[bytes],
+        positions: Sequence[int],
+        word_size: int = 8,
+        drift_after: int = 0,
+        fill: int = DRIFT_FILL,
+        **ycsb_kwargs,
+    ):
+        if drift_after < 0:
+            raise ValueError(f"drift_after must be >= 0, got {drift_after}")
+        self.inner = WorkloadGenerator(keys, **ycsb_kwargs)
+        self.positions = [int(p) for p in positions]
+        self.word_size = int(word_size)
+        self.drift_after = int(drift_after)
+        self.fill = int(fill)
+        self.emitted = 0
+        self.drifted_ops = 0
+
+    @property
+    def drifting(self) -> bool:
+        """Whether the next emitted operation will carry a drifted key."""
+        return self.emitted >= self.drift_after
+
+    def transform(self, key: bytes) -> bytes:
+        """The post-drift key rewrite (public so oracles can mirror it)."""
+        return drift_key(
+            key, self.positions, word_size=self.word_size, fill=self.fill
+        )
+
+    def operations(self, n: int) -> Iterator[Operation]:
+        """Yield ``n`` operations, drifting keys past the drift point."""
+        for op in self.inner.operations(n):
+            if self.drifting:
+                op = Operation(
+                    kind=op.kind,
+                    key=self.transform(op.key),
+                    value=op.value,
+                    scan_length=op.scan_length,
+                )
+                self.drifted_ops += 1
+            self.emitted += 1
+            yield op
+
+
+__all__ = ["DriftingWorkloadGenerator"]
